@@ -1,0 +1,288 @@
+//! Memory-hierarchy level specifications.
+
+use std::fmt;
+
+/// A data-holding level of the memory hierarchy.
+///
+/// The access-group grammar of FIRESTARTER (`L1_L`, `RAM_P`, …) targets
+/// these levels; register-only work (`REG`) is not a memory level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemLevel {
+    L1,
+    L2,
+    L3,
+    Ram,
+}
+
+impl MemLevel {
+    pub const ALL: [MemLevel; 4] = [MemLevel::L1, MemLevel::L2, MemLevel::L3, MemLevel::Ram];
+
+    /// The canonical name used in the group grammar.
+    pub const fn name(self) -> &'static str {
+        match self {
+            MemLevel::L1 => "L1",
+            MemLevel::L2 => "L2",
+            MemLevel::L3 => "L3",
+            MemLevel::Ram => "RAM",
+        }
+    }
+
+    /// Index into per-level arrays.
+    pub const fn idx(self) -> usize {
+        match self {
+            MemLevel::L1 => 0,
+            MemLevel::L2 => 1,
+            MemLevel::L3 => 2,
+            MemLevel::Ram => 3,
+        }
+    }
+
+    pub fn from_idx(i: usize) -> Option<MemLevel> {
+        MemLevel::ALL.get(i).copied()
+    }
+
+    /// Levels up to and including `self`, nearest first (used by the
+    /// Fig. 2/9 "access of the cache hierarchy up to X" ladder).
+    pub fn up_to(self) -> &'static [MemLevel] {
+        match self {
+            MemLevel::L1 => &[MemLevel::L1],
+            MemLevel::L2 => &[MemLevel::L1, MemLevel::L2],
+            MemLevel::L3 => &[MemLevel::L1, MemLevel::L2, MemLevel::L3],
+            MemLevel::Ram => &MemLevel::ALL,
+        }
+    }
+}
+
+impl fmt::Display for MemLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Access latency, either clock-domain-relative or absolute.
+///
+/// L1/L2 latencies are fixed in *core cycles* (they scale with DVFS); DRAM
+/// latency is fixed in *nanoseconds*. This distinction is what makes the
+/// optimal access mix frequency-dependent (§IV-E): at a higher core clock
+/// the same DRAM latency costs more cycles, so fewer RAM accesses fit
+/// before the out-of-order window stalls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Latency {
+    /// Latency in core clock cycles.
+    CoreCycles(f64),
+    /// Latency in nanoseconds (clock-independent).
+    Nanos(f64),
+}
+
+impl Latency {
+    /// Converts to cycles at the given core frequency.
+    pub fn cycles_at(self, core_freq_mhz: f64) -> f64 {
+        match self {
+            Latency::CoreCycles(c) => c,
+            Latency::Nanos(ns) => ns * core_freq_mhz / 1000.0,
+        }
+    }
+
+    /// Converts to nanoseconds at the given core frequency.
+    pub fn nanos_at(self, core_freq_mhz: f64) -> f64 {
+        match self {
+            Latency::CoreCycles(c) => c * 1000.0 / core_freq_mhz,
+            Latency::Nanos(ns) => ns,
+        }
+    }
+}
+
+/// Specification of one memory level as seen by a single core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemLevelSpec {
+    pub level: MemLevel,
+    /// Capacity of one sharing domain in bytes (e.g. 32 KiB L1d per core,
+    /// 16 MiB L3 per CCX). `u64::MAX` for RAM.
+    pub size_bytes: u64,
+    /// Cache-line size in bytes.
+    pub line_bytes: u32,
+    /// Load-to-use latency.
+    pub latency: Latency,
+    /// Peak per-core bandwidth in bytes per core cycle (L1: 2×32 B loads;
+    /// L2: 32 B; L3: 32 B burst).
+    pub per_core_bytes_per_cycle: f64,
+    /// Aggregate bandwidth of one sharing domain in bytes per nanosecond,
+    /// if the level is shared (L3 per CCX, RAM per socket). `None` for
+    /// private levels.
+    pub shared_bytes_per_ns: Option<f64>,
+    /// Number of cores sharing one domain of this level.
+    pub shared_by_cores: u32,
+    /// Outstanding misses one core can have in flight to this level
+    /// (MSHR count); bounds memory-level parallelism.
+    pub mshrs: u32,
+}
+
+impl MemLevelSpec {
+    /// Maximum per-core sustainable throughput to this level in bytes per
+    /// core cycle, considering both bandwidth and latency×MLP limits.
+    pub fn sustainable_bytes_per_cycle(&self, core_freq_mhz: f64, cores_active_in_domain: u32) -> f64 {
+        let lat_cycles = self.latency.cycles_at(core_freq_mhz).max(1.0);
+        // Little's law: outstanding lines / latency.
+        let mlp_limit = f64::from(self.mshrs) * f64::from(self.line_bytes) / lat_cycles;
+        let mut bw = self.per_core_bytes_per_cycle.min(mlp_limit);
+        if let Some(shared) = self.shared_bytes_per_ns {
+            let per_core_share_per_ns = shared / f64::from(cores_active_in_domain.max(1));
+            let per_core_share_per_cycle = per_core_share_per_ns * 1000.0 / core_freq_mhz;
+            bw = bw.min(per_core_share_per_cycle);
+        }
+        bw
+    }
+}
+
+/// DRAM configuration of one socket.
+///
+/// §III-A: "Depending on the installed memory modules, memory bandwidth
+/// and latency can significantly differ" — this struct is what varies
+/// between two machines of the same SKU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Memory channels per socket.
+    pub channels: u32,
+    /// DRAM interface clock in MHz (Table II: 1600 MHz ⇒ DDR4-3200).
+    pub mem_clock_mhz: u32,
+    /// Idle (unloaded) access latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Fraction of theoretical peak bandwidth that is sustainable.
+    pub efficiency: f64,
+}
+
+impl DramConfig {
+    /// Theoretical peak bandwidth per socket in bytes/ns (GB/s):
+    /// channels × 8 B × 2 (DDR) × clock.
+    pub fn peak_bytes_per_ns(&self) -> f64 {
+        f64::from(self.channels) * 8.0 * 2.0 * f64::from(self.mem_clock_mhz) / 1000.0
+    }
+
+    /// Sustainable bandwidth per socket in bytes/ns.
+    pub fn sustained_bytes_per_ns(&self) -> f64 {
+        self.peak_bytes_per_ns() * self.efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_names_and_indices() {
+        assert_eq!(MemLevel::L1.name(), "L1");
+        assert_eq!(MemLevel::Ram.name(), "RAM");
+        for (i, l) in MemLevel::ALL.iter().enumerate() {
+            assert_eq!(l.idx(), i);
+            assert_eq!(MemLevel::from_idx(i), Some(*l));
+        }
+        assert_eq!(MemLevel::from_idx(4), None);
+    }
+
+    #[test]
+    fn up_to_ladders() {
+        assert_eq!(MemLevel::L1.up_to(), &[MemLevel::L1]);
+        assert_eq!(MemLevel::Ram.up_to().len(), 4);
+        assert_eq!(MemLevel::L3.up_to().last(), Some(&MemLevel::L3));
+    }
+
+    #[test]
+    fn latency_conversion() {
+        // 40 core cycles at 2000 MHz = 20 ns.
+        let l = Latency::CoreCycles(40.0);
+        assert!((l.nanos_at(2000.0) - 20.0).abs() < 1e-12);
+        assert!((l.cycles_at(2000.0) - 40.0).abs() < 1e-12);
+        // 100 ns at 2500 MHz = 250 cycles.
+        let d = Latency::Nanos(100.0);
+        assert!((d.cycles_at(2500.0) - 250.0).abs() < 1e-12);
+        assert!((d.nanos_at(123.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_latency_costs_more_cycles_at_higher_clock() {
+        let d = Latency::Nanos(95.0);
+        assert!(d.cycles_at(2500.0) > d.cycles_at(1500.0));
+    }
+
+    #[test]
+    fn dram_bandwidth() {
+        // 8 channels of DDR4-3200: 8 × 8 B × 2 × 1600 MHz = 204.8 GB/s.
+        let cfg = DramConfig {
+            channels: 8,
+            mem_clock_mhz: 1600,
+            latency_ns: 95.0,
+            efficiency: 0.7,
+        };
+        assert!((cfg.peak_bytes_per_ns() - 204.8).abs() < 1e-9);
+        assert!((cfg.sustained_bytes_per_ns() - 143.36).abs() < 1e-9);
+    }
+
+    fn l2_spec() -> MemLevelSpec {
+        MemLevelSpec {
+            level: MemLevel::L2,
+            size_bytes: 512 * 1024,
+            line_bytes: 64,
+            latency: Latency::CoreCycles(12.0),
+            per_core_bytes_per_cycle: 32.0,
+            shared_bytes_per_ns: None,
+            shared_by_cores: 1,
+            mshrs: 24,
+        }
+    }
+
+    #[test]
+    fn sustainable_bw_private_level_is_bandwidth_bound() {
+        // MLP limit: 24 × 64 / 12 = 128 B/cyc ≫ 32 B/cyc cap.
+        let spec = l2_spec();
+        let bw = spec.sustainable_bytes_per_cycle(2500.0, 1);
+        assert!((bw - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sustainable_bw_latency_bound_when_mshrs_scarce() {
+        let mut spec = l2_spec();
+        spec.mshrs = 2;
+        // 2 × 64 / 12 ≈ 10.7 B/cyc < 32.
+        let bw = spec.sustainable_bytes_per_cycle(2500.0, 1);
+        assert!(bw < 11.0 && bw > 10.0, "bw = {bw}");
+    }
+
+    #[test]
+    fn shared_level_divides_bandwidth() {
+        let spec = MemLevelSpec {
+            level: MemLevel::Ram,
+            size_bytes: u64::MAX,
+            line_bytes: 64,
+            latency: Latency::Nanos(95.0),
+            per_core_bytes_per_cycle: 32.0,
+            shared_bytes_per_ns: Some(143.0),
+            shared_by_cores: 32,
+            mshrs: 48,
+        };
+        let solo = spec.sustainable_bytes_per_cycle(1500.0, 1);
+        let full = spec.sustainable_bytes_per_cycle(1500.0, 32);
+        // Solo the core is MLP-bound (~21.6 B/cyc); fully contended it gets
+        // a 1/32 share of socket bandwidth (~3 B/cyc).
+        assert!(solo > full * 5.0, "solo {solo} vs contended {full}");
+        assert!(full < 4.0, "contended share too generous: {full}");
+    }
+
+    #[test]
+    fn ram_throughput_drops_with_core_frequency() {
+        // The frequency-dependent stall mechanism behind Fig. 12.
+        let spec = MemLevelSpec {
+            level: MemLevel::Ram,
+            size_bytes: u64::MAX,
+            line_bytes: 64,
+            latency: Latency::Nanos(95.0),
+            per_core_bytes_per_cycle: 32.0,
+            shared_bytes_per_ns: Some(143.0),
+            shared_by_cores: 32,
+            mshrs: 48,
+        };
+        let at_1500 = spec.sustainable_bytes_per_cycle(1500.0, 32);
+        let at_2500 = spec.sustainable_bytes_per_cycle(2500.0, 32);
+        // Per-cycle share shrinks as the core clock rises.
+        assert!(at_1500 > at_2500);
+    }
+}

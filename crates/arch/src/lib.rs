@@ -1,0 +1,34 @@
+//! # fs2-arch — processor architecture descriptors
+//!
+//! FIRESTARTER's whole premise is that the optimal stress workload depends
+//! on the microarchitecture *and* the concrete SKU configuration (core
+//! count, frequencies, DRAM timings — §III-A of the paper). This crate is
+//! the single place where those facts live:
+//!
+//! * [`cache`] — memory-hierarchy level specifications (size, latency,
+//!   bandwidth, miss-handling capacity) and DRAM configuration,
+//! * [`pipeline`] — front-end (decoder, µop cache, loop buffer) and
+//!   back-end (FP/ALU/AGU port) descriptors,
+//! * [`topo`] — socket/CCD/CCX/core/SMT topology,
+//! * [`pstate`] — performance states (frequency/voltage pairs) and the
+//!   electrical design current (EDC) limit that triggers the throttling
+//!   observed in Fig. 8/12,
+//! * [`sku`] — the SKU database (AMD EPYC 7502 from Table II, the Intel
+//!   Xeon E5-2680 v3 Haswell node of Fig. 1/2, plus variants) and the
+//!   CPUID-style [`sku::detect`] used for workload selection.
+//!
+//! The simulator (`fs2-sim`) and the power model (`fs2-power`) consume
+//! these descriptors; nothing else in the workspace hard-codes hardware
+//! numbers.
+
+pub mod cache;
+pub mod pipeline;
+pub mod pstate;
+pub mod sku;
+pub mod topo;
+
+pub use cache::{DramConfig, Latency, MemLevel, MemLevelSpec};
+pub use pipeline::{Backend, FrontEnd};
+pub use pstate::{PState, PStateTable};
+pub use sku::{detect, CpuId, Microarch, Sku, Vendor};
+pub use topo::Topology;

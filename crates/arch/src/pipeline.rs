@@ -1,0 +1,205 @@
+//! Core pipeline descriptors: front-end and back-end.
+
+/// Instruction-delivery structures of one core.
+///
+/// The paper's unroll-factor tuning (§III, §IV-C) is entirely about which
+/// of these structures serves the loop: the loop buffer and µop cache are
+/// power-efficient (and therefore *undesirable* for a stress test), the
+/// decoders burn more power, and L2-resident code adds cache traffic but
+/// risks stalls when L2 also serves data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontEnd {
+    /// Legacy-decoder width in instructions per cycle.
+    pub decode_width: u32,
+    /// µops deliverable per cycle from the µop cache.
+    pub opcache_width: u32,
+    /// µop-cache capacity in µops (0 = no µop cache).
+    pub opcache_capacity_uops: u32,
+    /// Loop-stream-buffer capacity in µops (0 = none; Zen 2 has none,
+    /// Haswell's LSD holds 56).
+    pub loop_buffer_uops: u32,
+    /// Instruction-fetch bandwidth from L1I in bytes per cycle.
+    pub l1i_fetch_bytes_per_cycle: f64,
+    /// Instruction-fetch bandwidth from L2 in bytes per cycle (code larger
+    /// than L1I streams from L2 — the "large" regime of Fig. 8).
+    pub l2_fetch_bytes_per_cycle: f64,
+}
+
+/// Which structure feeds the pipeline for a loop of a given size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FetchSource {
+    /// Loop-stream buffer (smallest loops; clock-gates fetch+decode).
+    LoopBuffer,
+    /// µop cache (decoded µops; clock-gates the decoders).
+    OpCache,
+    /// L1 instruction cache through the legacy decoders.
+    L1i,
+    /// Code streams from L2 (exceeds L1I).
+    L2,
+}
+
+impl FetchSource {
+    pub const fn name(self) -> &'static str {
+        match self {
+            FetchSource::LoopBuffer => "loop-buffer",
+            FetchSource::OpCache => "op-cache",
+            FetchSource::L1i => "L1I+decoder",
+            FetchSource::L2 => "L2+decoder",
+        }
+    }
+}
+
+impl FrontEnd {
+    /// Classifies a loop by µop count and code bytes.
+    pub fn fetch_source(&self, loop_uops: u64, loop_bytes: u64, l1i_bytes: u64) -> FetchSource {
+        if self.loop_buffer_uops > 0 && loop_uops <= u64::from(self.loop_buffer_uops) {
+            FetchSource::LoopBuffer
+        } else if self.opcache_capacity_uops > 0
+            && loop_uops <= u64::from(self.opcache_capacity_uops)
+        {
+            FetchSource::OpCache
+        } else if loop_bytes <= l1i_bytes {
+            FetchSource::L1i
+        } else {
+            FetchSource::L2
+        }
+    }
+
+    /// Front-end-limited cycles per iteration for a loop with the given
+    /// µop count, average instruction length and fetch source.
+    pub fn cycles_per_iteration(
+        &self,
+        source: FetchSource,
+        loop_uops: u64,
+        loop_bytes: u64,
+    ) -> f64 {
+        let uops = loop_uops as f64;
+        match source {
+            FetchSource::LoopBuffer => uops / f64::from(self.opcache_width.max(self.decode_width)),
+            FetchSource::OpCache => uops / f64::from(self.opcache_width),
+            FetchSource::L1i => {
+                let decode = uops / f64::from(self.decode_width);
+                let fetch = loop_bytes as f64 / self.l1i_fetch_bytes_per_cycle;
+                decode.max(fetch)
+            }
+            FetchSource::L2 => {
+                let decode = uops / f64::from(self.decode_width);
+                let fetch = loop_bytes as f64 / self.l2_fetch_bytes_per_cycle;
+                decode.max(fetch)
+            }
+        }
+    }
+}
+
+/// Execution resources of one core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Backend {
+    /// 256-bit FMA-capable FP pipes (Zen 2: 2× fma/mul).
+    pub fp_fma_pipes: u32,
+    /// 256-bit FP add pipes (Zen 2: 2× add).
+    pub fp_add_pipes: u32,
+    /// Scalar ALU pipes (Zen 2: 4).
+    pub alu_pipes: u32,
+    /// Address-generation pipes (Zen 2: 3).
+    pub agu_pipes: u32,
+    /// Loads issued per cycle (Zen 2: 2×256-bit).
+    pub loads_per_cycle: u32,
+    /// Stores issued per cycle (Zen 2: 1×256-bit).
+    pub stores_per_cycle: u32,
+    /// Retire width in µops per cycle.
+    pub retire_width: u32,
+    /// Reorder-buffer capacity in µops (bounds how much latency the
+    /// out-of-order engine can cover).
+    pub rob_uops: u32,
+    /// Reciprocal throughput of `sqrtsd` in cycles (the Fig. 2 low-power
+    /// loop spends most cycles waiting on the unpipelined divider).
+    pub sqrtsd_rtpt_cycles: f64,
+}
+
+impl Backend {
+    /// Total FP pipes usable by "any-pipe" vector-logic µops.
+    pub fn fp_total_pipes(&self) -> u32 {
+        self.fp_fma_pipes + self.fp_add_pipes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zen2_fe() -> FrontEnd {
+        FrontEnd {
+            decode_width: 4,
+            opcache_width: 8,
+            opcache_capacity_uops: 4096,
+            loop_buffer_uops: 0,
+            l1i_fetch_bytes_per_cycle: 32.0,
+            l2_fetch_bytes_per_cycle: 32.0,
+        }
+    }
+
+    fn haswell_fe() -> FrontEnd {
+        FrontEnd {
+            decode_width: 4,
+            opcache_width: 4,
+            opcache_capacity_uops: 1536,
+            loop_buffer_uops: 56,
+            l1i_fetch_bytes_per_cycle: 16.0,
+            l2_fetch_bytes_per_cycle: 16.0,
+        }
+    }
+
+    #[test]
+    fn fetch_source_transitions_zen2() {
+        let fe = zen2_fe();
+        let l1i = 32 * 1024;
+        // Tiny loop: Zen 2 has no LSD, so µop cache.
+        assert_eq!(fe.fetch_source(64, 300, l1i), FetchSource::OpCache);
+        // Beyond 4096 µops: decoder from L1I (paper: u ≈ 1000 × 4-inst sets).
+        assert_eq!(fe.fetch_source(4500, 20_000, l1i), FetchSource::L1i);
+        // Beyond 32 KiB of code: L2 streaming (u ≈ 2000).
+        assert_eq!(fe.fetch_source(9000, 40_000, l1i), FetchSource::L2);
+    }
+
+    #[test]
+    fn fetch_source_uses_lsd_on_haswell() {
+        let fe = haswell_fe();
+        assert_eq!(fe.fetch_source(40, 200, 32 * 1024), FetchSource::LoopBuffer);
+        assert_eq!(fe.fetch_source(100, 500, 32 * 1024), FetchSource::OpCache);
+    }
+
+    #[test]
+    fn front_end_cycles_decode_bound() {
+        let fe = zen2_fe();
+        // 4000 µops, 4-wide decode ⇒ 1000 cycles if fetch keeps up.
+        let c = fe.cycles_per_iteration(FetchSource::L1i, 4000, 16_000);
+        assert!((c - 1000.0).abs() < 1e-9);
+        // µop cache is 8-wide ⇒ 500 cycles.
+        let c = fe.cycles_per_iteration(FetchSource::OpCache, 4000, 16_000);
+        assert!((c - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn front_end_cycles_fetch_bound_from_l2() {
+        let fe = zen2_fe();
+        // 1000 µops but 64 KB of code: fetch 64k/32 = 2000 cycles dominates.
+        let c = fe.cycles_per_iteration(FetchSource::L2, 1000, 64_000);
+        assert!((c - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backend_totals() {
+        let be = Backend {
+            fp_fma_pipes: 2,
+            fp_add_pipes: 2,
+            alu_pipes: 4,
+            agu_pipes: 3,
+            loads_per_cycle: 2,
+            stores_per_cycle: 1,
+            retire_width: 8,
+            rob_uops: 224,
+            sqrtsd_rtpt_cycles: 4.5,
+        };
+        assert_eq!(be.fp_total_pipes(), 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Performance states and electrical limits.
+
+/// One performance state: a frequency/voltage operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PState {
+    pub freq_mhz: u32,
+    /// Core voltage at this operating point, in volts.
+    pub voltage: f64,
+}
+
+/// Table of selectable P-states plus the dynamic-throttle granularity.
+///
+/// §IV-E: Zen 2 decreases core frequency dynamically (in fine-grained
+/// steps) to keep peaks within the electrical design current (EDC)
+/// specification — the mechanism behind Fig. 12c's 2200/2500 MHz rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PStateTable {
+    /// Selectable states, highest frequency first. The paper's test system
+    /// exposes 2500 (nominal), 2200 and 1500 MHz.
+    pub states: Vec<PState>,
+    /// Throttle step granularity in MHz (Zen 2: 25 MHz).
+    pub throttle_step_mhz: u32,
+    /// Lowest frequency throttling may reach.
+    pub min_throttle_mhz: u32,
+}
+
+impl PStateTable {
+    /// The nominal (highest selectable) state.
+    pub fn nominal(&self) -> PState {
+        self.states[0]
+    }
+
+    /// Finds the state for a requested frequency (exact match).
+    pub fn by_freq(&self, freq_mhz: u32) -> Option<PState> {
+        self.states.iter().copied().find(|s| s.freq_mhz == freq_mhz)
+    }
+
+    /// Voltage at an arbitrary (possibly throttled) frequency, linearly
+    /// interpolated between table entries and clamped at the ends.
+    pub fn voltage_at(&self, freq_mhz: f64) -> f64 {
+        let mut states: Vec<PState> = self.states.clone();
+        states.sort_by_key(|s| s.freq_mhz);
+        let first = states.first().expect("non-empty P-state table");
+        let last = states.last().expect("non-empty P-state table");
+        if freq_mhz <= f64::from(first.freq_mhz) {
+            return first.voltage;
+        }
+        if freq_mhz >= f64::from(last.freq_mhz) {
+            return last.voltage;
+        }
+        for w in states.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if freq_mhz >= f64::from(lo.freq_mhz) && freq_mhz <= f64::from(hi.freq_mhz) {
+                let t = (freq_mhz - f64::from(lo.freq_mhz))
+                    / f64::from(hi.freq_mhz - lo.freq_mhz);
+                return lo.voltage + t * (hi.voltage - lo.voltage);
+            }
+        }
+        last.voltage
+    }
+
+    /// Quantizes a throttled frequency down to the step granularity.
+    pub fn quantize_down(&self, freq_mhz: f64) -> f64 {
+        let step = f64::from(self.throttle_step_mhz.max(1));
+        let q = (freq_mhz / step).floor() * step;
+        q.max(f64::from(self.min_throttle_mhz))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rome_table() -> PStateTable {
+        PStateTable {
+            states: vec![
+                PState {
+                    freq_mhz: 2500,
+                    voltage: 1.10,
+                },
+                PState {
+                    freq_mhz: 2200,
+                    voltage: 1.00,
+                },
+                PState {
+                    freq_mhz: 1500,
+                    voltage: 0.85,
+                },
+            ],
+            throttle_step_mhz: 25,
+            min_throttle_mhz: 400,
+        }
+    }
+
+    #[test]
+    fn nominal_and_lookup() {
+        let t = rome_table();
+        assert_eq!(t.nominal().freq_mhz, 2500);
+        assert_eq!(t.by_freq(2200).unwrap().voltage, 1.00);
+        assert!(t.by_freq(2000).is_none());
+    }
+
+    #[test]
+    fn voltage_interpolation() {
+        let t = rome_table();
+        assert!((t.voltage_at(2500.0) - 1.10).abs() < 1e-12);
+        assert!((t.voltage_at(1500.0) - 0.85).abs() < 1e-12);
+        // midpoint of 2200..2500
+        let v = t.voltage_at(2350.0);
+        assert!((v - 1.05).abs() < 1e-9, "v = {v}");
+        // clamped outside the table
+        assert!((t.voltage_at(1000.0) - 0.85).abs() < 1e-12);
+        assert!((t.voltage_at(3000.0) - 1.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_is_monotonic_in_frequency() {
+        let t = rome_table();
+        let mut prev = 0.0;
+        for f in (1500..=2500).step_by(100) {
+            let v = t.voltage_at(f64::from(f));
+            assert!(v >= prev, "voltage not monotonic at {f} MHz");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantization_is_downward_and_clamped() {
+        let t = rome_table();
+        assert!((t.quantize_down(2437.3) - 2425.0).abs() < 1e-12);
+        assert!((t.quantize_down(2500.0) - 2500.0).abs() < 1e-12);
+        assert!((t.quantize_down(100.0) - 400.0).abs() < 1e-12);
+    }
+}

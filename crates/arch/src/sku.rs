@@ -1,0 +1,510 @@
+//! SKU database and CPUID-style detection.
+//!
+//! FIRESTARTER 1.x shipped one pre-compiled workload per SKU and selected
+//! it by CPU vendor/family/model at startup; FIRESTARTER 2 keeps the
+//! detection but generates the workload at runtime. [`detect`] reproduces
+//! the selection logic against this crate's database.
+
+use crate::cache::{DramConfig, Latency, MemLevel, MemLevelSpec};
+use crate::pipeline::{Backend, FrontEnd};
+use crate::pstate::{PState, PStateTable};
+use crate::topo::Topology;
+
+/// CPU vendor as reported by CPUID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    Amd,
+    Intel,
+    Unknown,
+}
+
+/// Microarchitecture family, keyed by the instruction-mix definitions
+/// (`fs2-core::mix`) and the power-model coefficient tables (`fs2-power`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Microarch {
+    /// AMD Zen 2 ("Rome") — §IV of the paper.
+    Zen2,
+    /// Intel Haswell-EP — the Fig. 1/2 Taurus nodes.
+    Haswell,
+    /// Conservative SSE2-era fallback.
+    Generic,
+}
+
+impl Microarch {
+    pub const fn name(self) -> &'static str {
+        match self {
+            Microarch::Zen2 => "zen2",
+            Microarch::Haswell => "haswell",
+            Microarch::Generic => "generic",
+        }
+    }
+}
+
+/// Simulated CPUID identification of the current system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuId {
+    pub vendor: Vendor,
+    pub family: u32,
+    pub model: u32,
+    pub brand: String,
+}
+
+impl CpuId {
+    /// The Table II test system.
+    pub fn amd_rome() -> CpuId {
+        CpuId {
+            vendor: Vendor::Amd,
+            family: 0x17,
+            model: 0x31,
+            brand: "AMD EPYC 7502 32-Core Processor".to_string(),
+        }
+    }
+
+    /// The Taurus Haswell partition nodes.
+    pub fn intel_haswell() -> CpuId {
+        CpuId {
+            vendor: Vendor::Intel,
+            family: 6,
+            model: 0x3F,
+            brand: "Intel(R) Xeon(R) CPU E5-2680 v3 @ 2.50GHz".to_string(),
+        }
+    }
+}
+
+/// A complete node description: processor SKU plus board-level
+/// configuration (socket count, DRAM population).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sku {
+    pub name: &'static str,
+    pub vendor: Vendor,
+    pub family: u32,
+    pub model: u32,
+    pub uarch: Microarch,
+    pub topology: Topology,
+    pub frontend: FrontEnd,
+    pub backend: Backend,
+    pub pstates: PStateTable,
+    /// L1 instruction-cache capacity per core, in bytes.
+    pub l1i_bytes: u64,
+    /// Data-side hierarchy, indexed by [`MemLevel::idx`].
+    pub mem_levels: [MemLevelSpec; 4],
+    pub dram: DramConfig,
+    /// Electrical design current limit per socket, in amperes. Exceeding
+    /// it triggers the fine-grained frequency throttling of §IV-E
+    /// (high-IPC, cache-saturating code — the Fig. 8 L2-code dip).
+    pub edc_amps_per_socket: f64,
+    /// Package power target per socket, watts. Max-power workloads exceed
+    /// it at the higher P-states (the Fig. 12c sub-nominal frequencies).
+    pub ppt_w_per_socket: f64,
+}
+
+impl Sku {
+    /// Specification of one data memory level.
+    pub fn mem_level(&self, level: MemLevel) -> &MemLevelSpec {
+        &self.mem_levels[level.idx()]
+    }
+
+    /// Nominal frequency in MHz.
+    pub fn nominal_mhz(&self) -> u32 {
+        self.pstates.nominal().freq_mhz
+    }
+
+    /// Returns a copy configured with a different socket count.
+    pub fn with_sockets(mut self, sockets: u32) -> Sku {
+        self.topology.sockets = sockets;
+        self
+    }
+
+    /// Returns a copy with different DRAM (the §III-A "same SKU, different
+    /// memory modules" scenario).
+    pub fn with_dram(mut self, dram: DramConfig) -> Sku {
+        let ram = &mut self.mem_levels[MemLevel::Ram.idx()];
+        ram.latency = Latency::Nanos(dram.latency_ns);
+        ram.shared_bytes_per_ns = Some(dram.sustained_bytes_per_ns());
+        self.dram = dram;
+        self
+    }
+
+    /// The dual-socket AMD EPYC 7502 node of Table II.
+    pub fn amd_epyc_7502() -> Sku {
+        let topology = Topology {
+            sockets: 2,
+            ccds_per_socket: 8,
+            ccxs_per_ccd: 1,
+            cores_per_ccx: 4,
+            threads_per_core: 2,
+        };
+        let dram = DramConfig {
+            channels: 8,
+            mem_clock_mhz: 1600,
+            latency_ns: 95.0,
+            efficiency: 0.70,
+        };
+        Sku {
+            name: "AMD EPYC 7502 (2S)",
+            vendor: Vendor::Amd,
+            family: 0x17,
+            model: 0x31,
+            uarch: Microarch::Zen2,
+            topology,
+            frontend: FrontEnd {
+                decode_width: 4,
+                opcache_width: 8,
+                opcache_capacity_uops: 4096,
+                loop_buffer_uops: 0,
+                l1i_fetch_bytes_per_cycle: 32.0,
+                l2_fetch_bytes_per_cycle: 32.0,
+            },
+            backend: Backend {
+                fp_fma_pipes: 2,
+                fp_add_pipes: 2,
+                alu_pipes: 4,
+                agu_pipes: 3,
+                loads_per_cycle: 2,
+                stores_per_cycle: 1,
+                retire_width: 8,
+                rob_uops: 224,
+                sqrtsd_rtpt_cycles: 4.5,
+            },
+            pstates: PStateTable {
+                states: vec![
+                    PState {
+                        freq_mhz: 2500,
+                        voltage: 1.10,
+                    },
+                    PState {
+                        freq_mhz: 2200,
+                        voltage: 1.00,
+                    },
+                    PState {
+                        freq_mhz: 1500,
+                        voltage: 0.85,
+                    },
+                ],
+                throttle_step_mhz: 25,
+                min_throttle_mhz: 400,
+            },
+            l1i_bytes: 32 * 1024,
+            mem_levels: [
+                MemLevelSpec {
+                    level: MemLevel::L1,
+                    size_bytes: 32 * 1024,
+                    line_bytes: 64,
+                    latency: Latency::CoreCycles(5.0),
+                    per_core_bytes_per_cycle: 96.0,
+                    shared_bytes_per_ns: None,
+                    shared_by_cores: 1,
+                    mshrs: 64,
+                },
+                MemLevelSpec {
+                    level: MemLevel::L2,
+                    size_bytes: 512 * 1024,
+                    line_bytes: 64,
+                    latency: Latency::CoreCycles(12.0),
+                    per_core_bytes_per_cycle: 32.0,
+                    shared_bytes_per_ns: None,
+                    shared_by_cores: 1,
+                    mshrs: 24,
+                },
+                MemLevelSpec {
+                    level: MemLevel::L3,
+                    size_bytes: 16 * 1024 * 1024,
+                    line_bytes: 64,
+                    // L3 runs at the CCX core clock on Zen 2.
+                    latency: Latency::CoreCycles(38.0),
+                    per_core_bytes_per_cycle: 16.0,
+                    shared_bytes_per_ns: Some(96.0),
+                    shared_by_cores: 4,
+                    mshrs: 32,
+                },
+                MemLevelSpec {
+                    level: MemLevel::Ram,
+                    size_bytes: u64::MAX,
+                    line_bytes: 64,
+                    latency: Latency::Nanos(dram.latency_ns),
+                    per_core_bytes_per_cycle: 32.0,
+                    shared_bytes_per_ns: Some(dram.sustained_bytes_per_ns()),
+                    shared_by_cores: 32,
+                    mshrs: 44,
+                },
+            ],
+            dram,
+            edc_amps_per_socket: 111.0,
+            ppt_w_per_socket: 200.0,
+        }
+    }
+
+    /// A 16-core Rome SKU (EPYC 7302-like): same family/model, different
+    /// core count — the §III-A argument for runtime generation.
+    pub fn amd_epyc_7302() -> Sku {
+        let mut sku = Sku::amd_epyc_7502();
+        sku.name = "AMD EPYC 7302 (2S)";
+        sku.topology.ccds_per_socket = 4;
+        sku.ppt_w_per_socket = 170.0;
+        // Fewer cores share the same socket DRAM bandwidth.
+        sku.mem_levels[MemLevel::Ram.idx()].shared_by_cores = 16;
+        sku
+    }
+
+    /// The dual-socket Intel Xeon E5-2680 v3 node of Fig. 1/2 (Taurus
+    /// Haswell partition).
+    pub fn intel_xeon_e5_2680_v3() -> Sku {
+        let topology = Topology {
+            sockets: 2,
+            ccds_per_socket: 1,
+            ccxs_per_ccd: 1,
+            cores_per_ccx: 12,
+            threads_per_core: 2,
+        };
+        let dram = DramConfig {
+            channels: 4,
+            mem_clock_mhz: 1066,
+            latency_ns: 90.0,
+            efficiency: 0.72,
+        };
+        Sku {
+            name: "Intel Xeon E5-2680 v3 (2S)",
+            vendor: Vendor::Intel,
+            family: 6,
+            model: 0x3F,
+            uarch: Microarch::Haswell,
+            topology,
+            frontend: FrontEnd {
+                decode_width: 4,
+                opcache_width: 4,
+                opcache_capacity_uops: 1536,
+                loop_buffer_uops: 56,
+                l1i_fetch_bytes_per_cycle: 16.0,
+                l2_fetch_bytes_per_cycle: 16.0,
+            },
+            backend: Backend {
+                fp_fma_pipes: 2,
+                fp_add_pipes: 1,
+                alu_pipes: 4,
+                agu_pipes: 3,
+                loads_per_cycle: 2,
+                stores_per_cycle: 1,
+                retire_width: 4,
+                rob_uops: 192,
+                sqrtsd_rtpt_cycles: 8.0,
+            },
+            pstates: PStateTable {
+                states: vec![
+                    PState {
+                        freq_mhz: 2500,
+                        voltage: 1.05,
+                    },
+                    PState {
+                        freq_mhz: 2000,
+                        voltage: 0.95,
+                    },
+                    PState {
+                        freq_mhz: 1200,
+                        voltage: 0.80,
+                    },
+                ],
+                throttle_step_mhz: 100,
+                min_throttle_mhz: 800,
+            },
+            l1i_bytes: 32 * 1024,
+            mem_levels: [
+                MemLevelSpec {
+                    level: MemLevel::L1,
+                    size_bytes: 32 * 1024,
+                    line_bytes: 64,
+                    latency: Latency::CoreCycles(4.0),
+                    per_core_bytes_per_cycle: 96.0,
+                    shared_bytes_per_ns: None,
+                    shared_by_cores: 1,
+                    mshrs: 64,
+                },
+                MemLevelSpec {
+                    level: MemLevel::L2,
+                    size_bytes: 256 * 1024,
+                    line_bytes: 64,
+                    latency: Latency::CoreCycles(12.0),
+                    per_core_bytes_per_cycle: 32.0,
+                    shared_bytes_per_ns: None,
+                    shared_by_cores: 1,
+                    mshrs: 16,
+                },
+                MemLevelSpec {
+                    level: MemLevel::L3,
+                    size_bytes: 30 * 1024 * 1024,
+                    line_bytes: 64,
+                    // Haswell L3 sits on the uncore clock domain; the
+                    // ring sustains well over 100 GB/s per socket.
+                    latency: Latency::Nanos(14.0),
+                    per_core_bytes_per_cycle: 16.0,
+                    shared_bytes_per_ns: Some(150.0),
+                    shared_by_cores: 12,
+                    mshrs: 24,
+                },
+                MemLevelSpec {
+                    level: MemLevel::Ram,
+                    size_bytes: u64::MAX,
+                    line_bytes: 64,
+                    latency: Latency::Nanos(dram.latency_ns),
+                    per_core_bytes_per_cycle: 32.0,
+                    shared_bytes_per_ns: Some(dram.sustained_bytes_per_ns()),
+                    shared_by_cores: 12,
+                    mshrs: 32,
+                },
+            ],
+            dram,
+            edc_amps_per_socket: 115.0,
+            ppt_w_per_socket: 165.0,
+        }
+    }
+
+    /// Conservative fallback for unknown processors.
+    pub fn generic() -> Sku {
+        let mut sku = Sku::intel_xeon_e5_2680_v3();
+        sku.name = "generic x86_64 (2S)";
+        sku.vendor = Vendor::Unknown;
+        sku.family = 0;
+        sku.model = 0;
+        sku.uarch = Microarch::Generic;
+        sku
+    }
+
+    /// All database entries.
+    pub fn database() -> Vec<Sku> {
+        vec![
+            Sku::amd_epyc_7502(),
+            Sku::amd_epyc_7302(),
+            Sku::intel_xeon_e5_2680_v3(),
+        ]
+    }
+}
+
+/// Vendor/family/model matching against the SKU database, with the
+/// generic fallback FIRESTARTER uses for unknown processors.
+pub fn detect(id: &CpuId) -> Sku {
+    let db = Sku::database();
+    // Exact vendor+family+model match first, preferring entries whose
+    // brand-derived name appears in the CPUID brand string.
+    let mut candidates: Vec<&Sku> = db
+        .iter()
+        .filter(|s| s.vendor == id.vendor && s.family == id.family && s.model == id.model)
+        .collect();
+    if candidates.is_empty() {
+        return Sku::generic();
+    }
+    candidates.sort_by_key(|s| {
+        // Prefer the SKU whose marketing number appears in the brand string.
+        let sku_number: String = s
+            .name
+            .chars()
+            .filter(|c| c.is_ascii_digit())
+            .collect();
+        sku_number.is_empty() || !id.brand.contains(&sku_number[..4.min(sku_number.len())])
+    });
+    candidates[0].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_inventory() {
+        let sku = Sku::amd_epyc_7502();
+        // 2x 32 cores.
+        assert_eq!(sku.topology.total_cores(), 64);
+        // 64x 32 KiB + 32 KiB L1.
+        assert_eq!(sku.mem_level(MemLevel::L1).size_bytes, 32 * 1024);
+        assert_eq!(sku.l1i_bytes, 32 * 1024);
+        // 64x 512 KiB L2.
+        assert_eq!(sku.mem_level(MemLevel::L2).size_bytes, 512 * 1024);
+        // 16x 16 MiB L3.
+        assert_eq!(sku.topology.total_ccxs(), 16);
+        assert_eq!(sku.mem_level(MemLevel::L3).size_bytes, 16 * 1024 * 1024);
+        // 1500/2200/2500 MHz P-states.
+        let freqs: Vec<u32> = sku.pstates.states.iter().map(|s| s.freq_mhz).collect();
+        assert_eq!(freqs, vec![2500, 2200, 1500]);
+        // DDR4-3200 on 8 channels.
+        assert_eq!(sku.dram.mem_clock_mhz, 1600);
+    }
+
+    #[test]
+    fn detect_rome() {
+        let sku = detect(&CpuId::amd_rome());
+        assert_eq!(sku.uarch, Microarch::Zen2);
+        assert_eq!(sku.name, "AMD EPYC 7502 (2S)");
+    }
+
+    #[test]
+    fn detect_haswell() {
+        let sku = detect(&CpuId::intel_haswell());
+        assert_eq!(sku.uarch, Microarch::Haswell);
+        assert_eq!(sku.topology.total_cores(), 24);
+    }
+
+    #[test]
+    fn detect_unknown_falls_back_to_generic() {
+        let id = CpuId {
+            vendor: Vendor::Amd,
+            family: 0x19,
+            model: 0x01,
+            brand: "AMD EPYC 7763 64-Core Processor".to_string(),
+        };
+        let sku = detect(&id);
+        assert_eq!(sku.uarch, Microarch::Generic);
+    }
+
+    #[test]
+    fn detect_distinguishes_same_family_skus_by_brand() {
+        let id = CpuId {
+            vendor: Vendor::Amd,
+            family: 0x17,
+            model: 0x31,
+            brand: "AMD EPYC 7302 16-Core Processor".to_string(),
+        };
+        let sku = detect(&id);
+        assert_eq!(sku.name, "AMD EPYC 7302 (2S)");
+        assert_eq!(sku.topology.total_cores(), 32);
+    }
+
+    #[test]
+    fn with_dram_rewires_ram_level() {
+        let slow = DramConfig {
+            channels: 4,
+            mem_clock_mhz: 1200,
+            latency_ns: 110.0,
+            efficiency: 0.65,
+        };
+        let sku = Sku::amd_epyc_7502().with_dram(slow.clone());
+        let ram = sku.mem_level(MemLevel::Ram);
+        assert_eq!(ram.latency, Latency::Nanos(110.0));
+        let expected = slow.sustained_bytes_per_ns();
+        assert!((ram.shared_bytes_per_ns.unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_sockets_scales_core_count() {
+        let one = Sku::amd_epyc_7502().with_sockets(1);
+        assert_eq!(one.topology.total_cores(), 32);
+    }
+
+    #[test]
+    fn database_entries_are_internally_consistent() {
+        for sku in Sku::database() {
+            assert!(sku.topology.total_cores() > 0);
+            assert!(!sku.pstates.states.is_empty());
+            for level in MemLevel::ALL {
+                let spec = sku.mem_level(level);
+                assert_eq!(spec.level, level, "level array misordered in {}", sku.name);
+                assert!(spec.line_bytes == 64);
+                assert!(spec.per_core_bytes_per_cycle > 0.0);
+                assert!(spec.mshrs > 0);
+            }
+            // Sizes strictly increase up the hierarchy.
+            for w in sku.mem_levels.windows(2) {
+                assert!(w[0].size_bytes < w[1].size_bytes);
+            }
+            assert!(sku.edc_amps_per_socket > 0.0);
+            assert!(sku.ppt_w_per_socket > 0.0);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Package topology: sockets, core complexes, cores, hardware threads.
+
+/// Physical layout of the machine.
+///
+/// Zen 2 (§IV-A): up to eight Core Complex Dies (CCDs) per socket attach
+/// to an I/O die; each CCD holds up to two Core Complexes (CCXs); each CCX
+/// has four cores sharing an L3 slice. On the paper's test system each CCD
+/// holds one CCX (footnote 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    pub sockets: u32,
+    /// Core-complex dies per socket (monolithic designs: 1).
+    pub ccds_per_socket: u32,
+    /// Core complexes (L3 sharing domains) per CCD.
+    pub ccxs_per_ccd: u32,
+    /// Cores per CCX.
+    pub cores_per_ccx: u32,
+    /// Hardware threads per core (SMT).
+    pub threads_per_core: u32,
+}
+
+impl Topology {
+    /// Physical cores per socket.
+    pub const fn cores_per_socket(&self) -> u32 {
+        self.ccds_per_socket * self.ccxs_per_ccd * self.cores_per_ccx
+    }
+
+    /// Physical cores in the whole machine.
+    pub const fn total_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket()
+    }
+
+    /// Hardware threads in the whole machine.
+    pub const fn total_threads(&self) -> u32 {
+        self.total_cores() * self.threads_per_core
+    }
+
+    /// L3 sharing domains (CCXs) in the whole machine.
+    pub const fn total_ccxs(&self) -> u32 {
+        self.sockets * self.ccds_per_socket * self.ccxs_per_ccd
+    }
+
+    /// Socket index owning a given core (cores numbered socket-major).
+    pub const fn socket_of_core(&self, core: u32) -> u32 {
+        core / self.cores_per_socket()
+    }
+
+    /// CCX index (machine-global) owning a given core.
+    pub const fn ccx_of_core(&self, core: u32) -> u32 {
+        core / self.cores_per_ccx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Table II system: 2 × EPYC 7502 = 2 × 32 cores, 64 threads each.
+    fn rome() -> Topology {
+        Topology {
+            sockets: 2,
+            ccds_per_socket: 8,
+            ccxs_per_ccd: 1,
+            cores_per_ccx: 4,
+            threads_per_core: 2,
+        }
+    }
+
+    #[test]
+    fn rome_counts_match_table_ii() {
+        let t = rome();
+        assert_eq!(t.cores_per_socket(), 32);
+        assert_eq!(t.total_cores(), 64);
+        assert_eq!(t.total_threads(), 128);
+        // 64x L1+L2 (per core), 16x L3 slices (Table II).
+        assert_eq!(t.total_ccxs(), 16);
+    }
+
+    #[test]
+    fn core_to_domain_mapping() {
+        let t = rome();
+        assert_eq!(t.socket_of_core(0), 0);
+        assert_eq!(t.socket_of_core(31), 0);
+        assert_eq!(t.socket_of_core(32), 1);
+        assert_eq!(t.socket_of_core(63), 1);
+        assert_eq!(t.ccx_of_core(0), 0);
+        assert_eq!(t.ccx_of_core(3), 0);
+        assert_eq!(t.ccx_of_core(4), 1);
+        assert_eq!(t.ccx_of_core(63), 15);
+    }
+
+    #[test]
+    fn haswell_monolithic() {
+        let t = Topology {
+            sockets: 2,
+            ccds_per_socket: 1,
+            ccxs_per_ccd: 1,
+            cores_per_ccx: 12,
+            threads_per_core: 2,
+        };
+        assert_eq!(t.total_cores(), 24);
+        assert_eq!(t.total_ccxs(), 2);
+        assert_eq!(t.ccx_of_core(13), 1);
+    }
+}

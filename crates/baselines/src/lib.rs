@@ -1,0 +1,24 @@
+//! # fs2-baselines — comparator stress tests
+//!
+//! Table I of the paper compares FIRESTARTER against Prime95, Linpack,
+//! stress-ng and eeMark. This crate provides:
+//!
+//! * [`registry`] — the qualitative feature matrix (stressed components,
+//!   error checking, workload-definition mechanism, compiler
+//!   independence) exactly as tabulated, and
+//! * [`models`] — behavioural models of each tool: phase schedules of
+//!   simulator kernels reproducing their characteristic power signatures
+//!   (Prime95's varying consumption, Linpack's init/validate dips,
+//!   stress-ng's unvectorized matrix kernel, eeMark's template phases,
+//!   the sqrtsd low-power loop, idle), plus
+//! * [`run`] — a phase-schedule executor on top of `fs2-core`'s runner,
+//!   producing the power traces and means the Fig. 2 / Table I
+//!   experiments consume.
+
+pub mod models;
+pub mod registry;
+pub mod run;
+
+pub use models::{Baseline, Phase};
+pub use registry::{table1, FeatureRow};
+pub use run::{run_baseline, BaselineReport};

@@ -1,0 +1,173 @@
+//! The Table I feature matrix.
+
+/// How a tool defines new workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadDefinition {
+    /// Compile-time template expansion (FIRESTARTER 1, eeMark).
+    Template,
+    /// Runtime generation (FIRESTARTER 2).
+    Runtime,
+    /// Editing the source code (stress-ng).
+    SourceCode,
+    /// Not user-definable (Prime95, Linpack).
+    Fixed,
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureRow {
+    pub name: &'static str,
+    pub workload: &'static str,
+    pub stresses_processor: bool,
+    pub stresses_memory: bool,
+    pub stresses_gpu: bool,
+    pub stresses_network: bool,
+    /// Error check: `Some(true)` full, `Some(false)` none, `None` partial
+    /// (footnotes 1/2/4 in the paper).
+    pub error_check: Option<bool>,
+    pub error_check_note: &'static str,
+    pub define_new: WorkloadDefinition,
+    /// Independent of compiler and compiler flags.
+    pub compiler_independent: bool,
+    pub compiler_note: &'static str,
+}
+
+/// The complete Table I.
+pub fn table1() -> Vec<FeatureRow> {
+    vec![
+        FeatureRow {
+            name: "FIRESTARTER 1",
+            workload: "artificial workloads",
+            stresses_processor: true,
+            stresses_memory: true,
+            stresses_gpu: true,
+            stresses_network: false,
+            error_check: Some(false),
+            error_check_note: "",
+            define_new: WorkloadDefinition::Template,
+            compiler_independent: true,
+            compiler_note: "",
+        },
+        FeatureRow {
+            name: "Prime95",
+            workload: "Mersenne prime hunting",
+            stresses_processor: true,
+            stresses_memory: true,
+            stresses_gpu: false,
+            stresses_network: false,
+            error_check: Some(true),
+            error_check_note: "",
+            define_new: WorkloadDefinition::Fixed,
+            compiler_independent: true,
+            compiler_note: "",
+        },
+        FeatureRow {
+            name: "Linpack",
+            workload: "linear algebra",
+            stresses_processor: true,
+            stresses_memory: true,
+            stresses_gpu: false,
+            stresses_network: true,
+            error_check: Some(true),
+            error_check_note: "via MPI in High Performance Linpack (HPL)",
+            define_new: WorkloadDefinition::Fixed,
+            compiler_independent: false,
+            compiler_note: "library-dependent (BLAS/LAPACK)",
+        },
+        FeatureRow {
+            name: "stress-ng",
+            workload: "various (e.g., search, sort)",
+            stresses_processor: true,
+            stresses_memory: true,
+            stresses_gpu: false,
+            stresses_network: true,
+            error_check: None,
+            error_check_note: "only for some workloads",
+            define_new: WorkloadDefinition::SourceCode,
+            compiler_independent: false,
+            compiler_note: "",
+        },
+        FeatureRow {
+            name: "eeMark",
+            workload: "artificial workloads",
+            stresses_processor: true,
+            stresses_memory: true,
+            stresses_gpu: false,
+            stresses_network: true,
+            error_check: None,
+            error_check_note: "no check for bit-flips",
+            define_new: WorkloadDefinition::Template,
+            compiler_independent: false,
+            compiler_note: "",
+        },
+        FeatureRow {
+            name: "FIRESTARTER 2",
+            workload: "artificial workloads",
+            stresses_processor: true,
+            stresses_memory: true,
+            stresses_gpu: true,
+            stresses_network: false,
+            error_check: Some(true),
+            error_check_note: "register-state comparison",
+            define_new: WorkloadDefinition::Runtime,
+            compiler_independent: true,
+            compiler_note: "",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_rows_matching_the_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 6);
+        let names: Vec<&str> = t.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "FIRESTARTER 1",
+                "Prime95",
+                "Linpack",
+                "stress-ng",
+                "eeMark",
+                "FIRESTARTER 2"
+            ]
+        );
+    }
+
+    #[test]
+    fn only_firestarter_stresses_gpus() {
+        for r in table1() {
+            assert_eq!(
+                r.stresses_gpu,
+                r.name.starts_with("FIRESTARTER"),
+                "{}",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn firestarter2_gains_runtime_definition_and_error_check() {
+        let t = table1();
+        let fs1 = t.iter().find(|r| r.name == "FIRESTARTER 1").unwrap();
+        let fs2 = t.iter().find(|r| r.name == "FIRESTARTER 2").unwrap();
+        assert_eq!(fs1.define_new, WorkloadDefinition::Template);
+        assert_eq!(fs2.define_new, WorkloadDefinition::Runtime);
+        assert_eq!(fs1.error_check, Some(false));
+        assert_eq!(fs2.error_check, Some(true));
+        assert!(fs2.compiler_independent);
+    }
+
+    #[test]
+    fn linpack_footnotes() {
+        let t = table1();
+        let hpl = t.iter().find(|r| r.name == "Linpack").unwrap();
+        assert!(hpl.stresses_network);
+        assert!(!hpl.compiler_independent);
+        assert!(hpl.compiler_note.contains("BLAS"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Phase-schedule executor.
+
+use crate::models::{Baseline, Phase};
+use fs2_core::runner::{RunConfig, Runner};
+
+/// Measured behaviour of one baseline over a window.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    pub name: &'static str,
+    /// Mean power over the whole window, W.
+    pub mean_w: f64,
+    /// Minimum 50 ms sample (reveals Linpack/eeMark dips).
+    pub min_w: f64,
+    /// Maximum sample.
+    pub max_w: f64,
+    /// Mean power of each phase `(name, watts)`.
+    pub phase_means: Vec<(&'static str, f64)>,
+    /// Total simulated seconds.
+    pub duration_s: f64,
+}
+
+/// Runs `baseline` for at least `duration_s` (whole phase cycles) at the
+/// requested frequency, recording into the runner's session trace.
+pub fn run_baseline(
+    runner: &mut Runner,
+    baseline: Baseline,
+    duration_s: f64,
+    freq_mhz: f64,
+) -> BaselineReport {
+    let sku = runner.sku().clone();
+    let phases: Vec<Phase> = baseline.phases(&sku);
+    let cycle_s: f64 = phases.iter().map(|p| p.duration_s).sum();
+    let cycles = (duration_s / cycle_s).ceil().max(1.0) as u32;
+
+    let t_begin = runner.clock().now_secs();
+    let mut phase_acc: Vec<(&'static str, f64, u32)> =
+        phases.iter().map(|p| (p.name, 0.0, 0u32)).collect();
+
+    for _ in 0..cycles {
+        for (i, phase) in phases.iter().enumerate() {
+            match &phase.kernel {
+                Some(kernel) => {
+                    let cfg = RunConfig {
+                        freq_mhz,
+                        duration_s: phase.duration_s,
+                        start_delta_s: 0.0,
+                        stop_delta_s: 0.0,
+                        functional_iters: 100,
+                        ..RunConfig::default()
+                    };
+                    let r = runner.run_kernel(kernel, &cfg);
+                    phase_acc[i].1 += r.power.mean;
+                    phase_acc[i].2 += 1;
+                }
+                None => {
+                    let t0 = runner.clock().now_secs();
+                    runner.idle(phase.duration_s, 20.0);
+                    let t1 = runner.clock().now_secs();
+                    if let Some(mean) = runner.trace().mean_between(t0, t1) {
+                        phase_acc[i].1 += mean;
+                        phase_acc[i].2 += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let t_end = runner.clock().now_secs();
+    let mean_w = runner
+        .trace()
+        .mean_between(t_begin, t_end)
+        .unwrap_or_default();
+    let (min_w, max_w) = runner
+        .trace()
+        .min_max_between(t_begin, t_end)
+        .unwrap_or((mean_w, mean_w));
+
+    BaselineReport {
+        name: baseline.name(),
+        mean_w,
+        min_w,
+        max_w,
+        phase_means: phase_acc
+            .into_iter()
+            .map(|(n, sum, cnt)| (n, if cnt > 0 { sum / f64::from(cnt) } else { 0.0 }))
+            .collect(),
+        duration_s: t_end - t_begin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs2_arch::Sku;
+
+    fn report(baseline: Baseline) -> BaselineReport {
+        let mut runner = Runner::new(Sku::amd_epyc_7502());
+        // Preheat so thermal transients don't blur the comparison.
+        runner.hold_power(240.0, 20.0, 300.0);
+        run_baseline(&mut runner, baseline, 120.0, 2000.0)
+    }
+
+    #[test]
+    fn firestarter2_beats_every_other_tool() {
+        // The headline claim: none of the comparators maximizes power.
+        let fs2 = report(Baseline::Firestarter2);
+        for other in [
+            Baseline::Prime95,
+            Baseline::Linpack,
+            Baseline::StressNgMatrix,
+            Baseline::EeMark,
+            Baseline::SqrtLoop,
+            Baseline::Idle,
+        ] {
+            let r = report(other);
+            assert!(
+                fs2.mean_w > r.mean_w,
+                "{} ({:.1} W) >= FIRESTARTER 2 ({:.1} W)",
+                r.name,
+                r.mean_w,
+                fs2.mean_w
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_of_the_power_ladder() {
+        // idle < sqrt loop < stress-ng scalar < Prime95.
+        let idle = report(Baseline::Idle);
+        let sqrt = report(Baseline::SqrtLoop);
+        let sng = report(Baseline::StressNgMatrix);
+        let p95 = report(Baseline::Prime95);
+        assert!(idle.mean_w < sqrt.mean_w);
+        assert!(sqrt.mean_w < sng.mean_w);
+        assert!(sng.mean_w < p95.mean_w);
+    }
+
+    #[test]
+    fn linpack_shows_power_dips() {
+        // "reoccurring initialization and finalization phases can
+        // significantly lower power consumption."
+        let r = report(Baseline::Linpack);
+        let dgemm = r
+            .phase_means
+            .iter()
+            .find(|(n, _)| *n == "dgemm")
+            .unwrap()
+            .1;
+        let init = r.phase_means.iter().find(|(n, _)| *n == "init").unwrap().1;
+        assert!(
+            dgemm > init + 30.0,
+            "no dip: dgemm {dgemm:.1} W vs init {init:.1} W"
+        );
+        assert!(r.min_w < r.max_w - 30.0);
+    }
+
+    #[test]
+    fn prime95_power_varies_over_time() {
+        let r = report(Baseline::Prime95);
+        let fft = r.phase_means.iter().find(|(n, _)| *n == "fft").unwrap().1;
+        let carry = r
+            .phase_means
+            .iter()
+            .find(|(n, _)| *n == "carry")
+            .unwrap()
+            .1;
+        assert!(fft > carry + 15.0, "fft {fft:.1} vs carry {carry:.1}");
+    }
+
+    #[test]
+    fn report_duration_covers_whole_cycles() {
+        let r = report(Baseline::Linpack);
+        // One cycle = 145 s ≥ requested 120 s.
+        assert!(r.duration_s >= 120.0);
+        assert_eq!(r.phase_means.len(), 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Criterion benches for the moving parts: the costs that bound how fast
+//! the self-tuning loop can evaluate candidates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fs2_arch::Sku;
+use fs2_core::groups::parse_groups;
+use fs2_core::mix::MixRegistry;
+use fs2_core::payload::{build_payload, PayloadConfig};
+use fs2_power::{solve_throttle, NodePowerModel};
+use fs2_sim::core::{steady_state, ActiveSet};
+use fs2_sim::{Executor, InitScheme, SystemSim};
+use fs2_tuning::{Nsga2, Nsga2Config};
+
+fn bench_encoder(c: &mut Criterion) {
+    let sku = Sku::amd_epyc_7502();
+    let mix = MixRegistry::default_for(sku.uarch);
+    let groups = parse_groups("REG:4,L1_L:2,L2_L:1").unwrap();
+    let payload = build_payload(
+        &sku,
+        &PayloadConfig {
+            mix,
+            groups,
+            unroll: 1400,
+        },
+    );
+    let insts: Vec<_> = payload.kernel.insts_iter().copied().collect();
+
+    c.bench_function("encode_5k_inst_payload", |b| {
+        b.iter(|| fs2_isa::encoder::encode_sequence(black_box(&insts)))
+    });
+    c.bench_function("decode_24kb_code_buffer", |b| {
+        b.iter(|| fs2_isa::decode_all(black_box(&payload.machine_code)).unwrap())
+    });
+}
+
+fn bench_payload_build(c: &mut Criterion) {
+    let sku = Sku::amd_epyc_7502();
+    let mix = MixRegistry::default_for(sku.uarch);
+    let groups = parse_groups("REG:8,L1_2LS:4,L2_LS:1,L3_LS:1,RAM_LS:1").unwrap();
+    c.bench_function("build_payload_u1400", |b| {
+        b.iter(|| {
+            build_payload(
+                black_box(&sku),
+                &PayloadConfig {
+                    mix,
+                    groups: groups.clone(),
+                    unroll: 1400,
+                },
+            )
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let sku = Sku::amd_epyc_7502();
+    let mix = MixRegistry::default_for(sku.uarch);
+    let groups = parse_groups("REG:8,L1_2LS:4,L2_LS:1,L3_LS:1,RAM_LS:1").unwrap();
+    let payload = build_payload(
+        &sku,
+        &PayloadConfig {
+            mix,
+            groups,
+            unroll: 1400,
+        },
+    );
+    let sim = SystemSim::new(sku.clone());
+    let model = NodePowerModel::new(sku.clone());
+
+    c.bench_function("steady_state_eval", |b| {
+        b.iter(|| {
+            steady_state(
+                black_box(&sku),
+                black_box(&payload.kernel),
+                2500.0,
+                ActiveSet::full(&sku),
+            )
+        })
+    });
+    // The ablation pair of DESIGN.md §6: a plain evaluation vs. the full
+    // EDC/PPT-aware frequency solve.
+    c.bench_function("node_eval_no_throttle_solve", |b| {
+        b.iter(|| sim.evaluate(black_box(&payload.kernel), 2500.0, None))
+    });
+    c.bench_function("node_eval_with_throttle_solve", |b| {
+        b.iter(|| {
+            solve_throttle(
+                &sim,
+                &model,
+                black_box(&payload.kernel),
+                2500.0,
+                None,
+                0.0,
+            )
+        })
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let sku = Sku::amd_epyc_7502();
+    let mix = MixRegistry::default_for(sku.uarch);
+    let groups = parse_groups("REG:2,L1_LS:1").unwrap();
+    let payload = build_payload(
+        &sku,
+        &PayloadConfig {
+            mix,
+            groups,
+            unroll: 63,
+        },
+    );
+    c.bench_function("functional_exec_100_iters", |b| {
+        b.iter(|| {
+            let mut ex = Executor::new(InitScheme::V2Safe, 42);
+            ex.run(black_box(&payload.kernel), 100);
+            ex.state_hash()
+        })
+    });
+}
+
+fn bench_nsga2(c: &mut Criterion) {
+    c.bench_function("nsga2_sch_40x20", |b| {
+        b.iter(|| {
+            let mut problem = fs2_tuning::testfns::Sch::new();
+            Nsga2::new(Nsga2Config {
+                individuals: 40,
+                generations: 20,
+                mutation_prob: 0.35,
+                crossover_prob: 0.9,
+                seed: 1,
+            })
+            .run(black_box(&mut problem))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encoder,
+    bench_payload_build,
+    bench_simulation,
+    bench_executor,
+    bench_nsga2
+);
+criterion_main!(benches);

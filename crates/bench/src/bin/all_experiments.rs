@@ -1,0 +1,18 @@
+//! Regenerates every table and figure, writing reports to `results/`.
+//! Pass --quick for reduced NSGA-II configurations.
+
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results/");
+    for report in fs2_bench::experiments::all(quick) {
+        let rendered = report.render();
+        println!("{rendered}");
+        let path = out_dir.join(format!("{}.txt", report.id));
+        fs::write(&path, &rendered).expect("write report");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the fig01 experiment (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", fs2_bench::experiments::fig01::run().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the fig02 experiment (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", fs2_bench::experiments::fig02::run().render());
+}

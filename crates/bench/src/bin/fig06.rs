@@ -1,0 +1,4 @@
+//! Regenerates the fig06 experiment (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", fs2_bench::experiments::fig06::run().render());
+}

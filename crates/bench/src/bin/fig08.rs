@@ -1,0 +1,4 @@
+//! Regenerates the fig08 experiment (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", fs2_bench::experiments::fig08::run().render());
+}

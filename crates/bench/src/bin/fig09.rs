@@ -1,0 +1,4 @@
+//! Regenerates the fig09 experiment (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", fs2_bench::experiments::fig09::run().render());
+}

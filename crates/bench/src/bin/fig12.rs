@@ -1,0 +1,6 @@
+//! Regenerates the fig12 experiment (see EXPERIMENTS.md).
+//! Pass --quick for a reduced configuration.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", fs2_bench::experiments::fig12::run(quick).render());
+}

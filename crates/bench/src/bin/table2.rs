@@ -1,0 +1,4 @@
+//! Regenerates the table2 experiment (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", fs2_bench::experiments::table2::run().render());
+}

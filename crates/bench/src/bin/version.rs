@@ -1,0 +1,4 @@
+//! Regenerates the version experiment (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", fs2_bench::experiments::version::run().render());
+}

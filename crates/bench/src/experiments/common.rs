@@ -1,0 +1,153 @@
+//! Shared experiment plumbing.
+
+use fs2_arch::{MemLevel, Sku};
+use fs2_core::groups::{format_groups, parse_groups, AccessGroup, Pattern};
+use fs2_core::mix::{InstructionMix, MixRegistry};
+use fs2_core::payload::{build_payload, default_unroll, Payload, PayloadConfig};
+use fs2_power::{solve_throttle, NodePowerModel, ThrottleResult};
+use fs2_sim::SystemSim;
+
+/// Builds a payload from a group string with the architecture default
+/// mix and unroll factor.
+pub fn payload_for(sku: &Sku, spec: &str) -> Payload {
+    let mix = MixRegistry::default_for(sku.uarch);
+    let groups = parse_groups(spec).expect("experiment group strings are valid");
+    let unroll = default_unroll(sku, mix, &groups);
+    build_payload(sku, &PayloadConfig { mix, groups, unroll })
+}
+
+/// Direct (traceless) evaluation: EDC-aware steady state + power.
+/// Orders of magnitude faster than a full runner pass; used by the
+/// parameter sweeps.
+pub fn direct_eval(sku: &Sku, payload: &Payload, freq_mhz: f64) -> ThrottleResult {
+    let sim = SystemSim::new(sku.clone());
+    let model = NodePowerModel::new(sku.clone());
+    solve_throttle(&sim, &model, &payload.kernel, freq_mhz, None, 0.0)
+}
+
+/// "To get the ratio with the highest power consumption, we vary the
+/// ratio of register calculations and memory accesses" (§IV-D): sweeps
+/// the REG share (and the nearest level's weight) for a ladder rung that
+/// touches all levels up to `up_to`, returning the highest-power
+/// configuration.
+pub fn optimize_rung(
+    sku: &Sku,
+    up_to: Option<MemLevel>,
+    freq_mhz: f64,
+) -> (Vec<AccessGroup>, ThrottleResult) {
+    let mix_groups = |reg: u32, near: u32, up_to: Option<MemLevel>| -> Vec<AccessGroup> {
+        let mut groups = Vec::new();
+        if reg > 0 {
+            groups.push(AccessGroup::reg(reg));
+        }
+        if let Some(level) = up_to {
+            for (i, &l) in level.up_to().iter().enumerate() {
+                let pattern = if l == MemLevel::L1 {
+                    Pattern::TwoLoadsStore
+                } else {
+                    Pattern::LoadStore
+                };
+                let count = if i == 0 { near } else { 1 };
+                groups.push(AccessGroup::mem(l, pattern, count));
+            }
+        } else if reg == 0 {
+            groups.push(AccessGroup::reg(1));
+        }
+        groups
+    };
+
+    let mut best: Option<(Vec<AccessGroup>, ThrottleResult)> = None;
+    // Wide REG sweep: shared far levels (Haswell's socket-wide L3) need
+    // sparse access schedules, i.e. large register shares.
+    let reg_candidates: &[u32] = if up_to.is_none() {
+        &[1]
+    } else {
+        &[0, 1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 30]
+    };
+    // Dense near-level traffic with sparse far-level accesses is a key
+    // shape (lots of L1 work riding under an almost-saturated DRAM
+    // stream), so the near weight sweeps far wider than the REG share.
+    let near_candidates: &[u32] = if up_to.is_none() {
+        &[0]
+    } else {
+        &[1, 2, 3, 4, 6, 8, 12, 16]
+    };
+    for &reg in reg_candidates {
+        for &near in near_candidates {
+            let groups = mix_groups(reg, near, up_to);
+            if groups.is_empty() {
+                continue;
+            }
+            let mix = MixRegistry::default_for(sku.uarch);
+            let unroll = default_unroll(sku, mix, &groups);
+            let payload = build_payload(
+                sku,
+                &PayloadConfig {
+                    mix,
+                    groups: groups.clone(),
+                    unroll,
+                },
+            );
+            let result = direct_eval(sku, &payload, freq_mhz);
+            let better = match &best {
+                None => true,
+                Some((_, b)) => result.power.total_w() > b.power.total_w(),
+            };
+            if better {
+                best = Some((groups, result));
+            }
+        }
+    }
+    best.expect("at least one candidate evaluated")
+}
+
+/// Pretty group-string for reports.
+pub fn spec_of(groups: &[AccessGroup]) -> String {
+    format_groups(groups)
+}
+
+/// The SQRT low-power loop payload.
+pub fn sqrt_payload(sku: &Sku) -> Payload {
+    build_payload(
+        sku,
+        &PayloadConfig {
+            mix: InstructionMix::SQRT,
+            groups: parse_groups("REG:1").unwrap(),
+            unroll: 64,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rung_optimizer_monotone_in_levels() {
+        let sku = Sku::amd_epyc_7502();
+        let mut prev = 0.0;
+        for up_to in [
+            None,
+            Some(MemLevel::L1),
+            Some(MemLevel::L2),
+            Some(MemLevel::L3),
+            Some(MemLevel::Ram),
+        ] {
+            let (_, result) = optimize_rung(&sku, up_to, 1500.0);
+            let p = result.power.total_w();
+            assert!(
+                p > prev,
+                "rung {up_to:?} not above previous: {p:.1} vs {prev:.1}"
+            );
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn direct_eval_matches_runner_scale() {
+        let sku = Sku::amd_epyc_7502();
+        let p = payload_for(&sku, "REG:1");
+        let r = direct_eval(&sku, &p, 1500.0);
+        assert!((180.0..280.0).contains(&r.power.total_w()));
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig. 1 — cumulative power distribution of 612 Haswell nodes over a
+//! year (1 Sa/s, 60 s means, 0.1 W bins).
+
+use crate::report::{w, Report};
+use fs2_cluster::{FleetConfig, FleetSim};
+
+pub fn run() -> Report {
+    let fleet = FleetSim::new(FleetConfig::default());
+    let cdf = fleet.power_cdf();
+
+    let mut rep = Report::new(
+        "fig01",
+        "CDF of node power for the 612-node Haswell fleet (synthetic year)",
+    );
+    rep.line(format!(
+        "{} nodes x {} 60-second means = {} samples, 0.1 W bins",
+        fleet.config.nodes, fleet.config.samples_per_node, cdf.samples
+    ));
+    rep.line(format!(
+        "range {} .. {} W (paper: max 359.9 W)",
+        w(cdf.min_w),
+        w(cdf.max_w)
+    ));
+    rep.line(format!(
+        "idle shoulder: {:.1} % of samples at or below 100 W; {:.1} % below 50 W (paper: steep incline between 50 and 100 W)",
+        cdf.fraction_at(100.0) * 100.0,
+        cdf.fraction_at(50.0) * 100.0
+    ));
+    rep.line(format!(
+        "median {} W, p95 {} W, p99.9 {} W",
+        w(cdf.quantile(0.5)),
+        w(cdf.quantile(0.95)),
+        w(cdf.quantile(0.999))
+    ));
+    rep.csv_header(&["power_w", "cumulative_fraction"]);
+    for wv in (40..=360).step_by(10) {
+        rep.csv_row(&[format!("{wv}"), format!("{:.4}", cdf.fraction_at(f64::from(wv)))]);
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig01_report_has_landmarks() {
+        let rep = super::run();
+        let out = rep.render();
+        assert!(out.contains("612 nodes"));
+        assert!(out.contains("0.1 W bins"));
+        assert!(rep.csv().lines().count() > 30);
+    }
+}

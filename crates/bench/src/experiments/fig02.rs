@@ -1,0 +1,92 @@
+//! Fig. 2 — FIRESTARTER optimized for maximum power with different cache
+//! accesses on the dual-socket Haswell node (2 GHz to avoid AVX
+//! throttling), with and without 4× NVIDIA K80.
+
+use crate::experiments::common::{direct_eval, optimize_rung, payload_for, spec_of, sqrt_payload};
+use crate::report::{w, Report};
+use fs2_arch::{MemLevel, Sku};
+use fs2_gpu::GpuStress;
+use fs2_power::NodePowerModel;
+
+pub fn run() -> Report {
+    let sku = Sku::intel_xeon_e5_2680_v3();
+    let freq = 2000.0;
+    let model = NodePowerModel::new(sku.clone());
+    let gpu = GpuStress::four_k80().run(240.0);
+
+    let mut rep = Report::new(
+        "fig02",
+        "power ladder on 2x Xeon E5-2680 v3 @ 2000 MHz (+4x K80 on the GPGPU node)",
+    );
+    rep.csv_header(&["id", "cpu_node_w", "gpgpu_node_w", "workload"]);
+
+    let row = |id: &str, name: &str, cpu_w: f64, spec: String, rep: &mut Report| {
+        rep.line(format!("{name:<34} {:>7} W   (+GPUs: {:>7} W)   {spec}", w(cpu_w), w(cpu_w + gpu.avg_power_w)));
+        rep.csv_row(&[id.to_string(), w(cpu_w), w(cpu_w + gpu.avg_power_w), spec]);
+    };
+
+    // Idle (C-states enabled); the GPGPU node adds the per-card idle.
+    let idle = model.idle_power().total_w();
+    rep.line(format!(
+        "{:<34} {:>7} W   (+GPUs: {:>7} W)   -",
+        "Idle (C-States enabled)",
+        w(idle),
+        w(idle + gpu.idle_power_w)
+    ));
+    rep.csv_row(&[
+        "idle".into(),
+        w(idle),
+        w(idle + gpu.idle_power_w),
+        String::new(),
+    ]);
+
+    // Low power loop (sqrtsd).
+    let sqrt = sqrt_payload(&sku);
+    let sqrt_r = direct_eval(&sku, &sqrt, freq);
+    row("sqrt", "Low power loop (sqrtsd)", sqrt_r.power.total_w(), "SQRT".into(), &mut rep);
+
+    // FIRESTARTER, no cache accesses.
+    let reg = payload_for(&sku, "REG:1");
+    let reg_r = direct_eval(&sku, &reg, freq);
+    row("reg", "FIRESTARTER, no cache accesses", reg_r.power.total_w(), "REG:1".into(), &mut rep);
+
+    // FIRESTARTER with L1+L2 / +L3 / +mem accesses (optimized per rung).
+    for (id, name, up_to) in [
+        ("l1l2", "FIRESTARTER, L1+L2 accesses", MemLevel::L2),
+        ("l3", "FIRESTARTER, L1+L2+L3 accesses", MemLevel::L3),
+        ("mem", "FIRESTARTER, L1+L2+L3+mem accesses", MemLevel::Ram),
+    ] {
+        let (groups, result) = optimize_rung(&sku, Some(up_to), freq);
+        row(id, name, result.power.total_w(), spec_of(&groups), &mut rep);
+    }
+
+    rep.blank();
+    rep.line(format!(
+        "each K80: +{} W idle .. +{} W stressed (paper: 29 W .. 156 W); 4 cards stressed: +{} W",
+        w(gpu.idle_power_w / 4.0),
+        w(gpu.stress_power_w / 4.0),
+        w(gpu.avg_power_w)
+    ));
+    rep.line("paper shape: each memory level adds to total power; GPGPU node ~1.1 kW fully loaded");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig02_ladder_is_monotone() {
+        let rep = super::run();
+        let csv = rep.csv();
+        let powers: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        // idle < sqrt < REG < L1L2 < L3 < mem
+        for pair in powers.windows(2) {
+            assert!(pair[1] > pair[0], "ladder not monotone: {powers:?}");
+        }
+        // Full stress roughly 5x idle (paper: ~70 W -> ~360 W).
+        assert!(powers.last().unwrap() / powers[0] > 3.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Fig. 6 — power trace of the FIRESTARTER 1.x automatic-tuning
+//! prototype: every candidate requires template regeneration, compiling
+//! and linking (a near-idle gap), then a minutes-long measurement to ride
+//! out thermal effects.
+
+use crate::report::{w, Report};
+use fs2_arch::Sku;
+use fs2_core::groups::parse_groups;
+use fs2_core::legacy::{v1_tuning_candidate, V1TuningConfig};
+use fs2_core::runner::Runner;
+
+pub fn run() -> Report {
+    let mut runner = Runner::new(Sku::amd_epyc_7502());
+    let cfg = V1TuningConfig {
+        freq_mhz: 1500.0,
+        ..V1TuningConfig::default()
+    };
+    let candidates = [
+        "REG:4,L1_LS:1",
+        "REG:6,L1_LS:2,L2_L:1",
+        "REG:8,L1_LS:2,L2_L:1,RAM_L:1",
+    ];
+    let mut measured = Vec::new();
+    for spec in candidates {
+        let groups = parse_groups(spec).unwrap();
+        measured.push((spec, v1_tuning_candidate(&mut runner, &groups, &cfg)));
+    }
+
+    let total_s = runner.clock().now_secs();
+    let idle_w = runner.power_model().idle_power().total_w();
+    let (trace_min, trace_max) = runner
+        .trace()
+        .min_max_between(0.0, total_s)
+        .unwrap_or((0.0, 0.0));
+
+    let mut rep = Report::new(
+        "fig06",
+        "FIRESTARTER 1.x tuning-prototype power trace (recompile per candidate)",
+    );
+    rep.line(format!(
+        "{} candidates took {:.0} s of simulated time ({:.0} s per iteration: {:.0} s code generation+compile+link, {:.0} s measurement incl. {:.0} s warm-up)",
+        candidates.len(),
+        total_s,
+        total_s / candidates.len() as f64,
+        cfg.compile_s,
+        cfg.measure_s,
+        cfg.warmup_s
+    ));
+    rep.line(format!(
+        "trace spans {} .. {} W; compile gaps dip to near idle ({} W)",
+        w(trace_min),
+        w(trace_max),
+        w(idle_w)
+    ));
+    for (spec, p) in &measured {
+        rep.line(format!("  candidate {spec:<34} -> {} W", w(*p)));
+    }
+    rep.blank();
+    rep.line("paper shape: visible power drops between candidates and minutes-long measurements (contrast Fig. 7)");
+
+    // Downsampled trace for plotting.
+    rep.csv_header(&["t_s", "power_w"]);
+    let agg = runner.trace().aggregate_mean(5.0);
+    for s in agg.samples() {
+        rep.csv_row(&[format!("{:.1}", s.t_s), w(s.value)]);
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig06_trace_has_gaps_and_long_cycles() {
+        let rep = super::run();
+        let out = rep.render();
+        assert!(out.contains("compile gaps dip"));
+        // Downsampled trace covers > 600 s.
+        let last_t: f64 = rep
+            .csv()
+            .lines()
+            .last()
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(last_t > 500.0, "trace too short: {last_t}");
+    }
+}

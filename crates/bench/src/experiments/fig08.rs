@@ -1,0 +1,178 @@
+//! Fig. 8 — power consumption and instruction throughput for different
+//! unroll factors and P-states (workload `L1_L:1`, the paper's §IV-C).
+//!
+//! Expected shape: small loops run from the µop cache (low front-end
+//! power); once the loop exceeds it (u ≈ 1000) power steps up because the
+//! decoders work; beyond L1I (u ≈ 2000) code streams from L2 — IPC stays
+//! flat but power rises again, and at nominal frequency the extra current
+//! triggers a small EDC frequency dip (2.5 → 2.4 GHz in the paper).
+
+use crate::experiments::common::direct_eval;
+use crate::report::{mhz, r3, w, Report};
+use fs2_arch::pipeline::FetchSource;
+use fs2_arch::Sku;
+use fs2_core::groups::parse_groups;
+use fs2_core::mix::MixRegistry;
+use fs2_core::payload::{build_payload, PayloadConfig};
+use fs2_sim::HwEvents;
+use fs2_sim::SystemSim;
+
+pub const UNROLLS: [u32; 12] = [32, 64, 125, 250, 500, 750, 1000, 1500, 2000, 4000, 8000, 16000];
+pub const FREQS: [f64; 3] = [1500.0, 2200.0, 2500.0];
+
+pub struct Point {
+    pub unroll: u32,
+    pub freq_req: f64,
+    pub freq_applied: f64,
+    pub power_w: f64,
+    pub ipc: f64,
+    pub fetch: FetchSource,
+    pub uops_from_decoder_frac: f64,
+}
+
+pub fn sweep() -> Vec<Point> {
+    let sku = Sku::amd_epyc_7502();
+    let mix = MixRegistry::default_for(sku.uarch);
+    let groups = parse_groups("L1_L:1").unwrap();
+    let sim = SystemSim::new(sku.clone());
+    let mut out = Vec::new();
+    for &u in &UNROLLS {
+        let payload = build_payload(
+            &sku,
+            &PayloadConfig {
+                mix,
+                groups: groups.clone(),
+                unroll: u,
+            },
+        );
+        for &f in &FREQS {
+            let r = direct_eval(&sku, &payload, f);
+            // Validate the fetch source with the event-counter equivalent
+            // of PMC 0xAA ("UOps Dispatched From Decoder").
+            let (_, ev) = sim.run(&payload.kernel, r.applied_mhz, 1e8, None);
+            let (dec, opc) = (ev.uops_from_decoder, ev.uops_from_opcache);
+            let frac = if dec + opc == 0 {
+                0.0
+            } else {
+                dec as f64 / (dec + opc) as f64
+            };
+            let _ = HwEvents::default();
+            out.push(Point {
+                unroll: u,
+                freq_req: f,
+                freq_applied: r.applied_mhz,
+                power_w: r.power.total_w(),
+                ipc: r.node.core.ipc,
+                fetch: r.node.core.fetch_source,
+                uops_from_decoder_frac: frac,
+            });
+        }
+    }
+    out
+}
+
+pub fn run() -> Report {
+    let points = sweep();
+    let mut rep = Report::new(
+        "fig08",
+        "power and IPC vs unroll factor (--set-line-count) at 1500/2200/2500 MHz, workload L1_L:1",
+    );
+    rep.csv_header(&[
+        "unroll",
+        "freq_req_mhz",
+        "freq_applied_mhz",
+        "power_w",
+        "ipc",
+        "fetch_source",
+        "uops_from_decoder_frac",
+    ]);
+    for p in &points {
+        rep.csv_row(&[
+            p.unroll.to_string(),
+            mhz(p.freq_req),
+            mhz(p.freq_applied),
+            w(p.power_w),
+            r3(p.ipc),
+            p.fetch.name().to_string(),
+            format!("{:.2}", p.uops_from_decoder_frac),
+        ]);
+    }
+
+    // Annotate the transitions at nominal frequency.
+    let nominal: Vec<&Point> = points.iter().filter(|p| p.freq_req == 2500.0).collect();
+    let first_decoder = nominal.iter().find(|p| p.fetch == FetchSource::L1i);
+    let first_l2 = nominal.iter().find(|p| p.fetch == FetchSource::L2);
+    let opcache_power = nominal
+        .iter()
+        .filter(|p| p.fetch == FetchSource::OpCache)
+        .map(|p| p.power_w)
+        .fold(0.0f64, f64::max);
+    if let Some(p) = first_decoder {
+        rep.line(format!(
+            "op-cache exceeded at u={} -> power steps {} -> {} W (paper: increase at u ≈ 1000)",
+            p.unroll,
+            w(opcache_power),
+            w(p.power_w)
+        ));
+    }
+    if let Some(p) = first_l2 {
+        rep.line(format!(
+            "L1I exceeded at u={} -> code streams from L2; applied frequency {} MHz at nominal (paper: 2.5 -> 2.4 GHz dip)",
+            p.unroll,
+            mhz(p.freq_applied)
+        ));
+    }
+    rep.line("IPC stays ≈4 across all fetch sources (paper: throughput does not decrease)");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig08_shape() {
+        let points = sweep();
+        let at = |u: u32, f: f64| -> &Point {
+            points
+                .iter()
+                .find(|p| p.unroll == u && p.freq_req == f)
+                .unwrap()
+        };
+        // Fetch-source transitions (validated via the decoder-µop event).
+        assert_eq!(at(250, 2500.0).fetch, FetchSource::OpCache);
+        assert_eq!(at(250, 2500.0).uops_from_decoder_frac, 0.0);
+        assert_eq!(at(1500, 2500.0).fetch, FetchSource::L1i);
+        assert!(at(1500, 2500.0).uops_from_decoder_frac > 0.99);
+        assert_eq!(at(4000, 2500.0).fetch, FetchSource::L2);
+
+        // Power steps up when the loop leaves the µop cache.
+        assert!(
+            at(1500, 2500.0).power_w > at(250, 2500.0).power_w + 3.0,
+            "no decoder power step: {} vs {}",
+            at(1500, 2500.0).power_w,
+            at(250, 2500.0).power_w
+        );
+
+        // IPC is essentially flat at 4 for every regime at 1500 MHz.
+        for &u in &UNROLLS {
+            let p = at(u, 1500.0);
+            assert!(p.ipc > 3.6, "IPC collapsed at u={u}: {}", p.ipc);
+        }
+
+        // No throttling while the loop is op-cache or L1I resident...
+        assert_eq!(at(250, 2500.0).freq_applied, 2500.0);
+        assert_eq!(at(1500, 2500.0).freq_applied, 2500.0);
+        // ...but L2-resident code dips below nominal (paper: 2.5 -> 2.4).
+        let l2_point = at(16000, 2500.0);
+        assert!(
+            l2_point.freq_applied < 2500.0 && l2_point.freq_applied >= 2300.0,
+            "L2-code dip out of band: {} MHz",
+            l2_point.freq_applied
+        );
+        // Higher frequencies give more power at every unroll.
+        for &u in &UNROLLS {
+            assert!(at(u, 2500.0).power_w > at(u, 1500.0).power_w);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Fig. 9 — power, instruction throughput and data-cache access rate of
+//! FIRESTARTER optimized for accesses up to each level of the hierarchy,
+//! at 1500 MHz (to avoid the throttling of §IV-E).
+//!
+//! Paper landmarks: 235 W (no access) → 437 W (main memory), +86 %; IPC
+//! dips to ≈3.4 where power is highest.
+
+use crate::experiments::common::{optimize_rung, spec_of};
+use crate::report::{r3, w, Report};
+use fs2_arch::{MemLevel, Sku};
+
+pub struct Rung {
+    pub name: &'static str,
+    pub spec: String,
+    pub power_w: f64,
+    pub ipc: f64,
+    pub dc_access_rate: f64,
+}
+
+pub fn sweep() -> Vec<Rung> {
+    let sku = Sku::amd_epyc_7502();
+    let rungs = [
+        ("No access", None),
+        ("Level 1", Some(MemLevel::L1)),
+        ("Level 2", Some(MemLevel::L2)),
+        ("Level 3", Some(MemLevel::L3)),
+        ("Main memory", Some(MemLevel::Ram)),
+    ];
+    rungs
+        .into_iter()
+        .map(|(name, up_to)| {
+            let (groups, result) = optimize_rung(&sku, up_to, 1500.0);
+            Rung {
+                name,
+                spec: spec_of(&groups),
+                power_w: result.power.total_w(),
+                ipc: result.node.core.ipc,
+                dc_access_rate: result.node.core.dc_accesses_per_cycle,
+            }
+        })
+        .collect()
+}
+
+pub fn run() -> Report {
+    let rungs = sweep();
+    let mut rep = Report::new(
+        "fig09",
+        "power / IPC / data-cache access rate per memory level @ 1500 MHz (2x EPYC 7502)",
+    );
+    rep.csv_header(&["level", "power_w", "ipc", "dc_accesses_per_cycle", "workload"]);
+    for r in &rungs {
+        rep.line(format!(
+            "{:<12} {:>7} W   ipc {:>5}   dc/cyc {:>5}   {}",
+            r.name,
+            w(r.power_w),
+            r3(r.ipc),
+            r3(r.dc_access_rate),
+            r.spec
+        ));
+        rep.csv_row(&[
+            r.name.to_string(),
+            w(r.power_w),
+            r3(r.ipc),
+            r3(r.dc_access_rate),
+            r.spec.clone(),
+        ]);
+    }
+    let first = rungs.first().unwrap().power_w;
+    let last = rungs.last().unwrap().power_w;
+    rep.blank();
+    rep.line(format!(
+        "No access -> Main memory: {} W -> {} W = +{:.0} %  (paper: 235 -> 437 W, +86 %)",
+        w(first),
+        w(last),
+        (last / first - 1.0) * 100.0
+    ));
+    rep.line(format!(
+        "IPC at the highest-power point: {} (paper: drops to ≈3.4)",
+        r3(rungs.last().unwrap().ipc)
+    ));
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig09_landmarks() {
+        let rungs = super::sweep();
+        // Monotone power ladder.
+        for pair in rungs.windows(2) {
+            assert!(
+                pair[1].power_w > pair[0].power_w,
+                "{} not above {}",
+                pair[1].name,
+                pair[0].name
+            );
+        }
+        let first = rungs.first().unwrap();
+        let last = rungs.last().unwrap();
+        // Paper: 235 W and 437 W with +86 %.
+        assert!(
+            (200.0..270.0).contains(&first.power_w),
+            "no-access rung {} W",
+            first.power_w
+        );
+        assert!(
+            (370.0..480.0).contains(&last.power_w),
+            "main-memory rung {} W",
+            last.power_w
+        );
+        let gain = last.power_w / first.power_w - 1.0;
+        assert!((0.5..1.2).contains(&gain), "gain {:.2}", gain);
+        // IPC never rises above the register-only level, and at least one
+        // rung shows the dip. (The analytic model's power optimum sits at
+        // the no-stall knee, so the RAM rung's dip is weaker than the
+        // paper's 3.4 — see EXPERIMENTS.md.)
+        assert!(last.ipc <= first.ipc + 1e-9);
+        assert!(last.ipc > 2.0, "ipc collapsed: {}", last.ipc);
+        assert!(
+            rungs.iter().any(|r| r.ipc < 3.9),
+            "no rung shows an IPC dip"
+        );
+        // Data-cache access rate is highest for the L1 rung.
+        let l1 = &rungs[1];
+        assert!(l1.dc_access_rate >= rungs[2].dc_access_rate);
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig. 11 — power and instruction throughput of all evaluated
+//! individuals of an optimization at 1500 MHz; the Pareto front emerges
+//! and the selected optimum ω_opt is the highest-power individual.
+
+use crate::report::{r3, w, Report};
+use fs2_arch::Sku;
+use fs2_core::autotune::{genes_to_groups, AutoTuner, TuneConfig};
+use fs2_core::groups::format_groups;
+use fs2_core::runner::Runner;
+use fs2_tuning::{fast_nondominated_sort, Nsga2Config};
+
+/// The paper's configuration: 40 individuals × 20 generations, m = 0.35,
+/// t = 10 s, preheat 240 s. `quick` shrinks it for tests/debug runs.
+pub fn tune_config(quick: bool, freq_mhz: f64, seed: u64) -> TuneConfig {
+    TuneConfig {
+        nsga2: Nsga2Config {
+            individuals: if quick { 10 } else { 40 },
+            generations: if quick { 5 } else { 20 },
+            mutation_prob: 0.35,
+            crossover_prob: 0.9,
+            seed,
+        },
+        test_duration_s: 10.0,
+        preheat_s: 240.0,
+        freq_mhz,
+        ..TuneConfig::default()
+    }
+}
+
+pub fn run(quick: bool) -> Report {
+    let mut runner = Runner::new(Sku::amd_epyc_7502());
+    let cfg = tune_config(quick, 1500.0, 11);
+    let result = AutoTuner::run(&mut runner, &cfg);
+
+    let mut rep = Report::new(
+        "fig11",
+        "all evaluated individuals (power vs IPC) of an optimization at 1500 MHz",
+    );
+    rep.line(format!(
+        "{} individuals x {} generations (m = {}), -t 10, preheat 240 s: {} evaluations, {} cache hits",
+        cfg.nsga2.individuals,
+        cfg.nsga2.generations,
+        cfg.nsga2.mutation_prob,
+        result.nsga2.history.len(),
+        result.nsga2.cache_hits
+    ));
+
+    // Does the final front dominate the initial random population?
+    let objs: Vec<Vec<f64>> = result
+        .nsga2
+        .history
+        .iter()
+        .map(|i| i.objectives.clone())
+        .collect();
+    let fronts = fast_nondominated_sort(&objs);
+    let front0: Vec<usize> = fronts.first().cloned().unwrap_or_default();
+    let gen0_on_front = front0
+        .iter()
+        .filter(|&&i| result.nsga2.history[i].generation == 0)
+        .count();
+    rep.line(format!(
+        "global Pareto front holds {} points, only {} from the random initial generation",
+        front0.len(),
+        gen0_on_front
+    ));
+
+    let best = &result.best;
+    rep.line(format!(
+        "selected optimum ω_opt-1500MHz: {} W, ipc {}  ({})",
+        w(best.objectives[0]),
+        r3(best.objectives[1]),
+        format_groups(&genes_to_groups(&best.genes))
+    ));
+    let max_power = result
+        .nsga2
+        .history
+        .iter()
+        .map(|i| i.objectives[0])
+        .fold(f64::NEG_INFINITY, f64::max);
+    rep.line(format!(
+        "highest power seen across all evaluations: {} W (paper: ≈438 W at 1500 MHz)",
+        w(max_power)
+    ));
+
+    rep.csv_header(&["eval_index", "generation", "power_w", "ipc"]);
+    for ind in &result.nsga2.history {
+        rep.csv_row(&[
+            ind.eval_index.to_string(),
+            ind.generation.to_string(),
+            w(ind.objectives[0]),
+            r3(ind.objectives[1]),
+        ]);
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig11_front_and_history() {
+        let rep = super::run(true);
+        let out = rep.render();
+        assert!(out.contains("selected optimum"));
+        // 10 × (5+1) = 60 evaluations in quick mode.
+        assert_eq!(rep.csv().lines().count(), 61);
+    }
+}

@@ -1,0 +1,35 @@
+//! One module per table/figure of the paper.
+
+pub mod common;
+pub mod fig01;
+pub mod fig02;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig11;
+pub mod fig12;
+pub mod table1;
+pub mod table2;
+pub mod version;
+
+use crate::report::Report;
+
+/// Runs every experiment. `quick` shrinks the NSGA-II populations (used
+/// by tests and debug builds); the binaries default to the paper's
+/// parameters.
+pub fn all(quick: bool) -> Vec<Report> {
+    vec![
+        fig01::run(),
+        fig02::run(),
+        table1::run(quick),
+        table2::run(),
+        version::run(),
+        fig06::run(),
+        fig07::run(quick),
+        fig08::run(),
+        fig09::run(),
+        fig11::run(quick),
+        fig12::run(quick),
+    ]
+}

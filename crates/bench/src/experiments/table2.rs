@@ -1,0 +1,71 @@
+//! Table II — test-system details, printed from the SKU database.
+
+use crate::report::Report;
+use fs2_arch::{MemLevel, Sku};
+
+pub fn run() -> Report {
+    let sku = Sku::amd_epyc_7502();
+    let mut rep = Report::new("table2", "test system details (SKU database entry)");
+    let t = &sku.topology;
+    rep.line(format!("Processor             2x AMD EPYC 7502 ({})", sku.name));
+    rep.line(format!(
+        "Cores                 {}x {} ({} threads)",
+        t.sockets,
+        t.cores_per_socket(),
+        t.total_threads()
+    ));
+    let freqs: Vec<String> = sku
+        .pstates
+        .states
+        .iter()
+        .map(|s| format!("{}", s.freq_mhz))
+        .collect();
+    rep.line(format!(
+        "Available frequencies {} MHz (nominal {})",
+        freqs.join(", "),
+        sku.nominal_mhz()
+    ));
+    rep.line(format!(
+        "L1-I and L1-D cache   {}x {} KiB + {} KiB",
+        t.total_cores(),
+        sku.l1i_bytes / 1024,
+        sku.mem_level(MemLevel::L1).size_bytes / 1024
+    ));
+    rep.line(format!(
+        "L2 cache              {}x {} KiB",
+        t.total_cores(),
+        sku.mem_level(MemLevel::L2).size_bytes / 1024
+    ));
+    rep.line(format!(
+        "L3 cache              {}x {} MiB",
+        t.total_ccxs(),
+        sku.mem_level(MemLevel::L3).size_bytes / (1024 * 1024)
+    ));
+    rep.line(format!(
+        "Memory                {} channels/socket DDR4 @ {} MHz ({:.0} GB/s/socket sustained)",
+        sku.dram.channels,
+        sku.dram.mem_clock_mhz,
+        sku.dram.sustained_bytes_per_ns()
+    ));
+    rep.line(format!(
+        "EDC limit             {} A per socket (throttle step {} MHz)",
+        sku.edc_amps_per_socket, sku.pstates.throttle_step_mhz
+    ));
+    rep.blank();
+    rep.line("paper Table II: 2x AMD EPYC 7502, 2x 32 cores, 1500/2200/2500 MHz,");
+    rep.line("64x 32+32 KiB L1, 64x 512 KiB L2, 16x 16 MiB L3, 16x DDR4 @ 1600 MHz");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table2_matches_paper() {
+        let out = super::run().render();
+        assert!(out.contains("2x AMD EPYC 7502"));
+        assert!(out.contains("2x 32"));
+        assert!(out.contains("1500, 2200, 2500") || out.contains("2500, 2200, 1500"));
+        assert!(out.contains("16x 16 MiB"));
+        assert!(out.contains("512 KiB"));
+    }
+}

@@ -1,0 +1,14 @@
+//! # fs2-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation; each produces a
+//! [`report::Report`] with the same rows/series the paper plots, plus a
+//! machine-readable CSV. The `src/bin/` binaries print single
+//! experiments; `bin/all_experiments` regenerates everything into
+//! `results/` (the data behind `EXPERIMENTS.md`). Criterion benches in
+//! `benches/` measure the cost of the moving parts and the ablations
+//! called out in DESIGN.md §6.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Report;

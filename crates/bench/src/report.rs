@@ -1,0 +1,107 @@
+//! Plain-text experiment reports.
+
+use fs2_metrics::CsvWriter;
+use std::fmt::Write as _;
+
+/// A rendered experiment: a title, aligned text rows, and CSV data.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub id: String,
+    pub title: String,
+    text: String,
+    csv: CsvWriter,
+}
+
+impl Report {
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Report {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            text: String::new(),
+            csv: CsvWriter::new(),
+        }
+    }
+
+    /// Adds a free-form text line.
+    pub fn line(&mut self, s: impl AsRef<str>) -> &mut Self {
+        self.text.push_str(s.as_ref());
+        self.text.push('\n');
+        self
+    }
+
+    /// Adds a blank line.
+    pub fn blank(&mut self) -> &mut Self {
+        self.text.push('\n');
+        self
+    }
+
+    /// Starts the CSV section with a header.
+    pub fn csv_header(&mut self, names: &[&str]) -> &mut Self {
+        self.csv.header(names);
+        self
+    }
+
+    /// Adds a CSV row.
+    pub fn csv_row(&mut self, fields: &[String]) -> &mut Self {
+        self.csv.row(fields);
+        self
+    }
+
+    /// The full printable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let _ = writeln!(out);
+        out.push_str(&self.text);
+        let csv = self.csv.as_str();
+        if !csv.is_empty() {
+            let _ = writeln!(out, "\ncsv:");
+            out.push_str(csv);
+        }
+        out
+    }
+
+    /// The CSV section alone.
+    pub fn csv(&self) -> &str {
+        self.csv.as_str()
+    }
+}
+
+/// Formats a watts value for tables.
+pub fn w(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats an IPC/rate value.
+pub fn r3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a frequency.
+pub fn mhz(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_sections() {
+        let mut rep = Report::new("fig09", "Memory levels");
+        rep.line("hello").blank();
+        rep.csv_header(&["a", "b"]);
+        rep.csv_row(&["1".into(), "2".into()]);
+        let out = rep.render();
+        assert!(out.starts_with("### fig09 — Memory levels"));
+        assert!(out.contains("hello"));
+        assert!(out.contains("a,b\n1,2"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(w(437.25), "437.2");
+        assert_eq!(r3(3.3912), "3.391");
+        assert_eq!(mhz(2491.7), "2492");
+    }
+}

@@ -1,0 +1,203 @@
+//! Fleet simulation and the Fig. 1 CDF pipeline.
+
+use crate::jobs::JobMix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fleet parameters (Fig. 1: 612 nodes, one year, 60 s means).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    pub nodes: u32,
+    /// 60 s-mean samples generated per node (a full year would be
+    /// 525 600; the CDF converges far earlier).
+    pub samples_per_node: u32,
+    pub mix: JobMix,
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            nodes: 612,
+            samples_per_node: 2000,
+            mix: JobMix::taurus_haswell(),
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// An empirical power CDF over fixed-width bins.
+#[derive(Debug, Clone)]
+pub struct PowerCdf {
+    /// `(bin_upper_edge_w, cumulative_fraction)`, ascending.
+    pub bins: Vec<(f64, f64)>,
+    pub min_w: f64,
+    pub max_w: f64,
+    pub samples: usize,
+}
+
+impl PowerCdf {
+    /// Builds the CDF from samples with the paper's 0.1 W bins.
+    pub fn from_samples(samples: &[f64], bin_width: f64) -> PowerCdf {
+        assert!(!samples.is_empty() && bin_width > 0.0);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let nbins = (((max - min) / bin_width).floor() as usize + 1).max(1);
+        let mut counts = vec![0u64; nbins];
+        for &s in samples {
+            let b = (((s - min) / bin_width) as usize).min(nbins - 1);
+            counts[b] += 1;
+        }
+        let total = samples.len() as f64;
+        let mut acc = 0u64;
+        let bins = counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                acc += c;
+                (min + bin_width * (i as f64 + 1.0), acc as f64 / total)
+            })
+            .collect();
+        PowerCdf {
+            bins,
+            min_w: min,
+            max_w: max,
+            samples: samples.len(),
+        }
+    }
+
+    /// Cumulative fraction at or below `power_w`.
+    pub fn fraction_at(&self, power_w: f64) -> f64 {
+        match self
+            .bins
+            .iter()
+            .find(|(edge, _)| *edge >= power_w)
+        {
+            Some((_, frac)) => *frac,
+            None => 1.0,
+        }
+    }
+
+    /// Power at a given quantile (first bin reaching it).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        self.bins
+            .iter()
+            .find(|(_, frac)| *frac >= q)
+            .map(|(edge, _)| *edge)
+            .unwrap_or(self.max_w)
+    }
+}
+
+/// The fleet generator.
+#[derive(Debug, Clone)]
+pub struct FleetSim {
+    pub config: FleetConfig,
+}
+
+impl FleetSim {
+    pub fn new(config: FleetConfig) -> FleetSim {
+        FleetSim { config }
+    }
+
+    /// Generates all 60 s-mean samples for the fleet.
+    pub fn generate(&self) -> Vec<f64> {
+        let n = self.config.nodes as usize * self.config.samples_per_node as usize;
+        let mut out = Vec::with_capacity(n);
+        for node in 0..self.config.nodes {
+            // Per-node RNG streams keep generation order-independent.
+            let mut rng = StdRng::seed_from_u64(
+                self.config.seed ^ (u64::from(node).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            for _ in 0..self.config.samples_per_node {
+                let class = self.config.mix.pick(&mut rng);
+                out.push(class.sample(&mut rng));
+            }
+        }
+        out
+    }
+
+    /// Full Fig. 1 pipeline: generate, bin at 0.1 W, return the CDF.
+    pub fn power_cdf(&self) -> PowerCdf {
+        PowerCdf::from_samples(&self.generate(), 0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fleet() -> FleetSim {
+        FleetSim::new(FleetConfig {
+            nodes: 64,
+            samples_per_node: 500,
+            ..FleetConfig::default()
+        })
+    }
+
+    #[test]
+    fn cdf_shape_matches_fig1_landmarks() {
+        let cdf = small_fleet().power_cdf();
+        // Maximum below the physical cap (paper: 359.9 W).
+        assert!(cdf.max_w <= 359.9 + 1e-9);
+        assert!(cdf.max_w > 300.0, "no high-power tail: max {}", cdf.max_w);
+        // Steep idle shoulder: a large fraction between 50 W and 100 W.
+        let below_100 = cdf.fraction_at(100.0);
+        let below_50 = cdf.fraction_at(50.0);
+        assert!(below_50 < 0.02, "mass below 50 W: {below_50}");
+        assert!(
+            below_100 > 0.35,
+            "idle shoulder missing: only {below_100} below 100 W"
+        );
+        // Most of the time, the power budget is far from exhausted.
+        assert!(cdf.fraction_at(250.0) > 0.75);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let cdf = small_fleet().power_cdf();
+        assert!((cdf.bins.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.bins.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 > w[0].0);
+        }
+        assert_eq!(cdf.samples, 64 * 500);
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let cdf = small_fleet().power_cdf();
+        let q25 = cdf.quantile(0.25);
+        let q50 = cdf.quantile(0.50);
+        let q95 = cdf.quantile(0.95);
+        assert!(q25 <= q50 && q50 <= q95);
+        assert!(q95 > 200.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_fleet().generate();
+        let b = small_fleet().generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = FleetConfig {
+            nodes: 8,
+            samples_per_node: 100,
+            ..FleetConfig::default()
+        };
+        let a = FleetSim::new(cfg.clone()).generate();
+        cfg.seed = 123;
+        let b = FleetSim::new(cfg).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fraction_at_extremes() {
+        let cdf = PowerCdf::from_samples(&[100.0, 200.0, 300.0], 0.1);
+        assert_eq!(cdf.fraction_at(1000.0), 1.0);
+        assert!(cdf.fraction_at(100.05) > 0.3);
+    }
+}

@@ -1,0 +1,160 @@
+//! Job/utilization classes and the fleet workload mix.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A utilization class with a characteristic node-power distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobClass {
+    pub name: &'static str,
+    /// Mean node power while running this class, W.
+    pub mean_w: f64,
+    /// Standard deviation, W.
+    pub stddev_w: f64,
+    /// Hard cap (physical limit of the node), W.
+    pub cap_w: f64,
+}
+
+impl JobClass {
+    /// Draws one 60 s-mean power sample (truncated normal via clamping).
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        // Box–Muller from two uniforms; StdRng is seeded by the fleet.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mean_w + z * self.stddev_w).clamp(self.mean_w * 0.5, self.cap_w)
+    }
+}
+
+/// A weighted mix of job classes — the fleet's duty profile.
+#[derive(Debug, Clone)]
+pub struct JobMix {
+    /// `(class, fraction_of_node_hours)`; fractions sum to 1.
+    pub classes: Vec<(JobClass, f64)>,
+}
+
+impl JobMix {
+    /// The Taurus Haswell-partition profile behind Fig. 1: a large idle /
+    /// low-utilization share (the 50–100 W shoulder), moderate compute,
+    /// and a thin full-power tail reaching 359.9 W.
+    pub fn taurus_haswell() -> JobMix {
+        JobMix {
+            classes: vec![
+                (
+                    JobClass {
+                        name: "idle",
+                        mean_w: 72.0,
+                        stddev_w: 4.0,
+                        cap_w: 359.9,
+                    },
+                    0.30,
+                ),
+                (
+                    JobClass {
+                        name: "low",
+                        mean_w: 95.0,
+                        stddev_w: 9.0,
+                        cap_w: 359.9,
+                    },
+                    0.25,
+                ),
+                (
+                    JobClass {
+                        name: "medium",
+                        mean_w: 160.0,
+                        stddev_w: 28.0,
+                        cap_w: 359.9,
+                    },
+                    0.22,
+                ),
+                (
+                    JobClass {
+                        name: "high",
+                        mean_w: 240.0,
+                        stddev_w: 35.0,
+                        cap_w: 359.9,
+                    },
+                    0.20,
+                ),
+                (
+                    JobClass {
+                        name: "peak",
+                        mean_w: 330.0,
+                        stddev_w: 18.0,
+                        cap_w: 359.9,
+                    },
+                    0.03,
+                ),
+            ],
+        }
+    }
+
+    /// Validates that fractions form a distribution.
+    pub fn total_fraction(&self) -> f64 {
+        self.classes.iter().map(|(_, f)| f).sum()
+    }
+
+    /// Draws the class for one node-minute.
+    pub fn pick<'a>(&'a self, rng: &mut StdRng) -> &'a JobClass {
+        let mut x: f64 = rng.gen_range(0.0..self.total_fraction());
+        for (class, frac) in &self.classes {
+            if x < *frac {
+                return class;
+            }
+            x -= frac;
+        }
+        &self.classes.last().expect("non-empty mix").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn taurus_mix_is_normalized() {
+        let mix = JobMix::taurus_haswell();
+        assert!((mix.total_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(mix.classes.len(), 5);
+    }
+
+    #[test]
+    fn samples_respect_the_cap() {
+        let mix = JobMix::taurus_haswell();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20_000 {
+            let c = mix.pick(&mut rng);
+            let p = c.sample(&mut rng);
+            assert!(p <= 359.9 + 1e-9, "sample {p} exceeds cap");
+            assert!(p > 30.0, "sample {p} implausibly low");
+        }
+    }
+
+    #[test]
+    fn class_frequencies_match_fractions() {
+        let mix = JobMix::taurus_haswell();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mut idle = 0u32;
+        for _ in 0..n {
+            if mix.pick(&mut rng).name == "idle" {
+                idle += 1;
+            }
+        }
+        let frac = f64::from(idle) / f64::from(n);
+        assert!((frac - 0.30).abs() < 0.01, "idle fraction {frac}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mix = JobMix::taurus_haswell();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let ca = mix.pick(&mut a).sample(&mut a);
+            let cb = mix.pick(&mut b).sample(&mut b);
+            assert_eq!(ca, cb);
+        }
+    }
+}

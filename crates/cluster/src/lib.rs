@@ -1,0 +1,20 @@
+//! # fs2-cluster — node-fleet power simulation
+//!
+//! Fig. 1 of the paper shows the cumulative distribution of power
+//! consumption of 612 Haswell nodes of the Taurus HPC system over one
+//! year (1 Sa/s per node, aggregated to 60 s means, 0.1 W bins): most of
+//! the time the power budget is unused, with a steep idle shoulder
+//! between 50 W and 100 W and a maximum of 359.9 W — the argument for why
+//! worst-case stress tests matter to infrastructure designers.
+//!
+//! The production trace is not available, so [`fleet`] generates a
+//! synthetic equivalent from a parameterized [`jobs::JobMix`]: per-node
+//! job episodes drawn from utilization classes whose power levels span
+//! idle to full stress. The CDF pipeline (60 s aggregation, 0.1 W
+//! binning) is identical to the paper's.
+
+pub mod fleet;
+pub mod jobs;
+
+pub use fleet::{FleetConfig, FleetSim, PowerCdf};
+pub use jobs::{JobClass, JobMix};

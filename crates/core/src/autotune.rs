@@ -1,0 +1,311 @@
+//! The self-tuning loop (§III-C).
+//!
+//! "We included an internal optimization and metric measurement loop that
+//! tunes the memory accesses within M to achieve high power consumption."
+//! Objectives are power and instruction throughput; the optimizer is
+//! NSGA-II; candidates run back-to-back with no recompile gaps (Fig. 7,
+//! contrast Fig. 6); `I` is explicitly excluded from tuning.
+
+use crate::groups::{all_valid_items, AccessGroup};
+use crate::mix::InstructionMix;
+use crate::payload::{build_payload, default_unroll, PayloadConfig};
+use crate::runner::{RunConfig, Runner};
+use fs2_tuning::{EvaluatedIndividual, Nsga2, Nsga2Config, Nsga2Result, Problem};
+
+/// Tuning parameters (paper §IV-E: `--optimize=NSGA2 --individuals=40
+/// --generations=20 --nsga2-m=0.35 -t 10 --preheat=240`).
+#[derive(Debug, Clone)]
+pub struct TuneConfig {
+    pub nsga2: Nsga2Config,
+    /// Per-candidate test duration (`-t`), seconds.
+    pub test_duration_s: f64,
+    /// Default-workload preheat before optimization (`--preheat`).
+    pub preheat_s: f64,
+    /// Core frequency for the whole tuning run, MHz.
+    pub freq_mhz: f64,
+    /// Instruction set `I` (not tuned).
+    pub mix: InstructionMix,
+    /// Unroll factor `u`; `None` = [`default_unroll`].
+    pub unroll: Option<u32>,
+    /// Upper bound for each access-group count gene.
+    pub max_count: u32,
+}
+
+impl Default for TuneConfig {
+    fn default() -> TuneConfig {
+        TuneConfig {
+            nsga2: Nsga2Config::default(),
+            test_duration_s: 10.0,
+            preheat_s: 240.0,
+            freq_mhz: 0.0, // nominal
+            mix: InstructionMix::FMA,
+            unroll: None,
+            max_count: 8,
+        }
+    }
+}
+
+/// Outcome of a tuning session.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    pub nsga2: Nsga2Result,
+    /// The selected optimum ω_opt: highest-power individual of the front.
+    pub best: EvaluatedIndividual,
+    /// Its decoded access groups.
+    pub best_groups: Vec<AccessGroup>,
+    /// Unroll factor used for every candidate.
+    pub unroll: u32,
+}
+
+/// Decodes a genome into access groups (zero counts drop out).
+pub fn genes_to_groups(genes: &[u32]) -> Vec<AccessGroup> {
+    let items = all_valid_items();
+    debug_assert_eq!(genes.len(), items.len());
+    genes
+        .iter()
+        .zip(items)
+        .filter(|(&count, _)| count > 0)
+        .map(|(&count, (target, pattern))| AccessGroup {
+            target,
+            pattern,
+            count,
+        })
+        .collect()
+}
+
+struct FirestarterProblem<'a> {
+    runner: &'a mut Runner,
+    cfg: &'a TuneConfig,
+    unroll: u32,
+    run_cfg: RunConfig,
+}
+
+impl Problem for FirestarterProblem<'_> {
+    fn n_genes(&self) -> usize {
+        all_valid_items().len()
+    }
+
+    fn n_objectives(&self) -> usize {
+        2
+    }
+
+    fn bounds(&self) -> Vec<(u32, u32)> {
+        vec![(0, self.cfg.max_count); self.n_genes()]
+    }
+
+    fn repair(&self, genes: &mut [u32]) {
+        // An individual with no accesses at all is not a workload;
+        // FIRESTARTER keeps at least the register FMA stream alive.
+        if genes.iter().all(|&g| g == 0) {
+            genes[0] = 1;
+        }
+    }
+
+    fn evaluate(&mut self, genes: &[u32]) -> Vec<f64> {
+        let groups = genes_to_groups(genes);
+        let payload = build_payload(
+            self.runner.sku(),
+            &PayloadConfig {
+                mix: self.cfg.mix,
+                groups,
+                unroll: self.unroll,
+            },
+        );
+        // Candidates run back-to-back: the runner clock simply advances —
+        // no recompile, no idle gap (the Fig. 7 property).
+        let result = self.runner.run(&payload, &self.run_cfg);
+        vec![result.power.mean, result.ipc]
+    }
+}
+
+/// Drives a complete self-tuning session on a runner.
+pub struct AutoTuner;
+
+impl AutoTuner {
+    /// Runs preheat + NSGA-II and returns the selected optimum. The
+    /// runner keeps the full power trace of the session.
+    pub fn run(runner: &mut Runner, cfg: &TuneConfig) -> TuneResult {
+        let freq = if cfg.freq_mhz > 0.0 {
+            cfg.freq_mhz
+        } else {
+            f64::from(runner.sku().nominal_mhz())
+        };
+        let reg_only = vec![AccessGroup::reg(1)];
+        let unroll = cfg
+            .unroll
+            .unwrap_or_else(|| default_unroll(runner.sku(), cfg.mix, &reg_only));
+
+        // Preheat with the default workload to cancel thermal effects.
+        if cfg.preheat_s > 0.0 {
+            let preheat_payload = build_payload(
+                runner.sku(),
+                &PayloadConfig {
+                    mix: cfg.mix,
+                    groups: reg_only,
+                    unroll,
+                },
+            );
+            let preheat_cfg = RunConfig {
+                freq_mhz: freq,
+                duration_s: cfg.preheat_s,
+                start_delta_s: 0.0,
+                stop_delta_s: 0.0,
+                functional_iters: 200,
+                ..RunConfig::default()
+            };
+            let _ = runner.run(&preheat_payload, &preheat_cfg);
+        }
+
+        // Short per-candidate windows: with -t 10 the paper-equivalent
+        // deltas shrink to keep a usable window.
+        let run_cfg = RunConfig {
+            freq_mhz: freq,
+            duration_s: cfg.test_duration_s,
+            start_delta_s: (cfg.test_duration_s * 0.2).min(5.0),
+            stop_delta_s: (cfg.test_duration_s * 0.1).min(2.0),
+            // Triviality shows within a handful of iterations; keep the
+            // per-candidate functional pass cheap for the tuning loop.
+            functional_iters: 64,
+            ..RunConfig::default()
+        };
+
+        let mut problem = FirestarterProblem {
+            runner,
+            cfg,
+            unroll,
+            run_cfg,
+        };
+        let nsga2 = Nsga2::new(cfg.nsga2.clone()).run(&mut problem);
+        let best = nsga2
+            .best_by(0)
+            .expect("tuning always yields a non-empty front")
+            .clone();
+        let best_groups = genes_to_groups(&best.genes);
+        TuneResult {
+            nsga2,
+            best,
+            best_groups,
+            unroll,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::Target;
+    use fs2_arch::Sku;
+
+    /// A small but real tuning run (reduced population for test speed).
+    fn small_cfg(freq: f64, seed: u64) -> TuneConfig {
+        TuneConfig {
+            nsga2: Nsga2Config {
+                individuals: 8,
+                generations: 4,
+                mutation_prob: 0.35,
+                crossover_prob: 0.9,
+                seed,
+            },
+            test_duration_s: 10.0,
+            preheat_s: 60.0,
+            freq_mhz: freq,
+            unroll: Some(128),
+            max_count: 6,
+            ..TuneConfig::default()
+        }
+    }
+
+    #[test]
+    fn genes_decode_skips_zeros() {
+        let n = all_valid_items().len();
+        let mut genes = vec![0u32; n];
+        genes[0] = 4; // REG
+        genes[1] = 2; // L1_L
+        let groups = genes_to_groups(&genes);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].target, Target::Reg);
+        assert_eq!(groups[0].count, 4);
+    }
+
+    #[test]
+    fn tuning_finds_memory_beats_reg_only() {
+        // The entire point of the tool: tuned M must beat plain REG:1.
+        let mut runner = Runner::new(Sku::amd_epyc_7502());
+        let cfg = small_cfg(1500.0, 11);
+        let result = AutoTuner::run(&mut runner, &cfg);
+
+        // Baseline power of REG:1 at the same frequency on a preheated
+        // node (take it from the tuning history: repair guarantees gene0).
+        let best_power = result.best.objectives[0];
+        assert!(
+            !result.best_groups.is_empty(),
+            "optimum must have at least one group"
+        );
+        // Memory accesses must appear in the optimum.
+        let has_mem = result
+            .best_groups
+            .iter()
+            .any(|g| matches!(g.target, Target::Mem(_)));
+        assert!(has_mem, "optimum is register-only: {:?}", result.best_groups);
+        // And it must clearly beat the REG-only level (~215 W @1500 MHz).
+        assert!(
+            best_power > 280.0,
+            "tuned power only {best_power:.1} W"
+        );
+    }
+
+    #[test]
+    fn history_length_matches_configuration() {
+        let mut runner = Runner::new(Sku::amd_epyc_7502());
+        let cfg = small_cfg(1500.0, 12);
+        let result = AutoTuner::run(&mut runner, &cfg);
+        assert_eq!(result.nsga2.history.len(), 8 * 5);
+    }
+
+    #[test]
+    fn trace_has_no_idle_gaps_between_candidates() {
+        // Fig. 7: "there is no visible drop in power consumption between
+        // candidates" — the minimum trace power after preheat must stay
+        // far above idle.
+        let mut runner = Runner::new(Sku::amd_epyc_7502());
+        let idle_w = runner.power_model().idle_power().total_w();
+        let cfg = small_cfg(1500.0, 13);
+        let _ = AutoTuner::run(&mut runner, &cfg);
+        let t_end = runner.clock().now_secs();
+        let (min_w, _) = runner
+            .trace()
+            .min_max_between(cfg.preheat_s, t_end)
+            .unwrap();
+        assert!(
+            min_w > idle_w * 1.3,
+            "idle-level dip in tuning trace: {min_w:.1} W vs idle {idle_w:.1} W"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let r1 = {
+            let mut runner = Runner::new(Sku::amd_epyc_7502());
+            AutoTuner::run(&mut runner, &small_cfg(1500.0, 42))
+        };
+        let r2 = {
+            let mut runner = Runner::new(Sku::amd_epyc_7502());
+            AutoTuner::run(&mut runner, &small_cfg(1500.0, 42))
+        };
+        assert_eq!(r1.best.genes, r2.best.genes);
+        assert_eq!(r1.best.objectives, r2.best.objectives);
+    }
+
+    #[test]
+    fn preheat_duration_reflected_in_clock() {
+        let mut runner = Runner::new(Sku::amd_epyc_7502());
+        let cfg = small_cfg(1500.0, 14);
+        let _ = AutoTuner::run(&mut runner, &cfg);
+        // 60 s preheat + 40 evaluations × 10 s = 460 s.
+        let expected = cfg.preheat_s + 40.0 * cfg.test_duration_s;
+        let now = runner.clock().now_secs();
+        // Cache hits skip runs, so the clock may be short of the bound.
+        assert!(now <= expected + 1e-6, "clock {now} > {expected}");
+        assert!(now >= cfg.preheat_s + 5.0 * cfg.test_duration_s);
+    }
+}

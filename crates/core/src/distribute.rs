@@ -1,0 +1,165 @@
+//! Proportional interleaving of access groups.
+//!
+//! §III: "Based on the fraction of aᵢ in the total number of all defined
+//! accesses (Σ aᵢ), the unrolled sets of instructions perform the
+//! accesses based on the occurrences. … the single entries will be
+//! distributed as good as possible so that the L1 accesses will have a
+//! distance of at least three sets of instructions" (for the
+//! `REG:4,L1_L:2,L2_L:1` example). "The consecutive accesses are then
+//! unrolled so that the total number of instruction sets equals u."
+
+use crate::groups::AccessGroup;
+
+/// Interleaves group indices over a window of `Σ count` slots using a
+/// largest-remainder (Bresenham-style) schedule: at slot `i`, the group
+/// with the largest deficit `count·(i+1)/N − used` is chosen. Equal-count
+/// groups end up evenly spaced.
+pub fn distribute(groups: &[AccessGroup]) -> Vec<usize> {
+    assert!(!groups.is_empty(), "cannot distribute an empty group list");
+    let total: u64 = groups.iter().map(|g| u64::from(g.count)).sum();
+    assert!(total > 0, "total access count must be positive");
+    let mut used = vec![0u64; groups.len()];
+    let mut out = Vec::with_capacity(total as usize);
+    for slot in 0..total {
+        let mut best = 0usize;
+        let mut best_deficit = f64::NEG_INFINITY;
+        for (k, g) in groups.iter().enumerate() {
+            if used[k] >= u64::from(g.count) {
+                continue;
+            }
+            let quota = u64::from(g.count) as f64 * (slot + 1) as f64 / total as f64;
+            let deficit = quota - used[k] as f64;
+            // Ties break toward the earlier (typically REG) item, keeping
+            // the schedule deterministic.
+            if deficit > best_deficit + 1e-12 {
+                best_deficit = deficit;
+                best = k;
+            }
+        }
+        used[best] += 1;
+        out.push(best);
+    }
+    debug_assert_eq!(out.len() as u64, total);
+    out
+}
+
+/// Tiles the distributed window so the loop holds exactly `u` instruction
+/// sets.
+pub fn unroll_sequence(window: &[usize], u: u32) -> Vec<usize> {
+    assert!(!window.is_empty());
+    (0..u as usize).map(|i| window[i % window.len()]).collect()
+}
+
+/// Minimum distance between consecutive occurrences of `group` in a
+/// cyclic sequence (used by tests and the payload sanity checks).
+pub fn min_cyclic_distance(seq: &[usize], group: usize) -> Option<usize> {
+    let positions: Vec<usize> = seq
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &g)| (g == group).then_some(i))
+        .collect();
+    if positions.len() < 2 {
+        return None;
+    }
+    let mut min = usize::MAX;
+    for w in positions.windows(2) {
+        min = min.min(w[1] - w[0]);
+    }
+    // Wrap-around distance.
+    min = min.min(seq.len() - positions.last().unwrap() + positions[0]);
+    Some(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::{AccessGroup, Pattern};
+    use fs2_arch::MemLevel;
+
+    fn paper_example() -> Vec<AccessGroup> {
+        vec![
+            AccessGroup::reg(4),
+            AccessGroup::mem(MemLevel::L1, Pattern::Load, 2),
+            AccessGroup::mem(MemLevel::L2, Pattern::Load, 1),
+        ]
+    }
+
+    #[test]
+    fn counts_are_respected() {
+        let groups = paper_example();
+        let seq = distribute(&groups);
+        assert_eq!(seq.len(), 7);
+        assert_eq!(seq.iter().filter(|&&g| g == 0).count(), 4);
+        assert_eq!(seq.iter().filter(|&&g| g == 1).count(), 2);
+        assert_eq!(seq.iter().filter(|&&g| g == 2).count(), 1);
+    }
+
+    #[test]
+    fn paper_spacing_property() {
+        // "the L1 accesses will have a distance of at least three sets".
+        let groups = paper_example();
+        let seq = distribute(&groups);
+        let d = min_cyclic_distance(&seq, 1).unwrap();
+        assert!(d >= 3, "L1 spacing {d} in {seq:?}");
+    }
+
+    #[test]
+    fn even_split_alternates() {
+        let groups = vec![
+            AccessGroup::reg(3),
+            AccessGroup::mem(MemLevel::L1, Pattern::Load, 3),
+        ];
+        let seq = distribute(&groups);
+        // Perfectly alternating (any rotation).
+        for w in seq.windows(2) {
+            assert_ne!(w[0], w[1], "clustered schedule: {seq:?}");
+        }
+    }
+
+    #[test]
+    fn single_group_fills_window() {
+        let groups = vec![AccessGroup::reg(5)];
+        assert_eq!(distribute(&groups), vec![0; 5]);
+    }
+
+    #[test]
+    fn skewed_ratio_keeps_rare_item_spread() {
+        let groups = vec![
+            AccessGroup::reg(12),
+            AccessGroup::mem(MemLevel::Ram, Pattern::Load, 3),
+        ];
+        let seq = distribute(&groups);
+        let d = min_cyclic_distance(&seq, 1).unwrap();
+        // 15 slots / 3 occurrences ⇒ ideal spacing 5.
+        assert!(d >= 4, "RAM spacing {d} in {seq:?}");
+    }
+
+    #[test]
+    fn unrolling_tiles_the_window() {
+        let groups = paper_example();
+        let window = distribute(&groups);
+        let seq = unroll_sequence(&window, 21);
+        assert_eq!(seq.len(), 21);
+        // Tiling preserves the ratio exactly for multiples of the window.
+        assert_eq!(seq.iter().filter(|&&g| g == 0).count(), 12);
+        assert_eq!(seq.iter().filter(|&&g| g == 1).count(), 6);
+        assert_eq!(seq.iter().filter(|&&g| g == 2).count(), 3);
+        // Truncated tiling still approximates the ratio.
+        let seq = unroll_sequence(&window, 10);
+        assert_eq!(seq.len(), 10);
+        let regs = seq.iter().filter(|&&g| g == 0).count();
+        assert!((5..=7).contains(&regs), "REG count {regs} of 10");
+    }
+
+    #[test]
+    fn distribution_is_deterministic() {
+        let groups = paper_example();
+        assert_eq!(distribute(&groups), distribute(&groups));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_groups_panic() {
+        let _ = distribute(&[]);
+    }
+}

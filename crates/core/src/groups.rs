@@ -1,0 +1,339 @@
+//! The access-group grammar (Eq. 1) and its string syntax.
+//!
+//! A workload's memory accesses `M` are a set of `(target, pattern,
+//! count)` triples written `REG:4,L1_L:2,L2_L:1` — the
+//! `--run-instruction-groups` argument. Register-only groups have no
+//! pattern; memory groups combine a hierarchy level with an access
+//! pattern (`L`oad, `S`tore, `L`oad+`S`tore, `2` Loads+Store,
+//! `P`refetch). "Not all patterns are defined for all levels."
+
+use fs2_arch::MemLevel;
+use std::fmt;
+
+/// What a group's operands touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Registers only.
+    Reg,
+    /// A memory-hierarchy level.
+    Mem(MemLevel),
+}
+
+/// Access pattern for non-register targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// `L` — load.
+    Load,
+    /// `S` — store.
+    Store,
+    /// `LS` — load + store.
+    LoadStore,
+    /// `2LS` — two loads + store.
+    TwoLoadsStore,
+    /// `P` — software prefetch.
+    Prefetch,
+}
+
+impl Pattern {
+    pub const fn token(self) -> &'static str {
+        match self {
+            Pattern::Load => "L",
+            Pattern::Store => "S",
+            Pattern::LoadStore => "LS",
+            Pattern::TwoLoadsStore => "2LS",
+            Pattern::Prefetch => "P",
+        }
+    }
+
+    fn from_token(s: &str) -> Option<Pattern> {
+        match s {
+            "L" => Some(Pattern::Load),
+            "S" => Some(Pattern::Store),
+            "LS" => Some(Pattern::LoadStore),
+            "2LS" => Some(Pattern::TwoLoadsStore),
+            "P" => Some(Pattern::Prefetch),
+            _ => None,
+        }
+    }
+
+    /// Whether this pattern is defined for `level` ("not all patterns are
+    /// defined for all levels"): `2LS` only makes sense where two loads
+    /// per cycle can actually be served (L1); prefetching into L1 is not
+    /// offered (it would just be a load).
+    pub fn valid_for(self, level: MemLevel) -> bool {
+        match self {
+            Pattern::TwoLoadsStore => level == MemLevel::L1,
+            Pattern::Prefetch => level != MemLevel::L1,
+            Pattern::Load | Pattern::Store | Pattern::LoadStore => true,
+        }
+    }
+}
+
+/// One entry of `M`: a target/pattern with its occurrence count `a`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessGroup {
+    pub target: Target,
+    /// `None` exactly when `target` is [`Target::Reg`].
+    pub pattern: Option<Pattern>,
+    /// Occurrences within the distribution window (`a ∈ ℕ⁺`).
+    pub count: u32,
+}
+
+impl AccessGroup {
+    /// Register-only group.
+    pub fn reg(count: u32) -> AccessGroup {
+        AccessGroup {
+            target: Target::Reg,
+            pattern: None,
+            count,
+        }
+    }
+
+    /// Memory group; panics on invalid level/pattern combinations.
+    pub fn mem(level: MemLevel, pattern: Pattern, count: u32) -> AccessGroup {
+        assert!(
+            pattern.valid_for(level),
+            "pattern {} not defined for level {}",
+            pattern.token(),
+            level
+        );
+        AccessGroup {
+            target: Target::Mem(level),
+            pattern: Some(pattern),
+            count,
+        }
+    }
+
+    /// The grammar token without the count (e.g. `L1_LS`).
+    pub fn token(&self) -> String {
+        match (self.target, self.pattern) {
+            (Target::Reg, _) => "REG".to_string(),
+            (Target::Mem(level), Some(p)) => format!("{}_{}", level.name(), p.token()),
+            (Target::Mem(_), None) => unreachable!("memory group without pattern"),
+        }
+    }
+}
+
+impl fmt::Display for AccessGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.token(), self.count)
+    }
+}
+
+/// Errors from [`parse_groups`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupParseError {
+    Empty,
+    /// A term was not of the form `ITEM:COUNT`.
+    BadTerm(String),
+    UnknownLevel(String),
+    UnknownPattern(String),
+    /// Pattern exists but is not defined for the level.
+    InvalidCombination(String),
+    BadCount(String),
+    /// REG groups take no pattern suffix.
+    RegWithPattern(String),
+    /// The same item appeared twice.
+    Duplicate(String),
+}
+
+impl fmt::Display for GroupParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupParseError::Empty => f.write_str("empty instruction-group list"),
+            GroupParseError::BadTerm(t) => write!(f, "malformed term `{t}` (expected ITEM:COUNT)"),
+            GroupParseError::UnknownLevel(t) => write!(f, "unknown memory level in `{t}`"),
+            GroupParseError::UnknownPattern(t) => write!(f, "unknown access pattern in `{t}`"),
+            GroupParseError::InvalidCombination(t) => {
+                write!(f, "pattern not defined for this level in `{t}`")
+            }
+            GroupParseError::BadCount(t) => write!(f, "invalid count in `{t}`"),
+            GroupParseError::RegWithPattern(t) => write!(f, "REG takes no pattern in `{t}`"),
+            GroupParseError::Duplicate(t) => write!(f, "duplicate item `{t}`"),
+        }
+    }
+}
+
+impl std::error::Error for GroupParseError {}
+
+/// Parses a `--run-instruction-groups` string, e.g.
+/// `REG:4,L1_L:2,L2_L:1`.
+pub fn parse_groups(s: &str) -> Result<Vec<AccessGroup>, GroupParseError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(GroupParseError::Empty);
+    }
+    let mut out: Vec<AccessGroup> = Vec::new();
+    for raw in s.split(',') {
+        let term = raw.trim();
+        let (item, count_str) = term
+            .split_once(':')
+            .ok_or_else(|| GroupParseError::BadTerm(term.to_string()))?;
+        let count: u32 = count_str
+            .trim()
+            .parse()
+            .map_err(|_| GroupParseError::BadCount(term.to_string()))?;
+        if count == 0 {
+            return Err(GroupParseError::BadCount(term.to_string()));
+        }
+        let item = item.trim();
+        let group = if item == "REG" {
+            AccessGroup::reg(count)
+        } else if let Some(rest) = item.strip_prefix("REG_") {
+            let _ = rest;
+            return Err(GroupParseError::RegWithPattern(term.to_string()));
+        } else {
+            let (level_str, pattern_str) = item
+                .split_once('_')
+                .ok_or_else(|| GroupParseError::UnknownLevel(term.to_string()))?;
+            let level = match level_str {
+                "L1" => MemLevel::L1,
+                "L2" => MemLevel::L2,
+                "L3" => MemLevel::L3,
+                "RAM" => MemLevel::Ram,
+                _ => return Err(GroupParseError::UnknownLevel(term.to_string())),
+            };
+            let pattern = Pattern::from_token(pattern_str)
+                .ok_or_else(|| GroupParseError::UnknownPattern(term.to_string()))?;
+            if !pattern.valid_for(level) {
+                return Err(GroupParseError::InvalidCombination(term.to_string()));
+            }
+            AccessGroup {
+                target: Target::Mem(level),
+                pattern: Some(pattern),
+                count,
+            }
+        };
+        if out.iter().any(|g| g.token() == group.token()) {
+            return Err(GroupParseError::Duplicate(group.token()));
+        }
+        out.push(group);
+    }
+    Ok(out)
+}
+
+/// Renders groups back to the canonical string form.
+pub fn format_groups(groups: &[AccessGroup]) -> String {
+    groups
+        .iter()
+        .map(|g| g.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Every valid (target, pattern) item for building gene spaces, nearest
+/// level first, REG first.
+pub fn all_valid_items() -> Vec<(Target, Option<Pattern>)> {
+    let mut items = vec![(Target::Reg, None)];
+    for level in MemLevel::ALL {
+        for p in [
+            Pattern::Load,
+            Pattern::Store,
+            Pattern::LoadStore,
+            Pattern::TwoLoadsStore,
+            Pattern::Prefetch,
+        ] {
+            if p.valid_for(level) {
+                items.push((Target::Mem(level), Some(p)));
+            }
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example() {
+        // §III example: REG:4,L1_L:2,L2_L:1.
+        let groups = parse_groups("REG:4,L1_L:2,L2_L:1").unwrap();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], AccessGroup::reg(4));
+        assert_eq!(groups[1], AccessGroup::mem(MemLevel::L1, Pattern::Load, 2));
+        assert_eq!(groups[2], AccessGroup::mem(MemLevel::L2, Pattern::Load, 1));
+    }
+
+    #[test]
+    fn round_trips_canonical_form() {
+        for s in [
+            "REG:1",
+            "REG:4,L1_L:2,L2_L:1",
+            "REG:10,L1_2LS:3,L2_LS:2,L3_P:1,RAM_P:1",
+            "L1_LS:5,RAM_L:1",
+        ] {
+            let groups = parse_groups(s).unwrap();
+            assert_eq!(format_groups(&groups), s);
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let groups = parse_groups(" REG:2 , L1_L:1 ").unwrap();
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        use GroupParseError::*;
+        assert_eq!(parse_groups(""), Err(Empty));
+        assert!(matches!(parse_groups("REG"), Err(BadTerm(_))));
+        assert!(matches!(parse_groups("REG:0"), Err(BadCount(_))));
+        assert!(matches!(parse_groups("REG:x"), Err(BadCount(_))));
+        assert!(matches!(parse_groups("L9_L:1"), Err(UnknownLevel(_))));
+        assert!(matches!(parse_groups("L1_Q:1"), Err(UnknownPattern(_))));
+        assert!(matches!(parse_groups("REG_L:1"), Err(RegWithPattern(_))));
+        assert!(matches!(
+            parse_groups("REG:1,REG:2"),
+            Err(Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn pattern_level_validity() {
+        // 2LS only for L1; P not for L1.
+        assert!(matches!(
+            parse_groups("L2_2LS:1"),
+            Err(GroupParseError::InvalidCombination(_))
+        ));
+        assert!(matches!(
+            parse_groups("L1_P:1"),
+            Err(GroupParseError::InvalidCombination(_))
+        ));
+        assert!(parse_groups("L1_2LS:1").is_ok());
+        assert!(parse_groups("RAM_P:1").is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined")]
+    fn constructor_enforces_validity() {
+        let _ = AccessGroup::mem(MemLevel::L2, Pattern::TwoLoadsStore, 1);
+    }
+
+    #[test]
+    fn all_valid_items_consistent_with_grammar() {
+        let items = all_valid_items();
+        // REG + L1{L,S,LS,2LS} + L2/L3/RAM{L,S,LS,P} = 1 + 4 + 12 = 17.
+        assert_eq!(items.len(), 17);
+        for (target, pattern) in &items {
+            if let (Target::Mem(level), Some(p)) = (target, pattern) {
+                assert!(p.valid_for(*level));
+            }
+        }
+        assert_eq!(items[0].0, Target::Reg);
+    }
+
+    #[test]
+    fn display_tokens() {
+        assert_eq!(AccessGroup::reg(4).to_string(), "REG:4");
+        assert_eq!(
+            AccessGroup::mem(MemLevel::Ram, Pattern::Prefetch, 2).to_string(),
+            "RAM_P:2"
+        );
+        assert_eq!(
+            AccessGroup::mem(MemLevel::L1, Pattern::TwoLoadsStore, 1).to_string(),
+            "L1_2LS:1"
+        );
+    }
+}

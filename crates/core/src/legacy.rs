@@ -1,0 +1,237 @@
+//! FIRESTARTER 1.x behaviour (§III-A, §III-B, Fig. 4/6).
+//!
+//! Previous versions held "a fixed set of available workloads, each
+//! optimized for a specific Stock Keeping Unit (SKU)", compiled into the
+//! binary from templates. This module reproduces:
+//!
+//! * the static per-SKU workload table and its selection logic,
+//! * the v1.7.4 initialization bug (registers accumulate to ±∞, §III-D),
+//! * the evolutionary tuning *prototype* of Höhlig's thesis, which had to
+//!   recompile between candidates — producing the low-power gaps and
+//!   minutes-long measurements shown in Fig. 6.
+
+use crate::groups::{parse_groups, AccessGroup};
+use crate::mix::{InstructionMix, MixRegistry};
+use crate::payload::{build_payload, default_unroll, Payload, PayloadConfig};
+use crate::runner::{RunConfig, Runner};
+use fs2_arch::{Microarch, Sku};
+use fs2_sim::InitScheme;
+
+/// A fixed workload entry as baked into a 1.x binary.
+#[derive(Debug, Clone)]
+pub struct LegacyWorkload {
+    /// SKU family the template was tuned for.
+    pub uarch: Microarch,
+    pub mix: InstructionMix,
+    /// The template's fixed `M` (tuned for the reference SKU only).
+    pub groups: Vec<AccessGroup>,
+}
+
+impl LegacyWorkload {
+    /// The 1.x workload FIRESTARTER would select for `sku`.
+    pub fn for_sku(sku: &Sku) -> LegacyWorkload {
+        let (groups, mix) = match sku.uarch {
+            // Tuned for the reference 2-socket Haswell-EP node of [3].
+            Microarch::Haswell => (
+                "REG:6,L1_LS:2,L2_LS:1,L3_L:1,RAM_L:1",
+                InstructionMix::FMA,
+            ),
+            // Zen 2 entry as shipped in FIRESTARTER 1.7.x (reuses the
+            // Haswell mix per §IV-B).
+            Microarch::Zen2 => (
+                "REG:8,L1_LS:2,L2_LS:1,L3_L:1,RAM_L:1",
+                InstructionMix::FMA,
+            ),
+            Microarch::Generic => ("REG:4,L1_LS:1,RAM_L:1", InstructionMix::AVX),
+        };
+        LegacyWorkload {
+            uarch: sku.uarch,
+            mix,
+            groups: parse_groups(groups).expect("static table entries are valid"),
+        }
+    }
+
+    /// Builds the payload exactly as the static binary would.
+    pub fn build(&self, sku: &Sku) -> Payload {
+        let unroll = default_unroll(sku, self.mix, &self.groups);
+        build_payload(
+            sku,
+            &PayloadConfig {
+                mix: self.mix,
+                groups: self.groups.clone(),
+                unroll,
+            },
+        )
+    }
+}
+
+/// Which FIRESTARTER version's initialization to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// 1.7.4 — the ±∞ accumulation bug.
+    V1_7_4,
+    /// 2.0 — fixed initialization.
+    V2_0,
+}
+
+impl Version {
+    pub fn init_scheme(self) -> InitScheme {
+        match self {
+            Version::V1_7_4 => InitScheme::V174Buggy,
+            Version::V2_0 => InitScheme::V2Safe,
+        }
+    }
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            Version::V1_7_4 => "1.7.4",
+            Version::V2_0 => "2.0",
+        }
+    }
+}
+
+/// Parameters of the v1.x tuning prototype's candidate cycle (Fig. 6).
+#[derive(Debug, Clone)]
+pub struct V1TuningConfig {
+    /// Template regeneration + gcc + link time per candidate (the
+    /// low-power gap; a near-idle single-core phase).
+    pub compile_s: f64,
+    /// Power level during compilation (one busy core, rest idle).
+    pub compile_w_over_idle: f64,
+    /// Measurement duration per candidate — "a few minutes rather than
+    /// seconds to mitigate thermal effects".
+    pub measure_s: f64,
+    /// Warm-up inside each measurement that must be discarded.
+    pub warmup_s: f64,
+    pub freq_mhz: f64,
+}
+
+impl Default for V1TuningConfig {
+    fn default() -> V1TuningConfig {
+        V1TuningConfig {
+            compile_s: 25.0,
+            compile_w_over_idle: 12.0,
+            measure_s: 180.0,
+            warmup_s: 60.0,
+            freq_mhz: 0.0,
+        }
+    }
+}
+
+/// Runs one v1-prototype candidate cycle: recompile gap, then a long
+/// measurement. Returns the measured mean power.
+pub fn v1_tuning_candidate(
+    runner: &mut Runner,
+    groups: &[AccessGroup],
+    cfg: &V1TuningConfig,
+) -> f64 {
+    let sku = runner.sku().clone();
+    let mix = MixRegistry::default_for(sku.uarch);
+    let unroll = default_unroll(&sku, mix, groups);
+    let payload = build_payload(
+        &sku,
+        &PayloadConfig {
+            mix,
+            groups: groups.to_vec(),
+            unroll,
+        },
+    );
+
+    // (1) re-create source, (2) compile, (3) link — near-idle power.
+    let idle_w = runner.power_model().idle_power().total_w();
+    runner.hold_power(cfg.compile_s, 20.0, idle_w + cfg.compile_w_over_idle);
+
+    // Long measurement with discarded warm-up.
+    let run_cfg = RunConfig {
+        freq_mhz: cfg.freq_mhz,
+        duration_s: cfg.measure_s,
+        start_delta_s: cfg.warmup_s,
+        stop_delta_s: 2.0,
+        functional_iters: 300,
+        ..RunConfig::default()
+    };
+    runner.run(&payload, &run_cfg).power.mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::Target;
+
+    #[test]
+    fn static_table_covers_all_uarches() {
+        for sku in [
+            Sku::amd_epyc_7502(),
+            Sku::intel_xeon_e5_2680_v3(),
+            Sku::generic(),
+        ] {
+            let w = LegacyWorkload::for_sku(&sku);
+            assert_eq!(w.uarch, sku.uarch);
+            assert!(!w.groups.is_empty());
+            // Every legacy workload exercises memory.
+            assert!(w
+                .groups
+                .iter()
+                .any(|g| matches!(g.target, Target::Mem(_))));
+            let payload = w.build(&sku);
+            assert!(payload.kernel.insts() > 100);
+        }
+    }
+
+    #[test]
+    fn version_init_schemes() {
+        assert_eq!(Version::V1_7_4.init_scheme(), InitScheme::V174Buggy);
+        assert_eq!(Version::V2_0.init_scheme(), InitScheme::V2Safe);
+        assert_eq!(Version::V1_7_4.name(), "1.7.4");
+    }
+
+    #[test]
+    fn v1_candidate_cycle_leaves_gap_in_trace() {
+        // The Fig. 6 signature: between candidates the power collapses
+        // toward idle for the recompile, then ramps through a warm-up.
+        let mut runner = Runner::new(Sku::amd_epyc_7502());
+        let groups = parse_groups("REG:4,L1_LS:1").unwrap();
+        let cfg = V1TuningConfig {
+            compile_s: 10.0,
+            measure_s: 60.0,
+            warmup_s: 20.0,
+            freq_mhz: 1500.0,
+            ..V1TuningConfig::default()
+        };
+        let p1 = v1_tuning_candidate(&mut runner, &groups, &cfg);
+        let p2 = v1_tuning_candidate(&mut runner, &groups, &cfg);
+        assert!(p1 > 150.0 && p2 > 150.0);
+
+        let idle_w = runner.power_model().idle_power().total_w();
+        // Find the gap: minimum power in the second candidate's compile
+        // window (t = 70..80 s).
+        let (gap_min, _) = runner.trace().min_max_between(70.5, 79.5).unwrap();
+        assert!(
+            gap_min < idle_w + 60.0,
+            "no recompile gap visible: {gap_min:.1} W"
+        );
+        // And the measurement phase sits far above it.
+        let (_, measure_max) = runner.trace().min_max_between(90.0, 130.0).unwrap();
+        assert!(
+            measure_max > gap_min + 40.0,
+            "gap {gap_min:.1} W vs measurement {measure_max:.1} W"
+        );
+    }
+
+    #[test]
+    fn v1_cycle_takes_minutes_v2_takes_seconds() {
+        // Quantifies the speed-up argument of §III-B.
+        let mut runner = Runner::new(Sku::amd_epyc_7502());
+        let groups = parse_groups("REG:4,L1_LS:1").unwrap();
+        let cfg = V1TuningConfig {
+            freq_mhz: 1500.0,
+            ..V1TuningConfig::default()
+        };
+        let t0 = runner.clock().now_secs();
+        let _ = v1_tuning_candidate(&mut runner, &groups, &cfg);
+        let v1_elapsed = runner.clock().now_secs() - t0;
+        assert!(v1_elapsed >= 200.0, "v1 cycle only {v1_elapsed} s");
+        // v2 candidate: 10 s, no gap — over an order of magnitude faster.
+        assert!(v1_elapsed / 10.0 > 10.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # fs2-core — FIRESTARTER 2
+//!
+//! The paper's primary contribution: runtime generation of
+//! processor-specific stress workloads `ω = (I, u, M)` and an embedded
+//! NSGA-II self-tuning loop over the memory accesses `M`.
+//!
+//! * [`groups`] — the access-group grammar of Eq. 1
+//!   (`REG | {L1,L2,L3,RAM} × {L,S,LS,2LS,P} : count`), with the
+//!   `--run-instruction-groups` string syntax.
+//! * [`mod@distribute`] — the proportional interleaving of access groups into
+//!   consecutive instruction sets ("distributed as good as possible"),
+//!   then unrolled to `u` sets.
+//! * [`mix`] — per-architecture instruction sets `I` (`--avail` /
+//!   `--function`): the Haswell FMA mix used in the paper's Zen 2 case
+//!   study, an AVX fallback, and the deliberately low-power `sqrtsd` loop.
+//! * [`payload`] — the AsmJit-equivalent backend: turns `(I, u, M)` into
+//!   a tagged simulator kernel *and* real x86-64 machine code.
+//! * [`runner`] — workload execution on simulated time: EDC-aware
+//!   frequency solve, power/IPC/trace recording, measurement windows with
+//!   start/stop deltas, register dump and error detection (§III-D).
+//! * [`autotune`] — the §III-C optimization loop wiring NSGA-II to the
+//!   runner and metrics, gap-free between candidates (Fig. 7).
+//! * [`legacy`] — FIRESTARTER 1.x behaviour: fixed per-SKU workloads, the
+//!   v1.7.4 ±∞ initialization bug, and the recompile-per-candidate tuning
+//!   prototype whose idle gaps Fig. 6 shows.
+
+pub mod autotune;
+pub mod distribute;
+pub mod groups;
+pub mod legacy;
+pub mod mix;
+pub mod paracheck;
+pub mod payload;
+pub mod runner;
+
+pub use autotune::{AutoTuner, TuneConfig, TuneResult};
+pub use distribute::{distribute, unroll_sequence};
+pub use groups::{parse_groups, AccessGroup, GroupParseError, Pattern, Target};
+pub use mix::{InstructionMix, MixRegistry};
+pub use paracheck::{check_all_cores, CheckReport, InjectedFault};
+pub use payload::{default_unroll, Payload, PayloadConfig};
+pub use runner::{RunConfig, RunResult, Runner};

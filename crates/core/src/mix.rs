@@ -1,0 +1,484 @@
+//! Instruction sets `I` (`--avail` / `--function`).
+//!
+//! §III: the workload "typically uses the widest supported
+//! SIMD-Floating-Point-instructions with the highest complexity (Fused
+//! Multiply-Add, FMA if available) that can run in a pipelined mode
+//! without any stalls. Additionally, I contains integer instructions,
+//! which increases parallelism and power consumption further."
+//!
+//! The paper's Zen 2 case study (§IV-B) reuses the Intel Haswell mix of
+//! FIRESTARTER 1.1: two `vfmadd231pd` plus two ALU instructions
+//! (xor + alternating shl/shr toggling `0b0101…01` ↔ `0b1010…10`),
+//! saturating the four-wide decoder. "Optional stores replace some
+//! instructions with vmovapds."
+//!
+//! We explicitly exclude `I` from tuning, as the paper does: poorly
+//! chosen instructions produce overflows/denormals and lower power.
+
+use crate::groups::Pattern;
+use fs2_arch::{MemLevel, Microarch};
+use fs2_isa::prelude::*;
+use fs2_sim::kernel::TaggedInst;
+
+/// Pointer register assigned to each memory level's access stream.
+pub fn level_pointer(level: MemLevel) -> Gp {
+    match level {
+        MemLevel::L1 => Gp::Rbx,
+        MemLevel::L2 => Gp::Rcx,
+        MemLevel::L3 => Gp::Rsi,
+        MemLevel::Ram => Gp::R8,
+    }
+}
+
+/// Synthetic base address loaded into each level pointer (distinct spaces
+/// so functional execution keeps streams apart).
+pub fn level_base_addr(level: MemLevel) -> u64 {
+    match level {
+        MemLevel::L1 => 0x0010_0000,
+        MemLevel::L2 => 0x0100_0000,
+        MemLevel::L3 => 0x1000_0000,
+        MemLevel::Ram => 0x4000_0000,
+    }
+}
+
+/// The mix families shipped with FIRESTARTER 2's reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixKind {
+    /// 2× FMA + 2× ALU (the FIRESTARTER 1.1 Haswell mix; default on
+    /// FMA-capable parts).
+    FmaAvx2,
+    /// 1× vmulpd + 1× vaddpd + 2× ALU (pre-FMA AVX parts / fallback).
+    AvxMulAdd,
+    /// The deliberately low-power `sqrtsd` loop of Fig. 2.
+    SqrtLowPower,
+}
+
+/// A named instruction set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstructionMix {
+    pub kind: MixKind,
+    pub name: &'static str,
+    pub description: &'static str,
+}
+
+/// FMA accumulator registers rotate over ymm0..=ymm9; ymm10/11 are
+/// scratch for explicit loads; ymm12..=15 hold multiplier constants.
+const ACCUMULATORS: u8 = 10;
+const SCRATCH: u8 = 10;
+
+impl InstructionMix {
+    pub const FMA: InstructionMix = InstructionMix {
+        kind: MixKind::FmaAvx2,
+        name: "FMA",
+        description: "2x vfmadd231pd + xor + alternating shl/shr (Haswell/Zen2 mix)",
+    };
+
+    pub const AVX: InstructionMix = InstructionMix {
+        kind: MixKind::AvxMulAdd,
+        name: "AVX",
+        description: "vmulpd + vaddpd + xor + alternating shl/shr (pre-FMA parts)",
+    };
+
+    pub const SQRT: InstructionMix = InstructionMix {
+        kind: MixKind::SqrtLowPower,
+        name: "SQRT",
+        description: "scalar sqrtsd chain (low-power reference loop)",
+    };
+
+    fn alu_shift(g: u32) -> Inst {
+        // Alternating shl/shr toggles between 0b0101…01 and 0b1010…10.
+        if g.is_multiple_of(2) {
+            Inst::ShlImm {
+                dst: Gp::Rdx,
+                imm: 1,
+            }
+        } else {
+            Inst::ShrImm {
+                dst: Gp::Rdx,
+                imm: 1,
+            }
+        }
+    }
+
+    fn fma(dst: u8, g: u32) -> Inst {
+        Inst::Vfmadd231pd {
+            dst: Ymm::new(dst),
+            src1: Ymm::new(12 + (g % 2) as u8),
+            src2: RmYmm::Reg(Ymm::new(14 + (g % 2) as u8)),
+        }
+    }
+
+    /// Emits one instruction set (group `g` of the unrolled loop), with
+    /// an optional memory access folded in per the pattern rules.
+    pub fn emit_group(
+        &self,
+        g: u32,
+        access: Option<(MemLevel, Pattern)>,
+    ) -> Vec<TaggedInst> {
+        match self.kind {
+            MixKind::FmaAvx2 => self.emit_fma_group(g, access),
+            MixKind::AvxMulAdd => self.emit_avx_group(g, access),
+            MixKind::SqrtLowPower => self.emit_sqrt_group(g, access),
+        }
+    }
+
+    fn emit_fma_group(&self, g: u32, access: Option<(MemLevel, Pattern)>) -> Vec<TaggedInst> {
+        let acc1 = (g % u32::from(ACCUMULATORS)) as u8;
+        let acc2 = ((g + 5) % u32::from(ACCUMULATORS)) as u8;
+        let fma1 = Self::fma(acc1, g);
+        let fma2 = Self::fma(acc2, g + 1);
+        let alu_xor = Inst::XorGp {
+            dst: Gp::R9,
+            src: Gp::R10,
+        };
+        let shift = Self::alu_shift(g);
+
+        let Some((level, pattern)) = access else {
+            // Register-only group: 2× FMA + 2× ALU = 4 µops/cycle.
+            return vec![
+                TaggedInst::reg(fma1),
+                TaggedInst::reg(alu_xor),
+                TaggedInst::reg(fma2),
+                TaggedInst::reg(shift),
+            ];
+        };
+
+        let ptr = level_pointer(level);
+        let advance = TaggedInst::reg(Inst::AddImm { dst: ptr, imm: 64 });
+        let mem0 = Mem::base(ptr);
+        let mem32 = Mem::base_disp(ptr, 32);
+        let fma1_mem = Inst::Vfmadd231pd {
+            dst: Ymm::new(acc1),
+            src1: Ymm::new(12 + (g % 2) as u8),
+            src2: RmYmm::Mem(mem0),
+        };
+        let store = Inst::VmovapdStore {
+            dst: mem32,
+            src: Ymm::new(acc2),
+        };
+        match pattern {
+            Pattern::Load => vec![
+                TaggedInst::mem(fma1_mem, level),
+                advance,
+                TaggedInst::reg(fma2),
+                TaggedInst::reg(shift),
+            ],
+            Pattern::Store => vec![
+                TaggedInst::reg(fma1),
+                advance,
+                TaggedInst::reg(fma2),
+                TaggedInst::mem(store, level),
+            ],
+            Pattern::LoadStore => vec![
+                TaggedInst::mem(fma1_mem, level),
+                advance,
+                TaggedInst::reg(fma2),
+                TaggedInst::mem(store, level),
+            ],
+            Pattern::TwoLoadsStore => vec![
+                TaggedInst::mem(fma1_mem, level),
+                TaggedInst::mem(
+                    Inst::VmovapdLoad {
+                        dst: Ymm::new(SCRATCH),
+                        src: mem32,
+                    },
+                    level,
+                ),
+                TaggedInst::reg(fma2),
+                TaggedInst::mem(store, level),
+                advance,
+            ],
+            Pattern::Prefetch => {
+                let hint = match level {
+                    MemLevel::L2 => PrefetchHint::T1,
+                    MemLevel::L3 => PrefetchHint::T2,
+                    _ => PrefetchHint::T2,
+                };
+                vec![
+                    TaggedInst::reg(fma1),
+                    TaggedInst::mem(
+                        Inst::Prefetch {
+                            hint,
+                            mem: mem0,
+                        },
+                        level,
+                    ),
+                    TaggedInst::reg(fma2),
+                    advance,
+                ]
+            }
+        }
+    }
+
+    fn emit_avx_group(&self, g: u32, access: Option<(MemLevel, Pattern)>) -> Vec<TaggedInst> {
+        let acc1 = (g % u32::from(ACCUMULATORS)) as u8;
+        let acc2 = ((g + 5) % u32::from(ACCUMULATORS)) as u8;
+        let mul = Inst::Vmulpd {
+            dst: Ymm::new(acc1),
+            src1: Ymm::new(acc1),
+            src2: RmYmm::Reg(Ymm::new(12 + (g % 2) as u8)),
+        };
+        let add = Inst::Vaddpd {
+            dst: Ymm::new(acc2),
+            src1: Ymm::new(acc2),
+            src2: RmYmm::Reg(Ymm::new(14 + (g % 2) as u8)),
+        };
+        let alu_xor = Inst::XorGp {
+            dst: Gp::R9,
+            src: Gp::R10,
+        };
+        let shift = Self::alu_shift(g);
+
+        let Some((level, pattern)) = access else {
+            return vec![
+                TaggedInst::reg(mul),
+                TaggedInst::reg(alu_xor),
+                TaggedInst::reg(add),
+                TaggedInst::reg(shift),
+            ];
+        };
+        let ptr = level_pointer(level);
+        let advance = TaggedInst::reg(Inst::AddImm { dst: ptr, imm: 64 });
+        let mem0 = Mem::base(ptr);
+        let mem32 = Mem::base_disp(ptr, 32);
+        let mul_mem = Inst::Vmulpd {
+            dst: Ymm::new(acc1),
+            src1: Ymm::new(acc1),
+            src2: RmYmm::Mem(mem0),
+        };
+        let store = Inst::VmovapdStore {
+            dst: mem32,
+            src: Ymm::new(acc2),
+        };
+        match pattern {
+            Pattern::Load => vec![
+                TaggedInst::mem(mul_mem, level),
+                advance,
+                TaggedInst::reg(add),
+                TaggedInst::reg(shift),
+            ],
+            Pattern::Store => vec![
+                TaggedInst::reg(mul),
+                advance,
+                TaggedInst::reg(add),
+                TaggedInst::mem(store, level),
+            ],
+            Pattern::LoadStore => vec![
+                TaggedInst::mem(mul_mem, level),
+                advance,
+                TaggedInst::reg(add),
+                TaggedInst::mem(store, level),
+            ],
+            Pattern::TwoLoadsStore => vec![
+                TaggedInst::mem(mul_mem, level),
+                TaggedInst::mem(
+                    Inst::VmovapdLoad {
+                        dst: Ymm::new(SCRATCH),
+                        src: mem32,
+                    },
+                    level,
+                ),
+                TaggedInst::reg(add),
+                TaggedInst::mem(store, level),
+                advance,
+            ],
+            Pattern::Prefetch => vec![
+                TaggedInst::reg(mul),
+                TaggedInst::mem(
+                    Inst::Prefetch {
+                        hint: PrefetchHint::T2,
+                        mem: mem0,
+                    },
+                    level,
+                ),
+                TaggedInst::reg(add),
+                advance,
+            ],
+        }
+    }
+
+    fn emit_sqrt_group(&self, g: u32, access: Option<(MemLevel, Pattern)>) -> Vec<TaggedInst> {
+        // The low-power loop: a serial sqrt chain, one µop per set. Memory
+        // patterns are honoured with a plain load so the grammar stays
+        // total, but the canonical Fig. 2 configuration is REG-only.
+        let sqrt = Inst::Sqrtsd {
+            dst: Xmm::new((g % 4) as u8),
+            src: Xmm::new((g % 4) as u8),
+        };
+        match access {
+            None => vec![TaggedInst::reg(sqrt)],
+            Some((level, _)) => {
+                let ptr = level_pointer(level);
+                vec![
+                    TaggedInst::reg(sqrt),
+                    TaggedInst::mem(
+                        Inst::VmovapdLoad {
+                            dst: Ymm::new(SCRATCH),
+                            src: Mem::base(ptr),
+                        },
+                        level,
+                    ),
+                    TaggedInst::reg(Inst::AddImm { dst: ptr, imm: 64 }),
+                ]
+            }
+        }
+    }
+}
+
+/// The `--avail` registry.
+#[derive(Debug, Clone, Default)]
+pub struct MixRegistry;
+
+impl MixRegistry {
+    /// Mixes available on a microarchitecture, default first.
+    pub fn available_for(uarch: Microarch) -> Vec<InstructionMix> {
+        match uarch {
+            Microarch::Zen2 | Microarch::Haswell => {
+                vec![InstructionMix::FMA, InstructionMix::AVX, InstructionMix::SQRT]
+            }
+            Microarch::Generic => vec![InstructionMix::AVX, InstructionMix::SQRT],
+        }
+    }
+
+    /// The default mix FIRESTARTER would pick for the detected CPU.
+    pub fn default_for(uarch: Microarch) -> InstructionMix {
+        Self::available_for(uarch)[0]
+    }
+
+    /// Lookup by `--function` name (case-insensitive).
+    pub fn by_name(uarch: Microarch, name: &str) -> Option<InstructionMix> {
+        Self::available_for(uarch)
+            .into_iter()
+            .find(|m| m.name.eq_ignore_ascii_case(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs2_isa::meta::sequence_meta;
+
+    fn insts(tagged: &[TaggedInst]) -> Vec<Inst> {
+        tagged.iter().map(|t| t.inst).collect()
+    }
+
+    #[test]
+    fn fma_reg_group_is_two_fma_two_alu() {
+        let group = InstructionMix::FMA.emit_group(0, None);
+        let m = sequence_meta(&insts(&group));
+        assert_eq!(group.len(), 4);
+        assert_eq!(m.fp_fma, 2);
+        assert_eq!(m.alu, 2);
+        assert_eq!(m.load + m.store, 0);
+    }
+
+    #[test]
+    fn shift_alternates_between_groups() {
+        let g0 = InstructionMix::FMA.emit_group(0, None);
+        let g1 = InstructionMix::FMA.emit_group(1, None);
+        assert!(matches!(g0[3].inst, Inst::ShlImm { .. }));
+        assert!(matches!(g1[3].inst, Inst::ShrImm { .. }));
+    }
+
+    #[test]
+    fn accumulators_rotate() {
+        let dsts: Vec<u8> = (0..20)
+            .map(|g| match InstructionMix::FMA.emit_group(g, None)[0].inst {
+                Inst::Vfmadd231pd { dst, .. } => dst.num(),
+                _ => panic!("first inst must be FMA"),
+            })
+            .collect();
+        // All ten accumulators are used.
+        let unique: std::collections::HashSet<u8> = dsts.iter().copied().collect();
+        assert_eq!(unique.len(), ACCUMULATORS as usize);
+        // Multiplier constants are never overwritten.
+        assert!(dsts.iter().all(|&d| d < 12));
+    }
+
+    #[test]
+    fn load_pattern_micro_fuses_into_fma() {
+        let group = InstructionMix::FMA.emit_group(0, Some((MemLevel::L2, Pattern::Load)));
+        let m = sequence_meta(&insts(&group));
+        assert_eq!(m.fp_fma, 2); // both FMAs still execute
+        assert_eq!(m.load, 1);
+        assert_eq!(m.store, 0);
+        assert_eq!(m.mem_bytes, 32);
+        assert_eq!(group[0].level, Some(MemLevel::L2));
+        // Pointer advance targets the right register.
+        assert!(group.iter().any(|t| matches!(
+            t.inst,
+            Inst::AddImm { dst, .. } if dst == level_pointer(MemLevel::L2)
+        )));
+    }
+
+    #[test]
+    fn store_pattern_replaces_shift_with_vmovapd() {
+        // "Optional stores replace some instructions with vmovapds."
+        let group = InstructionMix::FMA.emit_group(0, Some((MemLevel::L1, Pattern::Store)));
+        let m = sequence_meta(&insts(&group));
+        assert_eq!(m.store, 1);
+        assert_eq!(m.load, 0);
+        assert!(group
+            .iter()
+            .all(|t| !matches!(t.inst, Inst::ShlImm { .. } | Inst::ShrImm { .. })));
+    }
+
+    #[test]
+    fn two_loads_store_pattern_counts() {
+        let group =
+            InstructionMix::FMA.emit_group(3, Some((MemLevel::L1, Pattern::TwoLoadsStore)));
+        let m = sequence_meta(&insts(&group));
+        assert_eq!(m.load, 2);
+        assert_eq!(m.store, 1);
+        assert_eq!(m.mem_bytes, 96);
+    }
+
+    #[test]
+    fn prefetch_pattern_uses_line_granularity() {
+        let group = InstructionMix::FMA.emit_group(0, Some((MemLevel::Ram, Pattern::Prefetch)));
+        let m = sequence_meta(&insts(&group));
+        assert_eq!(m.mem_bytes, 64);
+        assert!(group.iter().any(|t| t.inst.is_prefetch()));
+    }
+
+    #[test]
+    fn avx_mix_has_no_fma() {
+        let group = InstructionMix::AVX.emit_group(0, None);
+        let m = sequence_meta(&insts(&group));
+        assert_eq!(m.fp_fma, 1); // vmulpd runs on the FMA pipes
+        assert_eq!(m.fp_add, 1);
+        assert!(!group
+            .iter()
+            .any(|t| matches!(t.inst, Inst::Vfmadd231pd { .. })));
+    }
+
+    #[test]
+    fn sqrt_mix_is_single_sqrt() {
+        let group = InstructionMix::SQRT.emit_group(0, None);
+        assert_eq!(group.len(), 1);
+        assert!(matches!(group[0].inst, Inst::Sqrtsd { .. }));
+    }
+
+    #[test]
+    fn registry_defaults_and_lookup() {
+        assert_eq!(MixRegistry::default_for(Microarch::Zen2).name, "FMA");
+        assert_eq!(MixRegistry::default_for(Microarch::Generic).name, "AVX");
+        assert_eq!(
+            MixRegistry::by_name(Microarch::Zen2, "fma").unwrap().kind,
+            MixKind::FmaAvx2
+        );
+        assert!(MixRegistry::by_name(Microarch::Generic, "FMA").is_none());
+        assert!(MixRegistry::by_name(Microarch::Zen2, "nope").is_none());
+    }
+
+    #[test]
+    fn level_pointers_are_distinct() {
+        let ptrs: std::collections::HashSet<Gp> =
+            MemLevel::ALL.iter().map(|&l| level_pointer(l)).collect();
+        assert_eq!(ptrs.len(), 4);
+        // None of them collides with ALU/counter registers.
+        for p in ptrs {
+            assert!(![Gp::Rax, Gp::Rdx, Gp::Rdi, Gp::R9, Gp::R10].contains(&p));
+        }
+    }
+}

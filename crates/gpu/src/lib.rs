@@ -1,0 +1,30 @@
+//! # fs2-gpu — simulated GPGPU stress substrate
+//!
+//! "To stress NVIDIA GPUs, FIRESTARTER uses the DGEMM routines of
+//! NVIDIA's cuBLAS library. However, the initialization of these matrices
+//! was inefficient as they were initialized at the host and then
+//! transferred to the GPU. In the new version, data is initialized
+//! directly on the GPU." (§III-D)
+//!
+//! Fig. 2 quantifies the device contribution on the Haswell+GPGPU node:
+//! each NVIDIA K80 adds **29 W idle** and up to **156 W under stress**.
+//!
+//! No GPU is available in this environment, so this crate provides:
+//!
+//! * [`dgemm`] — a real blocked double-precision matrix multiply (the
+//!   computation cuBLAS would run), correctness-tested against a naive
+//!   reference; the device model charges FLOPs from it.
+//! * [`device`] — the simulated accelerator: FP64 peak rate, memory
+//!   capacity/bandwidth, PCIe link, idle/stress power, and the
+//!   host-init vs. device-init data-placement paths whose difference
+//!   motivated the §III-D change.
+//! * [`stress`] — the FIRESTARTER-side driver: matrix sizing to fill
+//!   device memory, the init phase, and the steady DGEMM loop, yielding
+//!   average power over a measurement window.
+
+pub mod dgemm;
+pub mod device;
+pub mod stress;
+
+pub use device::{GpuDevice, GpuSpec, InitStrategy};
+pub use stress::{GpuStress, GpuStressReport};

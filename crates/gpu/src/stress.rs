@@ -1,0 +1,126 @@
+//! The FIRESTARTER GPU stress driver (`--gpus`-equivalent).
+
+use crate::device::{GpuDevice, GpuSpec, InitStrategy};
+
+/// A set of devices stressed together with the CPU workload.
+#[derive(Debug, Clone)]
+pub struct GpuStress {
+    pub devices: Vec<GpuDevice>,
+    pub strategy: InitStrategy,
+    /// Fraction of device memory used for the DGEMM operands.
+    pub mem_fraction: f64,
+}
+
+/// Summary of a GPU stress window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuStressReport {
+    /// Total average power contribution of all devices, W.
+    pub avg_power_w: f64,
+    /// Sum of idle contributions (the Fig. 2 "+29 W per GPU").
+    pub idle_power_w: f64,
+    /// Sum of fully-stressed contributions ("+156 W per GPU").
+    pub stress_power_w: f64,
+    /// Matrix dimension chosen per device.
+    pub matrix_n: u64,
+    /// Initialization time per device, seconds.
+    pub init_time_s: f64,
+    /// DGEMM iterations completed per device in the window.
+    pub dgemm_iterations: u64,
+}
+
+impl GpuStress {
+    /// The Fig. 2 configuration: four K80 cards.
+    pub fn four_k80() -> GpuStress {
+        GpuStress {
+            devices: (0..4).map(|_| GpuDevice::new(GpuSpec::k80())).collect(),
+            strategy: InitStrategy::OnDevice,
+            mem_fraction: 0.9,
+        }
+    }
+
+    pub fn none() -> GpuStress {
+        GpuStress {
+            devices: Vec::new(),
+            strategy: InitStrategy::OnDevice,
+            mem_fraction: 0.9,
+        }
+    }
+
+    pub fn with_strategy(mut self, strategy: InitStrategy) -> GpuStress {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Runs the stress loop for `window_s` seconds (simulated) and
+    /// reports power contributions.
+    pub fn run(&self, window_s: f64) -> GpuStressReport {
+        if self.devices.is_empty() {
+            return GpuStressReport {
+                avg_power_w: 0.0,
+                idle_power_w: 0.0,
+                stress_power_w: 0.0,
+                matrix_n: 0,
+                init_time_s: 0.0,
+                dgemm_iterations: 0,
+            };
+        }
+        let mut avg = 0.0;
+        let mut idle = 0.0;
+        let mut stress = 0.0;
+        let mut n_dim = 0;
+        let mut init_t = 0.0;
+        let mut iters = 0;
+        for d in &self.devices {
+            let n = d.matrix_dim_for_memory(self.mem_fraction);
+            let init = d.init_time_s(n, self.strategy);
+            let compute_window = (window_s - init).max(0.0);
+            avg += d.avg_power_over(window_s, n, self.strategy);
+            idle += d.spec.idle_w;
+            stress += d.spec.stress_w;
+            n_dim = n;
+            init_t = init;
+            iters = (compute_window / d.dgemm_time_s(n)).floor() as u64;
+        }
+        GpuStressReport {
+            avg_power_w: avg,
+            idle_power_w: idle,
+            stress_power_w: stress,
+            matrix_n: n_dim,
+            init_time_s: init_t,
+            dgemm_iterations: iters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_contributions() {
+        let report = GpuStress::four_k80().run(240.0);
+        assert_eq!(report.idle_power_w, 4.0 * 29.0);
+        assert_eq!(report.stress_power_w, 4.0 * 156.0);
+        // Long window: average sits near full stress.
+        assert!(report.avg_power_w > 0.95 * report.stress_power_w);
+        assert!(report.dgemm_iterations > 0);
+        assert!(report.matrix_n > 10_000);
+    }
+
+    #[test]
+    fn empty_configuration_contributes_nothing() {
+        let report = GpuStress::none().run(60.0);
+        assert_eq!(report.avg_power_w, 0.0);
+        assert_eq!(report.dgemm_iterations, 0);
+    }
+
+    #[test]
+    fn host_init_lowers_short_window_average() {
+        let dev = GpuStress::four_k80().run(20.0);
+        let host = GpuStress::four_k80()
+            .with_strategy(InitStrategy::HostThenTransfer)
+            .run(20.0);
+        assert!(dev.avg_power_w > host.avg_power_w);
+        assert!(host.init_time_s > dev.init_time_s);
+    }
+}

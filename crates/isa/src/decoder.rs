@@ -1,0 +1,577 @@
+//! Round-trip decoder for the emitted instruction subset.
+//!
+//! The encoder cannot be validated against a real CPU inside this
+//! environment, so the decoder serves as the independent second
+//! implementation: property tests assert `decode(encode(i)) == i` for the
+//! whole operand space, and golden-byte tests pin both sides to
+//! hand-derived encodings.
+
+use crate::inst::{Inst, PrefetchHint, RmYmm};
+use crate::mem::{Mem, Scale};
+use crate::reg::{Gp, Xmm, Ymm};
+use std::fmt;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes mid-instruction.
+    Truncated,
+    /// A byte sequence outside the supported payload subset.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("truncated instruction"),
+            DecodeError::Unsupported(what) => write!(f, "unsupported encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn peek(&self) -> Result<u8, DecodeError> {
+        self.bytes.get(self.pos).copied().ok_or(DecodeError::Truncated)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn i32le(&mut self) -> Result<i32, DecodeError> {
+        let mut buf = [0u8; 4];
+        for b in &mut buf {
+            *b = self.u8()?;
+        }
+        Ok(i32::from_le_bytes(buf))
+    }
+
+    fn u64le(&mut self) -> Result<u64, DecodeError> {
+        let mut buf = [0u8; 8];
+        for b in &mut buf {
+            *b = self.u8()?;
+        }
+        Ok(u64::from_le_bytes(buf))
+    }
+}
+
+enum Rm {
+    Reg(u8),
+    Mem(Mem),
+}
+
+/// Parses ModRM (+SIB, +disp). Returns `(reg_field_with_ext, rm)`.
+fn parse_modrm(cur: &mut Cursor<'_>, rex_r: bool, rex_x: bool, rex_b: bool) -> Result<(u8, Rm), DecodeError> {
+    let modrm = cur.u8()?;
+    let modbits = modrm >> 6;
+    let reg = ((modrm >> 3) & 7) | (u8::from(rex_r) << 3);
+    let rm_bits = modrm & 7;
+    if modbits == 0b11 {
+        return Ok((reg, Rm::Reg(rm_bits | (u8::from(rex_b) << 3))));
+    }
+    let (base_num, index) = if rm_bits == 0b100 {
+        let sib = cur.u8()?;
+        let scale = Scale::from_bits(sib >> 6).expect("2-bit scale");
+        let index_bits = (sib >> 3) & 7;
+        let base_bits = sib & 7;
+        if modbits == 0b00 && base_bits == 0b101 {
+            return Err(DecodeError::Unsupported("SIB with no base register"));
+        }
+        let index = if index_bits == 0b100 && !rex_x {
+            None
+        } else {
+            let idx = Gp::from_num(index_bits | (u8::from(rex_x) << 3)).expect("index reg");
+            Some((idx, scale))
+        };
+        (base_bits | (u8::from(rex_b) << 3), index)
+    } else {
+        if modbits == 0b00 && rm_bits == 0b101 {
+            return Err(DecodeError::Unsupported("RIP-relative addressing"));
+        }
+        (rm_bits | (u8::from(rex_b) << 3), None)
+    };
+    let disp = match modbits {
+        0b00 => 0,
+        0b01 => i32::from(cur.i8()?),
+        0b10 => cur.i32le()?,
+        _ => unreachable!(),
+    };
+    let base = Gp::from_num(base_num).expect("base reg");
+    Ok((
+        reg,
+        Rm::Mem(Mem {
+            base,
+            index,
+            disp,
+        }),
+    ))
+}
+
+fn rm_to_ymm(rm: Rm) -> RmYmm {
+    match rm {
+        Rm::Reg(n) => RmYmm::Reg(Ymm::new(n)),
+        Rm::Mem(m) => RmYmm::Mem(m),
+    }
+}
+
+struct VexFields {
+    map_0f38: bool,
+    w: bool,
+    l256: bool,
+    pp: u8,
+    r_ext: bool,
+    x_ext: bool,
+    b_ext: bool,
+    vvvv: u8,
+}
+
+fn parse_vex(cur: &mut Cursor<'_>, three_byte: bool) -> Result<VexFields, DecodeError> {
+    if three_byte {
+        let b1 = cur.u8()?;
+        let b2 = cur.u8()?;
+        let mmmmm = b1 & 0x1F;
+        let map_0f38 = match mmmmm {
+            0b00001 => false,
+            0b00010 => true,
+            _ => return Err(DecodeError::Unsupported("VEX opcode map")),
+        };
+        Ok(VexFields {
+            map_0f38,
+            w: b2 & 0x80 != 0,
+            l256: b2 & 0x04 != 0,
+            pp: b2 & 0x03,
+            r_ext: b1 & 0x80 == 0,
+            x_ext: b1 & 0x40 == 0,
+            b_ext: b1 & 0x20 == 0,
+            vvvv: (!(b2 >> 3)) & 0xF,
+        })
+    } else {
+        let b = cur.u8()?;
+        Ok(VexFields {
+            map_0f38: false,
+            w: false,
+            l256: b & 0x04 != 0,
+            pp: b & 0x03,
+            r_ext: b & 0x80 == 0,
+            x_ext: false,
+            b_ext: false,
+            vvvv: (!(b >> 3)) & 0xF,
+        })
+    }
+}
+
+fn decode_vex(cur: &mut Cursor<'_>, three_byte: bool) -> Result<Inst, DecodeError> {
+    let v = parse_vex(cur, three_byte)?;
+    let opcode = cur.u8()?;
+    if !v.l256 {
+        return Err(DecodeError::Unsupported("128-bit VEX form"));
+    }
+    let (reg, rm) = parse_modrm(cur, v.r_ext, v.x_ext, v.b_ext)?;
+    match (v.map_0f38, v.pp, opcode) {
+        (true, 0b01, 0xB8) => {
+            if !v.w {
+                return Err(DecodeError::Unsupported("vfmadd231 W0 (single precision)"));
+            }
+            Ok(Inst::Vfmadd231pd {
+                dst: Ymm::new(reg),
+                src1: Ymm::new(v.vvvv),
+                src2: rm_to_ymm(rm),
+            })
+        }
+        (false, 0b01, 0x59) => Ok(Inst::Vmulpd {
+            dst: Ymm::new(reg),
+            src1: Ymm::new(v.vvvv),
+            src2: rm_to_ymm(rm),
+        }),
+        (false, 0b01, 0x58) => Ok(Inst::Vaddpd {
+            dst: Ymm::new(reg),
+            src1: Ymm::new(v.vvvv),
+            src2: rm_to_ymm(rm),
+        }),
+        (false, 0b00, 0x57) => match rm {
+            Rm::Reg(n) => Ok(Inst::Vxorps {
+                dst: Ymm::new(reg),
+                src1: Ymm::new(v.vvvv),
+                src2: Ymm::new(n),
+            }),
+            Rm::Mem(_) => Err(DecodeError::Unsupported("vxorps with memory operand")),
+        },
+        (false, 0b01, 0x28) => match rm {
+            Rm::Mem(m) => Ok(Inst::VmovapdLoad {
+                dst: Ymm::new(reg),
+                src: m,
+            }),
+            Rm::Reg(_) => Err(DecodeError::Unsupported("vmovapd reg-reg")),
+        },
+        (false, 0b01, 0x29) => match rm {
+            Rm::Mem(m) => Ok(Inst::VmovapdStore {
+                dst: m,
+                src: Ymm::new(reg),
+            }),
+            Rm::Reg(_) => Err(DecodeError::Unsupported("vmovapd reg-reg")),
+        },
+        _ => Err(DecodeError::Unsupported("VEX opcode")),
+    }
+}
+
+fn decode_0f(cur: &mut Cursor<'_>, rex_x: bool, rex_b: bool) -> Result<Inst, DecodeError> {
+    let opcode = cur.u8()?;
+    match opcode {
+        0x85 => Ok(Inst::Jnz { rel: cur.i32le()? }),
+        0x18 => {
+            let (reg, rm) = parse_modrm(cur, false, rex_x, rex_b)?;
+            let hint = PrefetchHint::from_modrm_reg(reg)
+                .ok_or(DecodeError::Unsupported("prefetch hint"))?;
+            match rm {
+                Rm::Mem(m) => Ok(Inst::Prefetch { hint, mem: m }),
+                Rm::Reg(_) => Err(DecodeError::Unsupported("prefetch on register")),
+            }
+        }
+        _ => Err(DecodeError::Unsupported("0F opcode")),
+    }
+}
+
+fn decode_rex(cur: &mut Cursor<'_>, rex: u8) -> Result<Inst, DecodeError> {
+    let w = rex & 0x08 != 0;
+    let r = rex & 0x04 != 0;
+    let x = rex & 0x02 != 0;
+    let b = rex & 0x01 != 0;
+    let opcode = cur.u8()?;
+    if opcode == 0x0F {
+        // Only prefetch reaches here with a bare REX (no W).
+        if w {
+            return Err(DecodeError::Unsupported("REX.W 0F escape"));
+        }
+        return decode_0f(cur, x, b);
+    }
+    if !w {
+        return Err(DecodeError::Unsupported("REX without W on GP opcode"));
+    }
+    match opcode {
+        0x31 => {
+            let (reg, rm) = parse_modrm(cur, r, x, b)?;
+            match rm {
+                Rm::Reg(n) => Ok(Inst::XorGp {
+                    dst: Gp::from_num(n).unwrap(),
+                    src: Gp::from_num(reg).unwrap(),
+                }),
+                Rm::Mem(_) => Err(DecodeError::Unsupported("xor with memory")),
+            }
+        }
+        0x01 => {
+            let (reg, rm) = parse_modrm(cur, r, x, b)?;
+            match rm {
+                Rm::Reg(n) => Ok(Inst::AddGp {
+                    dst: Gp::from_num(n).unwrap(),
+                    src: Gp::from_num(reg).unwrap(),
+                }),
+                Rm::Mem(_) => Err(DecodeError::Unsupported("add with memory")),
+            }
+        }
+        0x39 => {
+            let (reg, rm) = parse_modrm(cur, r, x, b)?;
+            match rm {
+                Rm::Reg(n) => Ok(Inst::CmpGp {
+                    a: Gp::from_num(n).unwrap(),
+                    b: Gp::from_num(reg).unwrap(),
+                }),
+                Rm::Mem(_) => Err(DecodeError::Unsupported("cmp with memory")),
+            }
+        }
+        0xC1 => {
+            let (reg, rm) = parse_modrm(cur, false, x, b)?;
+            let dst = match rm {
+                Rm::Reg(n) => Gp::from_num(n).unwrap(),
+                Rm::Mem(_) => return Err(DecodeError::Unsupported("shift on memory")),
+            };
+            let imm = cur.u8()?;
+            match reg {
+                4 => Ok(Inst::ShlImm { dst, imm }),
+                5 => Ok(Inst::ShrImm { dst, imm }),
+                _ => Err(DecodeError::Unsupported("C1 /reg extension")),
+            }
+        }
+        0x83 | 0x81 => {
+            let (reg, rm) = parse_modrm(cur, false, x, b)?;
+            if reg != 0 {
+                return Err(DecodeError::Unsupported("group-1 /reg extension"));
+            }
+            let dst = match rm {
+                Rm::Reg(n) => Gp::from_num(n).unwrap(),
+                Rm::Mem(_) => return Err(DecodeError::Unsupported("add imm to memory")),
+            };
+            let imm = if opcode == 0x83 {
+                i32::from(cur.i8()?)
+            } else {
+                cur.i32le()?
+            };
+            Ok(Inst::AddImm { dst, imm })
+        }
+        0xB8..=0xBF => {
+            let dst = Gp::from_num((opcode - 0xB8) | (u8::from(b) << 3)).unwrap();
+            Ok(Inst::MovImm64 {
+                dst,
+                imm: cur.u64le()?,
+            })
+        }
+        0xFF => {
+            let (reg, rm) = parse_modrm(cur, false, x, b)?;
+            if reg != 1 {
+                return Err(DecodeError::Unsupported("FF /reg extension"));
+            }
+            match rm {
+                Rm::Reg(n) => Ok(Inst::Dec(Gp::from_num(n).unwrap())),
+                Rm::Mem(_) => Err(DecodeError::Unsupported("dec on memory")),
+            }
+        }
+        _ => Err(DecodeError::Unsupported("REX.W opcode")),
+    }
+}
+
+fn decode_f2(cur: &mut Cursor<'_>) -> Result<Inst, DecodeError> {
+    let mut rex_r = false;
+    let mut rex_b = false;
+    let mut next = cur.u8()?;
+    if (0x40..=0x4F).contains(&next) {
+        rex_r = next & 0x04 != 0;
+        rex_b = next & 0x01 != 0;
+        next = cur.u8()?;
+    }
+    if next != 0x0F {
+        return Err(DecodeError::Unsupported("F2-prefixed opcode"));
+    }
+    let opcode = cur.u8()?;
+    let (reg, rm) = parse_modrm(cur, rex_r, false, rex_b)?;
+    let (dst, src) = match rm {
+        Rm::Reg(n) => (Xmm::new(reg), Xmm::new(n)),
+        Rm::Mem(_) => return Err(DecodeError::Unsupported("scalar FP with memory")),
+    };
+    match opcode {
+        0x51 => Ok(Inst::Sqrtsd { dst, src }),
+        0x59 => Ok(Inst::Mulsd { dst, src }),
+        0x58 => Ok(Inst::Addsd { dst, src }),
+        _ => Err(DecodeError::Unsupported("F2 0F opcode")),
+    }
+}
+
+/// Decodes a single instruction from the start of `bytes`.
+///
+/// Returns the instruction and the number of bytes consumed.
+pub fn decode_one(bytes: &[u8]) -> Result<(Inst, usize), DecodeError> {
+    let mut cur = Cursor::new(bytes);
+    let first = cur.u8()?;
+    let inst = match first {
+        0x90 => Inst::Nop,
+        0xC3 => Inst::Ret,
+        0xC5 => decode_vex(&mut cur, false)?,
+        0xC4 => decode_vex(&mut cur, true)?,
+        0xF2 => decode_f2(&mut cur)?,
+        0x0F => decode_0f(&mut cur, false, false)?,
+        0x40..=0x4F => decode_rex(&mut cur, first)?,
+        _ => return Err(DecodeError::Unsupported("opcode byte")),
+    };
+    Ok((inst, cur.pos))
+}
+
+/// Decodes an entire buffer into a sequence of instructions.
+pub fn decode_all(mut bytes: &[u8]) -> Result<Vec<Inst>, DecodeError> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        let (inst, len) = decode_one(bytes)?;
+        out.push(inst);
+        bytes = &bytes[len..];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{encode, encode_sequence};
+
+    fn round_trip(inst: Inst) {
+        let mut buf = Vec::new();
+        encode(&inst, &mut buf);
+        let (decoded, len) = decode_one(&buf).unwrap_or_else(|e| {
+            panic!("failed to decode {inst}: {e} (bytes {buf:02x?})");
+        });
+        assert_eq!(decoded, inst, "round trip mismatch for bytes {buf:02x?}");
+        assert_eq!(len, buf.len(), "decoder consumed wrong length for {inst}");
+    }
+
+    #[test]
+    fn round_trip_representative_instructions() {
+        use crate::inst::PrefetchHint::*;
+        let mems = [
+            Mem::base(Gp::Rax),
+            Mem::base(Gp::Rsp),
+            Mem::base(Gp::Rbp),
+            Mem::base(Gp::R12),
+            Mem::base(Gp::R13),
+            Mem::base_disp(Gp::Rbx, 64),
+            Mem::base_disp(Gp::Rbx, -64),
+            Mem::base_disp(Gp::R9, 0x4000),
+            Mem::base_index(Gp::Rax, Gp::Rcx, Scale::X8, 8),
+            Mem::base_index(Gp::R8, Gp::R15, Scale::X4, -4096),
+            Mem::base_index(Gp::Rbp, Gp::R12, Scale::X1, 0),
+        ];
+        for &m in &mems {
+            round_trip(Inst::VmovapdLoad {
+                dst: Ymm::new(3),
+                src: m,
+            });
+            round_trip(Inst::VmovapdStore {
+                dst: m,
+                src: Ymm::new(14),
+            });
+            round_trip(Inst::Vfmadd231pd {
+                dst: Ymm::new(7),
+                src1: Ymm::new(12),
+                src2: RmYmm::Mem(m),
+            });
+            round_trip(Inst::Prefetch { hint: T2, mem: m });
+        }
+        for n in 0..16u8 {
+            round_trip(Inst::Vxorps {
+                dst: Ymm::new(n),
+                src1: Ymm::new(15 - n),
+                src2: Ymm::new(n / 2),
+            });
+            round_trip(Inst::Sqrtsd {
+                dst: Xmm::new(n),
+                src: Xmm::new(15 - n),
+            });
+            round_trip(Inst::MovImm64 {
+                dst: Gp::from_num(n).unwrap(),
+                imm: 0xDEAD_BEEF_0000_0000 | u64::from(n),
+            });
+        }
+        round_trip(Inst::Vmulpd {
+            dst: Ymm::new(1),
+            src1: Ymm::new(2),
+            src2: RmYmm::Reg(Ymm::new(3)),
+        });
+        round_trip(Inst::Vaddpd {
+            dst: Ymm::new(8),
+            src1: Ymm::new(9),
+            src2: RmYmm::Reg(Ymm::new(10)),
+        });
+        round_trip(Inst::XorGp {
+            dst: Gp::R13,
+            src: Gp::Rsi,
+        });
+        round_trip(Inst::ShlImm {
+            dst: Gp::Rdx,
+            imm: 63,
+        });
+        round_trip(Inst::ShrImm {
+            dst: Gp::R11,
+            imm: 1,
+        });
+        round_trip(Inst::AddImm {
+            dst: Gp::Rcx,
+            imm: 127,
+        });
+        round_trip(Inst::AddImm {
+            dst: Gp::Rcx,
+            imm: 128,
+        });
+        round_trip(Inst::AddImm {
+            dst: Gp::R15,
+            imm: -1_000_000,
+        });
+        round_trip(Inst::AddGp {
+            dst: Gp::Rbx,
+            src: Gp::R14,
+        });
+        round_trip(Inst::Dec(Gp::R10));
+        round_trip(Inst::CmpGp {
+            a: Gp::Rax,
+            b: Gp::R8,
+        });
+        round_trip(Inst::Jnz { rel: -1234 });
+        round_trip(Inst::Prefetch {
+            hint: T0,
+            mem: Mem::base(Gp::Rdi),
+        });
+        round_trip(Inst::Prefetch {
+            hint: Nta,
+            mem: Mem::base(Gp::Rdi),
+        });
+        round_trip(Inst::Prefetch {
+            hint: T1,
+            mem: Mem::base(Gp::Rdi),
+        });
+        round_trip(Inst::Nop);
+        round_trip(Inst::Ret);
+    }
+
+    #[test]
+    fn decode_all_sequence() {
+        let seq = vec![
+            Inst::MovImm64 {
+                dst: Gp::Rdi,
+                imm: 1000,
+            },
+            Inst::Vfmadd231pd {
+                dst: Ymm::new(0),
+                src1: Ymm::new(1),
+                src2: RmYmm::Reg(Ymm::new(2)),
+            },
+            Inst::Dec(Gp::Rdi),
+            Inst::Jnz { rel: -14 },
+            Inst::Ret,
+        ];
+        let bytes = encode_sequence(&seq);
+        assert_eq!(decode_all(&bytes).unwrap(), seq);
+    }
+
+    #[test]
+    fn truncated_input_is_detected() {
+        let mut buf = Vec::new();
+        encode(
+            &Inst::Vfmadd231pd {
+                dst: Ymm::new(0),
+                src1: Ymm::new(1),
+                src2: RmYmm::Reg(Ymm::new(2)),
+            },
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            match decode_one(&buf[..cut]) {
+                Err(DecodeError::Truncated) => {}
+                other => panic!("expected Truncated at cut {cut}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_bytes_rejected() {
+        assert!(matches!(
+            decode_one(&[0xCC]),
+            Err(DecodeError::Unsupported(_))
+        ));
+        // RIP-relative form of a supported opcode.
+        assert!(matches!(
+            decode_one(&[0xC5, 0xFD, 0x28, 0x05, 0, 0, 0, 0]),
+            Err(DecodeError::Unsupported(_))
+        ));
+    }
+}

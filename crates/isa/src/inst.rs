@@ -1,0 +1,326 @@
+//! The instruction subset emitted by FIRESTARTER 2 payloads.
+
+use crate::mem::Mem;
+use crate::reg::{Gp, Xmm, Ymm};
+use std::fmt;
+
+/// Software-prefetch locality hint (the payloads use T0 for near caches and
+/// T2 for far caches / RAM streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetchHint {
+    /// `prefetcht0` — into all cache levels.
+    T0,
+    /// `prefetcht1` — into L2 and up.
+    T1,
+    /// `prefetcht2` — into L3 and up.
+    T2,
+    /// `prefetchnta` — non-temporal.
+    Nta,
+}
+
+impl PrefetchHint {
+    /// The ModRM `reg` opcode-extension field selecting the hint.
+    #[inline]
+    pub const fn modrm_reg(self) -> u8 {
+        match self {
+            PrefetchHint::Nta => 0,
+            PrefetchHint::T0 => 1,
+            PrefetchHint::T1 => 2,
+            PrefetchHint::T2 => 3,
+        }
+    }
+
+    pub fn from_modrm_reg(reg: u8) -> Option<PrefetchHint> {
+        match reg {
+            0 => Some(PrefetchHint::Nta),
+            1 => Some(PrefetchHint::T0),
+            2 => Some(PrefetchHint::T1),
+            3 => Some(PrefetchHint::T2),
+            _ => None,
+        }
+    }
+
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            PrefetchHint::Nta => "prefetchnta",
+            PrefetchHint::T0 => "prefetcht0",
+            PrefetchHint::T1 => "prefetcht1",
+            PrefetchHint::T2 => "prefetcht2",
+        }
+    }
+}
+
+/// Register-or-memory source operand for VEX instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmYmm {
+    Reg(Ymm),
+    Mem(Mem),
+}
+
+impl RmYmm {
+    /// Memory operand, if any.
+    pub fn mem(&self) -> Option<&Mem> {
+        match self {
+            RmYmm::Reg(_) => None,
+            RmYmm::Mem(m) => Some(m),
+        }
+    }
+}
+
+impl fmt::Display for RmYmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmYmm::Reg(r) => r.fmt(f),
+            RmYmm::Mem(m) => write!(f, "ymmword ptr {m}"),
+        }
+    }
+}
+
+/// An instruction of the FIRESTARTER payload subset.
+///
+/// Operand order follows Intel syntax (destination first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `vfmadd231pd dst, src1, src2` — dst = dst + src1 * src2 (4×f64).
+    /// The workhorse of every modern FIRESTARTER instruction mix.
+    Vfmadd231pd { dst: Ymm, src1: Ymm, src2: RmYmm },
+    /// `vmulpd dst, src1, src2` (4×f64).
+    Vmulpd { dst: Ymm, src1: Ymm, src2: RmYmm },
+    /// `vaddpd dst, src1, src2` (4×f64).
+    Vaddpd { dst: Ymm, src1: Ymm, src2: RmYmm },
+    /// `vxorps dst, src1, src2` — used to clear/refresh vector registers.
+    Vxorps { dst: Ymm, src1: Ymm, src2: Ymm },
+    /// 256-bit aligned load: `vmovapd dst, [mem]`.
+    VmovapdLoad { dst: Ymm, src: Mem },
+    /// 256-bit aligned store: `vmovapd [mem], src`.
+    VmovapdStore { dst: Mem, src: Ymm },
+    /// `sqrtsd dst, src` — the deliberately low-power loop of Fig. 2.
+    Sqrtsd { dst: Xmm, src: Xmm },
+    /// `mulsd dst, src` — scalar multiply (models unvectorized code,
+    /// e.g. stress-ng's long-double matrix kernel).
+    Mulsd { dst: Xmm, src: Xmm },
+    /// `addsd dst, src` — scalar add.
+    Addsd { dst: Xmm, src: Xmm },
+    /// `xor dst, src` (64-bit) — ALU filler.
+    XorGp { dst: Gp, src: Gp },
+    /// `shl dst, imm8` — ALU filler toggling 0b0101…/0b1010… patterns.
+    ShlImm { dst: Gp, imm: u8 },
+    /// `shr dst, imm8`.
+    ShrImm { dst: Gp, imm: u8 },
+    /// `add dst, imm32` — pointer advance in access streams.
+    AddImm { dst: Gp, imm: i32 },
+    /// `add dst, src` (64-bit).
+    AddGp { dst: Gp, src: Gp },
+    /// `mov dst, imm64` — buffer base initialization.
+    MovImm64 { dst: Gp, imm: u64 },
+    /// `dec reg` — loop counter.
+    Dec(Gp),
+    /// `cmp a, b` (64-bit).
+    CmpGp { a: Gp, b: Gp },
+    /// `jnz rel32` — loop back-edge. The relative offset is from the end of
+    /// the instruction.
+    Jnz { rel: i32 },
+    /// `prefetchT [mem]`.
+    Prefetch { hint: PrefetchHint, mem: Mem },
+    /// Single-byte `nop` (padding).
+    Nop,
+    /// `ret`.
+    Ret,
+}
+
+impl Inst {
+    /// Memory operand referenced by this instruction, if any.
+    pub fn mem_operand(&self) -> Option<&Mem> {
+        match self {
+            Inst::Vfmadd231pd { src2, .. }
+            | Inst::Vmulpd { src2, .. }
+            | Inst::Vaddpd { src2, .. } => src2.mem(),
+            Inst::VmovapdLoad { src, .. } => Some(src),
+            Inst::VmovapdStore { dst, .. } => Some(dst),
+            Inst::Prefetch { mem, .. } => Some(mem),
+            _ => None,
+        }
+    }
+
+    /// Whether the instruction reads from memory.
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Inst::VmovapdLoad { .. }
+                | Inst::Vfmadd231pd {
+                    src2: RmYmm::Mem(_),
+                    ..
+                }
+                | Inst::Vmulpd {
+                    src2: RmYmm::Mem(_),
+                    ..
+                }
+                | Inst::Vaddpd {
+                    src2: RmYmm::Mem(_),
+                    ..
+                }
+        )
+    }
+
+    /// Whether the instruction writes to memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::VmovapdStore { .. })
+    }
+
+    /// Whether this is a software prefetch.
+    pub fn is_prefetch(&self) -> bool {
+        matches!(self, Inst::Prefetch { .. })
+    }
+
+    /// Mnemonic (without operands).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Inst::Vfmadd231pd { .. } => "vfmadd231pd",
+            Inst::Vmulpd { .. } => "vmulpd",
+            Inst::Vaddpd { .. } => "vaddpd",
+            Inst::Vxorps { .. } => "vxorps",
+            Inst::VmovapdLoad { .. } | Inst::VmovapdStore { .. } => "vmovapd",
+            Inst::Sqrtsd { .. } => "sqrtsd",
+            Inst::Mulsd { .. } => "mulsd",
+            Inst::Addsd { .. } => "addsd",
+            Inst::XorGp { .. } => "xor",
+            Inst::ShlImm { .. } => "shl",
+            Inst::ShrImm { .. } => "shr",
+            Inst::AddImm { .. } | Inst::AddGp { .. } => "add",
+            Inst::MovImm64 { .. } => "mov",
+            Inst::Dec(_) => "dec",
+            Inst::CmpGp { .. } => "cmp",
+            Inst::Jnz { .. } => "jnz",
+            Inst::Prefetch { hint, .. } => hint.mnemonic(),
+            Inst::Nop => "nop",
+            Inst::Ret => "ret",
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Vfmadd231pd { dst, src1, src2 } => {
+                write!(f, "vfmadd231pd {dst}, {src1}, {src2}")
+            }
+            Inst::Vmulpd { dst, src1, src2 } => write!(f, "vmulpd {dst}, {src1}, {src2}"),
+            Inst::Vaddpd { dst, src1, src2 } => write!(f, "vaddpd {dst}, {src1}, {src2}"),
+            Inst::Vxorps { dst, src1, src2 } => write!(f, "vxorps {dst}, {src1}, {src2}"),
+            Inst::VmovapdLoad { dst, src } => write!(f, "vmovapd {dst}, ymmword ptr {src}"),
+            Inst::VmovapdStore { dst, src } => write!(f, "vmovapd ymmword ptr {dst}, {src}"),
+            Inst::Sqrtsd { dst, src } => write!(f, "sqrtsd {dst}, {src}"),
+            Inst::Mulsd { dst, src } => write!(f, "mulsd {dst}, {src}"),
+            Inst::Addsd { dst, src } => write!(f, "addsd {dst}, {src}"),
+            Inst::XorGp { dst, src } => write!(f, "xor {dst}, {src}"),
+            Inst::ShlImm { dst, imm } => write!(f, "shl {dst}, {imm}"),
+            Inst::ShrImm { dst, imm } => write!(f, "shr {dst}, {imm}"),
+            Inst::AddImm { dst, imm } => write!(f, "add {dst}, {imm}"),
+            Inst::AddGp { dst, src } => write!(f, "add {dst}, {src}"),
+            Inst::MovImm64 { dst, imm } => write!(f, "mov {dst}, {imm:#x}"),
+            Inst::Dec(r) => write!(f, "dec {r}"),
+            Inst::CmpGp { a, b } => write!(f, "cmp {a}, {b}"),
+            Inst::Jnz { rel } => write!(f, "jnz {rel:+}"),
+            Inst::Prefetch { hint, mem } => write!(f, "{} byte ptr {mem}", hint.mnemonic()),
+            Inst::Nop => f.write_str("nop"),
+            Inst::Ret => f.write_str("ret"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_hint_fields_round_trip() {
+        for h in [
+            PrefetchHint::Nta,
+            PrefetchHint::T0,
+            PrefetchHint::T1,
+            PrefetchHint::T2,
+        ] {
+            assert_eq!(PrefetchHint::from_modrm_reg(h.modrm_reg()), Some(h));
+        }
+        assert_eq!(PrefetchHint::from_modrm_reg(4), None);
+    }
+
+    #[test]
+    fn load_store_classification() {
+        let load = Inst::VmovapdLoad {
+            dst: Ymm::new(0),
+            src: Mem::base(Gp::Rax),
+        };
+        let store = Inst::VmovapdStore {
+            dst: Mem::base(Gp::Rax),
+            src: Ymm::new(0),
+        };
+        let fma_mem = Inst::Vfmadd231pd {
+            dst: Ymm::new(0),
+            src1: Ymm::new(1),
+            src2: RmYmm::Mem(Mem::base(Gp::Rbx)),
+        };
+        let fma_reg = Inst::Vfmadd231pd {
+            dst: Ymm::new(0),
+            src1: Ymm::new(1),
+            src2: RmYmm::Reg(Ymm::new(2)),
+        };
+        assert!(load.is_load() && !load.is_store());
+        assert!(store.is_store() && !store.is_load());
+        assert!(fma_mem.is_load());
+        assert!(!fma_reg.is_load());
+        assert!(fma_mem.mem_operand().is_some());
+        assert!(fma_reg.mem_operand().is_none());
+    }
+
+    #[test]
+    fn display_covers_all_forms() {
+        let insts = [
+            Inst::Vfmadd231pd {
+                dst: Ymm::new(0),
+                src1: Ymm::new(1),
+                src2: RmYmm::Mem(Mem::base_disp(Gp::Rbx, 32)),
+            },
+            Inst::Vxorps {
+                dst: Ymm::new(5),
+                src1: Ymm::new(5),
+                src2: Ymm::new(5),
+            },
+            Inst::Sqrtsd {
+                dst: Xmm::new(0),
+                src: Xmm::new(0),
+            },
+            Inst::ShlImm {
+                dst: Gp::Rdx,
+                imm: 4,
+            },
+            Inst::Jnz { rel: -128 },
+            Inst::Prefetch {
+                hint: PrefetchHint::T2,
+                mem: Mem::base(Gp::R9),
+            },
+        ];
+        let rendered: Vec<String> = insts.iter().map(|i| i.to_string()).collect();
+        assert_eq!(rendered[0], "vfmadd231pd ymm0, ymm1, ymmword ptr [rbx+0x20]");
+        assert_eq!(rendered[1], "vxorps ymm5, ymm5, ymm5");
+        assert_eq!(rendered[2], "sqrtsd xmm0, xmm0");
+        assert_eq!(rendered[3], "shl rdx, 4");
+        assert_eq!(rendered[4], "jnz -128");
+        assert_eq!(rendered[5], "prefetcht2 byte ptr [r9]");
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(Inst::Nop.mnemonic(), "nop");
+        assert_eq!(Inst::Ret.mnemonic(), "ret");
+        assert_eq!(Inst::Dec(Gp::Rdi).mnemonic(), "dec");
+        assert_eq!(
+            Inst::Prefetch {
+                hint: PrefetchHint::T0,
+                mem: Mem::base(Gp::Rax)
+            }
+            .mnemonic(),
+            "prefetcht0"
+        );
+    }
+}

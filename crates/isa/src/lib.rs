@@ -1,0 +1,63 @@
+//! # fs2-isa — x86-64 instruction model for FIRESTARTER 2 payloads
+//!
+//! FIRESTARTER 2 generates its stress kernels at runtime with the AsmJit
+//! just-in-time assembler. This crate is the reproduction's equivalent
+//! substrate: a from-scratch model of exactly the x86-64 instruction subset
+//! the stress payloads use, together with
+//!
+//! * an [`encoder`] that emits real machine-code bytes (REX/VEX prefixes,
+//!   ModRM/SIB addressing, displacement compression),
+//! * a [`decoder`] that round-trips those bytes back into [`inst::Inst`]
+//!   values (used by property tests to validate the encoder), and
+//! * per-instruction [`mod@meta`] (µop class, execution-port set, energy class)
+//!   consumed by the `fs2-sim` pipeline model.
+//!
+//! The subset covers everything the paper's workloads need: FMA3
+//! (`vfmadd231pd`), AVX arithmetic (`vmulpd`, `vaddpd`, `vxorps`), 256-bit
+//! loads/stores (`vmovapd`), software prefetch, the ALU filler mix
+//! (`xor`/`shl`/`shr`/`add`), loop control (`dec`/`jnz`), the low-power
+//! `sqrtsd` loop of Fig. 2, and assorted glue (`mov imm64`, `nop`, `ret`).
+//!
+//! ## Example
+//!
+//! ```
+//! use fs2_isa::prelude::*;
+//!
+//! let mut asm = Assembler::new();
+//! let top = asm.label();
+//! asm.bind(top);
+//! asm.push(Inst::Vfmadd231pd {
+//!     dst: Ymm::new(0),
+//!     src1: Ymm::new(1),
+//!     src2: RmYmm::Reg(Ymm::new(2)),
+//! });
+//! asm.push(Inst::Dec(Gp::Rdi));
+//! asm.jnz(top);
+//! asm.push(Inst::Ret);
+//! let code = asm.finish().unwrap();
+//! assert!(!code.is_empty());
+//! ```
+
+pub mod decoder;
+pub mod encoder;
+pub mod inst;
+pub mod mem;
+pub mod meta;
+pub mod reg;
+
+pub use decoder::{decode_one, decode_all, DecodeError};
+pub use encoder::{encode, Assembler, EncodeError, Label};
+pub use inst::{Inst, PrefetchHint, RmYmm};
+pub use mem::{Mem, Scale};
+pub use meta::{meta, sequence_meta, InstMeta, Port, SeqMeta, UopClass};
+pub use reg::{Gp, Xmm, Ymm};
+
+/// Convenience re-exports for payload builders.
+pub mod prelude {
+    pub use crate::decoder::{decode_all, decode_one};
+    pub use crate::encoder::{encode, Assembler, Label};
+    pub use crate::inst::{Inst, PrefetchHint, RmYmm};
+    pub use crate::mem::{Mem, Scale};
+    pub use crate::meta::{meta, sequence_meta, InstMeta, Port, SeqMeta, UopClass};
+    pub use crate::reg::{Gp, Xmm, Ymm};
+}

@@ -1,0 +1,191 @@
+//! Memory operand representation (`[base + index*scale + disp]`).
+
+use crate::reg::Gp;
+use std::fmt;
+
+/// Index-register scale factor for SIB addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Scale {
+    X1 = 0,
+    X2 = 1,
+    X4 = 2,
+    X8 = 3,
+}
+
+impl Scale {
+    /// The multiplication factor (1, 2, 4, 8).
+    #[inline]
+    pub const fn factor(self) -> u8 {
+        1 << (self as u8)
+    }
+
+    /// The two SIB scale bits.
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self as u8
+    }
+
+    pub fn from_bits(bits: u8) -> Option<Scale> {
+        match bits {
+            0 => Some(Scale::X1),
+            1 => Some(Scale::X2),
+            2 => Some(Scale::X4),
+            3 => Some(Scale::X8),
+            _ => None,
+        }
+    }
+
+    pub fn from_factor(factor: u8) -> Option<Scale> {
+        match factor {
+            1 => Some(Scale::X1),
+            2 => Some(Scale::X2),
+            4 => Some(Scale::X4),
+            8 => Some(Scale::X8),
+            _ => None,
+        }
+    }
+}
+
+/// A memory operand: `[base + index*scale + disp]`.
+///
+/// RSP cannot be an index register on x86-64; the constructors reject it so
+/// an invalid operand is unrepresentable by the time it reaches the encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mem {
+    pub base: Gp,
+    pub index: Option<(Gp, Scale)>,
+    pub disp: i32,
+}
+
+impl Mem {
+    /// `[base]`
+    #[inline]
+    pub const fn base(base: Gp) -> Mem {
+        Mem {
+            base,
+            index: None,
+            disp: 0,
+        }
+    }
+
+    /// `[base + disp]`
+    #[inline]
+    pub const fn base_disp(base: Gp, disp: i32) -> Mem {
+        Mem {
+            base,
+            index: None,
+            disp,
+        }
+    }
+
+    /// `[base + index*scale + disp]`. Panics if `index` is RSP (not
+    /// encodable as an index register).
+    pub fn base_index(base: Gp, index: Gp, scale: Scale, disp: i32) -> Mem {
+        assert!(
+            index != Gp::Rsp,
+            "rsp cannot be used as an index register"
+        );
+        Mem {
+            base,
+            index: Some((index, scale)),
+            disp,
+        }
+    }
+
+    /// Fallible variant of [`Mem::base_index`].
+    pub fn try_base_index(base: Gp, index: Gp, scale: Scale, disp: i32) -> Option<Mem> {
+        (index != Gp::Rsp).then_some(Mem {
+            base,
+            index: Some((index, scale)),
+            disp,
+        })
+    }
+
+    /// Displacement fits in a sign-extended 8-bit immediate.
+    #[inline]
+    pub fn disp_fits_i8(&self) -> bool {
+        i8::try_from(self.disp).is_ok()
+    }
+
+    /// Returns the operand shifted by `delta` bytes.
+    pub fn with_offset(self, delta: i32) -> Mem {
+        Mem {
+            disp: self.disp.wrapping_add(delta),
+            ..self
+        }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}", self.base)?;
+        if let Some((index, scale)) = self.index {
+            write!(f, "+{}*{}", index, scale.factor())?;
+        }
+        if self.disp > 0 {
+            write!(f, "+{:#x}", self.disp)?;
+        } else if self.disp < 0 {
+            write!(f, "-{:#x}", -(self.disp as i64))?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factors() {
+        assert_eq!(Scale::X1.factor(), 1);
+        assert_eq!(Scale::X2.factor(), 2);
+        assert_eq!(Scale::X4.factor(), 4);
+        assert_eq!(Scale::X8.factor(), 8);
+        for s in [Scale::X1, Scale::X2, Scale::X4, Scale::X8] {
+            assert_eq!(Scale::from_bits(s.bits()), Some(s));
+            assert_eq!(Scale::from_factor(s.factor()), Some(s));
+        }
+        assert_eq!(Scale::from_bits(4), None);
+        assert_eq!(Scale::from_factor(3), None);
+    }
+
+    #[test]
+    fn disp_classification() {
+        assert!(Mem::base_disp(Gp::Rax, 0).disp_fits_i8());
+        assert!(Mem::base_disp(Gp::Rax, 127).disp_fits_i8());
+        assert!(Mem::base_disp(Gp::Rax, -128).disp_fits_i8());
+        assert!(!Mem::base_disp(Gp::Rax, 128).disp_fits_i8());
+        assert!(!Mem::base_disp(Gp::Rax, -129).disp_fits_i8());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rsp_index_rejected() {
+        let _ = Mem::base_index(Gp::Rax, Gp::Rsp, Scale::X1, 0);
+    }
+
+    #[test]
+    fn try_base_index_rejects_rsp() {
+        assert!(Mem::try_base_index(Gp::Rax, Gp::Rsp, Scale::X2, 0).is_none());
+        assert!(Mem::try_base_index(Gp::Rax, Gp::R12, Scale::X2, 0).is_some());
+    }
+
+    #[test]
+    fn with_offset_wraps() {
+        let m = Mem::base_disp(Gp::Rbx, 64);
+        assert_eq!(m.with_offset(64).disp, 128);
+        assert_eq!(m.with_offset(-128).disp, -64);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Mem::base(Gp::Rax).to_string(), "[rax]");
+        assert_eq!(Mem::base_disp(Gp::Rbx, 0x40).to_string(), "[rbx+0x40]");
+        assert_eq!(Mem::base_disp(Gp::Rbx, -64).to_string(), "[rbx-0x40]");
+        assert_eq!(
+            Mem::base_index(Gp::Rax, Gp::Rcx, Scale::X8, 8).to_string(),
+            "[rax+rcx*8+0x8]"
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! Per-instruction microarchitectural metadata.
+//!
+//! The `fs2-sim` pipeline model and the `fs2-power` energy model both key
+//! off this table rather than re-interpreting instructions themselves, so
+//! there is a single source of truth for "what does one `vfmadd231pd`
+//! cost".
+
+use crate::inst::Inst;
+
+/// Execution-resource class of a µop, used for port-pressure accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// 256-bit FMA/multiply pipes (2 on Zen 2 and Haswell).
+    FpFma,
+    /// 256-bit FP add pipes.
+    FpAdd,
+    /// Any FP/vector pipe (logic ops issue to whichever is free).
+    FpAny,
+    /// Scalar integer ALU pipes.
+    Alu,
+    /// Load pipes (incl. the AGU µop).
+    Load,
+    /// Store pipe.
+    Store,
+    /// Branch unit.
+    Branch,
+}
+
+/// Coarse µop classification, doubling as the energy-model key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UopClass {
+    /// 256-bit fused multiply-add — the highest-power operation.
+    FpFma256,
+    /// 256-bit multiply.
+    FpMul256,
+    /// 256-bit add.
+    FpAdd256,
+    /// 256-bit bitwise logic (`vxorps`).
+    VecLogic256,
+    /// Scalar double-precision square root (low power, long latency).
+    FpSqrt64,
+    /// Scalar double-precision multiply/add (unvectorized code).
+    FpScalar64,
+    /// 256-bit load.
+    Load256,
+    /// 256-bit store.
+    Store256,
+    /// Software prefetch (line-sized memory traffic, no register result).
+    Prefetch,
+    /// Light scalar ALU op (xor/shift/add/dec/cmp/mov-imm).
+    AluLight,
+    /// Taken/not-taken conditional branch.
+    Branch,
+    /// No-op.
+    Nop,
+}
+
+/// Static metadata for one instruction instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstMeta {
+    /// Energy/identity class.
+    pub class: UopClass,
+    /// Fused-domain µops dispatched (what the 4-wide decoder counts).
+    pub uops: u8,
+    /// Pressure on the FMA-capable FP pipes.
+    pub fp_fma: u8,
+    /// Pressure on the FP-add pipes.
+    pub fp_add: u8,
+    /// Pressure on "any FP pipe" (vector logic).
+    pub fp_any: u8,
+    /// Pressure on scalar ALU pipes.
+    pub alu: u8,
+    /// Load-pipe µops.
+    pub load: u8,
+    /// Store-pipe µops.
+    pub store: u8,
+    /// Branch-unit µops.
+    pub branch: u8,
+    /// Double-precision floating-point operations performed (FLOP count;
+    /// an FMA on 4 lanes counts 8).
+    pub flops: u8,
+    /// Bytes moved to/from the memory hierarchy (0 for register ops;
+    /// prefetches count a full 64-byte line).
+    pub mem_bytes: u16,
+}
+
+impl InstMeta {
+    const fn zero(class: UopClass) -> InstMeta {
+        InstMeta {
+            class,
+            uops: 1,
+            fp_fma: 0,
+            fp_add: 0,
+            fp_any: 0,
+            alu: 0,
+            load: 0,
+            store: 0,
+            branch: 0,
+            flops: 0,
+            mem_bytes: 0,
+        }
+    }
+}
+
+/// Computes the metadata for an instruction.
+pub fn meta(inst: &Inst) -> InstMeta {
+    match inst {
+        Inst::Vfmadd231pd { src2, .. } => {
+            let mut m = InstMeta::zero(UopClass::FpFma256);
+            m.fp_fma = 1;
+            m.flops = 8;
+            if src2.mem().is_some() {
+                // Micro-fused load+op: one fused µop, but load-pipe pressure.
+                m.load = 1;
+                m.mem_bytes = 32;
+            }
+            m
+        }
+        Inst::Vmulpd { src2, .. } => {
+            let mut m = InstMeta::zero(UopClass::FpMul256);
+            m.fp_fma = 1;
+            m.flops = 4;
+            if src2.mem().is_some() {
+                m.load = 1;
+                m.mem_bytes = 32;
+            }
+            m
+        }
+        Inst::Vaddpd { src2, .. } => {
+            let mut m = InstMeta::zero(UopClass::FpAdd256);
+            m.fp_add = 1;
+            m.flops = 4;
+            if src2.mem().is_some() {
+                m.load = 1;
+                m.mem_bytes = 32;
+            }
+            m
+        }
+        Inst::Vxorps { .. } => {
+            let mut m = InstMeta::zero(UopClass::VecLogic256);
+            m.fp_any = 1;
+            m
+        }
+        Inst::VmovapdLoad { .. } => {
+            let mut m = InstMeta::zero(UopClass::Load256);
+            m.load = 1;
+            m.mem_bytes = 32;
+            m
+        }
+        Inst::VmovapdStore { .. } => {
+            let mut m = InstMeta::zero(UopClass::Store256);
+            m.store = 1;
+            m.mem_bytes = 32;
+            m
+        }
+        Inst::Sqrtsd { .. } => {
+            let mut m = InstMeta::zero(UopClass::FpSqrt64);
+            m.fp_fma = 1; // occupies a divider-adjacent FP pipe
+            m.flops = 1;
+            m
+        }
+        Inst::Mulsd { .. } => {
+            let mut m = InstMeta::zero(UopClass::FpScalar64);
+            m.fp_fma = 1;
+            m.flops = 1;
+            m
+        }
+        Inst::Addsd { .. } => {
+            let mut m = InstMeta::zero(UopClass::FpScalar64);
+            m.fp_add = 1;
+            m.flops = 1;
+            m
+        }
+        Inst::XorGp { .. }
+        | Inst::ShlImm { .. }
+        | Inst::ShrImm { .. }
+        | Inst::AddImm { .. }
+        | Inst::AddGp { .. }
+        | Inst::MovImm64 { .. }
+        | Inst::Dec(_)
+        | Inst::CmpGp { .. } => {
+            let mut m = InstMeta::zero(UopClass::AluLight);
+            m.alu = 1;
+            m
+        }
+        Inst::Jnz { .. } => {
+            let mut m = InstMeta::zero(UopClass::Branch);
+            m.branch = 1;
+            m
+        }
+        Inst::Prefetch { .. } => {
+            let mut m = InstMeta::zero(UopClass::Prefetch);
+            m.load = 1;
+            m.mem_bytes = 64;
+            m
+        }
+        Inst::Nop => InstMeta::zero(UopClass::Nop),
+        Inst::Ret => {
+            let mut m = InstMeta::zero(UopClass::Branch);
+            m.branch = 1;
+            m
+        }
+    }
+}
+
+/// Aggregated metadata over a sequence of instructions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeqMeta {
+    pub insts: u64,
+    pub uops: u64,
+    pub fp_fma: u64,
+    pub fp_add: u64,
+    pub fp_any: u64,
+    pub alu: u64,
+    pub load: u64,
+    pub store: u64,
+    pub branch: u64,
+    pub flops: u64,
+    pub mem_bytes: u64,
+    /// `sqrtsd` µops (throughput-limited by the unpipelined divider).
+    pub sqrt: u64,
+}
+
+impl SeqMeta {
+    pub fn add(&mut self, m: &InstMeta) {
+        self.insts += 1;
+        if m.class == UopClass::FpSqrt64 {
+            self.sqrt += 1;
+        }
+        self.uops += u64::from(m.uops);
+        self.fp_fma += u64::from(m.fp_fma);
+        self.fp_add += u64::from(m.fp_add);
+        self.fp_any += u64::from(m.fp_any);
+        self.alu += u64::from(m.alu);
+        self.load += u64::from(m.load);
+        self.store += u64::from(m.store);
+        self.branch += u64::from(m.branch);
+        self.flops += u64::from(m.flops);
+        self.mem_bytes += u64::from(m.mem_bytes);
+    }
+}
+
+/// Sums metadata over an instruction slice.
+pub fn sequence_meta(insts: &[Inst]) -> SeqMeta {
+    let mut s = SeqMeta::default();
+    for inst in insts {
+        s.add(&meta(inst));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{PrefetchHint, RmYmm};
+    use crate::mem::Mem;
+    use crate::reg::{Gp, Xmm, Ymm};
+
+    #[test]
+    fn fma_register_form() {
+        let m = meta(&Inst::Vfmadd231pd {
+            dst: Ymm::new(0),
+            src1: Ymm::new(1),
+            src2: RmYmm::Reg(Ymm::new(2)),
+        });
+        assert_eq!(m.class, UopClass::FpFma256);
+        assert_eq!(m.fp_fma, 1);
+        assert_eq!(m.load, 0);
+        assert_eq!(m.flops, 8);
+        assert_eq!(m.mem_bytes, 0);
+    }
+
+    #[test]
+    fn fma_memory_form_adds_load_pressure() {
+        let m = meta(&Inst::Vfmadd231pd {
+            dst: Ymm::new(0),
+            src1: Ymm::new(1),
+            src2: RmYmm::Mem(Mem::base(Gp::Rax)),
+        });
+        assert_eq!(m.load, 1);
+        assert_eq!(m.mem_bytes, 32);
+        // Micro-fusion: still one fused-domain µop.
+        assert_eq!(m.uops, 1);
+    }
+
+    #[test]
+    fn loads_stores_prefetch_bytes() {
+        assert_eq!(
+            meta(&Inst::VmovapdLoad {
+                dst: Ymm::new(0),
+                src: Mem::base(Gp::Rax)
+            })
+            .mem_bytes,
+            32
+        );
+        assert_eq!(
+            meta(&Inst::VmovapdStore {
+                dst: Mem::base(Gp::Rax),
+                src: Ymm::new(0)
+            })
+            .store,
+            1
+        );
+        assert_eq!(
+            meta(&Inst::Prefetch {
+                hint: PrefetchHint::T2,
+                mem: Mem::base(Gp::Rax)
+            })
+            .mem_bytes,
+            64
+        );
+    }
+
+    #[test]
+    fn alu_mix_counts() {
+        for i in [
+            Inst::XorGp {
+                dst: Gp::Rax,
+                src: Gp::Rbx,
+            },
+            Inst::ShlImm {
+                dst: Gp::Rax,
+                imm: 4,
+            },
+            Inst::ShrImm {
+                dst: Gp::Rax,
+                imm: 4,
+            },
+            Inst::Dec(Gp::Rdi),
+        ] {
+            let m = meta(&i);
+            assert_eq!(m.class, UopClass::AluLight);
+            assert_eq!(m.alu, 1);
+            assert_eq!(m.fp_fma + m.fp_add + m.fp_any, 0);
+        }
+    }
+
+    #[test]
+    fn sqrt_is_low_flop_fp() {
+        let m = meta(&Inst::Sqrtsd {
+            dst: Xmm::new(0),
+            src: Xmm::new(0),
+        });
+        assert_eq!(m.class, UopClass::FpSqrt64);
+        assert_eq!(m.flops, 1);
+    }
+
+    #[test]
+    fn sequence_aggregation() {
+        let seq = [
+            Inst::Vfmadd231pd {
+                dst: Ymm::new(0),
+                src1: Ymm::new(1),
+                src2: RmYmm::Reg(Ymm::new(2)),
+            },
+            Inst::Vfmadd231pd {
+                dst: Ymm::new(3),
+                src1: Ymm::new(4),
+                src2: RmYmm::Mem(Mem::base(Gp::Rax)),
+            },
+            Inst::XorGp {
+                dst: Gp::Rax,
+                src: Gp::Rbx,
+            },
+            Inst::Dec(Gp::Rdi),
+            Inst::Jnz { rel: -10 },
+        ];
+        let s = sequence_meta(&seq);
+        assert_eq!(s.insts, 5);
+        assert_eq!(s.fp_fma, 2);
+        assert_eq!(s.alu, 2);
+        assert_eq!(s.branch, 1);
+        assert_eq!(s.load, 1);
+        assert_eq!(s.flops, 16);
+        assert_eq!(s.mem_bytes, 32);
+    }
+}

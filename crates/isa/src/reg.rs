@@ -1,0 +1,267 @@
+//! Register definitions for the payload subset.
+//!
+//! FIRESTARTER payloads use general-purpose registers for pointers, loop
+//! counters and the ALU filler mix, and YMM/XMM registers for the SIMD
+//! floating-point stream.
+
+use std::fmt;
+
+/// 64-bit general-purpose registers.
+///
+/// The discriminant is the hardware register number used in ModRM/REX
+/// encoding (RAX = 0 … R15 = 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Gp {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Gp {
+    /// All sixteen GP registers in encoding order.
+    pub const ALL: [Gp; 16] = [
+        Gp::Rax,
+        Gp::Rcx,
+        Gp::Rdx,
+        Gp::Rbx,
+        Gp::Rsp,
+        Gp::Rbp,
+        Gp::Rsi,
+        Gp::Rdi,
+        Gp::R8,
+        Gp::R9,
+        Gp::R10,
+        Gp::R11,
+        Gp::R12,
+        Gp::R13,
+        Gp::R14,
+        Gp::R15,
+    ];
+
+    /// Hardware encoding number (0..=15).
+    #[inline]
+    pub const fn num(self) -> u8 {
+        self as u8
+    }
+
+    /// Low three bits placed in ModRM/SIB fields.
+    #[inline]
+    pub const fn low3(self) -> u8 {
+        self as u8 & 0b111
+    }
+
+    /// Whether the register needs a REX/VEX extension bit.
+    #[inline]
+    pub const fn is_extended(self) -> bool {
+        self as u8 >= 8
+    }
+
+    /// Registers whose low-3 encoding collides with the "no base / RIP"
+    /// ModRM escape (RBP/R13): they always need an explicit displacement.
+    #[inline]
+    pub const fn needs_disp(self) -> bool {
+        self.low3() == 0b101
+    }
+
+    /// Registers whose low-3 encoding collides with the SIB escape
+    /// (RSP/R12): they always need a SIB byte when used as a base.
+    #[inline]
+    pub const fn needs_sib(self) -> bool {
+        self.low3() == 0b100
+    }
+
+    /// Lookup by hardware number.
+    pub fn from_num(n: u8) -> Option<Gp> {
+        Gp::ALL.get(n as usize).copied()
+    }
+
+    /// Canonical AT&T-free lowercase mnemonic name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gp::Rax => "rax",
+            Gp::Rcx => "rcx",
+            Gp::Rdx => "rdx",
+            Gp::Rbx => "rbx",
+            Gp::Rsp => "rsp",
+            Gp::Rbp => "rbp",
+            Gp::Rsi => "rsi",
+            Gp::Rdi => "rdi",
+            Gp::R8 => "r8",
+            Gp::R9 => "r9",
+            Gp::R10 => "r10",
+            Gp::R11 => "r11",
+            Gp::R12 => "r12",
+            Gp::R13 => "r13",
+            Gp::R14 => "r14",
+            Gp::R15 => "r15",
+        }
+    }
+}
+
+impl fmt::Display for Gp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A 256-bit AVX register (`ymm0`..`ymm15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ymm(u8);
+
+impl Ymm {
+    /// Creates `ymmN`. Panics if `n >= 16`.
+    #[inline]
+    pub const fn new(n: u8) -> Ymm {
+        assert!(n < 16, "ymm register number out of range");
+        Ymm(n)
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(n: u8) -> Option<Ymm> {
+        (n < 16).then_some(Ymm(n))
+    }
+
+    #[inline]
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+
+    #[inline]
+    pub const fn low3(self) -> u8 {
+        self.0 & 0b111
+    }
+
+    #[inline]
+    pub const fn is_extended(self) -> bool {
+        self.0 >= 8
+    }
+
+    /// The XMM register aliasing the low 128 bits.
+    #[inline]
+    pub const fn as_xmm(self) -> Xmm {
+        Xmm(self.0)
+    }
+}
+
+impl fmt::Display for Ymm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ymm{}", self.0)
+    }
+}
+
+/// A 128-bit SSE register (`xmm0`..`xmm15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Xmm(u8);
+
+impl Xmm {
+    /// Creates `xmmN`. Panics if `n >= 16`.
+    #[inline]
+    pub const fn new(n: u8) -> Xmm {
+        assert!(n < 16, "xmm register number out of range");
+        Xmm(n)
+    }
+
+    pub fn try_new(n: u8) -> Option<Xmm> {
+        (n < 16).then_some(Xmm(n))
+    }
+
+    #[inline]
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+
+    #[inline]
+    pub const fn low3(self) -> u8 {
+        self.0 & 0b111
+    }
+
+    #[inline]
+    pub const fn is_extended(self) -> bool {
+        self.0 >= 8
+    }
+}
+
+impl fmt::Display for Xmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xmm{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gp_numbering_matches_hardware() {
+        assert_eq!(Gp::Rax.num(), 0);
+        assert_eq!(Gp::Rsp.num(), 4);
+        assert_eq!(Gp::Rbp.num(), 5);
+        assert_eq!(Gp::R8.num(), 8);
+        assert_eq!(Gp::R15.num(), 15);
+    }
+
+    #[test]
+    fn gp_low3_wraps_extended_registers() {
+        assert_eq!(Gp::R8.low3(), 0);
+        assert_eq!(Gp::R12.low3(), 4);
+        assert_eq!(Gp::R13.low3(), 5);
+        assert!(Gp::R8.is_extended());
+        assert!(!Gp::Rdi.is_extended());
+    }
+
+    #[test]
+    fn sib_and_disp_escapes() {
+        assert!(Gp::Rsp.needs_sib());
+        assert!(Gp::R12.needs_sib());
+        assert!(!Gp::Rax.needs_sib());
+        assert!(Gp::Rbp.needs_disp());
+        assert!(Gp::R13.needs_disp());
+        assert!(!Gp::Rbx.needs_disp());
+    }
+
+    #[test]
+    fn from_num_round_trips() {
+        for r in Gp::ALL {
+            assert_eq!(Gp::from_num(r.num()), Some(r));
+        }
+        assert_eq!(Gp::from_num(16), None);
+    }
+
+    #[test]
+    fn ymm_construction_and_alias() {
+        let y = Ymm::new(11);
+        assert_eq!(y.num(), 11);
+        assert_eq!(y.low3(), 3);
+        assert!(y.is_extended());
+        assert_eq!(y.as_xmm().num(), 11);
+        assert_eq!(Ymm::try_new(16), None);
+        assert_eq!(Xmm::try_new(15), Some(Xmm::new(15)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ymm_out_of_range_panics() {
+        let _ = Ymm::new(16);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Gp::R10.to_string(), "r10");
+        assert_eq!(Ymm::new(3).to_string(), "ymm3");
+        assert_eq!(Xmm::new(0).to_string(), "xmm0");
+    }
+}

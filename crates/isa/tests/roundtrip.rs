@@ -1,0 +1,129 @@
+//! Property tests: every encodable instruction round-trips through the
+//! decoder, and decoded lengths always match encoded lengths.
+
+use fs2_isa::prelude::*;
+use proptest::prelude::*;
+
+fn arb_gp() -> impl Strategy<Value = Gp> {
+    (0u8..16).prop_map(|n| Gp::from_num(n).unwrap())
+}
+
+fn arb_index_gp() -> impl Strategy<Value = Gp> {
+    arb_gp().prop_filter("rsp is not an index register", |g| *g != Gp::Rsp)
+}
+
+fn arb_ymm() -> impl Strategy<Value = Ymm> {
+    (0u8..16).prop_map(Ymm::new)
+}
+
+fn arb_xmm() -> impl Strategy<Value = Xmm> {
+    (0u8..16).prop_map(Xmm::new)
+}
+
+fn arb_scale() -> impl Strategy<Value = Scale> {
+    prop_oneof![
+        Just(Scale::X1),
+        Just(Scale::X2),
+        Just(Scale::X4),
+        Just(Scale::X8)
+    ]
+}
+
+fn arb_mem() -> impl Strategy<Value = Mem> {
+    let disp = prop_oneof![
+        Just(0i32),
+        -128i32..=127,
+        prop::num::i32::ANY,
+    ];
+    (arb_gp(), proptest::option::of((arb_index_gp(), arb_scale())), disp).prop_map(
+        |(base, index, disp)| Mem {
+            base,
+            index,
+            disp,
+        },
+    )
+}
+
+fn arb_rm_ymm() -> impl Strategy<Value = RmYmm> {
+    prop_oneof![arb_ymm().prop_map(RmYmm::Reg), arb_mem().prop_map(RmYmm::Mem)]
+}
+
+fn arb_hint() -> impl Strategy<Value = PrefetchHint> {
+    prop_oneof![
+        Just(PrefetchHint::Nta),
+        Just(PrefetchHint::T0),
+        Just(PrefetchHint::T1),
+        Just(PrefetchHint::T2)
+    ]
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_ymm(), arb_ymm(), arb_rm_ymm())
+            .prop_map(|(dst, src1, src2)| Inst::Vfmadd231pd { dst, src1, src2 }),
+        (arb_ymm(), arb_ymm(), arb_rm_ymm()).prop_map(|(dst, src1, src2)| Inst::Vmulpd {
+            dst,
+            src1,
+            src2
+        }),
+        (arb_ymm(), arb_ymm(), arb_rm_ymm()).prop_map(|(dst, src1, src2)| Inst::Vaddpd {
+            dst,
+            src1,
+            src2
+        }),
+        (arb_ymm(), arb_ymm(), arb_ymm()).prop_map(|(dst, src1, src2)| Inst::Vxorps {
+            dst,
+            src1,
+            src2
+        }),
+        (arb_ymm(), arb_mem()).prop_map(|(dst, src)| Inst::VmovapdLoad { dst, src }),
+        (arb_mem(), arb_ymm()).prop_map(|(dst, src)| Inst::VmovapdStore { dst, src }),
+        (arb_xmm(), arb_xmm()).prop_map(|(dst, src)| Inst::Sqrtsd { dst, src }),
+        (arb_xmm(), arb_xmm()).prop_map(|(dst, src)| Inst::Mulsd { dst, src }),
+        (arb_xmm(), arb_xmm()).prop_map(|(dst, src)| Inst::Addsd { dst, src }),
+        (arb_gp(), arb_gp()).prop_map(|(dst, src)| Inst::XorGp { dst, src }),
+        (arb_gp(), 0u8..64).prop_map(|(dst, imm)| Inst::ShlImm { dst, imm }),
+        (arb_gp(), 0u8..64).prop_map(|(dst, imm)| Inst::ShrImm { dst, imm }),
+        (arb_gp(), prop::num::i32::ANY).prop_map(|(dst, imm)| Inst::AddImm { dst, imm }),
+        (arb_gp(), arb_gp()).prop_map(|(dst, src)| Inst::AddGp { dst, src }),
+        (arb_gp(), prop::num::u64::ANY).prop_map(|(dst, imm)| Inst::MovImm64 { dst, imm }),
+        arb_gp().prop_map(Inst::Dec),
+        (arb_gp(), arb_gp()).prop_map(|(a, b)| Inst::CmpGp { a, b }),
+        prop::num::i32::ANY.prop_map(|rel| Inst::Jnz { rel }),
+        (arb_hint(), arb_mem()).prop_map(|(hint, mem)| Inst::Prefetch { hint, mem }),
+        Just(Inst::Nop),
+        Just(Inst::Ret),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encode_decode_round_trip(inst in arb_inst()) {
+        let mut buf = Vec::new();
+        encode(&inst, &mut buf);
+        let (decoded, len) = decode_one(&buf).expect("decode failure");
+        prop_assert_eq!(decoded, inst);
+        prop_assert_eq!(len, buf.len());
+    }
+
+    #[test]
+    fn instruction_lengths_are_bounded(inst in arb_inst()) {
+        let mut buf = Vec::new();
+        encode(&inst, &mut buf);
+        // x86-64 instructions are at most 15 bytes; our subset tops out at
+        // 10 (mov r64, imm64).
+        prop_assert!(!buf.is_empty() && buf.len() <= 10, "len = {}", buf.len());
+    }
+
+    #[test]
+    fn sequences_decode_without_resync(insts in prop::collection::vec(arb_inst(), 1..64)) {
+        let mut buf = Vec::new();
+        for inst in &insts {
+            encode(inst, &mut buf);
+        }
+        let decoded = decode_all(&buf).expect("sequence decode failure");
+        prop_assert_eq!(decoded, insts);
+    }
+}

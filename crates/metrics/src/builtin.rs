@@ -1,0 +1,273 @@
+//! The three built-in metrics of §III-C.
+
+use crate::metric::Metric;
+use crate::series::TimeSeries;
+
+/// Average power from RAPL-style energy counters.
+///
+/// "First, measuring the average power consumption over time with the
+/// Intel Running Average Power Limit (RAPL) mechanism via the sysfs
+/// interface" — the runner feeds this metric the counter value at each
+/// tick; the metric differentiates energy into power, handling wrap.
+pub struct RaplPowerMetric {
+    series: TimeSeries,
+    last: Option<(f64, u64)>,
+    max_range_uj: u64,
+}
+
+impl RaplPowerMetric {
+    pub fn new() -> RaplPowerMetric {
+        RaplPowerMetric {
+            series: TimeSeries::new(),
+            last: None,
+            max_range_uj: fs2_power::rapl::MAX_ENERGY_RANGE_UJ,
+        }
+    }
+
+    /// Records a raw energy-counter reading (µJ) at time `t_s`.
+    pub fn record_energy_uj(&mut self, t_s: f64, counter_uj: u64) {
+        if let Some((t0, c0)) = self.last {
+            let dt = t_s - t0;
+            if dt > 0.0 {
+                let delta = if counter_uj >= c0 {
+                    counter_uj - c0
+                } else {
+                    counter_uj + self.max_range_uj + 1 - c0
+                };
+                self.series.push(t_s, delta as f64 * 1e-6 / dt);
+            }
+        }
+        self.last = Some((t_s, counter_uj));
+    }
+}
+
+impl Default for RaplPowerMetric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metric for RaplPowerMetric {
+    fn name(&self) -> &str {
+        "rapl"
+    }
+
+    fn unit(&self) -> &str {
+        "W"
+    }
+
+    /// The runner may also feed pre-computed watts directly (e.g. when the
+    /// node power model is sampled instead of raw counters).
+    fn record(&mut self, t_s: f64, watts: f64) {
+        self.series.push(t_s, watts);
+    }
+
+    fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    fn reset(&mut self) {
+        self.series.clear();
+        self.last = None;
+    }
+}
+
+/// Instructions-per-cycle from hardware counters.
+///
+/// "Second, measuring instructions per cycle (IPC) using the
+/// perf_event_open syscall" — fed with cumulative (instructions, cycles)
+/// counter pairs, differentiated per window.
+pub struct PerfIpcMetric {
+    series: TimeSeries,
+    last: Option<(u64, u64)>,
+}
+
+impl PerfIpcMetric {
+    pub fn new() -> PerfIpcMetric {
+        PerfIpcMetric {
+            series: TimeSeries::new(),
+            last: None,
+        }
+    }
+
+    /// Records cumulative counters at time `t_s`.
+    pub fn record_counters(&mut self, t_s: f64, instructions: u64, cycles: u64) {
+        if let Some((i0, c0)) = self.last {
+            let di = instructions.saturating_sub(i0);
+            let dc = cycles.saturating_sub(c0);
+            if dc > 0 {
+                self.series.push(t_s, di as f64 / dc as f64);
+            }
+        }
+        self.last = Some((instructions, cycles));
+    }
+}
+
+impl Default for PerfIpcMetric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metric for PerfIpcMetric {
+    fn name(&self) -> &str {
+        "perf-ipc"
+    }
+
+    fn unit(&self) -> &str {
+        "instructions/cycle"
+    }
+
+    fn record(&mut self, t_s: f64, ipc: f64) {
+        self.series.push(t_s, ipc);
+    }
+
+    fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    fn reset(&mut self) {
+        self.series.clear();
+        self.last = None;
+    }
+}
+
+/// IPC estimated from loop counts and an *assumed constant* frequency.
+///
+/// "Finally, we also integrate an IPC estimation metric, which is valuable
+/// if the syscall is not available … this approach is distorted if the
+/// frequency of the processor changes during the optimization run." The
+/// distortion is reproduced: the estimate divides by the assumed
+/// frequency, so under EDC throttling it *under-reports* IPC.
+pub struct IpcEstimateMetric {
+    series: TimeSeries,
+    assumed_freq_mhz: f64,
+    insts_per_iteration: f64,
+    last: Option<(f64, u64)>,
+}
+
+impl IpcEstimateMetric {
+    pub fn new(assumed_freq_mhz: f64, insts_per_iteration: f64) -> IpcEstimateMetric {
+        assert!(assumed_freq_mhz > 0.0 && insts_per_iteration > 0.0);
+        IpcEstimateMetric {
+            series: TimeSeries::new(),
+            assumed_freq_mhz,
+            insts_per_iteration,
+            last: None,
+        }
+    }
+
+    /// Records the cumulative iteration counter at time `t_s`.
+    pub fn record_iterations(&mut self, t_s: f64, iterations: u64) {
+        if let Some((t0, it0)) = self.last {
+            let dt = t_s - t0;
+            let di = iterations.saturating_sub(it0);
+            if dt > 0.0 {
+                let insts = di as f64 * self.insts_per_iteration;
+                let assumed_cycles = self.assumed_freq_mhz * 1e6 * dt;
+                self.series.push(t_s, insts / assumed_cycles);
+            }
+        }
+        self.last = Some((t_s, iterations));
+    }
+}
+
+impl Metric for IpcEstimateMetric {
+    fn name(&self) -> &str {
+        "ipc-estimate"
+    }
+
+    fn unit(&self) -> &str {
+        "instructions/cycle"
+    }
+
+    fn record(&mut self, t_s: f64, value: f64) {
+        self.series.push(t_s, value);
+    }
+
+    fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    fn reset(&mut self) {
+        self.series.clear();
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Metric;
+
+    #[test]
+    fn rapl_differentiates_energy() {
+        let mut m = RaplPowerMetric::new();
+        m.record_energy_uj(0.0, 0);
+        m.record_energy_uj(1.0, 200_000_000); // 200 J in 1 s = 200 W
+        m.record_energy_uj(2.0, 300_000_000); // 100 W
+        let s = m.series().samples();
+        assert_eq!(s.len(), 2);
+        assert!((s[0].value - 200.0).abs() < 1e-9);
+        assert!((s[1].value - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rapl_handles_counter_wrap() {
+        let mut m = RaplPowerMetric::new();
+        let near_wrap = fs2_power::rapl::MAX_ENERGY_RANGE_UJ - 50_000_000;
+        m.record_energy_uj(0.0, near_wrap);
+        m.record_energy_uj(1.0, 50_000_000); // wrapped: +100 J ⇒ ~100 W
+        let s = m.series().samples();
+        assert_eq!(s.len(), 1);
+        assert!((s[0].value - 100.0).abs() < 1.0, "got {}", s[0].value);
+    }
+
+    #[test]
+    fn perf_ipc_differentiates_counters() {
+        let mut m = PerfIpcMetric::new();
+        m.record_counters(0.0, 0, 0);
+        m.record_counters(1.0, 4_000, 1_000);
+        m.record_counters(2.0, 10_000, 3_000);
+        let s = m.series().samples();
+        assert!((s[0].value - 4.0).abs() < 1e-12);
+        assert!((s[1].value - 3.0).abs() < 1e-12);
+        assert_eq!(m.name(), "perf-ipc");
+    }
+
+    #[test]
+    fn ipc_estimate_correct_at_assumed_frequency() {
+        // 1000 iterations/s × 2500 insts/iter at an assumed 2500 MHz:
+        // IPC = 2.5e6 / 2.5e9 = 1e-3 … pick friendlier numbers:
+        let mut m = IpcEstimateMetric::new(1000.0, 4_000.0);
+        m.record_iterations(0.0, 0);
+        m.record_iterations(1.0, 1_000_000);
+        // 4e9 insts / 1e9 assumed cycles = 4.0
+        let s = m.series().samples();
+        assert!((s[0].value - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ipc_estimate_distorted_by_throttling() {
+        // Core actually runs at 800 MHz but we assume 1000 MHz: the core
+        // completes 20 % fewer iterations; true IPC is unchanged but the
+        // estimate drops by 20 %.
+        let mut assumed = IpcEstimateMetric::new(1000.0, 4_000.0);
+        assumed.record_iterations(0.0, 0);
+        assumed.record_iterations(1.0, 800_000);
+        let est = assumed.series().samples()[0].value;
+        assert!((est - 3.2).abs() < 1e-9, "distorted estimate = {est}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = PerfIpcMetric::new();
+        m.record_counters(0.0, 0, 0);
+        m.record_counters(1.0, 100, 50);
+        m.reset();
+        assert!(m.series().is_empty());
+        // After reset the first record must not produce a sample.
+        m.record_counters(2.0, 400, 100);
+        assert!(m.series().is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Hand-rolled CSV output (`--measurement` reporting).
+//!
+//! The paper: "Optimization metrics can also be used for measurements,
+//! where a list of comma-separated values (CSV) are printed after the
+//! execution of the workload." No serializer crate is in the allowed
+//! dependency set, so quoting/escaping is implemented here (RFC 4180
+//! subset: quote fields containing comma, quote or newline; double
+//! embedded quotes).
+
+use std::fmt::Write as _;
+
+/// Minimal CSV writer accumulating into a string.
+#[derive(Debug, Default, Clone)]
+pub struct CsvWriter {
+    out: String,
+    columns: usize,
+}
+
+fn needs_quoting(field: &str) -> bool {
+    field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
+}
+
+fn escape(field: &str) -> String {
+    if needs_quoting(field) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+impl CsvWriter {
+    pub fn new() -> CsvWriter {
+        CsvWriter::default()
+    }
+
+    /// Writes the header row and fixes the column count.
+    pub fn header(&mut self, names: &[&str]) -> &mut Self {
+        assert_eq!(self.columns, 0, "header must be written first");
+        assert!(!names.is_empty());
+        self.columns = names.len();
+        let row: Vec<String> = names.iter().map(|n| escape(n)).collect();
+        let _ = writeln!(self.out, "{}", row.join(","));
+        self
+    }
+
+    /// Writes one row of string fields; panics on column-count mismatch.
+    pub fn row(&mut self, fields: &[String]) -> &mut Self {
+        assert_eq!(
+            fields.len(),
+            self.columns,
+            "row has {} fields, header has {}",
+            fields.len(),
+            self.columns
+        );
+        let row: Vec<String> = fields.iter().map(|f| escape(f)).collect();
+        let _ = writeln!(self.out, "{}", row.join(","));
+        self
+    }
+
+    /// Convenience for numeric rows.
+    pub fn row_f64(&mut self, fields: &[f64]) -> &mut Self {
+        let rendered: Vec<String> = fields.iter().map(|v| format!("{v}")).collect();
+        self.row(&rendered)
+    }
+
+    /// The accumulated CSV text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_table() {
+        let mut w = CsvWriter::new();
+        w.header(&["metric", "mean", "unit"]);
+        w.row(&["rapl".into(), "437.2".into(), "W".into()]);
+        w.row(&["perf-ipc".into(), "3.39".into(), "instructions/cycle".into()]);
+        let out = w.finish();
+        assert_eq!(
+            out,
+            "metric,mean,unit\nrapl,437.2,W\nperf-ipc,3.39,instructions/cycle\n"
+        );
+    }
+
+    #[test]
+    fn escaping_rules() {
+        let mut w = CsvWriter::new();
+        w.header(&["name", "note"]);
+        w.row(&["a,b".into(), "says \"hi\"".into()]);
+        w.row(&["multi\nline".into(), "ok".into()]);
+        let out = w.finish();
+        let lines: Vec<&str> = out.split('\n').collect();
+        assert_eq!(lines[1], "\"a,b\",\"says \"\"hi\"\"\"");
+        assert!(out.contains("\"multi\nline\",ok"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 fields")]
+    fn column_mismatch_panics() {
+        let mut w = CsvWriter::new();
+        w.header(&["a", "b"]);
+        w.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn numeric_rows() {
+        let mut w = CsvWriter::new();
+        w.header(&["t", "power"]);
+        w.row_f64(&[0.05, 437.25]);
+        assert_eq!(w.as_str(), "t,power\n0.05,437.25\n");
+    }
+}

@@ -1,0 +1,163 @@
+//! Buffered out-of-band metric source (the MetricQ path of Fig. 10).
+//!
+//! In the paper's setup, the LMG95 power meter samples at 20 Sa/s and
+//! streams into MetricQ, "where they are buffered. After a workload
+//! candidate finished execution, the values are retrieved and processed by
+//! FIRESTARTER". The essential property — samples accumulate while the
+//! workload runs and are drained afterwards — is reproduced with a
+//! crossbeam channel between the measurement side (sink) and the consumer
+//! (source/metric).
+
+use crate::metric::Metric;
+use crate::series::{Sample, TimeSeries};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// The producing half: lives with the power meter / measurement server.
+#[derive(Debug, Clone)]
+pub struct MetricQSink {
+    tx: Sender<Sample>,
+    rate_hz: f64,
+}
+
+impl MetricQSink {
+    /// Sends one sample into the buffer.
+    pub fn send(&self, t_s: f64, value: f64) {
+        // Receiver dropping just means nobody will drain; ignore.
+        let _ = self.tx.send(Sample { t_s, value });
+    }
+
+    /// Samples a continuous window `[t0, t1)` at the configured rate,
+    /// evaluating `f(t)` at each sampling point — the 20 Sa/s LMG95
+    /// behaviour.
+    pub fn sample_window(&self, t0: f64, t1: f64, mut f: impl FnMut(f64) -> f64) {
+        let dt = 1.0 / self.rate_hz;
+        let mut t = t0;
+        while t < t1 {
+            self.send(t, f(t));
+            t += dt;
+        }
+    }
+
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+}
+
+/// The consuming half: a [`Metric`] whose series fills when drained.
+pub struct MetricQSource {
+    name: String,
+    rx: Receiver<Sample>,
+    series: TimeSeries,
+}
+
+/// Creates a connected sink/source pair.
+///
+/// `rate_hz` is the meter sampling rate (the paper uses 20 Sa/s).
+pub fn channel(name: impl Into<String>, rate_hz: f64) -> (MetricQSink, MetricQSource) {
+    assert!(rate_hz > 0.0);
+    let (tx, rx) = unbounded();
+    (
+        MetricQSink { tx, rate_hz },
+        MetricQSource {
+            name: name.into(),
+            rx,
+            series: TimeSeries::new(),
+        },
+    )
+}
+
+impl MetricQSource {
+    /// Drains all buffered samples into the local series (called after a
+    /// workload candidate finishes). Returns the number of new samples.
+    pub fn drain(&mut self) -> usize {
+        let mut n = 0;
+        while let Ok(s) = self.rx.try_recv() {
+            self.series.push(s.t_s, s.value);
+            n += 1;
+        }
+        n
+    }
+
+    /// Buffered samples not yet drained.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Metric for MetricQSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn unit(&self) -> &str {
+        "W"
+    }
+
+    fn record(&mut self, _t_s: f64, _value: f64) {
+        // Out-of-band source: data arrives through the channel, the
+        // runner's tick is just an opportunity to drain.
+        self.drain();
+    }
+
+    fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    fn reset(&mut self) {
+        // Discard anything buffered from a previous candidate, then clear.
+        let _ = self.drain();
+        self.series.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Summary;
+
+    #[test]
+    fn buffered_then_drained() {
+        let (sink, mut source) = channel("metricq", 20.0);
+        sink.send(0.0, 300.0);
+        sink.send(0.05, 301.0);
+        assert_eq!(source.pending(), 2);
+        assert!(source.series().is_empty());
+        assert_eq!(source.drain(), 2);
+        assert_eq!(source.series().len(), 2);
+        assert_eq!(source.pending(), 0);
+    }
+
+    #[test]
+    fn window_sampling_at_rate() {
+        let (sink, mut source) = channel("metricq", 20.0);
+        // 10 s at 20 Sa/s = 200 samples.
+        sink.sample_window(0.0, 10.0, |_t| 400.0);
+        assert_eq!(source.drain(), 200);
+        let s = Summary::windowed(source.series(), 0.0, 10.0, 1.0, 1.0).unwrap();
+        assert!((s.mean - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_discards_pending_and_series() {
+        let (sink, mut source) = channel("metricq", 20.0);
+        sink.send(0.0, 1.0);
+        source.drain();
+        sink.send(1.0, 2.0); // pending from a stale candidate
+        source.reset();
+        assert!(source.series().is_empty());
+        assert_eq!(source.pending(), 0);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (sink, mut source) = channel("metricq", 20.0);
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                sink.send(i as f64 * 0.05, 350.0 + i as f64);
+            }
+        });
+        handle.join().unwrap();
+        assert_eq!(source.drain(), 100);
+        assert_eq!(source.series().len(), 100);
+    }
+}

@@ -1,0 +1,222 @@
+//! Energy coefficient tables.
+//!
+//! All dynamic energies are specified at the reference voltage
+//! [`PowerCoeffs::vref`] and scale with `(V/Vref)²` (CMOS dynamic power
+//! `P = C·V²·f`). Static terms scale with `V²` as a leakage
+//! approximation. DRAM energy does not scale with core voltage.
+//!
+//! ## Calibration landmarks (from the paper)
+//!
+//! Zen 2 node (2× EPYC 7502):
+//! * REG-only FMA mix @ 2500 MHz ⇒ ≈ 314 W (§III-D, v2.0)
+//! * v1.7.4 init bug (trivial FMA operands) ⇒ ≈ −8.5 W (§III-D)
+//! * REG-only @ 1500 MHz ⇒ ≈ 235 W (Fig. 9 "No access")
+//! * optimized mix up to RAM @ 1500 MHz ⇒ ≈ 437 W, +86 % (Fig. 9)
+//! * optimized workloads @ 2200/2500 MHz ⇒ 490–515 W with EDC throttling
+//!   to ≈ 2140–2300 MHz (Fig. 12)
+//!
+//! Haswell node (2× E5-2680 v3):
+//! * idle with C-states ≈ 70 W; full FIRESTARTER ≈ 360 W (Fig. 2)
+//! * each K80 GPU adds 29 W idle / 156 W stressed (handled in `fs2-gpu`).
+
+use fs2_arch::Microarch;
+
+/// Per-microarchitecture power coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerCoeffs {
+    /// Reference voltage for all dynamic coefficients, volts.
+    pub vref: f64,
+    /// Board-level constant: fans, VR losses, disks, NICs (watts).
+    pub platform_static_w: f64,
+    /// Per-socket uncore/IO-die power when idle (watts).
+    pub uncore_idle_w: f64,
+    /// Per-socket uncore/IO-die power under load (watts).
+    pub uncore_active_w: f64,
+    /// Per-socket DRAM background power (refresh, PLLs), watts.
+    pub dram_static_w: f64,
+    /// Per-core power in deep C-state (watts).
+    pub core_idle_w: f64,
+    /// Per-core static/leakage power at Vref (watts), scales with V².
+    pub core_static_w: f64,
+    /// Clock-tree + always-on pipeline energy per core cycle (nJ).
+    pub e_cycle_nj: f64,
+    /// Energy per 256-bit FMA (nJ).
+    pub e_fma256_nj: f64,
+    /// Energy per 256-bit multiply (nJ).
+    pub e_mul256_nj: f64,
+    /// Energy per 256-bit add (nJ).
+    pub e_add256_nj: f64,
+    /// Energy per 256-bit vector logic op (nJ).
+    pub e_veclogic_nj: f64,
+    /// Energy per scalar sqrt (nJ).
+    pub e_sqrt_nj: f64,
+    /// Energy per scalar FP multiply/add (nJ) — one lane's worth.
+    pub e_scalar64_nj: f64,
+    /// Load/store-unit energy per load µop (AGU, TLB, LSQ — the marginal
+    /// per-access cost Molka et al. \[11\] measure), nJ.
+    pub e_loadop_nj: f64,
+    /// LSU energy per store µop, nJ.
+    pub e_storeop_nj: f64,
+    /// Energy per light ALU op (nJ).
+    pub e_alu_nj: f64,
+    /// Energy per branch (nJ).
+    pub e_branch_nj: f64,
+    /// Energy per NOP (nJ).
+    pub e_nop_nj: f64,
+    /// Front-end energy per µop when served from the loop buffer (nJ).
+    pub e_uop_loopbuf_nj: f64,
+    /// Front-end energy per µop when served from the µop cache (nJ).
+    pub e_uop_opcache_nj: f64,
+    /// Front-end energy per µop through fetch+decode (nJ) — the reason
+    /// Fig. 8 shows a power step when the loop exceeds the µop cache.
+    pub e_uop_decoder_nj: f64,
+    /// Instruction-fetch energy per code byte streamed from L2 when the
+    /// loop exceeds L1I (the Fig. 8 "large" regime).
+    pub e_codefetch_byte_nj: f64,
+    /// Data-movement energy per byte served by L1 (nJ/B).
+    pub e_l1_byte_nj: f64,
+    /// …by L2.
+    pub e_l2_byte_nj: f64,
+    /// …by L3 (includes CCX interconnect).
+    pub e_l3_byte_nj: f64,
+    /// …by DRAM (includes IO-die/IMC, bus and DIMM energy; not
+    /// voltage-scaled).
+    pub e_ram_byte_nj: f64,
+    /// Fraction of FMA energy saved when an operand is trivial
+    /// (±∞/0/NaN) and the unit clock-gates (Hickmann patent, §III-D).
+    pub fma_gate_factor: f64,
+}
+
+impl PowerCoeffs {
+    /// Coefficients for a microarchitecture.
+    pub fn for_uarch(uarch: Microarch) -> PowerCoeffs {
+        match uarch {
+            Microarch::Zen2 => PowerCoeffs::zen2(),
+            Microarch::Haswell => PowerCoeffs::haswell(),
+            Microarch::Generic => PowerCoeffs::haswell(),
+        }
+    }
+
+    /// AMD Zen 2 (7 nm chiplets + 14 nm IO die).
+    pub fn zen2() -> PowerCoeffs {
+        PowerCoeffs {
+            vref: 1.0,
+            platform_static_w: 55.0,
+            uncore_idle_w: 28.0,
+            uncore_active_w: 32.0,
+            dram_static_w: 10.0,
+            core_idle_w: 0.30,
+            core_static_w: 0.55,
+            e_cycle_nj: 0.16,
+            e_fma256_nj: 0.24,
+            e_mul256_nj: 0.18,
+            e_add256_nj: 0.14,
+            e_veclogic_nj: 0.06,
+            e_sqrt_nj: 0.40,
+            e_scalar64_nj: 0.045,
+            e_loadop_nj: 0.10,
+            e_storeop_nj: 0.13,
+            e_alu_nj: 0.030,
+            e_branch_nj: 0.020,
+            e_nop_nj: 0.004,
+            e_uop_loopbuf_nj: 0.004,
+            e_uop_opcache_nj: 0.008,
+            e_uop_decoder_nj: 0.024,
+            e_codefetch_byte_nj: 0.004,
+            e_l1_byte_nj: 0.004,
+            e_l2_byte_nj: 0.030,
+            e_l3_byte_nj: 0.070,
+            e_ram_byte_nj: 0.60,
+            fma_gate_factor: 0.105,
+        }
+    }
+
+    /// Intel Haswell-EP (22 nm monolithic, ring uncore).
+    pub fn haswell() -> PowerCoeffs {
+        PowerCoeffs {
+            vref: 1.0,
+            platform_static_w: 34.0,
+            uncore_idle_w: 14.0,
+            uncore_active_w: 24.0,
+            dram_static_w: 8.0,
+            core_idle_w: 0.20,
+            core_static_w: 1.10,
+            e_cycle_nj: 0.55,
+            e_fma256_nj: 1.05,
+            e_mul256_nj: 0.80,
+            e_add256_nj: 0.60,
+            e_veclogic_nj: 0.22,
+            e_sqrt_nj: 1.20,
+            e_scalar64_nj: 0.18,
+            e_loadop_nj: 0.30,
+            e_storeop_nj: 0.38,
+            e_alu_nj: 0.10,
+            e_branch_nj: 0.07,
+            e_nop_nj: 0.01,
+            e_uop_loopbuf_nj: 0.010,
+            e_uop_opcache_nj: 0.022,
+            e_uop_decoder_nj: 0.065,
+            e_codefetch_byte_nj: 0.012,
+            e_l1_byte_nj: 0.020,
+            e_l2_byte_nj: 0.110,
+            e_l3_byte_nj: 0.260,
+            e_ram_byte_nj: 1.10,
+            fma_gate_factor: 0.105,
+        }
+    }
+
+    /// Voltage scaling factor for dynamic/static energies.
+    pub fn vscale(&self, voltage: f64) -> f64 {
+        let r = voltage / self.vref;
+        r * r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_by_uarch() {
+        assert_eq!(PowerCoeffs::for_uarch(Microarch::Zen2), PowerCoeffs::zen2());
+        assert_eq!(
+            PowerCoeffs::for_uarch(Microarch::Haswell),
+            PowerCoeffs::haswell()
+        );
+        // Generic falls back to the conservative Haswell set.
+        assert_eq!(
+            PowerCoeffs::for_uarch(Microarch::Generic),
+            PowerCoeffs::haswell()
+        );
+    }
+
+    #[test]
+    fn vscale_is_quadratic() {
+        let c = PowerCoeffs::zen2();
+        assert!((c.vscale(1.0) - 1.0).abs() < 1e-12);
+        assert!((c.vscale(1.1) - 1.21).abs() < 1e-12);
+        assert!((c.vscale(0.85) - 0.7225).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_ordering_invariants() {
+        for c in [PowerCoeffs::zen2(), PowerCoeffs::haswell()] {
+            // FMA is the most expensive arithmetic op.
+            assert!(c.e_fma256_nj > c.e_mul256_nj);
+            assert!(c.e_mul256_nj > c.e_add256_nj);
+            assert!(c.e_add256_nj > c.e_veclogic_nj);
+            assert!(c.e_veclogic_nj > c.e_alu_nj);
+            // Decoder path costs more than the µop cache, which costs
+            // more than the loop buffer (the Fig. 8 power ladder).
+            assert!(c.e_uop_decoder_nj > c.e_uop_opcache_nj);
+            assert!(c.e_uop_opcache_nj > c.e_uop_loopbuf_nj);
+            // Each memory level is costlier per byte than the previous
+            // (the Fig. 2/9 power ladder).
+            assert!(c.e_l2_byte_nj > c.e_l1_byte_nj);
+            assert!(c.e_l3_byte_nj > c.e_l2_byte_nj);
+            assert!(c.e_ram_byte_nj > c.e_l3_byte_nj);
+            // Gating saves a modest fraction (≈ 8.5 W on a 314 W node).
+            assert!(c.fma_gate_factor > 0.0 && c.fma_gate_factor < 0.3);
+        }
+    }
+}

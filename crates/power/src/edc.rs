@@ -1,0 +1,224 @@
+//! Electrical-design-current throttling (§IV-E).
+//!
+//! Zen 2 reduces core frequency dynamically to avoid peaks that "cause
+//! electrical design current (EDC) specifications to be exceeded". The
+//! effect in the paper: every optimized workload throttles when run at
+//! 2200 or 2500 MHz (Fig. 12c shows applied frequencies of ~2140–2300 MHz)
+//! and Fig. 8 shows a 2.5 → 2.4 GHz dip for L2-resident code.
+//!
+//! The solver finds the highest quantized frequency at or below the
+//! request whose steady-state core-rail current fits the SKU's EDC limit.
+//! Current falls with frequency (both V and f drop), so a downward scan
+//! terminates; the 25 MHz quantization reproduces the fine-grained steps
+//! the paper observes.
+
+use crate::model::NodePowerModel;
+use fs2_sim::{Kernel, NodeSteadyState, SystemSim};
+
+/// Result of the throttle solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThrottleResult {
+    /// Requested frequency (the selected P-state), MHz.
+    pub requested_mhz: f64,
+    /// Applied (possibly throttled) frequency, MHz.
+    pub applied_mhz: f64,
+    /// Steady state at the applied frequency.
+    pub node: NodeSteadyState,
+    /// Power at the applied frequency.
+    pub power: crate::model::PowerBreakdown,
+    /// Whether throttling occurred.
+    pub throttled: bool,
+}
+
+/// Finds the applied frequency for `kernel` requested at `freq_mhz`.
+///
+/// `trivial_fraction` is forwarded to the power model (trivial FMA
+/// operands lower current and can therefore *reduce* throttling — the
+/// paper's v1.7.4 bug also changed the applied frequency headroom).
+pub fn solve_throttle(
+    sim: &SystemSim,
+    model: &NodePowerModel,
+    kernel: &Kernel,
+    freq_mhz: f64,
+    active_cores: Option<u32>,
+    trivial_fraction: f64,
+) -> ThrottleResult {
+    let sku = model.sku();
+    let edc = sku.edc_amps_per_socket;
+    let ppt = sku.ppt_w_per_socket;
+    let step = f64::from(sku.pstates.throttle_step_mhz.max(1));
+    let floor = f64::from(sku.pstates.min_throttle_mhz);
+
+    let mut f = freq_mhz;
+    loop {
+        let node = sim.evaluate(kernel, f, active_cores);
+        let power = model.workload_power(&node, kernel, trivial_fraction);
+        let within_limits =
+            power.core_rail_amps_per_socket <= edc && power.socket_power_w <= ppt;
+        if within_limits || f <= floor {
+            return ThrottleResult {
+                requested_mhz: freq_mhz,
+                applied_mhz: f,
+                throttled: f < freq_mhz,
+                node,
+                power,
+            };
+        }
+        // Quantize strictly below the current frequency.
+        let next = sku.pstates.quantize_down(f - step);
+        if next >= f {
+            // Quantization floor reached.
+            return ThrottleResult {
+                requested_mhz: freq_mhz,
+                applied_mhz: f,
+                throttled: f < freq_mhz,
+                node,
+                power,
+            };
+        }
+        f = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NodePowerModel;
+    use fs2_arch::{MemLevel, Sku};
+    use fs2_sim::kernel::TaggedInst;
+    use fs2_isa::prelude::*;
+
+    /// FMA mix with a dense access pattern: an L1 load+store pair every
+    /// group and an L2 load every 2nd — the cache-saturating, compute-
+    /// bound shape that exceeds the EDC current limit at nominal
+    /// frequency (RAM-bound mixes drop current instead and are governed
+    /// by the PPT limit).
+    fn mix_kernel(groups: u32, with_caches: bool) -> Kernel {
+        let mut body = Vec::new();
+        for g in 0..groups {
+            body.push(TaggedInst::reg(Inst::Vfmadd231pd {
+                dst: Ymm::new((g % 12) as u8),
+                src1: Ymm::new(12),
+                src2: RmYmm::Reg(Ymm::new(14)),
+            }));
+            if with_caches {
+                body.push(TaggedInst::mem(
+                    Inst::VmovapdLoad {
+                        dst: Ymm::new(13),
+                        src: Mem::base(Gp::Rax),
+                    },
+                    MemLevel::L1,
+                ));
+                body.push(TaggedInst::mem(
+                    Inst::VmovapdStore {
+                        dst: Mem::base(Gp::Rcx),
+                        src: Ymm::new(((g + 3) % 12) as u8),
+                    },
+                    MemLevel::L1,
+                ));
+            } else {
+                body.push(TaggedInst::reg(Inst::XorGp {
+                    dst: Gp::Rax,
+                    src: Gp::Rbx,
+                }));
+            }
+            body.push(TaggedInst::reg(Inst::Vfmadd231pd {
+                dst: Ymm::new(((g + 6) % 12) as u8),
+                src1: Ymm::new(13),
+                src2: RmYmm::Reg(Ymm::new(15)),
+            }));
+            if with_caches && g % 2 == 0 {
+                body.push(TaggedInst::mem(
+                    Inst::VmovapdLoad {
+                        dst: Ymm::new(11),
+                        src: Mem::base(Gp::Rsi),
+                    },
+                    MemLevel::L2,
+                ));
+            } else {
+                body.push(TaggedInst::reg(Inst::ShlImm {
+                    dst: Gp::Rdx,
+                    imm: 4,
+                }));
+            }
+        }
+        body.push(TaggedInst::reg(Inst::Dec(Gp::Rdi)));
+        body.push(TaggedInst::reg(Inst::Jnz { rel: 0 }));
+        Kernel::new(if with_caches { "cache-mix" } else { "reg-mix" }, body, groups)
+    }
+
+    fn setup() -> (SystemSim, NodePowerModel) {
+        let sku = Sku::amd_epyc_7502();
+        (SystemSim::new(sku.clone()), NodePowerModel::new(sku))
+    }
+
+    #[test]
+    fn no_throttle_at_1500() {
+        // Fig. 12c bottom row: 1492 MHz ≈ no throttling at the lowest
+        // P-state even for cache-heavy workloads.
+        let (sim, model) = setup();
+        let k = mix_kernel(64, true);
+        let r = solve_throttle(&sim, &model, &k, 1500.0, None, 0.0);
+        assert!(!r.throttled, "throttled to {} MHz", r.applied_mhz);
+        assert_eq!(r.applied_mhz, 1500.0);
+    }
+
+    #[test]
+    fn cache_heavy_workload_throttles_at_nominal() {
+        // Fig. 12c top rows: applied frequency 2140–2304 MHz at 2500.
+        let (sim, model) = setup();
+        let k = mix_kernel(64, true);
+        let r = solve_throttle(&sim, &model, &k, 2500.0, None, 0.0);
+        assert!(r.throttled, "expected throttling at nominal");
+        assert!(
+            (1800.0..2500.0).contains(&r.applied_mhz),
+            "applied = {} MHz",
+            r.applied_mhz
+        );
+        // Quantized to the 25 MHz step.
+        assert_eq!(r.applied_mhz % 25.0, 0.0);
+    }
+
+    #[test]
+    fn throttled_frequency_is_stable_solution() {
+        // Re-evaluating at the applied frequency must satisfy both limits.
+        let (sim, model) = setup();
+        let k = mix_kernel(64, true);
+        let r = solve_throttle(&sim, &model, &k, 2500.0, None, 0.0);
+        assert!(
+            r.power.core_rail_amps_per_socket <= model.sku().edc_amps_per_socket + 1e-9
+        );
+        assert!(r.power.socket_power_w <= model.sku().ppt_w_per_socket + 1e-9);
+    }
+
+    #[test]
+    fn trivial_operands_reduce_throttling() {
+        let (sim, model) = setup();
+        let k = mix_kernel(64, true);
+        let healthy = solve_throttle(&sim, &model, &k, 2500.0, None, 0.0);
+        let gated = solve_throttle(&sim, &model, &k, 2500.0, None, 1.0);
+        assert!(gated.applied_mhz >= healthy.applied_mhz);
+    }
+
+    #[test]
+    fn fewer_active_cores_throttle_less() {
+        let (sim, model) = setup();
+        let k = mix_kernel(64, true);
+        let full = solve_throttle(&sim, &model, &k, 2500.0, None, 0.0);
+        let quarter = solve_throttle(&sim, &model, &k, 2500.0, Some(16), 0.0);
+        assert!(quarter.applied_mhz >= full.applied_mhz);
+    }
+
+    #[test]
+    fn throttle_floor_terminates() {
+        // Even with an absurdly low EDC the solver terminates at the floor.
+        let mut sku = Sku::amd_epyc_7502();
+        sku.edc_amps_per_socket = 0.001;
+        let sim = SystemSim::new(sku.clone());
+        let model = NodePowerModel::new(sku);
+        let k = mix_kernel(64, true);
+        let r = solve_throttle(&sim, &model, &k, 2500.0, None, 0.0);
+        assert!(r.throttled);
+        assert!(r.applied_mhz >= 400.0 - 1e-9);
+    }
+}

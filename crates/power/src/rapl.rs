@@ -1,0 +1,176 @@
+//! RAPL-style energy counters.
+//!
+//! FIRESTARTER's most convenient built-in power metric reads the Intel
+//! RAPL energy counters through sysfs (`energy_uj`, wrapping at
+//! `max_energy_range_uj`). The paper notes RAPL is accurate on
+//! Haswell-and-later Intel parts but less accurate on AMD (Rome exposes
+//! only the core domain, missing IO-die and DRAM power) — we model that
+//! too, so the metric stack exercises the same caveats.
+
+use crate::model::PowerBreakdown;
+
+/// sysfs-powercap style wrap bound (2³² µJ ≈ 4.29 kJ).
+pub const MAX_ENERGY_RANGE_UJ: u64 = u32::MAX as u64;
+
+/// One energy-counter domain (package, core, …).
+#[derive(Debug, Clone, Default)]
+pub struct RaplDomain {
+    energy_uj: u64,
+}
+
+impl RaplDomain {
+    /// Adds `power_w` integrated over `dt_s` seconds.
+    pub fn accumulate(&mut self, power_w: f64, dt_s: f64) {
+        assert!(dt_s >= 0.0 && power_w >= 0.0);
+        let add_uj = (power_w * dt_s * 1e6).round() as u64;
+        self.energy_uj = (self.energy_uj + add_uj) % (MAX_ENERGY_RANGE_UJ + 1);
+    }
+
+    /// Current counter value in µJ (wraps like the sysfs file).
+    pub fn energy_uj(&self) -> u64 {
+        self.energy_uj
+    }
+}
+
+/// Per-socket RAPL counters with package and core domains.
+#[derive(Debug, Clone)]
+pub struct Rapl {
+    /// Package domains, one per socket.
+    pub package: Vec<RaplDomain>,
+    /// Core (PP0) domains, one per socket.
+    pub core: Vec<RaplDomain>,
+    /// AMD Rome quirk: RAPL covers only the core domain; package reads
+    /// under-report by the uncore+DRAM share (§III-C accuracy remark).
+    pub amd_core_only: bool,
+}
+
+impl Rapl {
+    pub fn new(sockets: u32, amd_core_only: bool) -> Rapl {
+        Rapl {
+            package: vec![RaplDomain::default(); sockets as usize],
+            core: vec![RaplDomain::default(); sockets as usize],
+            amd_core_only,
+        }
+    }
+
+    /// Integrates a node power breakdown over `dt_s` seconds, splitting
+    /// evenly across sockets.
+    pub fn accumulate(&mut self, p: &PowerBreakdown, dt_s: f64) {
+        let sockets = self.package.len() as f64;
+        let core_w = (p.core_dynamic_w + p.core_static_w) / sockets;
+        // What "package" covers depends on the vendor: Intel includes
+        // uncore; AMD Rome effectively reports cores only.
+        let pkg_w = if self.amd_core_only {
+            core_w
+        } else {
+            core_w + p.uncore_w / sockets
+        };
+        for d in &mut self.package {
+            d.accumulate(pkg_w, dt_s);
+        }
+        for d in &mut self.core {
+            d.accumulate(core_w, dt_s);
+        }
+    }
+
+    /// Sum of package counters, µJ.
+    pub fn package_energy_uj(&self) -> u64 {
+        self.package.iter().map(RaplDomain::energy_uj).sum()
+    }
+}
+
+/// Computes average power between two counter reads, handling wrap.
+#[derive(Debug, Clone, Copy)]
+pub struct RaplReader {
+    last_uj: u64,
+    last_t_s: f64,
+}
+
+impl RaplReader {
+    /// Starts a window at the given counter value and timestamp.
+    pub fn start(counter_uj: u64, t_s: f64) -> RaplReader {
+        RaplReader {
+            last_uj: counter_uj,
+            last_t_s: t_s,
+        }
+    }
+
+    /// Ends the window, returning average watts since the last read and
+    /// re-arming for the next window.
+    pub fn sample(&mut self, counter_uj: u64, t_s: f64) -> f64 {
+        let dt = t_s - self.last_t_s;
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        let delta = if counter_uj >= self.last_uj {
+            counter_uj - self.last_uj
+        } else {
+            // One wrap.
+            counter_uj + (MAX_ENERGY_RANGE_UJ + 1) - self.last_uj
+        };
+        self.last_uj = counter_uj;
+        self.last_t_s = t_s;
+        delta as f64 * 1e-6 / dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_read() {
+        let mut d = RaplDomain::default();
+        d.accumulate(100.0, 1.0); // 100 J = 1e8 µJ
+        assert_eq!(d.energy_uj(), 100_000_000);
+        d.accumulate(50.0, 2.0); // +100 J
+        assert_eq!(d.energy_uj(), 200_000_000);
+    }
+
+    #[test]
+    fn counter_wraps_like_sysfs() {
+        let mut d = RaplDomain::default();
+        // 4.29 kJ capacity; add 5 kJ.
+        d.accumulate(5000.0, 1.0);
+        assert!(d.energy_uj() <= MAX_ENERGY_RANGE_UJ);
+    }
+
+    #[test]
+    fn reader_handles_wrap() {
+        let mut d = RaplDomain::default();
+        d.accumulate(4000.0, 1.0); // near the wrap point
+        let mut reader = RaplReader::start(d.energy_uj(), 0.0);
+        d.accumulate(600.0, 1.0); // wraps
+        let w = reader.sample(d.energy_uj(), 1.0);
+        assert!((w - 600.0).abs() < 1.0, "avg power = {w}");
+    }
+
+    #[test]
+    fn reader_zero_dt_is_safe() {
+        let mut r = RaplReader::start(100, 5.0);
+        assert_eq!(r.sample(200, 5.0), 0.0);
+    }
+
+    #[test]
+    fn amd_core_only_underreports() {
+        let p = PowerBreakdown {
+            platform_w: 55.0,
+            uncore_w: 60.0,
+            core_static_w: 40.0,
+            core_dynamic_w: 140.0,
+            dram_w: 30.0,
+            external_w: 0.0,
+            core_rail_amps_per_socket: 0.0,
+            socket_power_w: 0.0,
+        };
+        let mut amd = Rapl::new(2, true);
+        let mut intel = Rapl::new(2, false);
+        amd.accumulate(&p, 1.0);
+        intel.accumulate(&p, 1.0);
+        // AMD package counters miss the uncore share.
+        assert!(amd.package_energy_uj() < intel.package_energy_uj());
+        // Neither covers platform or DRAM fully — RAPL < wall power.
+        let wall_uj = (p.total_w() * 1e6) as u64;
+        assert!(intel.package_energy_uj() < wall_uj);
+    }
+}

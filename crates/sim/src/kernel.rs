@@ -1,0 +1,227 @@
+//! Executable payload representation.
+//!
+//! A [`Kernel`] is one iteration of the generated inner loop: the
+//! instruction sequence plus, for every memory-touching instruction, the
+//! hierarchy level its access stream targets. The payload builder in
+//! `fs2-core` knows the level (it sized the buffer the address walk stays
+//! inside); the simulator only needs the resulting per-level traffic.
+
+use fs2_arch::MemLevel;
+use fs2_isa::encoder::sequence_len;
+use fs2_isa::meta::{sequence_meta, SeqMeta};
+use fs2_isa::Inst;
+
+/// An instruction plus the memory level its (optional) access targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaggedInst {
+    pub inst: Inst,
+    /// `None` for register-only instructions; `Some(level)` for loads,
+    /// stores and prefetches.
+    pub level: Option<MemLevel>,
+}
+
+impl TaggedInst {
+    pub fn reg(inst: Inst) -> TaggedInst {
+        TaggedInst { inst, level: None }
+    }
+
+    pub fn mem(inst: Inst, level: MemLevel) -> TaggedInst {
+        TaggedInst {
+            inst,
+            level: Some(level),
+        }
+    }
+}
+
+/// Per-level traffic of one loop iteration.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelTraffic {
+    /// Bytes read per iteration, indexed by [`MemLevel::idx`].
+    pub load_bytes: [u64; 4],
+    /// Bytes written per iteration.
+    pub store_bytes: [u64; 4],
+    /// Bytes prefetched per iteration.
+    pub prefetch_bytes: [u64; 4],
+    /// Number of load/store instructions per iteration (data-cache access
+    /// count — the Fig. 9 access-rate metric), indexed by level.
+    pub accesses: [u64; 4],
+}
+
+impl LevelTraffic {
+    /// Total bytes hitting `level` per iteration.
+    pub fn bytes(&self, level: MemLevel) -> u64 {
+        let i = level.idx();
+        self.load_bytes[i] + self.store_bytes[i] + self.prefetch_bytes[i]
+    }
+
+    /// Total data-cache accesses (all levels).
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses.iter().sum()
+    }
+}
+
+/// One iteration of a generated stress loop, ready for simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Human-readable workload description (e.g. the group string).
+    pub name: String,
+    /// The loop body, including the `dec`/`jnz` tail.
+    pub body: Vec<TaggedInst>,
+    /// Aggregate instruction metadata for one iteration.
+    pub meta: SeqMeta,
+    /// Encoded size of the loop body in bytes (decides the fetch source).
+    pub code_bytes: u64,
+    /// Per-level memory traffic of one iteration.
+    pub traffic: LevelTraffic,
+    /// Number of instruction-set groups unrolled into this iteration
+    /// (the paper's `u`).
+    pub unrolled_groups: u32,
+}
+
+impl Kernel {
+    /// Builds a kernel from a tagged instruction sequence, deriving all
+    /// aggregate properties. Panics if a memory-touching instruction has
+    /// no level tag (a payload-builder bug).
+    pub fn new(name: impl Into<String>, body: Vec<TaggedInst>, unrolled_groups: u32) -> Kernel {
+        let insts: Vec<Inst> = body.iter().map(|t| t.inst).collect();
+        let meta = sequence_meta(&insts);
+        let code_bytes = sequence_len(&insts) as u64;
+        let mut traffic = LevelTraffic::default();
+        for t in &body {
+            let m = fs2_isa::meta::meta(&t.inst);
+            if m.mem_bytes == 0 {
+                continue;
+            }
+            let level = t
+                .level
+                .unwrap_or_else(|| panic!("memory instruction `{}` lacks a level tag", t.inst));
+            let i = level.idx();
+            let bytes = u64::from(m.mem_bytes);
+            if t.inst.is_prefetch() {
+                traffic.prefetch_bytes[i] += bytes;
+            } else if t.inst.is_store() {
+                traffic.store_bytes[i] += bytes;
+                traffic.accesses[i] += 1;
+            } else {
+                traffic.load_bytes[i] += bytes;
+                traffic.accesses[i] += 1;
+            }
+        }
+        Kernel {
+            name: name.into(),
+            body,
+            meta,
+            code_bytes,
+            traffic,
+            unrolled_groups,
+        }
+    }
+
+    /// Fused-domain µops per iteration.
+    pub fn uops(&self) -> u64 {
+        self.meta.uops
+    }
+
+    /// Instructions per iteration.
+    pub fn insts(&self) -> u64 {
+        self.meta.insts
+    }
+
+    /// The raw instruction stream of one iteration.
+    pub fn insts_iter(&self) -> impl Iterator<Item = &Inst> {
+        self.body.iter().map(|t| &t.inst)
+    }
+
+    /// Encodes the loop body to machine code (the AsmJit-equivalent
+    /// output; see `fs2-core::payload` for the full function with
+    /// prologue/epilogue).
+    pub fn encode(&self) -> Vec<u8> {
+        let insts: Vec<Inst> = self.insts_iter().copied().collect();
+        fs2_isa::encoder::encode_sequence(&insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs2_isa::prelude::*;
+
+    fn fma(dst: u8) -> Inst {
+        Inst::Vfmadd231pd {
+            dst: Ymm::new(dst),
+            src1: Ymm::new(14),
+            src2: RmYmm::Reg(Ymm::new(15)),
+        }
+    }
+
+    #[test]
+    fn kernel_aggregates_traffic_by_level() {
+        let body = vec![
+            TaggedInst::reg(fma(0)),
+            TaggedInst::mem(
+                Inst::VmovapdLoad {
+                    dst: Ymm::new(1),
+                    src: Mem::base(Gp::Rax),
+                },
+                MemLevel::L1,
+            ),
+            TaggedInst::mem(
+                Inst::VmovapdStore {
+                    dst: Mem::base(Gp::Rax),
+                    src: Ymm::new(1),
+                },
+                MemLevel::L1,
+            ),
+            TaggedInst::mem(
+                Inst::VmovapdLoad {
+                    dst: Ymm::new(2),
+                    src: Mem::base(Gp::Rbx),
+                },
+                MemLevel::Ram,
+            ),
+            TaggedInst::mem(
+                Inst::Prefetch {
+                    hint: PrefetchHint::T2,
+                    mem: Mem::base(Gp::Rcx),
+                },
+                MemLevel::Ram,
+            ),
+            TaggedInst::reg(Inst::Dec(Gp::Rdi)),
+            TaggedInst::reg(Inst::Jnz { rel: 0 }),
+        ];
+        let k = Kernel::new("test", body, 1);
+        assert_eq!(k.traffic.load_bytes[MemLevel::L1.idx()], 32);
+        assert_eq!(k.traffic.store_bytes[MemLevel::L1.idx()], 32);
+        assert_eq!(k.traffic.load_bytes[MemLevel::Ram.idx()], 32);
+        assert_eq!(k.traffic.prefetch_bytes[MemLevel::Ram.idx()], 64);
+        assert_eq!(k.traffic.bytes(MemLevel::L1), 64);
+        assert_eq!(k.traffic.bytes(MemLevel::Ram), 96);
+        assert_eq!(k.traffic.bytes(MemLevel::L2), 0);
+        // Prefetches do not count as data-cache accesses.
+        assert_eq!(k.traffic.accesses[MemLevel::Ram.idx()], 1);
+        assert_eq!(k.traffic.total_accesses(), 3);
+        assert_eq!(k.insts(), 7);
+        assert!(k.code_bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a level tag")]
+    fn untagged_memory_instruction_panics() {
+        let body = vec![TaggedInst::reg(Inst::VmovapdLoad {
+            dst: Ymm::new(0),
+            src: Mem::base(Gp::Rax),
+        })];
+        let _ = Kernel::new("bad", body, 1);
+    }
+
+    #[test]
+    fn encode_matches_code_bytes() {
+        let body = vec![
+            TaggedInst::reg(fma(0)),
+            TaggedInst::reg(Inst::Dec(Gp::Rdi)),
+            TaggedInst::reg(Inst::Jnz { rel: -14 }),
+        ];
+        let k = Kernel::new("enc", body, 1);
+        assert_eq!(k.encode().len() as u64, k.code_bytes);
+    }
+}

@@ -1,0 +1,206 @@
+//! Whole-node simulation: symmetric multi-core execution.
+//!
+//! FIRESTARTER runs the identical loop on every hardware thread, so the
+//! node model is symmetric: evaluate one core under full contention and
+//! scale. Shared-resource division (L3 per CCX, DRAM per socket) happens
+//! inside the per-core model via [`ActiveSet`].
+
+use crate::core::{steady_state, ActiveSet, CoreSteadyState};
+use crate::events::HwEvents;
+use crate::kernel::Kernel;
+use fs2_arch::{MemLevel, Sku};
+
+/// Node-level steady state for a kernel at a frequency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSteadyState {
+    /// Per-core result (all active cores are identical).
+    pub core: CoreSteadyState,
+    /// Number of active physical cores.
+    pub active_cores: u32,
+    /// Node-aggregate retired instructions per second.
+    pub node_insts_per_sec: f64,
+    /// Node-aggregate loop iterations per second.
+    pub node_iters_per_sec: f64,
+    /// Node-aggregate double-precision FLOP/s.
+    pub node_flops_per_sec: f64,
+    /// Node-aggregate bytes/s served by each memory level
+    /// (indexed by [`MemLevel::idx`]); drives the per-access energy model.
+    pub node_level_bytes_per_sec: [f64; 4],
+    /// Node-aggregate data-cache accesses per second.
+    pub node_dc_accesses_per_sec: f64,
+}
+
+/// Simulator for one node of a given SKU.
+#[derive(Debug, Clone)]
+pub struct SystemSim {
+    sku: Sku,
+}
+
+impl SystemSim {
+    pub fn new(sku: Sku) -> SystemSim {
+        SystemSim { sku }
+    }
+
+    pub fn sku(&self) -> &Sku {
+        &self.sku
+    }
+
+    fn active_set(&self, active_cores: u32) -> ActiveSet {
+        let total = self.sku.topology.total_cores();
+        let active = active_cores.min(total).max(1);
+        // Active cores spread evenly over sockets and CCXs (the runner
+        // pins one worker per core in machine order; for the symmetric
+        // full-load case this is exact).
+        let frac = f64::from(active) / f64::from(total);
+        let per_ccx =
+            (f64::from(self.sku.topology.cores_per_ccx) * frac).ceil() as u32;
+        let per_socket =
+            (f64::from(self.sku.topology.cores_per_socket()) * frac).ceil() as u32;
+        ActiveSet {
+            cores_per_ccx: per_ccx.max(1),
+            cores_per_socket: per_socket.max(1),
+        }
+    }
+
+    /// Steady-state evaluation with `active_cores` running the kernel
+    /// (defaults to all cores when `None`).
+    pub fn evaluate(
+        &self,
+        kernel: &Kernel,
+        freq_mhz: f64,
+        active_cores: Option<u32>,
+    ) -> NodeSteadyState {
+        let total = self.sku.topology.total_cores();
+        let active = active_cores.unwrap_or(total).min(total).max(1);
+        let core = steady_state(&self.sku, kernel, freq_mhz, self.active_set(active));
+        let iters = core.iters_per_sec * f64::from(active);
+        let mut node_level_bytes_per_sec = [0.0; 4];
+        for level in MemLevel::ALL {
+            node_level_bytes_per_sec[level.idx()] =
+                kernel.traffic.bytes(level) as f64 * iters;
+        }
+        NodeSteadyState {
+            node_insts_per_sec: kernel.meta.insts as f64 * iters,
+            node_flops_per_sec: kernel.meta.flops as f64 * iters,
+            node_dc_accesses_per_sec: kernel.traffic.total_accesses() as f64 * iters,
+            node_iters_per_sec: iters,
+            node_level_bytes_per_sec,
+            active_cores: active,
+            core,
+        }
+    }
+
+    /// Runs the kernel for `duration_ns` of simulated time and returns the
+    /// node steady state plus the per-core hardware-event sample.
+    pub fn run(
+        &self,
+        kernel: &Kernel,
+        freq_mhz: f64,
+        duration_ns: f64,
+        active_cores: Option<u32>,
+    ) -> (NodeSteadyState, HwEvents) {
+        assert!(duration_ns >= 0.0);
+        let node = self.evaluate(kernel, freq_mhz, active_cores);
+        let iters = (node.core.iters_per_sec * duration_ns * 1e-9).floor() as u64;
+        let cycles = (iters as f64 * node.core.cycles_per_iter).round() as u64;
+        let (dec, opc) =
+            HwEvents::attribute_uops(node.core.fetch_source, kernel.meta.uops * iters);
+        let events = HwEvents {
+            instructions: kernel.meta.insts * iters,
+            cycles,
+            uops_from_decoder: dec,
+            uops_from_opcache: opc,
+            dc_accesses: kernel.traffic.total_accesses() * iters,
+            stall_cycles: (iters as f64 * node.core.stall_cycles).round() as u64,
+            iterations: iters,
+            elapsed_ns: duration_ns.round() as u64,
+        };
+        (node, events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::TaggedInst;
+    use fs2_isa::prelude::*;
+
+    fn fma_kernel(groups: u32) -> Kernel {
+        let mut body = Vec::new();
+        for g in 0..groups {
+            body.push(TaggedInst::reg(Inst::Vfmadd231pd {
+                dst: Ymm::new((g % 12) as u8),
+                src1: Ymm::new(12),
+                src2: RmYmm::Reg(Ymm::new(14)),
+            }));
+            body.push(TaggedInst::reg(Inst::XorGp {
+                dst: Gp::Rax,
+                src: Gp::Rbx,
+            }));
+        }
+        body.push(TaggedInst::reg(Inst::Dec(Gp::Rdi)));
+        body.push(TaggedInst::reg(Inst::Jnz { rel: 0 }));
+        Kernel::new("fma", body, groups)
+    }
+
+    #[test]
+    fn node_scales_with_active_cores() {
+        let sim = SystemSim::new(Sku::amd_epyc_7502());
+        let k = fma_kernel(64);
+        let full = sim.evaluate(&k, 2500.0, None);
+        let half = sim.evaluate(&k, 2500.0, Some(32));
+        assert_eq!(full.active_cores, 64);
+        assert_eq!(half.active_cores, 32);
+        // Register-only kernel: no shared contention, linear scaling.
+        let ratio = full.node_insts_per_sec / half.node_insts_per_sec;
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn flops_accounting() {
+        let sim = SystemSim::new(Sku::amd_epyc_7502());
+        let k = fma_kernel(64);
+        let node = sim.evaluate(&k, 2500.0, None);
+        // Each group has one 8-FLOP FMA; two pipes ⇒ 2 FMA/cycle max but
+        // only 1 FMA per group here, ALU pairs with it.
+        assert!(node.node_flops_per_sec > 0.0);
+        let per_core = node.node_flops_per_sec / 64.0;
+        // Upper bound: 2 FMA/cycle × 8 FLOP × 2.5 GHz = 40 GFLOP/s/core.
+        assert!(per_core <= 40.0e9 * 1.001);
+    }
+
+    #[test]
+    fn run_produces_consistent_events() {
+        let sim = SystemSim::new(Sku::amd_epyc_7502());
+        let k = fma_kernel(64);
+        let (node, ev) = sim.run(&k, 2500.0, 1e9, None); // 1 second
+        assert!(ev.iterations > 0);
+        assert_eq!(ev.instructions, k.meta.insts * ev.iterations);
+        // IPC from events matches the steady-state IPC.
+        assert!((ev.ipc() - node.core.ipc).abs() < 0.01);
+        // Applied frequency ≈ 2500 MHz (no throttle model at this layer).
+        assert!((ev.applied_freq_mhz() - 2500.0).abs() < 25.0);
+        // Register-only loop is served by the µop cache: no decoder µops.
+        assert_eq!(ev.uops_from_decoder, 0);
+        assert!(ev.uops_from_opcache > 0);
+    }
+
+    #[test]
+    fn zero_duration_run_is_empty() {
+        let sim = SystemSim::new(Sku::amd_epyc_7502());
+        let k = fma_kernel(8);
+        let (_, ev) = sim.run(&k, 2500.0, 0.0, None);
+        assert_eq!(ev.iterations, 0);
+        assert_eq!(ev.instructions, 0);
+        assert_eq!(ev.ipc(), 0.0);
+    }
+
+    #[test]
+    fn level_rates_zero_for_untouched_levels() {
+        let sim = SystemSim::new(Sku::amd_epyc_7502());
+        let k = fma_kernel(16);
+        let node = sim.evaluate(&k, 1500.0, None);
+        assert_eq!(node.node_level_bytes_per_sec, [0.0; 4]);
+        assert_eq!(node.node_dc_accesses_per_sec, 0.0);
+    }
+}

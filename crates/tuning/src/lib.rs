@@ -1,0 +1,30 @@
+//! # fs2-tuning — NSGA-II multi-objective optimization
+//!
+//! §III-C of the paper: FIRESTARTER 2 embeds NSGA-II (Deb et al., 2002)
+//! to tune the memory-access vector `M` against two objectives — measured
+//! power and instruction throughput. NSGA-II was chosen because it is
+//! easy to implement without external dependencies (a design goal of the
+//! tool), needs no sharing parameter, and sorts in O(M·N²).
+//!
+//! The implementation here is a faithful, generic µ+λ NSGA-II over
+//! bounded integer genomes (FIRESTARTER individuals are vectors of
+//! access-group counts):
+//!
+//! * [`problem`] — the [`problem::Problem`] trait (genes → objectives,
+//!   maximization) and evaluation bookkeeping,
+//! * [`sort`] — fast non-dominated sorting and crowding distance,
+//! * [`nsga2`] — initialization, binary tournament on the crowded
+//!   comparison operator, uniform crossover, per-gene mutation
+//!   (`--nsga2-m`), elitist survival, and the full evaluation history
+//!   that Fig. 11 plots,
+//! * [`testfns`] — classic test problems (SCH, discretized ZDT1) used by
+//!   the convergence tests.
+
+pub mod nsga2;
+pub mod problem;
+pub mod sort;
+pub mod testfns;
+
+pub use nsga2::{Nsga2, Nsga2Config, Nsga2Result};
+pub use problem::{EvaluatedIndividual, Problem};
+pub use sort::{crowding_distance, dominates, fast_nondominated_sort};

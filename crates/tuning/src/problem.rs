@@ -1,0 +1,72 @@
+//! Optimization problem abstraction.
+
+/// A multi-objective problem over a bounded integer genome.
+///
+/// All objectives are **maximized** (power and IPC both are in the
+/// paper's setup; test functions negate their minimization objectives).
+pub trait Problem {
+    /// Number of genes in an individual.
+    fn n_genes(&self) -> usize;
+    /// Number of objectives.
+    fn n_objectives(&self) -> usize;
+    /// Inclusive per-gene bounds `(min, max)`.
+    fn bounds(&self) -> Vec<(u32, u32)>;
+    /// Evaluates an individual, returning one value per objective.
+    ///
+    /// Takes `&mut self` because evaluation may run a measurement (the
+    /// FIRESTARTER problem advances the simulated clock).
+    fn evaluate(&mut self, genes: &[u32]) -> Vec<f64>;
+
+    /// Optional repair of an out-of-spec genome (e.g. FIRESTARTER rejects
+    /// the all-zero access vector). Default: identity.
+    fn repair(&self, genes: &mut [u32]) {
+        let _ = genes;
+    }
+}
+
+/// One evaluated individual, kept for the full history (Fig. 11).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatedIndividual {
+    pub genes: Vec<u32>,
+    pub objectives: Vec<f64>,
+    /// Generation in which this evaluation happened (0 = initial).
+    pub generation: u32,
+    /// Global evaluation sequence number (the Fig. 11 color axis).
+    pub eval_index: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy;
+
+    impl Problem for Toy {
+        fn n_genes(&self) -> usize {
+            2
+        }
+        fn n_objectives(&self) -> usize {
+            2
+        }
+        fn bounds(&self) -> Vec<(u32, u32)> {
+            vec![(0, 10), (0, 10)]
+        }
+        fn evaluate(&mut self, genes: &[u32]) -> Vec<f64> {
+            vec![f64::from(genes[0]), f64::from(genes[1])]
+        }
+    }
+
+    #[test]
+    fn default_repair_is_identity() {
+        let p = Toy;
+        let mut g = vec![3, 4];
+        p.repair(&mut g);
+        assert_eq!(g, vec![3, 4]);
+    }
+
+    #[test]
+    fn evaluation_passthrough() {
+        let mut p = Toy;
+        assert_eq!(p.evaluate(&[1, 9]), vec![1.0, 9.0]);
+    }
+}

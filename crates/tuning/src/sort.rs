@@ -1,0 +1,191 @@
+//! Fast non-dominated sorting and crowding distance (Deb et al. 2002).
+
+/// Pareto dominance for maximization: `a` dominates `b` iff `a` is at
+/// least as good in every objective and strictly better in one.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Fast non-dominated sort: partitions indices into fronts, best first.
+///
+/// O(M·N²) as in the paper's complexity argument for choosing NSGA-II.
+pub fn fast_nondominated_sort(objectives: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = objectives.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // p dominates these
+    let mut domination_count = vec![0usize; n]; // how many dominate p
+    let mut fronts: Vec<Vec<usize>> = vec![Vec::new()];
+
+    for p in 0..n {
+        for q in 0..n {
+            if p == q {
+                continue;
+            }
+            if dominates(&objectives[p], &objectives[q]) {
+                dominated_by[p].push(q);
+            } else if dominates(&objectives[q], &objectives[p]) {
+                domination_count[p] += 1;
+            }
+        }
+        if domination_count[p] == 0 {
+            fronts[0].push(p);
+        }
+    }
+
+    let mut i = 0;
+    #[allow(clippy::while_let_loop)]
+    while !fronts[i].is_empty() {
+        let mut next = Vec::new();
+        for &p in &fronts[i] {
+            for &q in &dominated_by[p] {
+                domination_count[q] -= 1;
+                if domination_count[q] == 0 {
+                    next.push(q);
+                }
+            }
+        }
+        i += 1;
+        fronts.push(next);
+    }
+    fronts.pop(); // drop the trailing empty front
+    fronts
+}
+
+/// Crowding distance of each member of a front (index-aligned with
+/// `front`). Boundary solutions get `f64::INFINITY`.
+pub fn crowding_distance(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
+    let n = front.len();
+    let mut dist = vec![0.0f64; n];
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let m = objectives[front[0]].len();
+    #[allow(clippy::needless_range_loop)] // `obj` indexes a second array
+    for obj in 0..m {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            objectives[front[a]][obj].total_cmp(&objectives[front[b]][obj])
+        });
+        let lo = objectives[front[order[0]]][obj];
+        let hi = objectives[front[order[n - 1]]][obj];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[n - 1]] = f64::INFINITY;
+        let range = hi - lo;
+        if range <= 0.0 {
+            continue;
+        }
+        for w in 1..n - 1 {
+            let prev = objectives[front[order[w - 1]]][obj];
+            let next = objectives[front[order[w + 1]]][obj];
+            dist[order[w]] += (next - prev) / range;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[2.0, 2.0], &[1.0, 1.0]));
+        assert!(dominates(&[2.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0])); // equal: no
+        assert!(!dominates(&[2.0, 0.5], &[1.0, 1.0])); // trade-off: no
+        assert!(!dominates(&[0.0, 0.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn sorting_into_fronts() {
+        // Points: A(4,4) dominates everything; B(3,1), C(1,3) mutually
+        // non-dominated; D(0,0) dominated by all.
+        let objs = vec![
+            vec![4.0, 4.0], // 0: front 0
+            vec![3.0, 1.0], // 1: front 1
+            vec![1.0, 3.0], // 2: front 1
+            vec![0.0, 0.0], // 3: front 2
+        ];
+        let fronts = fast_nondominated_sort(&objs);
+        assert_eq!(fronts.len(), 3);
+        assert_eq!(fronts[0], vec![0]);
+        let mut f1 = fronts[1].clone();
+        f1.sort_unstable();
+        assert_eq!(f1, vec![1, 2]);
+        assert_eq!(fronts[2], vec![3]);
+    }
+
+    #[test]
+    fn all_nondominated_is_one_front() {
+        let objs: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![f64::from(i), f64::from(4 - i)])
+            .collect();
+        let fronts = fast_nondominated_sort(&objs);
+        assert_eq!(fronts.len(), 1);
+        assert_eq!(fronts[0].len(), 5);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(fast_nondominated_sort(&[]).is_empty());
+        let fronts = fast_nondominated_sort(&[vec![1.0, 2.0]]);
+        assert_eq!(fronts, vec![vec![0]]);
+    }
+
+    #[test]
+    fn crowding_boundaries_infinite_middle_finite() {
+        // Evenly spread front along a line.
+        let objs: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![f64::from(i), f64::from(4 - i)])
+            .collect();
+        let front: Vec<usize> = (0..5).collect();
+        let d = crowding_distance(&objs, &front);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[4], f64::INFINITY);
+        for v in d.iter().take(4).skip(1) {
+            assert!(v.is_finite());
+            assert!(*v > 0.0);
+        }
+        // Even spread: all interior distances equal.
+        assert!((d[1] - d[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowding_prefers_sparse_regions() {
+        // Index 1 is crowded (close neighbours), index 2 sits in a gap.
+        let objs = vec![
+            vec![0.0, 10.0],
+            vec![0.5, 9.5],
+            vec![5.0, 5.0],
+            vec![10.0, 0.0],
+        ];
+        let front: Vec<usize> = (0..4).collect();
+        let d = crowding_distance(&objs, &front);
+        assert!(d[2] > d[1], "sparse point not preferred: {d:?}");
+    }
+
+    #[test]
+    fn tiny_fronts_are_infinite() {
+        let objs = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let d = crowding_distance(&objs, &[0, 1]);
+        assert_eq!(d, vec![f64::INFINITY, f64::INFINITY]);
+    }
+
+    #[test]
+    fn constant_objective_range_is_handled() {
+        // Second objective constant: contributes nothing, no NaN.
+        let objs = vec![vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]];
+        let d = crowding_distance(&objs, &[0, 1, 2]);
+        assert!(d[1].is_finite());
+        assert!(!d[1].is_nan());
+    }
+}

@@ -1,0 +1,126 @@
+//! Classic multi-objective test functions on integer genomes.
+//!
+//! Used by the convergence tests; objectives are negated where needed so
+//! everything is maximization (matching the FIRESTARTER problem).
+
+use crate::problem::Problem;
+
+/// Schaffer's problem N.1 (SCH): minimize f₁ = x², f₂ = (x−2)².
+///
+/// Gene g ∈ [0, 1000] maps to x = (g − 200) / 100 ∈ [−2, 8]; the Pareto
+/// set is x ∈ [0, 2].
+pub struct Sch {
+    evals: u64,
+}
+
+impl Sch {
+    pub fn new() -> Sch {
+        Sch { evals: 0 }
+    }
+
+    /// Gene-to-x decoding.
+    pub fn gene_to_x(g: u32) -> f64 {
+        (f64::from(g) - 200.0) / 100.0
+    }
+
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+}
+
+impl Default for Sch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Problem for Sch {
+    fn n_genes(&self) -> usize {
+        1
+    }
+
+    fn n_objectives(&self) -> usize {
+        2
+    }
+
+    fn bounds(&self) -> Vec<(u32, u32)> {
+        vec![(0, 1000)]
+    }
+
+    fn evaluate(&mut self, genes: &[u32]) -> Vec<f64> {
+        self.evals += 1;
+        let x = Sch::gene_to_x(genes[0]);
+        vec![-(x * x), -((x - 2.0) * (x - 2.0))]
+    }
+}
+
+/// A discretized ZDT1: n genes in [0, 100] mapped to [0, 1].
+///
+/// Minimize f₁ = x₀ and f₂ = g·(1 − √(x₀/g)) with
+/// g = 1 + 9·mean(x₁..xₙ₋₁); returned negated for maximization. The
+/// Pareto set has x₁..xₙ₋₁ = 0.
+pub struct DiscreteZdt1 {
+    n: usize,
+}
+
+impl DiscreteZdt1 {
+    pub fn new(n: usize) -> DiscreteZdt1 {
+        assert!(n >= 2);
+        DiscreteZdt1 { n }
+    }
+}
+
+impl Problem for DiscreteZdt1 {
+    fn n_genes(&self) -> usize {
+        self.n
+    }
+
+    fn n_objectives(&self) -> usize {
+        2
+    }
+
+    fn bounds(&self) -> Vec<(u32, u32)> {
+        vec![(0, 100); self.n]
+    }
+
+    fn evaluate(&mut self, genes: &[u32]) -> Vec<f64> {
+        let x: Vec<f64> = genes.iter().map(|&g| f64::from(g) / 100.0).collect();
+        let f1 = x[0];
+        let tail_mean = x[1..].iter().sum::<f64>() / (self.n - 1) as f64;
+        let g = 1.0 + 9.0 * tail_mean;
+        let f2 = g * (1.0 - (f1 / g).sqrt());
+        vec![-f1, -f2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sch_known_points() {
+        let mut p = Sch::new();
+        // x = 0 (gene 200): f = (0, -4) → maximized (0, -4).
+        let obj = p.evaluate(&[200]);
+        assert!((obj[0] - 0.0).abs() < 1e-12);
+        assert!((obj[1] + 4.0).abs() < 1e-12);
+        // x = 2 (gene 400): f = (-4, 0).
+        let obj = p.evaluate(&[400]);
+        assert!((obj[0] + 4.0).abs() < 1e-12);
+        assert!((obj[1] - 0.0).abs() < 1e-12);
+        assert_eq!(p.evals(), 2);
+    }
+
+    #[test]
+    fn zdt1_optimum_structure() {
+        let mut p = DiscreteZdt1::new(4);
+        // On the Pareto front (tail = 0): f2 = 1 - sqrt(f1).
+        let obj = p.evaluate(&[25, 0, 0, 0]);
+        let f1 = -obj[0];
+        let f2 = -obj[1];
+        assert!((f2 - (1.0 - f1.sqrt())).abs() < 1e-12);
+        // Off the front the same f1 has strictly worse f2.
+        let worse = p.evaluate(&[25, 50, 50, 50]);
+        assert!(-worse[1] > f2);
+    }
+}

@@ -1,0 +1,64 @@
+//! Self-tuning on the AMD Rome node (§IV-E), scaled down from the
+//! paper's `--individuals=40 --generations=20` so the example finishes in
+//! seconds of host time (the full configuration runs in the benches).
+//!
+//! ```sh
+//! cargo run --release --example autotune_rome
+//! ```
+
+use firestarter2::prelude::*;
+
+fn main() {
+    let sku = Sku::amd_epyc_7502();
+    let mut runner = Runner::new(sku);
+
+    let cfg = TuneConfig {
+        nsga2: Nsga2Config {
+            individuals: 16,
+            generations: 8,
+            mutation_prob: 0.35, // --nsga2-m=0.35
+            crossover_prob: 0.9,
+            seed: 42,
+        },
+        test_duration_s: 10.0, // -t 10
+        preheat_s: 240.0,      // --preheat=240
+        freq_mhz: 1500.0,
+        ..TuneConfig::default()
+    };
+
+    println!(
+        "tuning on {} at {} MHz: {} individuals x {} generations, preheat {} s",
+        runner.sku().name,
+        cfg.freq_mhz,
+        cfg.nsga2.individuals,
+        cfg.nsga2.generations,
+        cfg.preheat_s
+    );
+
+    let result = AutoTuner::run(&mut runner, &cfg);
+
+    println!(
+        "\n{} evaluations ({} cache hits); final Pareto front:",
+        result.nsga2.history.len(),
+        result.nsga2.cache_hits
+    );
+    let mut front = result.nsga2.front.clone();
+    front.sort_by(|a, b| b.objectives[0].total_cmp(&a.objectives[0]));
+    for ind in front.iter().take(8) {
+        println!(
+            "  {:7.1} W  {:5.3} ipc  {}",
+            ind.objectives[0],
+            ind.objectives[1],
+            format_groups(&firestarter2::core::autotune::genes_to_groups(&ind.genes))
+        );
+    }
+    println!(
+        "\nselected optimum ω_opt: --run-instruction-groups={} --set-line-count={}",
+        format_groups(&result.best_groups),
+        result.unroll
+    );
+    println!(
+        "total simulated tuning time: {:.0} s (Fig. 7: no idle gaps between candidates)",
+        runner.clock().now_secs()
+    );
+}

@@ -1,0 +1,59 @@
+//! The Fig. 9 experiment in miniature: add memory levels one at a time
+//! and watch node power climb while IPC sags.
+//!
+//! ```sh
+//! cargo run --example cache_ladder
+//! ```
+
+use firestarter2::prelude::*;
+
+fn main() {
+    let sku = Sku::amd_epyc_7502();
+    let mut runner = Runner::new(sku);
+
+    // Hand-tuned per-rung workloads; the fig09 bench derives the real
+    // optima via NSGA-II.
+    let ladder = [
+        ("No access", "REG:1"),
+        ("Level 1", "REG:4,L1_2LS:3"),
+        ("Level 2", "REG:4,L1_2LS:2,L2_LS:1"),
+        ("Level 3", "REG:6,L1_2LS:3,L2_LS:1,L3_LS:1"),
+        ("Main memory", "REG:8,L1_2LS:4,L2_LS:1,L3_LS:1,RAM_LS:1"),
+    ];
+
+    println!(
+        "{:<12} {:>9} {:>7} {:>18}",
+        "access up to", "power [W]", "IPC", "DC accesses/cycle"
+    );
+    let mut first = None;
+    let mut last = 0.0;
+    for (name, spec) in ladder {
+        let groups = parse_groups(spec).unwrap();
+        let mix = MixRegistry::default_for(runner.sku().uarch);
+        let unroll = default_unroll(runner.sku(), mix, &groups);
+        let payload = build_payload(runner.sku(), &PayloadConfig { mix, groups, unroll });
+        let r = runner.run(
+            &payload,
+            &RunConfig {
+                freq_mhz: 1500.0, // avoid EDC throttling, like the paper
+                duration_s: 30.0,
+                start_delta_s: 5.0,
+                stop_delta_s: 2.0,
+                ..RunConfig::default()
+            },
+        );
+        println!(
+            "{:<12} {:>9.1} {:>7.2} {:>18.2}",
+            name, r.power.mean, r.ipc, r.dc_access_rate
+        );
+        first.get_or_insert(r.power.mean);
+        last = r.power.mean;
+    }
+    let first = first.unwrap();
+    println!(
+        "\nREG-only -> RAM: {:.1} W -> {:.1} W  (+{:.0} %; paper: 235 W -> 437 W, +86 %)",
+        first,
+        last,
+        (last / first - 1.0) * 100.0
+    );
+}

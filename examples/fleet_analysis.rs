@@ -1,0 +1,35 @@
+//! The Fig. 1 pipeline: simulate a year of 612 Haswell nodes and print
+//! the cumulative power distribution — the motivation for stress tests.
+//!
+//! ```sh
+//! cargo run --example fleet_analysis
+//! ```
+
+use firestarter2::cluster::{FleetConfig, FleetSim};
+
+fn main() {
+    let fleet = FleetSim::new(FleetConfig::default());
+    let cdf = fleet.power_cdf();
+
+    println!(
+        "{} nodes x {} sixty-second means = {} samples",
+        fleet.config.nodes,
+        fleet.config.samples_per_node,
+        cdf.samples
+    );
+    println!("power range: {:.1} W .. {:.1} W", cdf.min_w, cdf.max_w);
+    println!("\n  power [W]   cumulative fraction");
+    for w in [60.0, 80.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 359.9] {
+        println!("  {:>8.1}   {:>6.3}", w, cdf.fraction_at(w));
+    }
+    println!(
+        "\nmedian {:.1} W, p95 {:.1} W, p99.9 {:.1} W",
+        cdf.quantile(0.5),
+        cdf.quantile(0.95),
+        cdf.quantile(0.999)
+    );
+    println!(
+        "-> the infrastructure must still be sized for the {:.1} W worst case",
+        cdf.max_w
+    );
+}

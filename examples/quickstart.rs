@@ -1,0 +1,55 @@
+//! Quickstart: detect the processor, generate the default stress
+//! workload at runtime, run it, and print the measurement summary.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use firestarter2::prelude::*;
+
+fn main() {
+    // FIRESTARTER 2 starts by identifying the CPU (Fig. 5: the binary
+    // carries only mix definitions; the workload is generated now).
+    let id = CpuId::amd_rome();
+    let sku = detect(&id);
+    println!("detected: {} -> {} ({})", id.brand, sku.name, sku.uarch.name());
+
+    // The default instruction set for this architecture, the paper's
+    // example access groups, and an L1I-resident unroll factor.
+    let mix = MixRegistry::default_for(sku.uarch);
+    let groups = parse_groups("REG:4,L1_L:2,L2_L:1").expect("valid groups");
+    let unroll = default_unroll(&sku, mix, &groups);
+    println!(
+        "workload: I={} M={} u={unroll}",
+        mix.name,
+        format_groups(&groups)
+    );
+
+    let payload = build_payload(&sku, &PayloadConfig { mix, groups, unroll });
+    println!(
+        "generated {} instructions / {} bytes of machine code per loop",
+        payload.kernel.insts(),
+        payload.machine_code.len()
+    );
+
+    // Run for 60 simulated seconds at the nominal frequency.
+    let mut runner = Runner::new(sku);
+    let result = runner.run(
+        &payload,
+        &RunConfig {
+            duration_s: 60.0,
+            ..RunConfig::default()
+        },
+    );
+
+    println!(
+        "power: {:.1} W (min {:.1}, max {:.1}) over {:.0} s window",
+        result.power.mean, result.power.min, result.power.max, result.power.window_s
+    );
+    println!(
+        "applied frequency: {:.0} MHz{}   IPC: {:.2}",
+        result.applied_freq_mhz,
+        if result.throttled { " (EDC throttled)" } else { "" },
+        result.ipc
+    );
+}

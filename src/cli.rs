@@ -1,0 +1,560 @@
+//! Command-line interface mirroring the paper's flags.
+//!
+//! Everything runs against the simulated node (DESIGN.md §2), so the CLI
+//! additionally takes `--cpu` (which simulated system) and `--freq`
+//! (which P-state; real FIRESTARTER leaves P-state selection to the OS).
+
+use crate::prelude::*;
+use fs2_core::groups::format_groups;
+use fs2_metrics::CsvWriter;
+use fs2_tuning::Nsga2Config;
+use std::fmt;
+
+/// CLI failure, printed to stderr with exit code 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// What the invocation asks for.
+#[derive(Debug, Clone, PartialEq)]
+enum Action {
+    Help,
+    Avail,
+    ListMetrics,
+    Measure,
+    Optimize,
+}
+
+/// Parsed configuration.
+#[derive(Debug, Clone)]
+pub struct CliConfig {
+    action: Action,
+    cpu: String,
+    function: Option<String>,
+    groups: Option<String>,
+    line_count: Option<u32>,
+    timeout_s: f64,
+    freq_mhz: f64,
+    start_delta_ms: f64,
+    stop_delta_ms: f64,
+    measurement: bool,
+    dump_registers: bool,
+    error_detection: bool,
+    version_emulation: String,
+    gpus: u32,
+    gpu_init: String,
+    individuals: usize,
+    generations: u32,
+    nsga2_m: f64,
+    preheat_s: f64,
+    optimization_metrics: String,
+    seed: u64,
+}
+
+impl Default for CliConfig {
+    fn default() -> CliConfig {
+        CliConfig {
+            action: Action::Measure,
+            cpu: "rome".to_string(),
+            function: None,
+            groups: None,
+            line_count: None,
+            timeout_s: 10.0,
+            freq_mhz: 0.0,
+            start_delta_ms: 5000.0,
+            stop_delta_ms: 2000.0,
+            measurement: true,
+            dump_registers: false,
+            error_detection: false,
+            version_emulation: "2.0".to_string(),
+            gpus: 0,
+            gpu_init: "device".to_string(),
+            individuals: 40,
+            generations: 20,
+            nsga2_m: 0.35,
+            preheat_s: 240.0,
+            optimization_metrics: "sysfs-powercap-rapl,perf-ipc".to_string(),
+            seed: 0xF12E_57A2,
+        }
+    }
+}
+
+const HELP: &str = "\
+firestarter2 — FIRESTARTER 2 reproduction (simulated hardware)
+
+USAGE: firestarter2 [OPTIONS]
+
+WORKLOAD
+  -a, --avail                     list available instruction mixes
+  -i, --function NAME             select the instruction mix (I)
+  --run-instruction-groups SPEC   memory accesses M, e.g. REG:4,L1_L:2,L2_L:1
+  --set-line-count N              unroll factor u
+  -t, --timeout SECONDS           workload duration (default 10)
+  --freq MHZ                      P-state frequency (default: nominal)
+  --cpu {rome|haswell|generic}    simulated system (default rome)
+  --version-emulation {2.0|1.7.4} register init scheme (§III-D bug)
+
+MEASUREMENT
+  --measurement                   print metric CSV after the run (default)
+  --start-delta MS                exclude window head (default 5000)
+  --stop-delta MS                 exclude window tail (default 2000)
+  --list-metrics                  list metric names
+  --dump-registers                dump vector registers after the run
+  --error-detection               compare register state across cores
+
+GPUS
+  --gpus N                        attach N simulated Tesla K80 cards
+  --gpu-init {device|host}        matrix initialization strategy
+
+OPTIMIZATION (§III-C)
+  --optimize=NSGA2                run the self-tuning loop
+  --individuals N                 population size (default 40)
+  --generations N                 generations (default 20)
+  --nsga2-m P                     mutation probability (default 0.35)
+  --preheat SECONDS               preheat duration (default 240)
+  --optimization-metric A,B       objective metrics
+  --seed N                        RNG seed
+
+  -h, --help                      this help
+";
+
+fn parse_kv(arg: &str, args: &mut std::slice::Iter<'_, String>, key: &str) -> Result<Option<String>, CliError> {
+    if let Some(rest) = arg.strip_prefix(&format!("{key}=")) {
+        return Ok(Some(rest.to_string()));
+    }
+    if arg == key {
+        return match args.next() {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(err(format!("{key} requires a value"))),
+        };
+    }
+    Ok(None)
+}
+
+/// Parses an argument list (without the program name).
+pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
+    let mut cfg = CliConfig::default();
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        let a = arg.as_str();
+        match a {
+            "-h" | "--help" => cfg.action = Action::Help,
+            "-a" | "--avail" => cfg.action = Action::Avail,
+            "--list-metrics" => cfg.action = Action::ListMetrics,
+            "--measurement" => cfg.measurement = true,
+            "--dump-registers" => cfg.dump_registers = true,
+            "--error-detection" => cfg.error_detection = true,
+            _ if a == "--optimize" || a.starts_with("--optimize=") => {
+                let v = a.strip_prefix("--optimize=").unwrap_or("NSGA2");
+                if !v.eq_ignore_ascii_case("nsga2") {
+                    return Err(err(format!("unknown optimizer `{v}` (only NSGA2)")));
+                }
+                cfg.action = Action::Optimize;
+            }
+            _ => {
+                let mut matched = false;
+                macro_rules! opt {
+                    ($key:expr, $slot:expr, $parse:expr) => {
+                        if !matched {
+                            if let Some(v) = parse_kv(a, &mut args, $key)? {
+                                #[allow(clippy::redundant_closure_call)]
+                                {
+                                    $slot = $parse(&v).map_err(|_| {
+                                        err(format!("invalid value `{v}` for {}", $key))
+                                    })?;
+                                }
+                                matched = true;
+                            }
+                        }
+                    };
+                }
+                let id = |v: &String| -> Result<String, ()> { Ok(v.clone()) };
+                let some_id =
+                    |v: &String| -> Result<Option<String>, ()> { Ok(Some(v.clone())) };
+                opt!("--cpu", cfg.cpu, id);
+                opt!("-i", cfg.function, some_id);
+                opt!("--function", cfg.function, some_id);
+                opt!("--run-instruction-groups", cfg.groups, some_id);
+                opt!("--set-line-count", cfg.line_count, |v: &String| v
+                    .parse::<u32>()
+                    .map(Some)
+                    .map_err(|_| ()));
+                opt!("-t", cfg.timeout_s, |v: &String| v.parse::<f64>().map_err(|_| ()));
+                opt!("--timeout", cfg.timeout_s, |v: &String| v
+                    .parse::<f64>()
+                    .map_err(|_| ()));
+                opt!("--freq", cfg.freq_mhz, |v: &String| v.parse::<f64>().map_err(|_| ()));
+                opt!("--start-delta", cfg.start_delta_ms, |v: &String| v
+                    .parse::<f64>()
+                    .map_err(|_| ()));
+                opt!("--stop-delta", cfg.stop_delta_ms, |v: &String| v
+                    .parse::<f64>()
+                    .map_err(|_| ()));
+                opt!("--version-emulation", cfg.version_emulation, id);
+                opt!("--gpus", cfg.gpus, |v: &String| v.parse::<u32>().map_err(|_| ()));
+                opt!("--gpu-init", cfg.gpu_init, id);
+                opt!("--individuals", cfg.individuals, |v: &String| v
+                    .parse::<usize>()
+                    .map_err(|_| ()));
+                opt!("--generations", cfg.generations, |v: &String| v
+                    .parse::<u32>()
+                    .map_err(|_| ()));
+                opt!("--nsga2-m", cfg.nsga2_m, |v: &String| v.parse::<f64>().map_err(|_| ()));
+                opt!("--preheat", cfg.preheat_s, |v: &String| v
+                    .parse::<f64>()
+                    .map_err(|_| ()));
+                opt!("--optimization-metric", cfg.optimization_metrics, id);
+                opt!("--metric-path", cfg.optimization_metrics, id);
+                opt!("--seed", cfg.seed, |v: &String| v.parse::<u64>().map_err(|_| ()));
+                if !matched {
+                    return Err(err(format!("unknown argument `{a}` (see --help)")));
+                }
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+fn sku_for(cfg: &CliConfig) -> Result<Sku, CliError> {
+    match cfg.cpu.to_ascii_lowercase().as_str() {
+        "rome" | "epyc" | "zen2" => Ok(Sku::amd_epyc_7502()),
+        "haswell" | "xeon" => Ok(Sku::intel_xeon_e5_2680_v3()),
+        "generic" => Ok(Sku::generic()),
+        other => Err(err(format!("unknown --cpu `{other}`"))),
+    }
+}
+
+/// Executes a parsed configuration, returning the program output.
+pub fn execute(cfg: &CliConfig) -> Result<String, CliError> {
+    match cfg.action {
+        Action::Help => Ok(HELP.to_string()),
+        Action::Avail => {
+            let sku = sku_for(cfg)?;
+            let mut out = format!("Available functions for {} ({}):\n", sku.name, sku.uarch.name());
+            for (i, m) in MixRegistry::available_for(sku.uarch).iter().enumerate() {
+                out.push_str(&format!(
+                    "  {} | {:5} | {}{}\n",
+                    i + 1,
+                    m.name,
+                    m.description,
+                    if i == 0 { "  (default)" } else { "" }
+                ));
+            }
+            Ok(out)
+        }
+        Action::ListMetrics => Ok("\
+Available metrics:
+  sysfs-powercap-rapl   node power via RAPL energy counters [W]
+  perf-ipc              instructions per cycle via perf events
+  ipc-estimate          IPC from loop counts at assumed frequency
+  metricq               buffered external power meter (LMG95 via MetricQ) [W]
+"
+        .to_string()),
+        Action::Measure => run_measure(cfg),
+        Action::Optimize => run_optimize(cfg),
+    }
+}
+
+fn build_from_cli(cfg: &CliConfig, sku: &Sku) -> Result<Payload, CliError> {
+    let mix = match &cfg.function {
+        Some(name) => MixRegistry::by_name(sku.uarch, name)
+            .ok_or_else(|| err(format!("unknown function `{name}` (see --avail)")))?,
+        None => MixRegistry::default_for(sku.uarch),
+    };
+    let groups = match &cfg.groups {
+        Some(s) => parse_groups(s).map_err(|e| err(format!("--run-instruction-groups: {e}")))?,
+        None => parse_groups("REG:1").expect("static default"),
+    };
+    let unroll = cfg
+        .line_count
+        .unwrap_or_else(|| default_unroll(sku, mix, &groups));
+    Ok(build_payload(
+        sku,
+        &PayloadConfig {
+            mix,
+            groups,
+            unroll,
+        },
+    ))
+}
+
+fn init_scheme(cfg: &CliConfig) -> Result<InitScheme, CliError> {
+    match cfg.version_emulation.as_str() {
+        "2.0" | "2" => Ok(InitScheme::V2Safe),
+        "1.7.4" => Ok(InitScheme::V174Buggy),
+        other => Err(err(format!("unknown --version-emulation `{other}`"))),
+    }
+}
+
+fn gpu_power(cfg: &CliConfig, duration_s: f64) -> Result<f64, CliError> {
+    if cfg.gpus == 0 {
+        return Ok(0.0);
+    }
+    let strategy = match cfg.gpu_init.as_str() {
+        "device" => InitStrategy::OnDevice,
+        "host" => InitStrategy::HostThenTransfer,
+        other => return Err(err(format!("unknown --gpu-init `{other}`"))),
+    };
+    let stress = GpuStress {
+        devices: (0..cfg.gpus)
+            .map(|_| fs2_gpu::GpuDevice::new(fs2_gpu::device::GpuSpec::k80()))
+            .collect(),
+        strategy,
+        mem_fraction: 0.9,
+    };
+    Ok(stress.run(duration_s).avg_power_w)
+}
+
+fn run_measure(cfg: &CliConfig) -> Result<String, CliError> {
+    let sku = sku_for(cfg)?;
+    let payload = build_from_cli(cfg, &sku)?;
+    let external_w = gpu_power(cfg, cfg.timeout_s)?;
+    let mut runner = Runner::with_seed(sku, cfg.seed);
+    let run_cfg = RunConfig {
+        freq_mhz: cfg.freq_mhz,
+        duration_s: cfg.timeout_s,
+        start_delta_s: (cfg.start_delta_ms / 1000.0).min(cfg.timeout_s / 2.0),
+        stop_delta_s: (cfg.stop_delta_ms / 1000.0).min(cfg.timeout_s / 4.0),
+        init: init_scheme(cfg)?,
+        error_detection: cfg.error_detection,
+        dump_registers: cfg.dump_registers,
+        external_w,
+        ..RunConfig::default()
+    };
+    let r = runner.run(&payload, &run_cfg);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "FIRESTARTER 2 reproduction — workload {}\n",
+        payload.kernel.name
+    ));
+    out.push_str(&format!(
+        "  requested {} MHz, applied {} MHz{}\n",
+        r.requested_freq_mhz,
+        r.applied_freq_mhz,
+        if r.throttled { " (EDC throttled)" } else { "" }
+    ));
+    if let Some(passed) = r.error_check_passed {
+        out.push_str(&format!(
+            "  error detection: {}\n",
+            if passed { "PASS" } else { "FAIL — register divergence" }
+        ));
+    }
+    if cfg.measurement {
+        let mut csv = CsvWriter::new();
+        csv.header(&["metric", "mean", "min", "max", "unit"]);
+        csv.row(&[
+            "sysfs-powercap-rapl".into(),
+            format!("{:.1}", r.power.mean),
+            format!("{:.1}", r.power.min),
+            format!("{:.1}", r.power.max),
+            "W".into(),
+        ]);
+        csv.row(&[
+            "perf-ipc".into(),
+            format!("{:.3}", r.ipc),
+            format!("{:.3}", r.ipc),
+            format!("{:.3}", r.ipc),
+            "instructions/cycle".into(),
+        ]);
+        csv.row(&[
+            "freq".into(),
+            format!("{:.0}", r.applied_freq_mhz),
+            String::new(),
+            String::new(),
+            "MHz".into(),
+        ]);
+        csv.row(&[
+            "dc-access-rate".into(),
+            format!("{:.3}", r.dc_access_rate),
+            String::new(),
+            String::new(),
+            "accesses/cycle".into(),
+        ]);
+        out.push_str(csv.as_str());
+    }
+    if let Some(dump) = &r.register_dump {
+        out.push_str("register dump:\n");
+        out.push_str(dump);
+    }
+    Ok(out)
+}
+
+fn run_optimize(cfg: &CliConfig) -> Result<String, CliError> {
+    let sku = sku_for(cfg)?;
+    let mix = match &cfg.function {
+        Some(name) => MixRegistry::by_name(sku.uarch, name)
+            .ok_or_else(|| err(format!("unknown function `{name}`")))?,
+        None => MixRegistry::default_for(sku.uarch),
+    };
+    let mut runner = Runner::with_seed(sku, cfg.seed);
+    let tune_cfg = TuneConfig {
+        nsga2: Nsga2Config {
+            individuals: cfg.individuals,
+            generations: cfg.generations,
+            mutation_prob: cfg.nsga2_m,
+            crossover_prob: 0.9,
+            seed: cfg.seed,
+        },
+        test_duration_s: cfg.timeout_s,
+        preheat_s: cfg.preheat_s,
+        freq_mhz: cfg.freq_mhz,
+        mix,
+        unroll: cfg.line_count,
+        max_count: 8,
+    };
+    let result = AutoTuner::run(&mut runner, &tune_cfg);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "NSGA-II finished: {} evaluations ({} cache hits), metrics: {}\n",
+        result.nsga2.history.len(),
+        result.nsga2.cache_hits,
+        cfg.optimization_metrics
+    ));
+    out.push_str("final Pareto front (power [W], IPC):\n");
+    let mut front = result.nsga2.front.clone();
+    front.sort_by(|a, b| b.objectives[0].total_cmp(&a.objectives[0]));
+    for ind in front.iter().take(10) {
+        out.push_str(&format!(
+            "  {:7.1} W  {:5.3} ipc  {}\n",
+            ind.objectives[0],
+            ind.objectives[1],
+            format_groups(&fs2_core::autotune::genes_to_groups(&ind.genes)),
+        ));
+    }
+    out.push_str(&format!(
+        "selected optimum: --run-instruction-groups={} --set-line-count={}\n",
+        format_groups(&result.best_groups),
+        result.unroll
+    ));
+    Ok(out)
+}
+
+/// Entry point used by `main` and the CLI tests.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    execute(&parse_args(argv)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn help_and_avail() {
+        let out = run(&args("--help")).unwrap();
+        assert!(out.contains("--run-instruction-groups"));
+        let out = run(&args("--avail")).unwrap();
+        assert!(out.contains("FMA"));
+        assert!(out.contains("(default)"));
+    }
+
+    #[test]
+    fn list_metrics() {
+        let out = run(&args("--list-metrics")).unwrap();
+        for m in ["sysfs-powercap-rapl", "perf-ipc", "ipc-estimate", "metricq"] {
+            assert!(out.contains(m), "missing {m}");
+        }
+    }
+
+    #[test]
+    fn measure_defaults() {
+        let out = run(&args("-t 6 --freq 1500 --start-delta 1000 --stop-delta 500")).unwrap();
+        assert!(out.contains("sysfs-powercap-rapl"));
+        assert!(out.contains("applied 1500 MHz"));
+    }
+
+    #[test]
+    fn measure_with_groups_and_unroll() {
+        let out = run(&args(
+            "-t 6 --freq 1500 --run-instruction-groups REG:4,L1_L:2,L2_L:1 --set-line-count 210",
+        ))
+        .unwrap();
+        assert!(out.contains("REG:4,L1_L:2,L2_L:1"));
+        assert!(out.contains("u210"));
+    }
+
+    #[test]
+    fn error_detection_and_dump() {
+        let out = run(&args("-t 6 --freq 1500 --error-detection --dump-registers")).unwrap();
+        assert!(out.contains("error detection: PASS"));
+        assert!(out.contains("ymm15"));
+    }
+
+    #[test]
+    fn version_emulation_changes_power() {
+        let v2 = run(&args("-t 6 --freq 2500 --seed 5")).unwrap();
+        let v174 = run(&args("-t 6 --freq 2500 --seed 5 --version-emulation 1.7.4")).unwrap();
+        let grab = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.starts_with("sysfs-powercap-rapl"))
+                .and_then(|l| l.split(',').nth(1))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(grab(&v2) > grab(&v174));
+    }
+
+    #[test]
+    fn optimize_small() {
+        let out = run(&args(
+            "--optimize=NSGA2 --individuals 6 --generations 2 --preheat 30 -t 5 \
+             --freq 1500 --set-line-count 126 --seed 3",
+        ))
+        .unwrap();
+        assert!(out.contains("NSGA-II finished: 18 evaluations"));
+        assert!(out.contains("selected optimum"));
+        assert!(out.contains("--run-instruction-groups="));
+    }
+
+    #[test]
+    fn gpu_flag_adds_power() {
+        let without = run(&args("-t 6 --freq 1500 --cpu haswell --seed 2")).unwrap();
+        let with = run(&args("-t 6 --freq 1500 --cpu haswell --gpus 4 --seed 2")).unwrap();
+        let grab = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.starts_with("sysfs-powercap-rapl"))
+                .and_then(|l| l.split(',').nth(1))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let delta = grab(&with) - grab(&without);
+        assert!(delta > 300.0, "4 K80s only added {delta:.1} W");
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected() {
+        assert!(run(&args("--nonsense")).is_err());
+        assert!(run(&args("--cpu mars")).is_err());
+        assert!(run(&args("--run-instruction-groups L9_X:1")).is_err());
+        assert!(run(&args("--optimize=SA")).is_err());
+        assert!(run(&args("--set-line-count abc")).is_err());
+        assert!(run(&args("-t")).is_err());
+    }
+
+    #[test]
+    fn haswell_and_generic_cpus_work() {
+        let out = run(&args("--avail --cpu haswell")).unwrap();
+        assert!(out.contains("haswell"));
+        let out = run(&args("--avail --cpu generic")).unwrap();
+        assert!(out.contains("AVX"));
+        assert!(!out.contains("| FMA"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # firestarter2 — reproduction of "FIRESTARTER 2: Dynamic Code
+//! # Generation for Processor Stress Tests" (IEEE CLUSTER 2021)
+//!
+//! This facade crate re-exports the whole workspace and provides the
+//! command-line interface. See `README.md` for the architecture overview
+//! and `DESIGN.md` for the paper-to-module mapping.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use firestarter2::prelude::*;
+//!
+//! // Detect the (simulated) processor and build the default workload.
+//! let sku = detect(&CpuId::amd_rome());
+//! let mix = MixRegistry::default_for(sku.uarch);
+//! let groups = parse_groups("REG:4,L1_L:2,L2_L:1").unwrap();
+//! let unroll = default_unroll(&sku, mix, &groups);
+//! let payload = build_payload(&sku, &PayloadConfig { mix, groups, unroll });
+//!
+//! // Run it for 10 simulated seconds at 1500 MHz.
+//! let mut runner = Runner::new(sku);
+//! let result = runner.run(
+//!     &payload,
+//!     &RunConfig {
+//!         freq_mhz: 1500.0,
+//!         duration_s: 10.0,
+//!         start_delta_s: 2.0,
+//!         stop_delta_s: 1.0,
+//!         ..RunConfig::default()
+//!     },
+//! );
+//! assert!(result.power.mean > 150.0);
+//! ```
+
+pub use fs2_arch as arch;
+pub use fs2_baselines as baselines;
+pub use fs2_cluster as cluster;
+pub use fs2_core as core;
+pub use fs2_gpu as gpu;
+pub use fs2_isa as isa;
+pub use fs2_metrics as metrics;
+pub use fs2_power as power;
+pub use fs2_sim as sim;
+pub use fs2_tuning as tuning;
+
+pub mod cli;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use fs2_arch::{detect, CpuId, MemLevel, Microarch, Sku};
+    pub use fs2_core::autotune::{AutoTuner, TuneConfig, TuneResult};
+    pub use fs2_core::groups::{format_groups, parse_groups, AccessGroup, Pattern, Target};
+    pub use fs2_core::legacy::{LegacyWorkload, Version};
+    pub use fs2_core::mix::{InstructionMix, MixRegistry};
+    pub use fs2_core::payload::{build_payload, default_unroll, Payload, PayloadConfig};
+    pub use fs2_core::runner::{RunConfig, RunResult, Runner};
+    pub use fs2_gpu::{GpuStress, InitStrategy};
+    pub use fs2_metrics::{CsvWriter, Summary, TimeSeries};
+    pub use fs2_power::{NodePowerModel, PowerBreakdown};
+    pub use fs2_sim::{InitScheme, Kernel, SystemSim};
+    pub use fs2_tuning::Nsga2Config;
+}

@@ -1,0 +1,127 @@
+//! Integration of the metric stack with the runner: RAPL counters,
+//! perf-IPC, the distorted IPC estimate, the buffered MetricQ path and
+//! CSV reporting — the full §III-C measurement plumbing.
+
+use firestarter2::metrics::builtin::{IpcEstimateMetric, PerfIpcMetric, RaplPowerMetric};
+use firestarter2::metrics::metric::{Metric, MetricRegistry};
+use firestarter2::metrics::{metricq, CsvWriter};
+use firestarter2::power::rapl::Rapl;
+use firestarter2::prelude::*;
+
+fn run_once(freq: f64) -> (RunResult, Sku) {
+    let sku = Sku::amd_epyc_7502();
+    let mix = MixRegistry::default_for(sku.uarch);
+    // Cache-saturating mix: exceeds the EDC limit at nominal frequency,
+    // which the throttle-distortion test below depends on.
+    let groups = parse_groups("REG:10,L1_2LS:4,L2_LS:2,L3_LS:1,RAM_L:1").unwrap();
+    let unroll = default_unroll(&sku, mix, &groups);
+    let payload = build_payload(&sku, &PayloadConfig { mix, groups, unroll });
+    let mut runner = Runner::new(sku.clone());
+    let r = runner.run(
+        &payload,
+        &RunConfig {
+            freq_mhz: freq,
+            duration_s: 20.0,
+            start_delta_s: 4.0,
+            stop_delta_s: 2.0,
+            ..RunConfig::default()
+        },
+    );
+    (r, sku)
+}
+
+#[test]
+fn rapl_metric_reports_core_power() {
+    let (r, sku) = run_once(1500.0);
+    // Feed the RAPL counters from the run's breakdown at 1 Hz.
+    let mut rapl = Rapl::new(sku.topology.sockets, true);
+    let mut metric = RaplPowerMetric::new();
+    for t in 0..10 {
+        metric.record_energy_uj(f64::from(t), rapl.package_energy_uj());
+        rapl.accumulate(&r.breakdown, 1.0);
+    }
+    let s = metric.summarize(0.0, 9.0, 1.0, 1.0).unwrap();
+    let core_w = r.breakdown.core_dynamic_w + r.breakdown.core_static_w;
+    assert!(
+        (s.mean - core_w).abs() / core_w < 0.02,
+        "RAPL metric {:.1} W vs model {core_w:.1} W",
+        s.mean
+    );
+}
+
+#[test]
+fn perf_ipc_matches_steady_state() {
+    let (r, _) = run_once(1500.0);
+    let mut metric = PerfIpcMetric::new();
+    // Cumulative counter feed from the run's per-core events.
+    let e = r.events;
+    metric.record_counters(0.0, 0, 0);
+    metric.record_counters(10.0, e.instructions, e.cycles);
+    let got = metric.series().samples()[0].value;
+    assert!((got - r.ipc).abs() < 0.02, "perf-ipc {got} vs model {}", r.ipc);
+}
+
+#[test]
+fn ipc_estimate_distorted_under_throttling() {
+    // Fig. 12 context: at 2500 MHz the workload throttles; the estimate
+    // assumes nominal frequency and therefore under-reports IPC.
+    let (r, _) = run_once(2500.0);
+    assert!(r.throttled, "test requires a throttled run");
+    let insts_per_iter = r.events.instructions as f64 / r.events.iterations as f64;
+    let mut est = IpcEstimateMetric::new(2500.0, insts_per_iter);
+    est.record_iterations(0.0, 0);
+    let dur = r.events.elapsed_ns as f64 * 1e-9;
+    est.record_iterations(dur, r.events.iterations);
+    let estimated = est.series().samples()[0].value;
+    assert!(
+        estimated < r.ipc * 0.99,
+        "estimate {estimated:.3} not distorted below true IPC {:.3}",
+        r.ipc
+    );
+    // The distortion factor equals the throttle ratio.
+    let expect = r.ipc * r.applied_freq_mhz / 2500.0;
+    assert!((estimated - expect).abs() < 0.05);
+}
+
+#[test]
+fn metricq_buffers_out_of_band_and_summarizes() {
+    let (r, _) = run_once(1500.0);
+    let (sink, mut source) = metricq::channel("metricq", 20.0);
+    // The power meter samples while the candidate runs...
+    sink.sample_window(0.0, 10.0, |_t| r.power.mean);
+    // ...and FIRESTARTER retrieves the values afterwards (Fig. 10).
+    assert_eq!(source.series().len(), 0);
+    assert_eq!(source.drain(), 200);
+    let s = source.summarize(0.0, 10.0, 2.0, 1.0).unwrap();
+    assert!((s.mean - r.power.mean).abs() < 1e-9);
+}
+
+#[test]
+fn registry_drives_all_metrics_and_prints_csv() {
+    let mut registry = MetricRegistry::new();
+    assert!(registry.register(Box::new(RaplPowerMetric::new())));
+    assert!(registry.register(Box::new(PerfIpcMetric::new())));
+    let (sink, source) = metricq::channel("metricq", 20.0);
+    assert!(registry.register(Box::new(source)));
+    assert_eq!(registry.names(), vec!["metricq", "perf-ipc", "rapl"]);
+
+    sink.sample_window(0.0, 5.0, |_| 437.0);
+    for t in 0..5 {
+        let t = f64::from(t);
+        registry.get_mut("rapl").unwrap().record(t, 430.0 + t);
+        registry.get_mut("perf-ipc").unwrap().record(t, 3.4);
+        registry.get_mut("metricq").unwrap().record(t, 0.0); // drains
+    }
+
+    let mut csv = CsvWriter::new();
+    csv.header(&["metric", "mean", "unit"]);
+    for m in registry.iter() {
+        if let Some(s) = m.summarize(0.0, 5.0, 0.0, 0.0) {
+            csv.row(&[m.name().to_string(), format!("{:.2}", s.mean), m.unit().to_string()]);
+        }
+    }
+    let out = csv.finish();
+    assert!(out.contains("rapl,432.00,W"));
+    assert!(out.contains("perf-ipc,3.40"));
+    assert!(out.contains("metricq,437.00,W"));
+}

@@ -1,0 +1,110 @@
+//! Cross-crate property tests: any valid workload specification yields a
+//! well-formed, decodable, simulatable payload.
+
+use firestarter2::prelude::*;
+use proptest::prelude::*;
+
+fn arb_groups() -> impl Strategy<Value = Vec<AccessGroup>> {
+    // Counts for all 17 valid items; at least one non-zero.
+    prop::collection::vec(0u32..6, 17)
+        .prop_filter("at least one group", |v| v.iter().any(|&c| c > 0))
+        .prop_map(|counts| {
+            firestarter2::core::autotune::genes_to_groups(&counts)
+        })
+}
+
+fn arb_mix() -> impl Strategy<Value = InstructionMix> {
+    prop_oneof![
+        Just(InstructionMix::FMA),
+        Just(InstructionMix::AVX),
+        Just(InstructionMix::SQRT)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn any_valid_workload_builds_and_simulates(
+        groups in arb_groups(),
+        mix in arb_mix(),
+        unroll in 1u32..300,
+        freq in prop_oneof![Just(1500.0f64), Just(2200.0), Just(2500.0)],
+    ) {
+        let sku = Sku::amd_epyc_7502();
+        let payload = build_payload(&sku, &PayloadConfig { mix, groups: groups.clone(), unroll });
+
+        // 1. Machine code decodes completely.
+        let decoded = firestarter2::isa::decode_all(&payload.machine_code)
+            .expect("payload must decode");
+        prop_assert!(decoded.len() as u64 >= payload.kernel.insts());
+
+        // 2. Steady state is finite and positive.
+        let sim = SystemSim::new(sku.clone());
+        let node = sim.evaluate(&payload.kernel, freq, None);
+        prop_assert!(node.core.cycles_per_iter.is_finite());
+        prop_assert!(node.core.cycles_per_iter > 0.0);
+        prop_assert!(node.core.ipc > 0.0 && node.core.ipc < 8.0);
+
+        // 3. Power is finite, above idle, below a sane node ceiling.
+        let model = NodePowerModel::new(sku);
+        let p = model.workload_power(&node, &payload.kernel, 0.0);
+        let total = p.total_w();
+        prop_assert!(total.is_finite());
+        prop_assert!(total > model.idle_power().total_w());
+        prop_assert!(total < 1200.0, "implausible node power {total}");
+    }
+
+    #[test]
+    fn group_strings_round_trip(groups in arb_groups()) {
+        let s = format_groups(&groups);
+        let parsed = parse_groups(&s).expect("canonical form parses");
+        prop_assert_eq!(parsed, groups);
+    }
+
+    #[test]
+    fn unroll_scales_code_size_linearly(
+        unroll in 10u32..200,
+    ) {
+        let sku = Sku::amd_epyc_7502();
+        let groups = parse_groups("REG:1").unwrap();
+        let p1 = build_payload(&sku, &PayloadConfig {
+            mix: InstructionMix::FMA, groups: groups.clone(), unroll });
+        let p2 = build_payload(&sku, &PayloadConfig {
+            mix: InstructionMix::FMA, groups, unroll: unroll * 2 });
+        // Twice the groups ⇒ twice the group instructions (±tail).
+        let tail = 32; // dec+jnz+resets bytes bound
+        prop_assert!(p2.kernel.code_bytes >= p1.kernel.code_bytes * 2 - tail);
+        prop_assert!(p2.kernel.code_bytes <= p1.kernel.code_bytes * 2 + tail);
+    }
+
+    #[test]
+    fn functional_execution_never_goes_trivial_with_v2_init(
+        groups in arb_groups(),
+        seed in 1u64..1000,
+    ) {
+        let sku = Sku::amd_epyc_7502();
+        let payload = build_payload(&sku, &PayloadConfig {
+            mix: InstructionMix::FMA, groups, unroll: 21 });
+        let mut ex = firestarter2::sim::Executor::new(InitScheme::V2Safe, seed);
+        ex.run(&payload.kernel, 300);
+        prop_assert_eq!(ex.stats().trivial_lane_ops, 0);
+    }
+
+    #[test]
+    fn distribution_preserves_counts(
+        counts in prop::collection::vec(1u32..9, 1..6),
+    ) {
+        use firestarter2::core::distribute::distribute;
+        let groups: Vec<AccessGroup> =
+            counts.iter().map(|&c| AccessGroup::reg(c)).collect();
+        // Same-target groups are fine for the scheduler itself.
+        let seq = distribute(&groups);
+        let total: u32 = counts.iter().sum();
+        prop_assert_eq!(seq.len() as u32, total);
+        for (k, &c) in counts.iter().enumerate() {
+            let got = seq.iter().filter(|&&g| g == k).count() as u32;
+            prop_assert_eq!(got, c);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Integration tests for §III-D (version bug, error detection) and the
+//! SKU-portability argument of §III-A.
+
+use firestarter2::prelude::*;
+
+fn run_with_init(init: InitScheme, freq: f64) -> RunResult {
+    let sku = Sku::amd_epyc_7502();
+    let mix = MixRegistry::default_for(sku.uarch);
+    let groups = parse_groups("REG:1").unwrap();
+    let unroll = default_unroll(&sku, mix, &groups);
+    let payload = build_payload(&sku, &PayloadConfig { mix, groups, unroll });
+    let mut runner = Runner::new(sku);
+    runner.hold_power(240.0, 20.0, 300.0);
+    runner.run(
+        &payload,
+        &RunConfig {
+            freq_mhz: freq,
+            duration_s: 30.0,
+            start_delta_s: 5.0,
+            stop_delta_s: 2.0,
+            init,
+            functional_iters: 2500,
+            ..RunConfig::default()
+        },
+    )
+}
+
+/// §III-D: "The new version has a higher power consumption with 314.1 W
+/// compared to the older version with 305.6 W" (Δ ≈ 8.5 W, ≈ 2.7 %).
+#[test]
+fn version_bug_costs_single_digit_watts() {
+    let v2 = run_with_init(InitScheme::V2Safe, 2500.0);
+    let v174 = run_with_init(InitScheme::V174Buggy, 2500.0);
+    assert_eq!(v2.trivial_fraction, 0.0);
+    assert!(v174.trivial_fraction > 0.8, "bug did not saturate: {}", v174.trivial_fraction);
+    let delta = v2.power.mean - v174.power.mean;
+    let rel = delta / v2.power.mean;
+    assert!(
+        (2.0..=20.0).contains(&delta),
+        "delta {delta:.1} W out of band (v2 {:.1}, v1.7.4 {:.1})",
+        v2.power.mean,
+        v174.power.mean
+    );
+    assert!(rel > 0.005 && rel < 0.06, "relative delta {rel:.3}");
+}
+
+/// Error detection catches injected corruption across runs and cores.
+#[test]
+fn error_detection_end_to_end() {
+    let sku = Sku::amd_epyc_7502();
+    let mix = MixRegistry::default_for(sku.uarch);
+    let groups = parse_groups("REG:2,L1_LS:1,L2_L:1").unwrap();
+    let payload = build_payload(
+        &sku,
+        &PayloadConfig {
+            mix,
+            groups,
+            unroll: 50,
+        },
+    );
+    let mut runner = Runner::new(sku);
+    let cfg = RunConfig {
+        freq_mhz: 1500.0,
+        duration_s: 5.0,
+        start_delta_s: 1.0,
+        stop_delta_s: 0.5,
+        error_detection: true,
+        ..RunConfig::default()
+    };
+    assert_eq!(runner.run(&payload, &cfg).error_check_passed, Some(true));
+    for bit in [0, 31, 52, 63] {
+        runner.inject_fault_next_run(0, 3, bit);
+        assert_eq!(
+            runner.run(&payload, &cfg).error_check_passed,
+            Some(false),
+            "bit {bit} flip undetected"
+        );
+    }
+}
+
+/// §III-A: the same family/model spans SKUs with different core counts;
+/// detection distinguishes them by brand string, and the static legacy
+/// workload transfers poorly to the smaller part (its RAM share was tuned
+/// for 32 cores per socket).
+#[test]
+fn sku_variation_changes_the_optimal_workload() {
+    let big = Sku::amd_epyc_7502();
+    let small = Sku::amd_epyc_7302();
+    assert_eq!(big.family, small.family);
+    assert_eq!(big.model, small.model);
+    assert_ne!(
+        big.topology.total_cores(),
+        small.topology.total_cores()
+    );
+
+    // A RAM-heavy workload: on the 16-core SKU each core gets twice the
+    // DRAM share, so its per-core stall picture differs.
+    let spec = "REG:2,RAM_LS:2";
+    let mix = MixRegistry::default_for(big.uarch);
+    let groups = parse_groups(spec).unwrap();
+    let unroll = 128;
+    let p_big = build_payload(&big, &PayloadConfig { mix, groups: groups.clone(), unroll });
+    let p_small = build_payload(&small, &PayloadConfig { mix, groups, unroll });
+
+    let sim_big = SystemSim::new(big);
+    let sim_small = SystemSim::new(small);
+    let ss_big = sim_big.evaluate(&p_big.kernel, 2500.0, None);
+    let ss_small = sim_small.evaluate(&p_small.kernel, 2500.0, None);
+    assert!(
+        ss_small.core.ipc > ss_big.core.ipc * 1.2,
+        "per-core IPC should rise with fewer cores: {} vs {}",
+        ss_small.core.ipc,
+        ss_big.core.ipc
+    );
+}
+
+/// DRAM population changes the bottleneck too (§III-A's second case).
+#[test]
+fn dram_timings_change_behaviour_on_same_sku() {
+    use firestarter2::arch::DramConfig;
+    let fast = Sku::amd_epyc_7502();
+    let slow = Sku::amd_epyc_7502().with_dram(DramConfig {
+        channels: 4,
+        mem_clock_mhz: 1200,
+        latency_ns: 110.0,
+        efficiency: 0.65,
+    });
+    let mix = MixRegistry::default_for(fast.uarch);
+    let groups = parse_groups("REG:2,RAM_LS:2").unwrap();
+    let p = build_payload(&fast, &PayloadConfig { mix, groups, unroll: 128 });
+    let ss_fast = SystemSim::new(fast).evaluate(&p.kernel, 2500.0, None);
+    let ss_slow = SystemSim::new(slow).evaluate(&p.kernel, 2500.0, None);
+    assert!(
+        ss_slow.core.cycles_per_iter > ss_fast.core.cycles_per_iter * 1.5,
+        "slow DRAM must hurt: {} vs {} cycles/iter",
+        ss_slow.core.cycles_per_iter,
+        ss_fast.core.cycles_per_iter
+    );
+}
+
+/// CPUID detection picks the right workload path end-to-end.
+#[test]
+fn detection_to_payload_pipeline() {
+    for (id, expect_mix) in [
+        (CpuId::amd_rome(), "FMA"),
+        (CpuId::intel_haswell(), "FMA"),
+        (
+            CpuId {
+                vendor: firestarter2::arch::Vendor::Unknown,
+                family: 0,
+                model: 0,
+                brand: "Mystery CPU".to_string(),
+            },
+            "AVX",
+        ),
+    ] {
+        let sku = detect(&id);
+        let mix = MixRegistry::default_for(sku.uarch);
+        assert_eq!(mix.name, expect_mix, "for {}", id.brand);
+        let groups = parse_groups("REG:1").unwrap();
+        let payload = build_payload(
+            &sku,
+            &PayloadConfig {
+                mix,
+                groups,
+                unroll: 64,
+            },
+        );
+        assert!(payload.kernel.insts() > 0);
+    }
+}
