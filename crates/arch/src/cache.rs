@@ -120,7 +120,11 @@ pub struct MemLevelSpec {
 impl MemLevelSpec {
     /// Maximum per-core sustainable throughput to this level in bytes per
     /// core cycle, considering both bandwidth and latency×MLP limits.
-    pub fn sustainable_bytes_per_cycle(&self, core_freq_mhz: f64, cores_active_in_domain: u32) -> f64 {
+    pub fn sustainable_bytes_per_cycle(
+        &self,
+        core_freq_mhz: f64,
+        cores_active_in_domain: u32,
+    ) -> f64 {
         let lat_cycles = self.latency.cycles_at(core_freq_mhz).max(1.0);
         // Little's law: outstanding lines / latency.
         let mlp_limit = f64::from(self.mshrs) * f64::from(self.line_bytes) / lat_cycles;

@@ -51,8 +51,7 @@ impl PStateTable {
         for w in states.windows(2) {
             let (lo, hi) = (w[0], w[1]);
             if freq_mhz >= f64::from(lo.freq_mhz) && freq_mhz <= f64::from(hi.freq_mhz) {
-                let t = (freq_mhz - f64::from(lo.freq_mhz))
-                    / f64::from(hi.freq_mhz - lo.freq_mhz);
+                let t = (freq_mhz - f64::from(lo.freq_mhz)) / f64::from(hi.freq_mhz - lo.freq_mhz);
                 return lo.voltage + t * (hi.voltage - lo.voltage);
             }
         }

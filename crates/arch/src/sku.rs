@@ -393,11 +393,7 @@ pub fn detect(id: &CpuId) -> Sku {
     }
     candidates.sort_by_key(|s| {
         // Prefer the SKU whose marketing number appears in the brand string.
-        let sku_number: String = s
-            .name
-            .chars()
-            .filter(|c| c.is_ascii_digit())
-            .collect();
+        let sku_number: String = s.name.chars().filter(|c| c.is_ascii_digit()).collect();
         sku_number.is_empty() || !id.brand.contains(&sku_number[..4.min(sku_number.len())])
     });
     candidates[0].clone()

@@ -83,9 +83,7 @@ impl Baseline {
                 // derive the real optimum via NSGA-II; these are the
                 // converged shapes for each node).
                 let spec = match sku.uarch {
-                    fs2_arch::Microarch::Haswell => {
-                        "REG:12,L1_2LS:16,L2_LS:1,L3_LS:1,RAM_LS:1"
-                    }
+                    fs2_arch::Microarch::Haswell => "REG:12,L1_2LS:16,L2_LS:1,L3_LS:1,RAM_LS:1",
                     _ => "REG:8,L1_2LS:4,L2_LS:1,L3_LS:1,RAM_LS:1",
                 };
                 let groups = parse_groups(spec).unwrap();
@@ -181,7 +179,10 @@ impl Baseline {
     /// Whether the tool's power varies between phases (Prime95's
     /// "varying power consumption over time", Linpack's dips).
     pub fn has_phase_variation(self) -> bool {
-        matches!(self, Baseline::Prime95 | Baseline::Linpack | Baseline::EeMark)
+        matches!(
+            self,
+            Baseline::Prime95 | Baseline::Linpack | Baseline::EeMark
+        )
     }
 }
 
@@ -448,16 +449,18 @@ mod tests {
         )));
         // Scalar FLOPs only: far fewer FLOPs per instruction than FMA code.
         let flops_per_inst = k.meta.flops as f64 / k.meta.insts as f64;
-        assert!(flops_per_inst < 1.0, "too many FLOPs/inst: {flops_per_inst}");
+        assert!(
+            flops_per_inst < 1.0,
+            "too many FLOPs/inst: {flops_per_inst}"
+        );
     }
 
     #[test]
     fn linpack_phases_have_contrasting_intensity() {
         let sku = rome();
         let phases = Baseline::Linpack.phases(&sku);
-        let ipc_of = |k: &Kernel| {
-            steady_state(&sku, k, 2000.0, ActiveSet::full(&sku)).fp_utilization
-        };
+        let ipc_of =
+            |k: &Kernel| steady_state(&sku, k, 2000.0, ActiveSet::full(&sku)).fp_utilization;
         let init = phases.iter().find(|p| p.name == "init").unwrap();
         let dgemm = phases.iter().find(|p| p.name == "dgemm").unwrap();
         let fp_init = ipc_of(init.kernel.as_ref().unwrap());

@@ -140,12 +140,7 @@ mod tests {
         // "reoccurring initialization and finalization phases can
         // significantly lower power consumption."
         let r = report(Baseline::Linpack);
-        let dgemm = r
-            .phase_means
-            .iter()
-            .find(|(n, _)| *n == "dgemm")
-            .unwrap()
-            .1;
+        let dgemm = r.phase_means.iter().find(|(n, _)| *n == "dgemm").unwrap().1;
         let init = r.phase_means.iter().find(|(n, _)| *n == "init").unwrap().1;
         assert!(
             dgemm > init + 30.0,
@@ -158,12 +153,7 @@ mod tests {
     fn prime95_power_varies_over_time() {
         let r = report(Baseline::Prime95);
         let fft = r.phase_means.iter().find(|(n, _)| *n == "fft").unwrap().1;
-        let carry = r
-            .phase_means
-            .iter()
-            .find(|(n, _)| *n == "carry")
-            .unwrap()
-            .1;
+        let carry = r.phase_means.iter().find(|(n, _)| *n == "carry").unwrap().1;
         assert!(fft > carry + 15.0, "fft {fft:.1} vs carry {carry:.1}");
     }
 

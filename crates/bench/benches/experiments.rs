@@ -1,74 +1,95 @@
-//! Criterion benches over the experiment generators themselves: one per
+//! Manual benches over the experiment generators themselves: one per
 //! regenerable table/figure (the heavyweight NSGA-II experiments run in
 //! quick mode here; `cargo run --release -p fs2-bench --bin
 //! all_experiments` produces the paper-scale numbers).
+//!
+//! Criterion is not available offline; this is a `harness = false`
+//! wall-clock loop. Run with `cargo bench -p fs2-bench --bench
+//! experiments`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fs2_bench::experiments;
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_fig01(c: &mut Criterion) {
-    c.bench_function("fig01_fleet_cdf", |b| b.iter(experiments::fig01::run));
+fn time_ms(reps: u32, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / f64::from(reps)
 }
 
-fn bench_fig02(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ladders");
-    g.sample_size(10);
-    g.bench_function("fig02_haswell_ladder", |b| {
-        b.iter(experiments::fig02::run)
-    });
-    g.bench_function("fig09_rome_ladder", |b| b.iter(experiments::fig09::run));
-    g.finish();
+fn report(name: &str, ms: f64) {
+    println!("{name:<32} {ms:>10.1} ms/iter");
 }
 
-fn bench_fig06_07(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tuning_traces");
-    g.sample_size(10);
-    g.bench_function("fig06_v1_prototype_trace", |b| {
-        b.iter(experiments::fig06::run)
-    });
-    g.bench_function("fig07_v2_trace_quick", |b| {
-        b.iter(|| experiments::fig07::run(true))
-    });
-    g.finish();
+fn main() {
+    println!("### experiments — generator wall times\n");
+    report(
+        "fig01_fleet_cdf",
+        time_ms(3, || {
+            black_box(experiments::fig01::run());
+        }),
+    );
+    report(
+        "fig02_haswell_ladder",
+        time_ms(3, || {
+            black_box(experiments::fig02::run());
+        }),
+    );
+    report(
+        "fig09_rome_ladder",
+        time_ms(3, || {
+            black_box(experiments::fig09::run());
+        }),
+    );
+    report(
+        "fig06_v1_prototype_trace",
+        time_ms(3, || {
+            black_box(experiments::fig06::run());
+        }),
+    );
+    report(
+        "fig07_v2_trace_quick",
+        time_ms(3, || {
+            black_box(experiments::fig07::run(true));
+        }),
+    );
+    report(
+        "fig08_unroll_sweep",
+        time_ms(3, || {
+            black_box(experiments::fig08::run());
+        }),
+    );
+    report(
+        "fig11_tuning_quick",
+        time_ms(1, || {
+            black_box(experiments::fig11::run(true));
+        }),
+    );
+    report(
+        "fig12_cross_matrix_quick",
+        time_ms(1, || {
+            black_box(experiments::fig12::run(true));
+        }),
+    );
+    report(
+        "table1_feature_matrix_quick",
+        time_ms(1, || {
+            black_box(experiments::table1::run(true));
+        }),
+    );
+    report(
+        "table2_system",
+        time_ms(3, || {
+            black_box(experiments::table2::run());
+        }),
+    );
+    report(
+        "version_comparison",
+        time_ms(3, || {
+            black_box(experiments::version::run());
+        }),
+    );
 }
-
-fn bench_fig08(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sweeps");
-    g.sample_size(10);
-    g.bench_function("fig08_unroll_sweep", |b| b.iter(experiments::fig08::run));
-    g.finish();
-}
-
-fn bench_fig11_12(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nsga2_experiments");
-    g.sample_size(10);
-    g.bench_function("fig11_tuning_quick", |b| {
-        b.iter(|| experiments::fig11::run(true))
-    });
-    g.bench_function("fig12_cross_matrix_quick", |b| {
-        b.iter(|| experiments::fig12::run(true))
-    });
-    g.finish();
-}
-
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(10);
-    g.bench_function("table1_feature_matrix_quick", |b| {
-        b.iter(|| experiments::table1::run(true))
-    });
-    g.bench_function("table2_system", |b| b.iter(experiments::table2::run));
-    g.bench_function("version_comparison", |b| b.iter(experiments::version::run));
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_fig01,
-    bench_fig02,
-    bench_fig06_07,
-    bench_fig08,
-    bench_fig11_12,
-    bench_tables
-);
-criterion_main!(benches);

@@ -1,7 +1,11 @@
-//! Criterion benches for the moving parts: the costs that bound how fast
-//! the self-tuning loop can evaluate candidates.
+//! Manual micro-benchmarks for the moving parts: the costs that bound
+//! how fast the self-tuning loop can evaluate candidates.
+//!
+//! Criterion is not available offline, so this is a plain
+//! `harness = false` timing loop: each case is warmed up, then run for a
+//! fixed number of iterations with the median-of-5 wall time reported.
+//! Run with `cargo bench -p fs2-bench --bench primitives`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fs2_arch::Sku;
 use fs2_core::groups::parse_groups;
 use fs2_core::mix::MixRegistry;
@@ -10,8 +14,32 @@ use fs2_power::{solve_throttle, NodePowerModel};
 use fs2_sim::core::{steady_state, ActiveSet};
 use fs2_sim::{Executor, InitScheme, SystemSim};
 use fs2_tuning::{Nsga2, Nsga2Config};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_encoder(c: &mut Criterion) {
+/// Times `f` over `iters` calls, median of 5 repetitions, in ns/call.
+pub fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters.div_ceil(4) {
+        f(); // warm-up
+    }
+    let mut reps: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() * 1e9 / f64::from(iters)
+        })
+        .collect();
+    reps.sort_by(f64::total_cmp);
+    reps[2]
+}
+
+fn report(name: &str, ns: f64) {
+    println!("{name:<34} {:>12.0} ns/iter", ns);
+}
+
+fn bench_encoder() {
     let sku = Sku::amd_epyc_7502();
     let mix = MixRegistry::default_for(sku.uarch);
     let groups = parse_groups("REG:4,L1_L:2,L2_L:1").unwrap();
@@ -25,33 +53,40 @@ fn bench_encoder(c: &mut Criterion) {
     );
     let insts: Vec<_> = payload.kernel.insts_iter().copied().collect();
 
-    c.bench_function("encode_5k_inst_payload", |b| {
-        b.iter(|| fs2_isa::encoder::encode_sequence(black_box(&insts)))
-    });
-    c.bench_function("decode_24kb_code_buffer", |b| {
-        b.iter(|| fs2_isa::decode_all(black_box(&payload.machine_code)).unwrap())
-    });
+    report(
+        "encode_5k_inst_payload",
+        time_ns(50, || {
+            black_box(fs2_isa::encoder::encode_sequence(black_box(&insts)));
+        }),
+    );
+    report(
+        "decode_24kb_code_buffer",
+        time_ns(50, || {
+            black_box(fs2_isa::decode_all(black_box(&payload.machine_code)).unwrap());
+        }),
+    );
 }
 
-fn bench_payload_build(c: &mut Criterion) {
+fn bench_payload_build() {
     let sku = Sku::amd_epyc_7502();
     let mix = MixRegistry::default_for(sku.uarch);
     let groups = parse_groups("REG:8,L1_2LS:4,L2_LS:1,L3_LS:1,RAM_LS:1").unwrap();
-    c.bench_function("build_payload_u1400", |b| {
-        b.iter(|| {
-            build_payload(
+    report(
+        "build_payload_u1400",
+        time_ns(20, || {
+            black_box(build_payload(
                 black_box(&sku),
                 &PayloadConfig {
                     mix,
                     groups: groups.clone(),
                     unroll: 1400,
                 },
-            )
-        })
-    });
+            ));
+        }),
+    );
 }
 
-fn bench_simulation(c: &mut Criterion) {
+fn bench_simulation() {
     let sku = Sku::amd_epyc_7502();
     let mix = MixRegistry::default_for(sku.uarch);
     let groups = parse_groups("REG:8,L1_2LS:4,L2_LS:1,L3_LS:1,RAM_LS:1").unwrap();
@@ -66,36 +101,41 @@ fn bench_simulation(c: &mut Criterion) {
     let sim = SystemSim::new(sku.clone());
     let model = NodePowerModel::new(sku.clone());
 
-    c.bench_function("steady_state_eval", |b| {
-        b.iter(|| {
-            steady_state(
+    report(
+        "steady_state_eval",
+        time_ns(200, || {
+            black_box(steady_state(
                 black_box(&sku),
                 black_box(&payload.kernel),
                 2500.0,
                 ActiveSet::full(&sku),
-            )
-        })
-    });
+            ));
+        }),
+    );
     // The ablation pair of DESIGN.md §6: a plain evaluation vs. the full
     // EDC/PPT-aware frequency solve.
-    c.bench_function("node_eval_no_throttle_solve", |b| {
-        b.iter(|| sim.evaluate(black_box(&payload.kernel), 2500.0, None))
-    });
-    c.bench_function("node_eval_with_throttle_solve", |b| {
-        b.iter(|| {
-            solve_throttle(
+    report(
+        "node_eval_no_throttle_solve",
+        time_ns(200, || {
+            black_box(sim.evaluate(black_box(&payload.kernel), 2500.0, None));
+        }),
+    );
+    report(
+        "node_eval_with_throttle_solve",
+        time_ns(100, || {
+            black_box(solve_throttle(
                 &sim,
                 &model,
                 black_box(&payload.kernel),
                 2500.0,
                 None,
                 0.0,
-            )
-        })
-    });
+            ));
+        }),
+    );
 }
 
-fn bench_executor(c: &mut Criterion) {
+fn bench_executor() {
     let sku = Sku::amd_epyc_7502();
     let mix = MixRegistry::default_for(sku.uarch);
     let groups = parse_groups("REG:2,L1_LS:1").unwrap();
@@ -107,37 +147,40 @@ fn bench_executor(c: &mut Criterion) {
             unroll: 63,
         },
     );
-    c.bench_function("functional_exec_100_iters", |b| {
-        b.iter(|| {
+    report(
+        "functional_exec_100_iters",
+        time_ns(50, || {
             let mut ex = Executor::new(InitScheme::V2Safe, 42);
             ex.run(black_box(&payload.kernel), 100);
-            ex.state_hash()
-        })
-    });
+            black_box(ex.state_hash());
+        }),
+    );
 }
 
-fn bench_nsga2(c: &mut Criterion) {
-    c.bench_function("nsga2_sch_40x20", |b| {
-        b.iter(|| {
+fn bench_nsga2() {
+    report(
+        "nsga2_sch_40x20",
+        time_ns(10, || {
             let mut problem = fs2_tuning::testfns::Sch::new();
-            Nsga2::new(Nsga2Config {
-                individuals: 40,
-                generations: 20,
-                mutation_prob: 0.35,
-                crossover_prob: 0.9,
-                seed: 1,
-            })
-            .run(black_box(&mut problem))
-        })
-    });
+            black_box(
+                Nsga2::new(Nsga2Config {
+                    individuals: 40,
+                    generations: 20,
+                    mutation_prob: 0.35,
+                    crossover_prob: 0.9,
+                    seed: 1,
+                })
+                .run(black_box(&mut problem)),
+            );
+        }),
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_encoder,
-    bench_payload_build,
-    bench_simulation,
-    bench_executor,
-    bench_nsga2
-);
-criterion_main!(benches);
+fn main() {
+    println!("### primitives — micro-benchmarks (median of 5)\n");
+    bench_encoder();
+    bench_payload_build();
+    bench_simulation();
+    bench_executor();
+    bench_nsga2();
+}

@@ -7,12 +7,12 @@
 //!  4. Shared-resource contention model on vs off (all cores vs one).
 
 use fs2_arch::Sku;
-use fs2_core::autotune::{genes_to_groups, AutoTuner, TuneConfig};
+use fs2_core::autotune::{genes_to_groups, TuneConfig};
 use fs2_core::distribute::{distribute, unroll_sequence};
 use fs2_core::groups::{format_groups, parse_groups, Target};
 use fs2_core::mix::MixRegistry;
-use fs2_core::payload::{build_payload, default_unroll, PayloadConfig};
-use fs2_core::runner::{RunConfig, Runner};
+use fs2_core::payload::{default_unroll, PayloadConfig};
+use fs2_core::runner::RunConfig;
 use fs2_sim::kernel::TaggedInst;
 use fs2_sim::Kernel;
 use fs2_tuning::Nsga2Config;
@@ -34,7 +34,7 @@ fn nsga2_vs_random(sku: &Sku) {
     let freq = 1500.0;
 
     // NSGA-II: 16 individuals x 5 generations = 96 evaluations.
-    let mut runner = Runner::new(sku.clone());
+    let engine = fs2_bench::experiments::common::engine_for(sku.clone());
     let cfg = TuneConfig {
         nsga2: Nsga2Config {
             individuals: 16,
@@ -48,12 +48,12 @@ fn nsga2_vs_random(sku: &Sku) {
         freq_mhz: freq,
         ..TuneConfig::default()
     };
-    let tuned = AutoTuner::run(&mut runner, &cfg);
+    let tuned = engine.session().tune(&cfg);
 
-    // Random search: same budget, same gene space.
+    // Random search: same budget, same gene space, same engine cache.
     let mut rng = StdRng::seed_from_u64(1);
     let items = fs2_core::groups::all_valid_items().len();
-    let mut runner = Runner::new(sku.clone());
+    let mut session = engine.session();
     let mut best_random = f64::NEG_INFINITY;
     let mut best_genes = vec![0u32; items];
     for _ in 0..budget {
@@ -63,15 +63,12 @@ fn nsga2_vs_random(sku: &Sku) {
         }
         let groups = genes_to_groups(&genes);
         let unroll = default_unroll(sku, cfg.mix, &groups);
-        let payload = build_payload(
-            sku,
-            &PayloadConfig {
-                mix: cfg.mix,
-                groups,
-                unroll,
-            },
-        );
-        let r = runner.run(
+        let payload = engine.payload(&PayloadConfig {
+            mix: cfg.mix,
+            groups,
+            unroll,
+        });
+        let r = session.run_payload(
             &payload,
             &RunConfig {
                 freq_mhz: freq,
@@ -103,19 +100,17 @@ fn nsga2_vs_random(sku: &Sku) {
 
 /// 2. The paper's proportional interleaving vs naive clustering.
 fn spaced_vs_clustered(sku: &Sku) {
+    let engine = fs2_bench::experiments::common::engine_for(sku.clone());
     let groups = parse_groups("REG:4,L1_2LS:2,RAM_L:1").unwrap();
     let mix = MixRegistry::default_for(sku.uarch);
     let u = default_unroll(sku, mix, &groups);
 
     // Spaced: the shipped scheduler.
-    let spaced = build_payload(
-        sku,
-        &PayloadConfig {
-            mix,
-            groups: groups.clone(),
-            unroll: u,
-        },
-    );
+    let spaced = engine.payload(&PayloadConfig {
+        mix,
+        groups: groups.clone(),
+        unroll: u,
+    });
 
     // Clustered: all occurrences of each group back-to-back.
     let window = distribute(&groups);
@@ -135,7 +130,7 @@ fn spaced_vs_clustered(sku: &Sku) {
     body.push(TaggedInst::reg(fs2_isa::Inst::Jnz { rel: 0 }));
     let clustered = Kernel::new("clustered", body, u);
 
-    let mut runner = Runner::new(sku.clone());
+    let mut session = engine.session();
     let cfg = RunConfig {
         freq_mhz: 1500.0,
         duration_s: 20.0,
@@ -144,8 +139,8 @@ fn spaced_vs_clustered(sku: &Sku) {
         functional_iters: 64,
         ..RunConfig::default()
     };
-    let r_spaced = runner.run(&spaced, &cfg);
-    let r_clustered = runner.run_kernel(&clustered, &cfg);
+    let r_spaced = session.run_payload(&spaced, &cfg);
+    let r_clustered = session.run_kernel(&clustered, &cfg);
     println!("2. access-distribution ablation (REG:4,L1_2LS:2,RAM_L:1 @1500 MHz):");
     println!(
         "   spaced (paper) {:.1} W  ipc {:.2}",
@@ -160,9 +155,10 @@ fn spaced_vs_clustered(sku: &Sku) {
 
 /// 3. FMA triviality gating on/off.
 fn gating_on_off(sku: &Sku) {
-    use fs2_bench::experiments::common::{direct_eval, payload_for};
-    let payload = payload_for(sku, "REG:1");
-    let on = direct_eval(sku, &payload, 2500.0);
+    use fs2_bench::experiments::common::{direct_eval, engine_for, payload_for};
+    let engine = engine_for(sku.clone());
+    let payload = payload_for(&engine, "REG:1");
+    let on = direct_eval(&engine, &payload, 2500.0);
     // Gating "off" = operands fully trivial (the v1.7.4 end state).
     let sim = fs2_sim::SystemSim::new(sku.clone());
     let model = fs2_power::NodePowerModel::new(sku.clone());
@@ -178,11 +174,11 @@ fn gating_on_off(sku: &Sku) {
 
 /// 4. Contention model on/off.
 fn contention_on_off(sku: &Sku) {
-    use fs2_bench::experiments::common::payload_for;
-    let payload = payload_for(sku, "REG:2,RAM_LS:2");
-    let sim = fs2_sim::SystemSim::new(sku.clone());
-    let full = sim.evaluate(&payload.kernel, 2500.0, None);
-    let solo = sim.evaluate(&payload.kernel, 2500.0, Some(1));
+    use fs2_bench::experiments::common::{engine_for, payload_for};
+    let engine = engine_for(sku.clone());
+    let payload = payload_for(&engine, "REG:2,RAM_LS:2");
+    let full = engine.sim().evaluate(&payload.kernel, 2500.0, None);
+    let solo = engine.sim().evaluate(&payload.kernel, 2500.0, Some(1));
     println!("4. shared-resource contention (REG:2,RAM_LS:2 @2500 MHz):");
     println!(
         "   all {} cores: {:.2} ipc/core, {:.1} GB/s DRAM/node",

@@ -1,37 +1,45 @@
-//! Shared experiment plumbing.
+//! Shared experiment plumbing, routed through the `fs2-core` engine.
+//!
+//! Every experiment builds one [`Engine`] for its SKU and draws cached
+//! payloads, traceless evaluations, sessions and parallel sweeps from
+//! it instead of wiring `build_payload` + `SystemSim` + `NodePowerModel`
+//! by hand.
 
 use fs2_arch::{MemLevel, Sku};
+use fs2_core::engine::Engine;
 use fs2_core::groups::{format_groups, parse_groups, AccessGroup, Pattern};
 use fs2_core::mix::{InstructionMix, MixRegistry};
-use fs2_core::payload::{build_payload, default_unroll, Payload, PayloadConfig};
-use fs2_power::{solve_throttle, NodePowerModel, ThrottleResult};
-use fs2_sim::SystemSim;
+use fs2_core::payload::{default_unroll, Payload, PayloadConfig};
+use fs2_power::ThrottleResult;
+use std::sync::Arc;
 
-/// Builds a payload from a group string with the architecture default
-/// mix and unroll factor.
-pub fn payload_for(sku: &Sku, spec: &str) -> Payload {
-    let mix = MixRegistry::default_for(sku.uarch);
-    let groups = parse_groups(spec).expect("experiment group strings are valid");
-    let unroll = default_unroll(sku, mix, &groups);
-    build_payload(sku, &PayloadConfig { mix, groups, unroll })
+/// The engine every experiment on `sku` shares.
+pub fn engine_for(sku: Sku) -> Engine {
+    Engine::new(sku)
+}
+
+/// Cached payload from a group string with the architecture default mix
+/// and unroll factor.
+pub fn payload_for(engine: &Engine, spec: &str) -> Arc<Payload> {
+    engine
+        .payload_for_spec(spec)
+        .expect("experiment group strings are valid")
 }
 
 /// Direct (traceless) evaluation: EDC-aware steady state + power.
 /// Orders of magnitude faster than a full runner pass; used by the
 /// parameter sweeps.
-pub fn direct_eval(sku: &Sku, payload: &Payload, freq_mhz: f64) -> ThrottleResult {
-    let sim = SystemSim::new(sku.clone());
-    let model = NodePowerModel::new(sku.clone());
-    solve_throttle(&sim, &model, &payload.kernel, freq_mhz, None, 0.0)
+pub fn direct_eval(engine: &Engine, payload: &Payload, freq_mhz: f64) -> ThrottleResult {
+    engine.eval(payload, freq_mhz)
 }
 
 /// "To get the ratio with the highest power consumption, we vary the
 /// ratio of register calculations and memory accesses" (§IV-D): sweeps
 /// the REG share (and the nearest level's weight) for a ladder rung that
 /// touches all levels up to `up_to`, returning the highest-power
-/// configuration.
+/// configuration. The candidate grid fans out over [`Engine::sweep`].
 pub fn optimize_rung(
-    sku: &Sku,
+    engine: &Engine,
     up_to: Option<MemLevel>,
     freq_mhz: f64,
 ) -> (Vec<AccessGroup>, ThrottleResult) {
@@ -56,7 +64,6 @@ pub fn optimize_rung(
         groups
     };
 
-    let mut best: Option<(Vec<AccessGroup>, ThrottleResult)> = None;
     // Wide REG sweep: shared far levels (Haswell's socket-wide L3) need
     // sparse access schedules, i.e. large register shares.
     let reg_candidates: &[u32] = if up_to.is_none() {
@@ -72,33 +79,39 @@ pub fn optimize_rung(
     } else {
         &[1, 2, 3, 4, 6, 8, 12, 16]
     };
-    for &reg in reg_candidates {
-        for &near in near_candidates {
-            let groups = mix_groups(reg, near, up_to);
-            if groups.is_empty() {
-                continue;
-            }
-            let mix = MixRegistry::default_for(sku.uarch);
-            let unroll = default_unroll(sku, mix, &groups);
-            let payload = build_payload(
-                sku,
-                &PayloadConfig {
-                    mix,
-                    groups: groups.clone(),
-                    unroll,
-                },
-            );
-            let result = direct_eval(sku, &payload, freq_mhz);
-            let better = match &best {
-                None => true,
-                Some((_, b)) => result.power.total_w() > b.power.total_w(),
-            };
-            if better {
-                best = Some((groups, result));
-            }
+    let mut candidates: Vec<Vec<AccessGroup>> = reg_candidates
+        .iter()
+        .flat_map(|&reg| {
+            near_candidates
+                .iter()
+                .map(move |&near| mix_groups(reg, near, up_to))
+        })
+        .filter(|groups| !groups.is_empty())
+        .collect();
+
+    let evaluated = engine.sweep(&candidates, 0, |engine, _, groups| {
+        let mix = MixRegistry::default_for(engine.sku().uarch);
+        let unroll = default_unroll(engine.sku(), mix, groups);
+        let payload = engine.payload(&PayloadConfig {
+            mix,
+            groups: groups.clone(),
+            unroll,
+        });
+        engine.eval(&payload, freq_mhz)
+    });
+
+    // Deterministic selection: strict improvement, first index wins ties
+    // (identical to the previous serial loop).
+    let mut best: Option<(usize, f64)> = None;
+    for (i, result) in evaluated.iter().enumerate() {
+        let p = result.power.total_w();
+        if best.is_none_or(|(_, bp)| p > bp) {
+            best = Some((i, p));
         }
     }
-    best.expect("at least one candidate evaluated")
+    let (i, _) = best.expect("at least one candidate evaluated");
+    let result = evaluated.into_iter().nth(i).expect("index in range");
+    (candidates.swap_remove(i), result)
 }
 
 /// Pretty group-string for reports.
@@ -107,15 +120,12 @@ pub fn spec_of(groups: &[AccessGroup]) -> String {
 }
 
 /// The SQRT low-power loop payload.
-pub fn sqrt_payload(sku: &Sku) -> Payload {
-    build_payload(
-        sku,
-        &PayloadConfig {
-            mix: InstructionMix::SQRT,
-            groups: parse_groups("REG:1").unwrap(),
-            unroll: 64,
-        },
-    )
+pub fn sqrt_payload(engine: &Engine) -> Arc<Payload> {
+    engine.payload(&PayloadConfig {
+        mix: InstructionMix::SQRT,
+        groups: parse_groups("REG:1").unwrap(),
+        unroll: 64,
+    })
 }
 
 #[cfg(test)]
@@ -124,7 +134,7 @@ mod tests {
 
     #[test]
     fn rung_optimizer_monotone_in_levels() {
-        let sku = Sku::amd_epyc_7502();
+        let engine = engine_for(Sku::amd_epyc_7502());
         let mut prev = 0.0;
         for up_to in [
             None,
@@ -133,7 +143,7 @@ mod tests {
             Some(MemLevel::L3),
             Some(MemLevel::Ram),
         ] {
-            let (_, result) = optimize_rung(&sku, up_to, 1500.0);
+            let (_, result) = optimize_rung(&engine, up_to, 1500.0);
             let p = result.power.total_w();
             assert!(
                 p > prev,
@@ -145,9 +155,24 @@ mod tests {
 
     #[test]
     fn direct_eval_matches_runner_scale() {
-        let sku = Sku::amd_epyc_7502();
-        let p = payload_for(&sku, "REG:1");
-        let r = direct_eval(&sku, &p, 1500.0);
+        let engine = engine_for(Sku::amd_epyc_7502());
+        let p = payload_for(&engine, "REG:1");
+        let r = direct_eval(&engine, &p, 1500.0);
         assert!((180.0..280.0).contains(&r.power.total_w()));
+    }
+
+    #[test]
+    fn rung_optimizer_reuses_cached_payloads() {
+        let engine = engine_for(Sku::amd_epyc_7502());
+        let (g1, r1) = optimize_rung(&engine, Some(MemLevel::L2), 1500.0);
+        let after_first = engine.cache_stats();
+        assert!(after_first.misses > 0);
+        // Second identical sweep: all payloads come from the cache.
+        let (g2, r2) = optimize_rung(&engine, Some(MemLevel::L2), 1500.0);
+        let after_second = engine.cache_stats();
+        assert_eq!(after_second.misses, after_first.misses);
+        assert!(after_second.hits >= after_first.misses);
+        assert_eq!(g1, g2);
+        assert_eq!(r1.power.total_w(), r2.power.total_w());
     }
 }

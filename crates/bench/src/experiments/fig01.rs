@@ -34,7 +34,10 @@ pub fn run() -> Report {
     ));
     rep.csv_header(&["power_w", "cumulative_fraction"]);
     for wv in (40..=360).step_by(10) {
-        rep.csv_row(&[format!("{wv}"), format!("{:.4}", cdf.fraction_at(f64::from(wv)))]);
+        rep.csv_row(&[
+            format!("{wv}"),
+            format!("{:.4}", cdf.fraction_at(f64::from(wv))),
+        ]);
     }
     rep
 }

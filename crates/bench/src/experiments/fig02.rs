@@ -2,7 +2,9 @@
 //! accesses on the dual-socket Haswell node (2 GHz to avoid AVX
 //! throttling), with and without 4× NVIDIA K80.
 
-use crate::experiments::common::{direct_eval, optimize_rung, payload_for, spec_of, sqrt_payload};
+use crate::experiments::common::{
+    direct_eval, engine_for, optimize_rung, payload_for, spec_of, sqrt_payload,
+};
 use crate::report::{w, Report};
 use fs2_arch::{MemLevel, Sku};
 use fs2_gpu::GpuStress;
@@ -10,8 +12,9 @@ use fs2_power::NodePowerModel;
 
 pub fn run() -> Report {
     let sku = Sku::intel_xeon_e5_2680_v3();
+    let engine = engine_for(sku.clone());
     let freq = 2000.0;
-    let model = NodePowerModel::new(sku.clone());
+    let model = NodePowerModel::new(sku);
     let gpu = GpuStress::four_k80().run(240.0);
 
     let mut rep = Report::new(
@@ -21,7 +24,11 @@ pub fn run() -> Report {
     rep.csv_header(&["id", "cpu_node_w", "gpgpu_node_w", "workload"]);
 
     let row = |id: &str, name: &str, cpu_w: f64, spec: String, rep: &mut Report| {
-        rep.line(format!("{name:<34} {:>7} W   (+GPUs: {:>7} W)   {spec}", w(cpu_w), w(cpu_w + gpu.avg_power_w)));
+        rep.line(format!(
+            "{name:<34} {:>7} W   (+GPUs: {:>7} W)   {spec}",
+            w(cpu_w),
+            w(cpu_w + gpu.avg_power_w)
+        ));
         rep.csv_row(&[id.to_string(), w(cpu_w), w(cpu_w + gpu.avg_power_w), spec]);
     };
 
@@ -41,14 +48,26 @@ pub fn run() -> Report {
     ]);
 
     // Low power loop (sqrtsd).
-    let sqrt = sqrt_payload(&sku);
-    let sqrt_r = direct_eval(&sku, &sqrt, freq);
-    row("sqrt", "Low power loop (sqrtsd)", sqrt_r.power.total_w(), "SQRT".into(), &mut rep);
+    let sqrt = sqrt_payload(&engine);
+    let sqrt_r = direct_eval(&engine, &sqrt, freq);
+    row(
+        "sqrt",
+        "Low power loop (sqrtsd)",
+        sqrt_r.power.total_w(),
+        "SQRT".into(),
+        &mut rep,
+    );
 
     // FIRESTARTER, no cache accesses.
-    let reg = payload_for(&sku, "REG:1");
-    let reg_r = direct_eval(&sku, &reg, freq);
-    row("reg", "FIRESTARTER, no cache accesses", reg_r.power.total_w(), "REG:1".into(), &mut rep);
+    let reg = payload_for(&engine, "REG:1");
+    let reg_r = direct_eval(&engine, &reg, freq);
+    row(
+        "reg",
+        "FIRESTARTER, no cache accesses",
+        reg_r.power.total_w(),
+        "REG:1".into(),
+        &mut rep,
+    );
 
     // FIRESTARTER with L1+L2 / +L3 / +mem accesses (optimized per rung).
     for (id, name, up_to) in [
@@ -56,7 +75,7 @@ pub fn run() -> Report {
         ("l3", "FIRESTARTER, L1+L2+L3 accesses", MemLevel::L3),
         ("mem", "FIRESTARTER, L1+L2+L3+mem accesses", MemLevel::Ram),
     ] {
-        let (groups, result) = optimize_rung(&sku, Some(up_to), freq);
+        let (groups, result) = optimize_rung(&engine, Some(up_to), freq);
         row(id, name, result.power.total_w(), spec_of(&groups), &mut rep);
     }
 

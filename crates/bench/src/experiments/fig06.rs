@@ -3,14 +3,15 @@
 //! and linking (a near-idle gap), then a minutes-long measurement to ride
 //! out thermal effects.
 
+use crate::experiments::common::engine_for;
 use crate::report::{w, Report};
 use fs2_arch::Sku;
 use fs2_core::groups::parse_groups;
 use fs2_core::legacy::{v1_tuning_candidate, V1TuningConfig};
-use fs2_core::runner::Runner;
 
 pub fn run() -> Report {
-    let mut runner = Runner::new(Sku::amd_epyc_7502());
+    let engine = engine_for(Sku::amd_epyc_7502());
+    let mut session = engine.session();
     let cfg = V1TuningConfig {
         freq_mhz: 1500.0,
         ..V1TuningConfig::default()
@@ -23,12 +24,15 @@ pub fn run() -> Report {
     let mut measured = Vec::new();
     for spec in candidates {
         let groups = parse_groups(spec).unwrap();
-        measured.push((spec, v1_tuning_candidate(&mut runner, &groups, &cfg)));
+        measured.push((
+            spec,
+            v1_tuning_candidate(session.runner_mut(), &groups, &cfg),
+        ));
     }
 
-    let total_s = runner.clock().now_secs();
-    let idle_w = runner.power_model().idle_power().total_w();
-    let (trace_min, trace_max) = runner
+    let total_s = session.clock().now_secs();
+    let idle_w = session.power_model().idle_power().total_w();
+    let (trace_min, trace_max) = session
         .trace()
         .min_max_between(0.0, total_s)
         .unwrap_or((0.0, 0.0));
@@ -60,7 +64,7 @@ pub fn run() -> Report {
 
     // Downsampled trace for plotting.
     rep.csv_header(&["t_s", "power_w"]);
-    let agg = runner.trace().aggregate_mean(5.0);
+    let agg = session.trace().aggregate_mean(5.0);
     for s in agg.samples() {
         rep.csv_row(&[format!("{:.1}", s.t_s), w(s.value)]);
     }

@@ -1,14 +1,15 @@
 //! Fig. 7 — power trace of FIRESTARTER 2's automatic tuning: 240 s
 //! preheat, then back-to-back 10 s candidates with no recompile gaps.
 
+use crate::experiments::common::engine_for;
 use crate::report::{w, Report};
 use fs2_arch::Sku;
-use fs2_core::autotune::{AutoTuner, TuneConfig};
-use fs2_core::runner::Runner;
+use fs2_core::autotune::TuneConfig;
 use fs2_tuning::Nsga2Config;
 
 pub fn run(quick: bool) -> Report {
-    let mut runner = Runner::new(Sku::amd_epyc_7502());
+    let engine = engine_for(Sku::amd_epyc_7502());
+    let mut session = engine.session();
     let cfg = TuneConfig {
         nsga2: Nsga2Config {
             individuals: if quick { 8 } else { 16 },
@@ -22,11 +23,11 @@ pub fn run(quick: bool) -> Report {
         freq_mhz: 1500.0,
         ..TuneConfig::default()
     };
-    let result = AutoTuner::run(&mut runner, &cfg);
+    let result = session.tune(&cfg);
 
-    let total_s = runner.clock().now_secs();
-    let idle_w = runner.power_model().idle_power().total_w();
-    let (min_after_preheat, _max_w) = runner
+    let total_s = session.clock().now_secs();
+    let idle_w = session.power_model().idle_power().total_w();
+    let (min_after_preheat, _max_w) = session
         .trace()
         .min_max_between(cfg.preheat_s, total_s)
         .unwrap();
@@ -53,7 +54,7 @@ pub fn run(quick: bool) -> Report {
     ));
 
     rep.csv_header(&["t_s", "power_w"]);
-    let agg = runner.trace().aggregate_mean(2.0);
+    let agg = session.trace().aggregate_mean(2.0);
     for s in agg.samples().iter().take(300) {
         rep.csv_row(&[format!("{:.1}", s.t_s), w(s.value)]);
     }

@@ -7,17 +7,14 @@
 //! flat but power rises again, and at nominal frequency the extra current
 //! triggers a small EDC frequency dip (2.5 → 2.4 GHz in the paper).
 
-use crate::experiments::common::direct_eval;
+use crate::experiments::common::{direct_eval, engine_for};
 use crate::report::{mhz, r3, w, Report};
 use fs2_arch::pipeline::FetchSource;
 use fs2_arch::Sku;
-use fs2_core::groups::parse_groups;
-use fs2_core::mix::MixRegistry;
-use fs2_core::payload::{build_payload, PayloadConfig};
-use fs2_sim::HwEvents;
-use fs2_sim::SystemSim;
 
-pub const UNROLLS: [u32; 12] = [32, 64, 125, 250, 500, 750, 1000, 1500, 2000, 4000, 8000, 16000];
+pub const UNROLLS: [u32; 12] = [
+    32, 64, 125, 250, 500, 750, 1000, 1500, 2000, 4000, 8000, 16000,
+];
 pub const FREQS: [f64; 3] = [1500.0, 2200.0, 2500.0];
 
 pub struct Point {
@@ -31,44 +28,40 @@ pub struct Point {
 }
 
 pub fn sweep() -> Vec<Point> {
-    let sku = Sku::amd_epyc_7502();
-    let mix = MixRegistry::default_for(sku.uarch);
-    let groups = parse_groups("L1_L:1").unwrap();
-    let sim = SystemSim::new(sku.clone());
-    let mut out = Vec::new();
-    for &u in &UNROLLS {
-        let payload = build_payload(
-            &sku,
-            &PayloadConfig {
-                mix,
-                groups: groups.clone(),
-                unroll: u,
-            },
-        );
-        for &f in &FREQS {
-            let r = direct_eval(&sku, &payload, f);
-            // Validate the fetch source with the event-counter equivalent
-            // of PMC 0xAA ("UOps Dispatched From Decoder").
-            let (_, ev) = sim.run(&payload.kernel, r.applied_mhz, 1e8, None);
-            let (dec, opc) = (ev.uops_from_decoder, ev.uops_from_opcache);
-            let frac = if dec + opc == 0 {
-                0.0
-            } else {
-                dec as f64 / (dec + opc) as f64
-            };
-            let _ = HwEvents::default();
-            out.push(Point {
-                unroll: u,
-                freq_req: f,
-                freq_applied: r.applied_mhz,
-                power_w: r.power.total_w(),
-                ipc: r.node.core.ipc,
-                fetch: r.node.core.fetch_source,
-                uops_from_decoder_frac: frac,
-            });
+    let engine = engine_for(Sku::amd_epyc_7502());
+    // The cartesian (unroll × P-state) grid fans out in parallel; each
+    // unroll's payload is built once and shared via the engine cache
+    // across its three frequency points.
+    let combos: Vec<(u32, f64)> = UNROLLS
+        .iter()
+        .flat_map(|&u| FREQS.iter().map(move |&f| (u, f)))
+        .collect();
+    engine.sweep(&combos, 0, |engine, _, &(u, f)| {
+        let mut cfg = engine
+            .config_for_spec("L1_L:1")
+            .expect("static experiment spec");
+        cfg.unroll = u;
+        let payload = engine.payload(&cfg);
+        let r = direct_eval(engine, &payload, f);
+        // Validate the fetch source with the event-counter equivalent
+        // of PMC 0xAA ("UOps Dispatched From Decoder").
+        let (_, ev) = engine.sim().run(&payload.kernel, r.applied_mhz, 1e8, None);
+        let (dec, opc) = (ev.uops_from_decoder, ev.uops_from_opcache);
+        let frac = if dec + opc == 0 {
+            0.0
+        } else {
+            dec as f64 / (dec + opc) as f64
+        };
+        Point {
+            unroll: u,
+            freq_req: f,
+            freq_applied: r.applied_mhz,
+            power_w: r.power.total_w(),
+            ipc: r.node.core.ipc,
+            fetch: r.node.core.fetch_source,
+            uops_from_decoder_frac: frac,
         }
-    }
-    out
+    })
 }
 
 pub fn run() -> Report {

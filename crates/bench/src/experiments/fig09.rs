@@ -5,7 +5,7 @@
 //! Paper landmarks: 235 W (no access) → 437 W (main memory), +86 %; IPC
 //! dips to ≈3.4 where power is highest.
 
-use crate::experiments::common::{optimize_rung, spec_of};
+use crate::experiments::common::{engine_for, optimize_rung, spec_of};
 use crate::report::{r3, w, Report};
 use fs2_arch::{MemLevel, Sku};
 
@@ -18,7 +18,7 @@ pub struct Rung {
 }
 
 pub fn sweep() -> Vec<Rung> {
-    let sku = Sku::amd_epyc_7502();
+    let engine = engine_for(Sku::amd_epyc_7502());
     let rungs = [
         ("No access", None),
         ("Level 1", Some(MemLevel::L1)),
@@ -29,7 +29,7 @@ pub fn sweep() -> Vec<Rung> {
     rungs
         .into_iter()
         .map(|(name, up_to)| {
-            let (groups, result) = optimize_rung(&sku, up_to, 1500.0);
+            let (groups, result) = optimize_rung(&engine, up_to, 1500.0);
             Rung {
                 name,
                 spec: spec_of(&groups),
@@ -47,7 +47,13 @@ pub fn run() -> Report {
         "fig09",
         "power / IPC / data-cache access rate per memory level @ 1500 MHz (2x EPYC 7502)",
     );
-    rep.csv_header(&["level", "power_w", "ipc", "dc_accesses_per_cycle", "workload"]);
+    rep.csv_header(&[
+        "level",
+        "power_w",
+        "ipc",
+        "dc_accesses_per_cycle",
+        "workload",
+    ]);
     for r in &rungs {
         rep.line(format!(
             "{:<12} {:>7} W   ipc {:>5}   dc/cyc {:>5}   {}",

@@ -2,11 +2,11 @@
 //! individuals of an optimization at 1500 MHz; the Pareto front emerges
 //! and the selected optimum ω_opt is the highest-power individual.
 
+use crate::experiments::common::engine_for;
 use crate::report::{r3, w, Report};
 use fs2_arch::Sku;
-use fs2_core::autotune::{genes_to_groups, AutoTuner, TuneConfig};
+use fs2_core::autotune::{genes_to_groups, TuneConfig};
 use fs2_core::groups::format_groups;
-use fs2_core::runner::Runner;
 use fs2_tuning::{fast_nondominated_sort, Nsga2Config};
 
 /// The paper's configuration: 40 individuals × 20 generations, m = 0.35,
@@ -28,9 +28,9 @@ pub fn tune_config(quick: bool, freq_mhz: f64, seed: u64) -> TuneConfig {
 }
 
 pub fn run(quick: bool) -> Report {
-    let mut runner = Runner::new(Sku::amd_epyc_7502());
+    let engine = engine_for(Sku::amd_epyc_7502());
     let cfg = tune_config(quick, 1500.0, 11);
-    let result = AutoTuner::run(&mut runner, &cfg);
+    let result = engine.session().tune(&cfg);
 
     let mut rep = Report::new(
         "fig11",

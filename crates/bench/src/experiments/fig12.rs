@@ -7,14 +7,14 @@
 //! throttle below nominal at 2200/2500 MHz; IPC falls with test frequency
 //! for memory-rich workloads.
 
+use crate::experiments::common::engine_for;
 use crate::experiments::fig11::tune_config;
 use crate::report::{mhz, r3, w, Report};
 use fs2_arch::Sku;
-use fs2_core::autotune::AutoTuner;
 use fs2_core::groups::{format_groups, AccessGroup};
 use fs2_core::mix::MixRegistry;
-use fs2_core::payload::{build_payload, PayloadConfig};
-use fs2_core::runner::{RunConfig, Runner};
+use fs2_core::payload::PayloadConfig;
+use fs2_core::runner::RunConfig;
 
 pub const FREQS: [f64; 3] = [1500.0, 2200.0, 2500.0];
 
@@ -41,38 +41,47 @@ impl Matrix {
 }
 
 pub fn cross_evaluate(quick: bool) -> Matrix {
-    let sku = Sku::amd_epyc_7502();
+    let engine = engine_for(Sku::amd_epyc_7502());
 
-    // One optimization per frequency (separate runners: fresh thermal
-    // state per training, like separate lab sessions).
-    let mut workloads = Vec::new();
-    for (i, &freq) in FREQS.iter().enumerate() {
-        let mut runner = Runner::new(sku.clone());
-        let cfg = tune_config(quick, freq, 100 + i as u64);
-        let result = AutoTuner::run(&mut runner, &cfg);
-        workloads.push((freq, result.best_groups, result.unroll));
-    }
+    // One optimization per frequency, fanned out in parallel (separate
+    // sessions: fresh thermal state per training, like separate lab
+    // sessions). All three tunings share the engine's payload cache.
+    let tunings: Vec<(usize, f64)> = FREQS.iter().copied().enumerate().collect();
+    let workloads: Vec<(f64, Vec<AccessGroup>, u32)> =
+        engine.sweep(&tunings, 0, |engine, _, &(i, freq)| {
+            let cfg = tune_config(quick, freq, 100 + i as u64);
+            let result = engine.session().tune(&cfg);
+            (freq, result.best_groups, result.unroll)
+        });
 
     // Evaluate all nine combinations with the paper's measurement window
-    // (240 s, first 120 s and last 2 s discarded).
-    let mut cells = Vec::new();
-    let mix = MixRegistry::default_for(sku.uarch);
-    for (opt_freq, groups, unroll) in &workloads {
-        let payload = build_payload(
-            &sku,
-            &PayloadConfig {
+    // (240 s, first 120 s and last 2 s discarded), in parallel — each
+    // cell gets its own preheated session, so results are identical to
+    // the serial pass.
+    let mix = MixRegistry::default_for(engine.sku().uarch);
+    let combos: Vec<(f64, Vec<AccessGroup>, u32, f64)> = workloads
+        .iter()
+        .flat_map(|(opt_freq, groups, unroll)| {
+            FREQS
+                .iter()
+                .map(move |&test_freq| (*opt_freq, groups.clone(), *unroll, test_freq))
+        })
+        .collect();
+    let cells = engine.sweep(
+        &combos,
+        0,
+        |engine, _, (opt_freq, groups, unroll, test_freq)| {
+            let payload = engine.payload(&PayloadConfig {
                 mix,
                 groups: groups.clone(),
                 unroll: *unroll,
-            },
-        );
-        for &test_freq in &FREQS {
-            let mut runner = Runner::new(sku.clone());
-            runner.hold_power(240.0, 20.0, 400.0); // preheated node
-            let r = runner.run(
+            });
+            let mut session = engine.session();
+            session.hold_power(240.0, 20.0, 400.0); // preheated node
+            let r = session.run_payload(
                 &payload,
                 &RunConfig {
-                    freq_mhz: test_freq,
+                    freq_mhz: *test_freq,
                     duration_s: 240.0,
                     start_delta_s: 120.0,
                     stop_delta_s: 2.0,
@@ -80,25 +89,22 @@ pub fn cross_evaluate(quick: bool) -> Matrix {
                     ..RunConfig::default()
                 },
             );
-            cells.push(Cell {
+            Cell {
                 optimized_for: *opt_freq,
-                tested_at: test_freq,
+                tested_at: *test_freq,
                 power_w: r.power.mean,
                 ipc: r.ipc,
                 applied_mhz: r.applied_freq_mhz,
-            });
-        }
-    }
+            }
+        },
+    );
     Matrix { cells, workloads }
 }
 
-fn heatmap(
-    rep: &mut Report,
-    title: &str,
-    matrix: &Matrix,
-    value: impl Fn(&Cell) -> String,
-) {
-    rep.line(format!("{title} (rows: optimized for; columns: tested at 1500/2200/2500 MHz)"));
+fn heatmap(rep: &mut Report, title: &str, matrix: &Matrix, value: impl Fn(&Cell) -> String) {
+    rep.line(format!(
+        "{title} (rows: optimized for; columns: tested at 1500/2200/2500 MHz)"
+    ));
     for &opt in &FREQS {
         let row: Vec<String> = FREQS
             .iter()
@@ -124,9 +130,12 @@ pub fn run(quick: bool) -> Report {
     }
     rep.blank();
     heatmap(&mut rep, "(a) power [W]", &matrix, |c| w(c.power_w));
-    heatmap(&mut rep, "(b) instruction throughput [ipc/core]", &matrix, |c| {
-        r3(c.ipc)
-    });
+    heatmap(
+        &mut rep,
+        "(b) instruction throughput [ipc/core]",
+        &matrix,
+        |c| r3(c.ipc),
+    );
     heatmap(&mut rep, "(c) applied core frequency [MHz]", &matrix, |c| {
         mhz(c.applied_mhz)
     });
@@ -154,7 +163,13 @@ pub fn run(quick: bool) -> Report {
         "diagonal dominance: {diagonal_wins}/3 columns won by their own optimum (paper: 3/3)"
     ));
 
-    rep.csv_header(&["optimized_for", "tested_at", "power_w", "ipc", "applied_mhz"]);
+    rep.csv_header(&[
+        "optimized_for",
+        "tested_at",
+        "power_w",
+        "ipc",
+        "applied_mhz",
+    ]);
     for c in &matrix.cells {
         rep.csv_row(&[
             mhz(c.optimized_for),

@@ -2,11 +2,11 @@
 //! matrix, extended with measured mean/min/max power of each tool's
 //! behavioural model on the simulated Haswell node.
 
+use crate::experiments::common::engine_for;
 use crate::report::{w, Report};
 use fs2_arch::Sku;
 use fs2_baselines::registry::WorkloadDefinition;
 use fs2_baselines::{run_baseline, table1, Baseline};
-use fs2_core::runner::Runner;
 
 fn check(b: bool) -> &'static str {
     if b {
@@ -57,13 +57,16 @@ pub fn run(quick: bool) -> Report {
     rep.line("measured on the simulated Haswell node (240 s window after preheat):");
     rep.csv_header(&["tool", "mean_w", "min_w", "max_w"]);
     let duration = if quick { 120.0 } else { 240.0 };
-    let mut results: Vec<(String, f64, f64, f64)> = Vec::new();
-    for b in Baseline::ALL {
-        let mut runner = Runner::new(Sku::intel_xeon_e5_2680_v3());
-        runner.hold_power(240.0, 20.0, 250.0); // preheat
-        let r = run_baseline(&mut runner, b, duration, 2000.0);
-        results.push((r.name.to_string(), r.mean_w, r.min_w, r.max_w));
-    }
+    // Each tool's behavioural model runs in its own preheated session,
+    // fanned out in parallel.
+    let engine = engine_for(Sku::intel_xeon_e5_2680_v3());
+    let mut results: Vec<(String, f64, f64, f64)> =
+        engine.sweep(&Baseline::ALL, 0, |engine, _, b| {
+            let mut session = engine.session();
+            session.hold_power(240.0, 20.0, 250.0); // preheat
+            let r = run_baseline(session.runner_mut(), *b, duration, 2000.0);
+            (r.name.to_string(), r.mean_w, r.min_w, r.max_w)
+        });
     results.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (name, mean, min, max) in &results {
         rep.line(format!(

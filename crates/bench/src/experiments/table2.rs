@@ -7,7 +7,10 @@ pub fn run() -> Report {
     let sku = Sku::amd_epyc_7502();
     let mut rep = Report::new("table2", "test system details (SKU database entry)");
     let t = &sku.topology;
-    rep.line(format!("Processor             2x AMD EPYC 7502 ({})", sku.name));
+    rep.line(format!(
+        "Processor             2x AMD EPYC 7502 ({})",
+        sku.name
+    ));
     rep.line(format!(
         "Cores                 {}x {} ({} threads)",
         t.sockets,

@@ -4,11 +4,11 @@
 //!
 //! Paper: 305.6 W (1.7.4) vs 314.1 W (2.0) — the fix gains ≈ 8.5 W.
 
-use crate::experiments::common::payload_for;
+use crate::experiments::common::{engine_for, payload_for};
 use crate::report::{w, Report};
 use fs2_arch::Sku;
 use fs2_core::legacy::Version;
-use fs2_core::runner::{RunConfig, Runner};
+use fs2_core::runner::RunConfig;
 use fs2_sim::InitScheme;
 
 pub struct VersionRun {
@@ -18,12 +18,13 @@ pub struct VersionRun {
 }
 
 pub fn compare() -> (VersionRun, VersionRun) {
-    let sku = Sku::amd_epyc_7502();
-    let payload = payload_for(&sku, "REG:1");
+    let engine = engine_for(Sku::amd_epyc_7502());
+    let sku = engine.sku().clone();
+    let payload = payload_for(&engine, "REG:1");
     let measure = |init: InitScheme, version: Version| {
-        let mut runner = Runner::new(sku.clone());
-        runner.hold_power(240.0, 20.0, 310.0); // warm node, like the lab
-        let r = runner.run(
+        let mut session = engine.session();
+        session.hold_power(240.0, 20.0, 310.0); // warm node, like the lab
+        let r = session.run_payload(
             &payload,
             &RunConfig {
                 freq_mhz: f64::from(sku.nominal_mhz()),

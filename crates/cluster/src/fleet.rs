@@ -68,11 +68,7 @@ impl PowerCdf {
 
     /// Cumulative fraction at or below `power_w`.
     pub fn fraction_at(&self, power_w: f64) -> f64 {
-        match self
-            .bins
-            .iter()
-            .find(|(edge, _)| *edge >= power_w)
-        {
+        match self.bins.iter().find(|(edge, _)| *edge >= power_w) {
             Some((_, frac)) => *frac,
             None => 1.0,
         }

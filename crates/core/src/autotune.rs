@@ -6,9 +6,10 @@
 //! NSGA-II; candidates run back-to-back with no recompile gaps (Fig. 7,
 //! contrast Fig. 6); `I` is explicitly excluded from tuning.
 
+use crate::engine::Engine;
 use crate::groups::{all_valid_items, AccessGroup};
 use crate::mix::InstructionMix;
-use crate::payload::{build_payload, default_unroll, PayloadConfig};
+use crate::payload::{default_unroll, PayloadConfig};
 use crate::runner::{RunConfig, Runner};
 use fs2_tuning::{EvaluatedIndividual, Nsga2, Nsga2Config, Nsga2Result, Problem};
 
@@ -74,6 +75,7 @@ pub fn genes_to_groups(genes: &[u32]) -> Vec<AccessGroup> {
 }
 
 struct FirestarterProblem<'a> {
+    engine: &'a Engine,
     runner: &'a mut Runner,
     cfg: &'a TuneConfig,
     unroll: u32,
@@ -103,14 +105,14 @@ impl Problem for FirestarterProblem<'_> {
 
     fn evaluate(&mut self, genes: &[u32]) -> Vec<f64> {
         let groups = genes_to_groups(genes);
-        let payload = build_payload(
-            self.runner.sku(),
-            &PayloadConfig {
-                mix: self.cfg.mix,
-                groups,
-                unroll: self.unroll,
-            },
-        );
+        // Payloads come from the engine cache: a genome revisited across
+        // generations (or by a later tuning run sharing the engine) costs
+        // a lookup instead of a rebuild.
+        let payload = self.engine.payload(&PayloadConfig {
+            mix: self.cfg.mix,
+            groups,
+            unroll: self.unroll,
+        });
         // Candidates run back-to-back: the runner clock simply advances —
         // no recompile, no idle gap (the Fig. 7 property).
         let result = self.runner.run(&payload, &self.run_cfg);
@@ -124,7 +126,19 @@ pub struct AutoTuner;
 impl AutoTuner {
     /// Runs preheat + NSGA-II and returns the selected optimum. The
     /// runner keeps the full power trace of the session.
+    ///
+    /// Convenience wrapper over [`AutoTuner::run_with_engine`] with a
+    /// private engine; prefer [`crate::engine::Session::tune`] (or an
+    /// explicit shared engine) so candidate payloads are cached across
+    /// tuning runs.
     pub fn run(runner: &mut Runner, cfg: &TuneConfig) -> TuneResult {
+        let engine = Engine::new(runner.sku().clone());
+        AutoTuner::run_with_engine(&engine, runner, cfg)
+    }
+
+    /// Runs preheat + NSGA-II on `runner`, drawing every candidate
+    /// payload from `engine`'s cache.
+    pub fn run_with_engine(engine: &Engine, runner: &mut Runner, cfg: &TuneConfig) -> TuneResult {
         let freq = if cfg.freq_mhz > 0.0 {
             cfg.freq_mhz
         } else {
@@ -137,14 +151,11 @@ impl AutoTuner {
 
         // Preheat with the default workload to cancel thermal effects.
         if cfg.preheat_s > 0.0 {
-            let preheat_payload = build_payload(
-                runner.sku(),
-                &PayloadConfig {
-                    mix: cfg.mix,
-                    groups: reg_only,
-                    unroll,
-                },
-            );
+            let preheat_payload = engine.payload(&PayloadConfig {
+                mix: cfg.mix,
+                groups: reg_only,
+                unroll,
+            });
             let preheat_cfg = RunConfig {
                 freq_mhz: freq,
                 duration_s: cfg.preheat_s,
@@ -170,6 +181,7 @@ impl AutoTuner {
         };
 
         let mut problem = FirestarterProblem {
+            engine,
             runner,
             cfg,
             unroll,
@@ -246,12 +258,13 @@ mod tests {
             .best_groups
             .iter()
             .any(|g| matches!(g.target, Target::Mem(_)));
-        assert!(has_mem, "optimum is register-only: {:?}", result.best_groups);
-        // And it must clearly beat the REG-only level (~215 W @1500 MHz).
         assert!(
-            best_power > 280.0,
-            "tuned power only {best_power:.1} W"
+            has_mem,
+            "optimum is register-only: {:?}",
+            result.best_groups
         );
+        // And it must clearly beat the REG-only level (~215 W @1500 MHz).
+        assert!(best_power > 280.0, "tuned power only {best_power:.1} W");
     }
 
     #[test]

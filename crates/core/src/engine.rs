@@ -1,0 +1,517 @@
+//! The engine/session layer: a reusable payload-to-power pipeline.
+//!
+//! Every consumer of generated workloads — the CLI's `Measure`/`Optimize`
+//! actions, the fig/table experiments, and the NSGA-II evaluation loop —
+//! used to rebuild payloads from scratch and drive its own ad-hoc
+//! `Runner` glue. An [`Engine`] centralizes that plumbing for one SKU:
+//!
+//! * a **payload cache** memoizing [`build_payload`] results keyed by
+//!   `(mix, groups, unroll)` — sweeps over mixes, unroll factors and
+//!   access groups (the dominant usage pattern; Figs. 6–12 are all
+//!   sweeps) stop paying for redundant code generation;
+//! * **[`Session`]s**, each owning a [`Runner`] on its own simulated
+//!   clock, for trace-producing measurement runs;
+//! * **traceless evaluation** ([`Engine::eval`]) for parameter sweeps
+//!   that only need the EDC-aware steady state;
+//! * a **parallel sweep driver** ([`Engine::sweep`]) fanning a work
+//!   queue out over scoped OS threads. Item evaluation is deterministic,
+//!   so an N-thread sweep returns bitwise-identical results to a serial
+//!   pass, in input order.
+//!
+//! The engine is `Sync`: sessions and sweep workers on different threads
+//! share one payload cache.
+
+use crate::groups::GroupParseError;
+use crate::mix::{InstructionMix, MixRegistry};
+use crate::payload::{build_payload, default_unroll, Payload, PayloadConfig};
+use crate::runner::{RunConfig, RunResult, Runner};
+use fs2_arch::Sku;
+use fs2_power::{solve_throttle, NodePowerModel, ThrottleResult};
+use fs2_sim::SystemSim;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: the full workload specification `(I, u, M)`. The engine is
+/// per-SKU, so the SKU is not part of the key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PayloadKey {
+    mix: crate::mix::MixKind,
+    groups: Vec<crate::groups::AccessGroup>,
+    unroll: u32,
+}
+
+impl PayloadKey {
+    fn of(config: &PayloadConfig) -> PayloadKey {
+        PayloadKey {
+            mix: config.mix.kind,
+            groups: config.groups.clone(),
+            unroll: config.unroll,
+        }
+    }
+}
+
+/// Snapshot of the payload-cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to build a fresh payload.
+    pub misses: u64,
+    /// Distinct payloads currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total payload requests served.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A per-SKU workload engine: payload cache + session factory + sweep
+/// driver. Create one per simulated system and share it freely (`&Engine`
+/// is all any consumer needs).
+pub struct Engine {
+    sku: Sku,
+    sim: SystemSim,
+    power_model: NodePowerModel,
+    cache: Mutex<HashMap<PayloadKey, Arc<Payload>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    seed: u64,
+}
+
+impl Engine {
+    /// Engine with the default runner seed.
+    pub fn new(sku: Sku) -> Engine {
+        Engine::with_seed(sku, 0xF12E_57A2)
+    }
+
+    /// Engine whose sessions default to `seed`.
+    pub fn with_seed(sku: Sku, seed: u64) -> Engine {
+        Engine {
+            sim: SystemSim::new(sku.clone()),
+            power_model: NodePowerModel::new(sku.clone()),
+            sku,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            seed,
+        }
+    }
+
+    pub fn sku(&self) -> &Sku {
+        &self.sku
+    }
+
+    /// The seed sessions are created with by default.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shared node simulator (hardware-event sampling, steady-state
+    /// queries that need more than [`Engine::eval`]).
+    pub fn sim(&self) -> &SystemSim {
+        &self.sim
+    }
+
+    /// Returns the payload for `config`, building it at most once.
+    /// Cached payloads are deterministic: a hit hands back the same
+    /// `machine_code` bytes a fresh [`build_payload`] would produce.
+    pub fn payload(&self, config: &PayloadConfig) -> Arc<Payload> {
+        let key = PayloadKey::of(config);
+        if let Some(p) = self.cache.lock().expect("payload cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(p);
+        }
+        // Build outside the lock: payload generation is the expensive
+        // part, and concurrent sweep workers must not serialize on it.
+        // Two threads racing on the same key both build; the first insert
+        // wins and the loser's copy is dropped (results are identical).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build_payload(&self.sku, config));
+        let mut cache = self.cache.lock().expect("payload cache poisoned");
+        Arc::clone(cache.entry(key).or_insert(built))
+    }
+
+    /// Payload config for a group string with the architecture-default
+    /// mix and unroll factor (the common experiment shape).
+    pub fn config_for_spec(&self, spec: &str) -> Result<PayloadConfig, GroupParseError> {
+        let mix = MixRegistry::default_for(self.sku.uarch);
+        let groups = crate::groups::parse_groups(spec)?;
+        let unroll = default_unroll(&self.sku, mix, &groups);
+        Ok(PayloadConfig {
+            mix,
+            groups,
+            unroll,
+        })
+    }
+
+    /// Cached payload for a group string (default mix and unroll).
+    pub fn payload_for_spec(&self, spec: &str) -> Result<Arc<Payload>, GroupParseError> {
+        Ok(self.payload(&self.config_for_spec(spec)?))
+    }
+
+    /// Cached payload for explicit groups with a chosen mix; `unroll =
+    /// None` selects [`default_unroll`].
+    pub fn payload_for_groups(
+        &self,
+        mix: InstructionMix,
+        groups: Vec<crate::groups::AccessGroup>,
+        unroll: Option<u32>,
+    ) -> Arc<Payload> {
+        let unroll = unroll.unwrap_or_else(|| default_unroll(&self.sku, mix, &groups));
+        self.payload(&PayloadConfig {
+            mix,
+            groups,
+            unroll,
+        })
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.lock().expect("payload cache poisoned").len(),
+        }
+    }
+
+    /// Direct (traceless) evaluation: EDC-aware steady state + power.
+    /// Orders of magnitude faster than a full session run; the parameter
+    /// sweeps live on this.
+    pub fn eval(&self, payload: &Payload, freq_mhz: f64) -> ThrottleResult {
+        solve_throttle(
+            &self.sim,
+            &self.power_model,
+            &payload.kernel,
+            freq_mhz,
+            None,
+            0.0,
+        )
+    }
+
+    /// A fresh measurement session on its own simulated clock, seeded
+    /// with the engine default.
+    pub fn session(&self) -> Session<'_> {
+        self.session_with_seed(self.seed)
+    }
+
+    /// A fresh measurement session with an explicit seed.
+    pub fn session_with_seed(&self, seed: u64) -> Session<'_> {
+        Session {
+            engine: self,
+            runner: Runner::with_seed(self.sku.clone(), seed),
+        }
+    }
+
+    /// One-shot measurement: fresh session, cached payload, single run.
+    pub fn measure(&self, config: &PayloadConfig, run_cfg: &RunConfig) -> RunResult {
+        self.session().run(config, run_cfg)
+    }
+
+    /// Evaluates `worker` over `items` on up to `threads` OS threads
+    /// (scoped; no detached state). Items are pulled from a shared work
+    /// queue, results land in input order. `threads == 0` uses the host
+    /// parallelism. Every worker sees the same `&Engine` — payload-cache
+    /// hits are shared across the sweep.
+    ///
+    /// Item evaluations must be independent (each typically opens its own
+    /// [`Session`]); under that contract the result vector is
+    /// bitwise-identical to a serial `items.iter().map(...)` pass.
+    pub fn sweep<T, R, F>(&self, items: &[T], threads: usize, worker: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&Engine, usize, &T) -> R + Sync,
+    {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        }
+        .min(items.len().max(1));
+
+        if threads <= 1 || items.len() <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| worker(self, i, item))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = worker(self, i, &items[i]);
+                    *slots[i].lock().expect("sweep slot poisoned") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("sweep slot poisoned")
+                    .expect("every queue index was claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("sku", &self.sku.name)
+            .field("seed", &self.seed)
+            .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+/// One measurement session: a [`Runner`] (simulated clock, session-long
+/// power trace, thermal state) bound to its engine's payload cache.
+/// Everything the CLI, the experiments and the tuning loop previously
+/// wired by hand goes through here.
+pub struct Session<'e> {
+    engine: &'e Engine,
+    runner: Runner,
+}
+
+impl<'e> Session<'e> {
+    /// The engine this session draws payloads from.
+    pub fn engine(&self) -> &'e Engine {
+        self.engine
+    }
+
+    pub fn sku(&self) -> &Sku {
+        self.runner.sku()
+    }
+
+    /// Runs the cached payload for `config` under `run_cfg`, advancing
+    /// the session clock.
+    pub fn run(&mut self, config: &PayloadConfig, run_cfg: &RunConfig) -> RunResult {
+        let payload = self.engine.payload(config);
+        self.runner.run(&payload, run_cfg)
+    }
+
+    /// Runs the cached payload for a group string (default mix/unroll).
+    pub fn run_spec(
+        &mut self,
+        spec: &str,
+        run_cfg: &RunConfig,
+    ) -> Result<RunResult, GroupParseError> {
+        let config = self.engine.config_for_spec(spec)?;
+        Ok(self.run(&config, run_cfg))
+    }
+
+    /// Runs an already-built payload (e.g. one handed out by
+    /// [`Engine::payload`] before a sweep).
+    pub fn run_payload(&mut self, payload: &Payload, run_cfg: &RunConfig) -> RunResult {
+        self.runner.run(payload, run_cfg)
+    }
+
+    /// Runs a raw kernel (baselines, hand-built ablation kernels).
+    pub fn run_kernel(&mut self, kernel: &fs2_sim::Kernel, run_cfg: &RunConfig) -> RunResult {
+        self.runner.run_kernel(kernel, run_cfg)
+    }
+
+    /// Runs the §III-C self-tuning loop inside this session; candidate
+    /// payloads come from the engine cache.
+    pub fn tune(&mut self, cfg: &crate::autotune::TuneConfig) -> crate::autotune::TuneResult {
+        crate::autotune::AutoTuner::run_with_engine(self.engine, &mut self.runner, cfg)
+    }
+
+    /// Records idle time on the session trace.
+    pub fn idle(&mut self, duration_s: f64, sample_rate_hz: f64) {
+        self.runner.idle(duration_s, sample_rate_hz);
+    }
+
+    /// Records constant-power time (preheat etc.) on the session trace.
+    pub fn hold_power(&mut self, duration_s: f64, sample_rate_hz: f64, base_w: f64) {
+        self.runner.hold_power(duration_s, sample_rate_hz, base_w);
+    }
+
+    /// Arms a single-bit register fault for the next error-detection run.
+    pub fn inject_fault_next_run(&mut self, lane: usize, reg: usize, bit: u32) {
+        self.runner.inject_fault_next_run(lane, reg, bit);
+    }
+
+    /// The session-long power trace.
+    pub fn trace(&self) -> &fs2_metrics::TimeSeries {
+        self.runner.trace()
+    }
+
+    /// The session clock.
+    pub fn clock(&self) -> &fs2_sim::SimClock {
+        self.runner.clock()
+    }
+
+    pub fn power_model(&self) -> &NodePowerModel {
+        self.runner.power_model()
+    }
+
+    /// Escape hatch for consumers that still take `&mut Runner` (legacy
+    /// baselines, the v1.x tuning prototype).
+    pub fn runner_mut(&mut self) -> &mut Runner {
+        &mut self.runner
+    }
+
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("sku", &self.runner.sku().name)
+            .field("t_s", &self.runner.clock().now_secs())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::parse_groups;
+
+    fn engine() -> Engine {
+        Engine::new(Sku::amd_epyc_7502())
+    }
+
+    fn quick_cfg(freq: f64) -> RunConfig {
+        RunConfig {
+            freq_mhz: freq,
+            duration_s: 10.0,
+            start_delta_s: 2.0,
+            stop_delta_s: 1.0,
+            functional_iters: 200,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn payload_cache_hits_and_misses_are_counted() {
+        let e = engine();
+        let cfg = e.config_for_spec("REG:4,L1_L:2,L2_L:1").unwrap();
+        assert_eq!(e.cache_stats().requests(), 0);
+
+        let p1 = e.payload(&cfg);
+        let s = e.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 1, 1));
+
+        let p2 = e.payload(&cfg);
+        let s = e.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(Arc::ptr_eq(&p1, &p2), "hit must return the cached payload");
+
+        // A different unroll is a different workload.
+        let mut cfg2 = cfg.clone();
+        cfg2.unroll += 7;
+        let _ = e.payload(&cfg2);
+        let s = e.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 2));
+    }
+
+    #[test]
+    fn cached_payload_is_identical_to_fresh_build() {
+        let e = engine();
+        let cfg = e.config_for_spec("REG:2,L1_LS:1,RAM_P:1").unwrap();
+        let cached = e.payload(&cfg);
+        let cached_again = e.payload(&cfg);
+        let fresh = build_payload(e.sku(), &cfg);
+        assert_eq!(cached.machine_code, fresh.machine_code);
+        assert_eq!(cached_again.machine_code, fresh.machine_code);
+        assert_eq!(cached.kernel, fresh.kernel);
+        assert_eq!(cached.sequence, fresh.sequence);
+    }
+
+    #[test]
+    fn session_run_equals_direct_runner_path() {
+        let e = engine();
+        let cfg = e.config_for_spec("REG:1").unwrap();
+        let run_cfg = quick_cfg(1500.0);
+        let via_session = e.session().run(&cfg, &run_cfg);
+
+        let payload = build_payload(e.sku(), &cfg);
+        let mut runner = Runner::with_seed(e.sku().clone(), e.seed());
+        let direct = runner.run(&payload, &run_cfg);
+        assert_eq!(via_session.power, direct.power);
+        assert_eq!(via_session.applied_freq_mhz, direct.applied_freq_mhz);
+        assert_eq!(via_session.ipc, direct.ipc);
+    }
+
+    #[test]
+    fn sweep_parallel_matches_serial_bitwise() {
+        let e = engine();
+        let specs = [
+            "REG:1",
+            "REG:4,L1_L:2",
+            "REG:4,L1_2LS:2,L2_LS:1",
+            "REG:6,L1_2LS:3,L2_LS:1,L3_LS:1",
+            "REG:8,L1_2LS:4,L2_LS:1,L3_LS:1,RAM_LS:1",
+            "REG:2,RAM_LS:2",
+            "L1_L:1",
+            "REG:10,L1_2LS:4,L2_LS:2,L3_LS:1,RAM_L:1",
+        ];
+        let worker = |e: &Engine, _i: usize, spec: &&str| {
+            let cfg = e.config_for_spec(spec).unwrap();
+            let r = e.session().run(&cfg, &quick_cfg(1500.0));
+            (r.power, r.applied_freq_mhz, r.ipc, r.events)
+        };
+        let serial = e.sweep(&specs, 1, worker);
+        let parallel = e.sweep(&specs, 4, worker);
+        assert_eq!(serial, parallel);
+        // And the sweep populated the shared cache once per spec.
+        assert_eq!(e.cache_stats().entries, specs.len());
+    }
+
+    #[test]
+    fn sweep_preserves_input_order() {
+        let e = engine();
+        let items: Vec<usize> = (0..100).collect();
+        let out = e.sweep(&items, 8, |_, i, &item| {
+            assert_eq!(i, item);
+            item * 3
+        });
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn eval_matches_runner_scale() {
+        let e = engine();
+        let p = e.payload_for_spec("REG:1").unwrap();
+        let r = e.eval(&p, 1500.0);
+        assert!((180.0..280.0).contains(&r.power.total_w()));
+    }
+
+    #[test]
+    fn concurrent_payload_requests_converge_to_one_entry() {
+        let e = engine();
+        let cfg = e.config_for_spec("REG:4,L1_L:2,L2_L:1").unwrap();
+        let items = vec![(); 16];
+        let payloads = e.sweep(&items, 8, |e, _, _| e.payload(&cfg));
+        let s = e.cache_stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.requests(), 16);
+        // Whatever raced, everyone must observe identical bytes.
+        for p in &payloads {
+            assert_eq!(p.machine_code, payloads[0].machine_code);
+        }
+    }
+
+    #[test]
+    fn bad_spec_is_reported() {
+        let e = engine();
+        assert!(e.payload_for_spec("L9_X:1").is_err());
+        assert!(parse_groups("L9_X:1").is_err());
+    }
+}

@@ -284,10 +284,7 @@ mod tests {
         assert!(matches!(parse_groups("L9_L:1"), Err(UnknownLevel(_))));
         assert!(matches!(parse_groups("L1_Q:1"), Err(UnknownPattern(_))));
         assert!(matches!(parse_groups("REG_L:1"), Err(RegWithPattern(_))));
-        assert!(matches!(
-            parse_groups("REG:1,REG:2"),
-            Err(Duplicate(_))
-        ));
+        assert!(matches!(parse_groups("REG:1,REG:2"), Err(Duplicate(_))));
     }
 
     #[test]

@@ -32,16 +32,10 @@ impl LegacyWorkload {
     pub fn for_sku(sku: &Sku) -> LegacyWorkload {
         let (groups, mix) = match sku.uarch {
             // Tuned for the reference 2-socket Haswell-EP node of [3].
-            Microarch::Haswell => (
-                "REG:6,L1_LS:2,L2_LS:1,L3_L:1,RAM_L:1",
-                InstructionMix::FMA,
-            ),
+            Microarch::Haswell => ("REG:6,L1_LS:2,L2_LS:1,L3_L:1,RAM_L:1", InstructionMix::FMA),
             // Zen 2 entry as shipped in FIRESTARTER 1.7.x (reuses the
             // Haswell mix per §IV-B).
-            Microarch::Zen2 => (
-                "REG:8,L1_LS:2,L2_LS:1,L3_L:1,RAM_L:1",
-                InstructionMix::FMA,
-            ),
+            Microarch::Zen2 => ("REG:8,L1_LS:2,L2_LS:1,L3_L:1,RAM_L:1", InstructionMix::FMA),
             Microarch::Generic => ("REG:4,L1_LS:1,RAM_L:1", InstructionMix::AVX),
         };
         LegacyWorkload {
@@ -169,10 +163,7 @@ mod tests {
             assert_eq!(w.uarch, sku.uarch);
             assert!(!w.groups.is_empty());
             // Every legacy workload exercises memory.
-            assert!(w
-                .groups
-                .iter()
-                .any(|g| matches!(g.target, Target::Mem(_))));
+            assert!(w.groups.iter().any(|g| matches!(g.target, Target::Mem(_))));
             let payload = w.build(&sku);
             assert!(payload.kernel.insts() > 100);
         }

@@ -18,6 +18,11 @@
 //! * [`runner`] — workload execution on simulated time: EDC-aware
 //!   frequency solve, power/IPC/trace recording, measurement windows with
 //!   start/stop deltas, register dump and error detection (§III-D).
+//! * [`engine`] — the reusable payload-to-power pipeline: a per-SKU
+//!   [`Engine`] memoizes payload builds keyed by `(I, u, M)`, hands out
+//!   measurement [`Session`]s, evaluates traceless sweeps, and fans
+//!   work queues out over threads ([`Engine::sweep`]). The CLI, the
+//!   fig/table experiments and the NSGA-II loop all route through it.
 //! * [`autotune`] — the §III-C optimization loop wiring NSGA-II to the
 //!   runner and metrics, gap-free between candidates (Fig. 7).
 //! * [`legacy`] — FIRESTARTER 1.x behaviour: fixed per-SKU workloads, the
@@ -26,6 +31,7 @@
 
 pub mod autotune;
 pub mod distribute;
+pub mod engine;
 pub mod groups;
 pub mod legacy;
 pub mod mix;
@@ -35,6 +41,7 @@ pub mod runner;
 
 pub use autotune::{AutoTuner, TuneConfig, TuneResult};
 pub use distribute::{distribute, unroll_sequence};
+pub use engine::{CacheStats, Engine, Session};
 pub use groups::{parse_groups, AccessGroup, GroupParseError, Pattern, Target};
 pub use mix::{InstructionMix, MixRegistry};
 pub use paracheck::{check_all_cores, CheckReport, InjectedFault};

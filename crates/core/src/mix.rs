@@ -110,11 +110,7 @@ impl InstructionMix {
 
     /// Emits one instruction set (group `g` of the unrolled loop), with
     /// an optional memory access folded in per the pattern rules.
-    pub fn emit_group(
-        &self,
-        g: u32,
-        access: Option<(MemLevel, Pattern)>,
-    ) -> Vec<TaggedInst> {
+    pub fn emit_group(&self, g: u32, access: Option<(MemLevel, Pattern)>) -> Vec<TaggedInst> {
         match self.kind {
             MixKind::FmaAvx2 => self.emit_fma_group(g, access),
             MixKind::AvxMulAdd => self.emit_avx_group(g, access),
@@ -196,13 +192,7 @@ impl InstructionMix {
                 };
                 vec![
                     TaggedInst::reg(fma1),
-                    TaggedInst::mem(
-                        Inst::Prefetch {
-                            hint,
-                            mem: mem0,
-                        },
-                        level,
-                    ),
+                    TaggedInst::mem(Inst::Prefetch { hint, mem: mem0 }, level),
                     TaggedInst::reg(fma2),
                     advance,
                 ]
@@ -334,7 +324,11 @@ impl MixRegistry {
     pub fn available_for(uarch: Microarch) -> Vec<InstructionMix> {
         match uarch {
             Microarch::Zen2 | Microarch::Haswell => {
-                vec![InstructionMix::FMA, InstructionMix::AVX, InstructionMix::SQRT]
+                vec![
+                    InstructionMix::FMA,
+                    InstructionMix::AVX,
+                    InstructionMix::SQRT,
+                ]
             }
             Microarch::Generic => vec![InstructionMix::AVX, InstructionMix::SQRT],
         }
@@ -425,8 +419,7 @@ mod tests {
 
     #[test]
     fn two_loads_store_pattern_counts() {
-        let group =
-            InstructionMix::FMA.emit_group(3, Some((MemLevel::L1, Pattern::TwoLoadsStore)));
+        let group = InstructionMix::FMA.emit_group(3, Some((MemLevel::L1, Pattern::TwoLoadsStore)));
         let m = sequence_meta(&insts(&group));
         assert_eq!(m.load, 2);
         assert_eq!(m.store, 1);

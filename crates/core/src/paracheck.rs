@@ -7,8 +7,8 @@
 //!
 //! The runner's inline check samples two cores; this module replays the
 //! kernel for *every* simulated core, fanned out over real OS threads
-//! with crossbeam's scoped threads (the work is embarrassingly parallel
-//! and read-only over the kernel).
+//! with std's scoped threads (the work is embarrassingly parallel and
+//! read-only over the kernel).
 
 use fs2_sim::{Executor, InitScheme, Kernel};
 
@@ -60,13 +60,13 @@ pub fn check_all_cores(
     let threads = threads.clamp(1, cores as usize);
     let mut hashes = vec![0u64; cores as usize];
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         // Static partition: contiguous chunks of cores per worker. The
         // work per core is identical, so finer-grained balancing buys
         // nothing.
         for (worker, chunk) in hashes.chunks_mut(cores as usize / threads + 1).enumerate() {
             let base = worker * (cores as usize / threads + 1);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (offset, slot) in chunk.iter_mut().enumerate() {
                     let core = (base + offset) as u32;
                     let mut ex = Executor::new(init, seed);
@@ -80,8 +80,7 @@ pub fn check_all_cores(
                 }
             });
         }
-    })
-    .expect("worker threads must not panic");
+    });
 
     // Majority vote for the reference hash (a single faulty core must not
     // be able to define "correct").

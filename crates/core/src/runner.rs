@@ -10,7 +10,7 @@ use fs2_arch::Sku;
 use fs2_metrics::metric::Summary;
 use fs2_metrics::TimeSeries;
 use fs2_power::{solve_throttle, NodePowerModel, PowerBreakdown};
-use fs2_sim::{Executor, HwEvents, InitScheme, Kernel, SimClock, SystemSim};
+use fs2_sim::{DecodedKernel, Executor, HwEvents, InitScheme, Kernel, SimClock, SystemSim};
 
 /// Per-run parameters (CLI: `-t`, `--start-delta`, `--stop-delta`, …).
 #[derive(Debug, Clone, PartialEq)]
@@ -212,12 +212,15 @@ impl Runner {
         };
 
         // 1. Value-level execution: operand triviality + error detection.
+        // The kernel is pre-decoded once and replayed; the error-detection
+        // second pass reuses the same micro-op table.
+        let decoded = DecodedKernel::new(kernel);
         let mut ex0 = Executor::new(cfg.init, self.seed);
-        ex0.run(kernel, cfg.functional_iters);
+        ex0.run_decoded(&decoded, cfg.functional_iters);
         let trivial_fraction = ex0.stats().trivial_fraction();
         let error_check_passed = if cfg.error_detection {
             let mut ex1 = Executor::new(cfg.init, self.seed);
-            ex1.run(kernel, cfg.functional_iters);
+            ex1.run_decoded(&decoded, cfg.functional_iters);
             if let Some((reg, lane, bit)) = self.pending_fault.take() {
                 ex1.inject_bit_flip(reg, lane, bit);
             }

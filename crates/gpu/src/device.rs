@@ -75,8 +75,7 @@ impl GpuDevice {
         match strategy {
             InitStrategy::HostThenTransfer => {
                 // Fill in host memory, then cross PCIe.
-                bytes / (self.spec.host_fill_gbps * 1e9)
-                    + bytes / (self.spec.pcie_bw_gbps * 1e9)
+                bytes / (self.spec.host_fill_gbps * 1e9) + bytes / (self.spec.pcie_bw_gbps * 1e9)
             }
             InitStrategy::OnDevice => {
                 // A trivially parallel fill kernel at memory bandwidth.
@@ -137,10 +136,7 @@ mod tests {
         let n = d.matrix_dim_for_memory(0.9);
         let host = d.init_time_s(n, InitStrategy::HostThenTransfer);
         let dev = d.init_time_s(n, InitStrategy::OnDevice);
-        assert!(
-            host / dev > 10.0,
-            "host {host:.3} s vs device {dev:.3} s"
-        );
+        assert!(host / dev > 10.0, "host {host:.3} s vs device {dev:.3} s");
     }
 
     #[test]

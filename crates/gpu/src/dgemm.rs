@@ -62,8 +62,7 @@ pub fn fill_matrix(n: usize, seed: u64) -> Vec<f64> {
             state ^= state >> 12;
             state ^= state << 25;
             state ^= state >> 27;
-            let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
-                / (1u64 << 53) as f64;
+            let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
             0.5 + u // in [0.5, 1.5): never 0, never huge
         })
         .collect()

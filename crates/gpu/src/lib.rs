@@ -22,8 +22,8 @@
 //!   device memory, the init phase, and the steady DGEMM loop, yielding
 //!   average power over a measurement window.
 
-pub mod dgemm;
 pub mod device;
+pub mod dgemm;
 pub mod stress;
 
 pub use device::{GpuDevice, GpuSpec, InitStrategy};

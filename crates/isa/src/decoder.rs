@@ -42,7 +42,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn peek(&self) -> Result<u8, DecodeError> {
-        self.bytes.get(self.pos).copied().ok_or(DecodeError::Truncated)
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or(DecodeError::Truncated)
     }
 
     fn u8(&mut self) -> Result<u8, DecodeError> {
@@ -78,7 +81,12 @@ enum Rm {
 }
 
 /// Parses ModRM (+SIB, +disp). Returns `(reg_field_with_ext, rm)`.
-fn parse_modrm(cur: &mut Cursor<'_>, rex_r: bool, rex_x: bool, rex_b: bool) -> Result<(u8, Rm), DecodeError> {
+fn parse_modrm(
+    cur: &mut Cursor<'_>,
+    rex_r: bool,
+    rex_x: bool,
+    rex_b: bool,
+) -> Result<(u8, Rm), DecodeError> {
     let modrm = cur.u8()?;
     let modbits = modrm >> 6;
     let reg = ((modrm >> 3) & 7) | (u8::from(rex_r) << 3);
@@ -114,14 +122,7 @@ fn parse_modrm(cur: &mut Cursor<'_>, rex_r: bool, rex_x: bool, rex_b: bool) -> R
         _ => unreachable!(),
     };
     let base = Gp::from_num(base_num).expect("base reg");
-    Ok((
-        reg,
-        Rm::Mem(Mem {
-            base,
-            index,
-            disp,
-        }),
-    ))
+    Ok((reg, Rm::Mem(Mem { base, index, disp })))
 }
 
 fn rm_to_ymm(rm: Rm) -> RmYmm {

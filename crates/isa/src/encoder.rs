@@ -142,10 +142,29 @@ const PP_66: u8 = 0b01;
 
 /// Emits a three-operand VEX instruction (`dst, vvvv=src1, rm=src2`).
 #[allow(clippy::too_many_arguments)]
-fn emit_vex3op(out: &mut Vec<u8>, map: VexMap, w: bool, pp: u8, opcode: u8, dst: u8, src1: u8, src2: &RmYmm) {
+fn emit_vex3op(
+    out: &mut Vec<u8>,
+    map: VexMap,
+    w: bool,
+    pp: u8,
+    opcode: u8,
+    dst: u8,
+    src1: u8,
+    src2: &RmYmm,
+) {
     match src2 {
         RmYmm::Reg(r) => {
-            emit_vex(out, map, w, true, pp, dst >= 8, false, r.is_extended(), src1);
+            emit_vex(
+                out,
+                map,
+                w,
+                true,
+                pp,
+                dst >= 8,
+                false,
+                r.is_extended(),
+                src1,
+            );
             out.push(opcode);
             out.push(reg_modrm(dst & 7, r.low3()));
         }
@@ -166,15 +185,42 @@ pub fn encode(inst: &Inst, out: &mut Vec<u8>) {
     match *inst {
         Inst::Vfmadd231pd { dst, src1, src2 } => {
             // VEX.DDS.256.66.0F38.W1 B8 /r
-            emit_vex3op(out, VexMap::M0f38, true, PP_66, 0xB8, dst.num(), src1.num(), &src2);
+            emit_vex3op(
+                out,
+                VexMap::M0f38,
+                true,
+                PP_66,
+                0xB8,
+                dst.num(),
+                src1.num(),
+                &src2,
+            );
         }
         Inst::Vmulpd { dst, src1, src2 } => {
             // VEX.NDS.256.66.0F.WIG 59 /r
-            emit_vex3op(out, VexMap::M0f, false, PP_66, 0x59, dst.num(), src1.num(), &src2);
+            emit_vex3op(
+                out,
+                VexMap::M0f,
+                false,
+                PP_66,
+                0x59,
+                dst.num(),
+                src1.num(),
+                &src2,
+            );
         }
         Inst::Vaddpd { dst, src1, src2 } => {
             // VEX.NDS.256.66.0F.WIG 58 /r
-            emit_vex3op(out, VexMap::M0f, false, PP_66, 0x58, dst.num(), src1.num(), &src2);
+            emit_vex3op(
+                out,
+                VexMap::M0f,
+                false,
+                PP_66,
+                0x58,
+                dst.num(),
+                src1.num(),
+                &src2,
+            );
         }
         Inst::Vxorps { dst, src1, src2 } => {
             // VEX.NDS.256.0F.WIG 57 /r
@@ -192,14 +238,34 @@ pub fn encode(inst: &Inst, out: &mut Vec<u8>) {
         Inst::VmovapdLoad { dst, src } => {
             // VEX.256.66.0F.WIG 28 /r
             let enc = mem_modrm(dst.low3(), &src);
-            emit_vex(out, VexMap::M0f, false, true, PP_66, dst.is_extended(), enc.x_ext, enc.b_ext, 0);
+            emit_vex(
+                out,
+                VexMap::M0f,
+                false,
+                true,
+                PP_66,
+                dst.is_extended(),
+                enc.x_ext,
+                enc.b_ext,
+                0,
+            );
             out.push(0x28);
             out.extend_from_slice(&enc.bytes[..enc.len]);
         }
         Inst::VmovapdStore { dst, src } => {
             // VEX.256.66.0F.WIG 29 /r
             let enc = mem_modrm(src.low3(), &dst);
-            emit_vex(out, VexMap::M0f, false, true, PP_66, src.is_extended(), enc.x_ext, enc.b_ext, 0);
+            emit_vex(
+                out,
+                VexMap::M0f,
+                false,
+                true,
+                PP_66,
+                src.is_extended(),
+                enc.x_ext,
+                enc.b_ext,
+                0,
+            );
             out.push(0x29);
             out.extend_from_slice(&enc.bytes[..enc.len]);
         }

@@ -301,7 +301,10 @@ mod tests {
             },
         ];
         let rendered: Vec<String> = insts.iter().map(|i| i.to_string()).collect();
-        assert_eq!(rendered[0], "vfmadd231pd ymm0, ymm1, ymmword ptr [rbx+0x20]");
+        assert_eq!(
+            rendered[0],
+            "vfmadd231pd ymm0, ymm1, ymmword ptr [rbx+0x20]"
+        );
         assert_eq!(rendered[1], "vxorps ymm5, ymm5, ymm5");
         assert_eq!(rendered[2], "sqrtsd xmm0, xmm0");
         assert_eq!(rendered[3], "shl rdx, 4");

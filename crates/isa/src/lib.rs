@@ -45,7 +45,7 @@ pub mod mem;
 pub mod meta;
 pub mod reg;
 
-pub use decoder::{decode_one, decode_all, DecodeError};
+pub use decoder::{decode_all, decode_one, DecodeError};
 pub use encoder::{encode, Assembler, EncodeError, Label};
 pub use inst::{Inst, PrefetchHint, RmYmm};
 pub use mem::{Mem, Scale};

@@ -82,10 +82,7 @@ impl Mem {
     /// `[base + index*scale + disp]`. Panics if `index` is RSP (not
     /// encodable as an index register).
     pub fn base_index(base: Gp, index: Gp, scale: Scale, disp: i32) -> Mem {
-        assert!(
-            index != Gp::Rsp,
-            "rsp cannot be used as an index register"
-        );
+        assert!(index != Gp::Rsp, "rsp cannot be used as an index register");
         Mem {
             base,
             index: Some((index, scale)),

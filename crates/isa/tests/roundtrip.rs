@@ -1,129 +1,223 @@
 //! Property tests: every encodable instruction round-trips through the
 //! decoder, and decoded lengths always match encoded lengths.
+//!
+//! proptest is not available offline; the properties run over a
+//! deterministic pseudo-random instruction stream instead (fixed seed,
+//! same 2048-case budget the proptest version used).
 
 use fs2_isa::prelude::*;
-use proptest::prelude::*;
 
-fn arb_gp() -> impl Strategy<Value = Gp> {
-    (0u8..16).prop_map(|n| Gp::from_num(n).unwrap())
+/// xorshift64* case generator.
+struct Gen {
+    state: u64,
 }
 
-fn arb_index_gp() -> impl Strategy<Value = Gp> {
-    arb_gp().prop_filter("rsp is not an index register", |g| *g != Gp::Rsp)
-}
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { state: seed.max(1) }
+    }
 
-fn arb_ymm() -> impl Strategy<Value = Ymm> {
-    (0u8..16).prop_map(Ymm::new)
-}
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
 
-fn arb_xmm() -> impl Strategy<Value = Xmm> {
-    (0u8..16).prop_map(Xmm::new)
-}
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
 
-fn arb_scale() -> impl Strategy<Value = Scale> {
-    prop_oneof![
-        Just(Scale::X1),
-        Just(Scale::X2),
-        Just(Scale::X4),
-        Just(Scale::X8)
-    ]
-}
+    fn gp(&mut self) -> Gp {
+        Gp::from_num(self.below(16) as u8).unwrap()
+    }
 
-fn arb_mem() -> impl Strategy<Value = Mem> {
-    let disp = prop_oneof![
-        Just(0i32),
-        -128i32..=127,
-        prop::num::i32::ANY,
-    ];
-    (arb_gp(), proptest::option::of((arb_index_gp(), arb_scale())), disp).prop_map(
-        |(base, index, disp)| Mem {
+    fn index_gp(&mut self) -> Gp {
+        loop {
+            let g = self.gp();
+            if g != Gp::Rsp {
+                return g; // rsp is not an index register
+            }
+        }
+    }
+
+    fn ymm(&mut self) -> Ymm {
+        Ymm::new(self.below(16) as u8)
+    }
+
+    fn xmm(&mut self) -> Xmm {
+        Xmm::new(self.below(16) as u8)
+    }
+
+    fn scale(&mut self) -> Scale {
+        [Scale::X1, Scale::X2, Scale::X4, Scale::X8][self.below(4) as usize]
+    }
+
+    fn disp(&mut self) -> i32 {
+        match self.below(3) {
+            0 => 0,
+            1 => (self.below(256) as i32) - 128, // disp8 band
+            _ => self.next_u64() as i32,
+        }
+    }
+
+    fn mem(&mut self) -> Mem {
+        let base = self.gp();
+        let index = if self.below(2) == 0 {
+            Some((self.index_gp(), self.scale()))
+        } else {
+            None
+        };
+        Mem {
             base,
             index,
-            disp,
-        },
-    )
+            disp: self.disp(),
+        }
+    }
+
+    fn rm_ymm(&mut self) -> RmYmm {
+        if self.below(2) == 0 {
+            RmYmm::Reg(self.ymm())
+        } else {
+            RmYmm::Mem(self.mem())
+        }
+    }
+
+    fn hint(&mut self) -> PrefetchHint {
+        [
+            PrefetchHint::Nta,
+            PrefetchHint::T0,
+            PrefetchHint::T1,
+            PrefetchHint::T2,
+        ][self.below(4) as usize]
+    }
+
+    fn inst(&mut self) -> Inst {
+        match self.below(21) {
+            0 => Inst::Vfmadd231pd {
+                dst: self.ymm(),
+                src1: self.ymm(),
+                src2: self.rm_ymm(),
+            },
+            1 => Inst::Vmulpd {
+                dst: self.ymm(),
+                src1: self.ymm(),
+                src2: self.rm_ymm(),
+            },
+            2 => Inst::Vaddpd {
+                dst: self.ymm(),
+                src1: self.ymm(),
+                src2: self.rm_ymm(),
+            },
+            3 => Inst::Vxorps {
+                dst: self.ymm(),
+                src1: self.ymm(),
+                src2: self.ymm(),
+            },
+            4 => Inst::VmovapdLoad {
+                dst: self.ymm(),
+                src: self.mem(),
+            },
+            5 => Inst::VmovapdStore {
+                dst: self.mem(),
+                src: self.ymm(),
+            },
+            6 => Inst::Sqrtsd {
+                dst: self.xmm(),
+                src: self.xmm(),
+            },
+            7 => Inst::Mulsd {
+                dst: self.xmm(),
+                src: self.xmm(),
+            },
+            8 => Inst::Addsd {
+                dst: self.xmm(),
+                src: self.xmm(),
+            },
+            9 => Inst::XorGp {
+                dst: self.gp(),
+                src: self.gp(),
+            },
+            10 => Inst::ShlImm {
+                dst: self.gp(),
+                imm: self.below(64) as u8,
+            },
+            11 => Inst::ShrImm {
+                dst: self.gp(),
+                imm: self.below(64) as u8,
+            },
+            12 => Inst::AddImm {
+                dst: self.gp(),
+                imm: self.next_u64() as i32,
+            },
+            13 => Inst::AddGp {
+                dst: self.gp(),
+                src: self.gp(),
+            },
+            14 => Inst::MovImm64 {
+                dst: self.gp(),
+                imm: self.next_u64(),
+            },
+            15 => Inst::Dec(self.gp()),
+            16 => Inst::CmpGp {
+                a: self.gp(),
+                b: self.gp(),
+            },
+            17 => Inst::Jnz {
+                rel: self.next_u64() as i32,
+            },
+            18 => Inst::Prefetch {
+                hint: self.hint(),
+                mem: self.mem(),
+            },
+            19 => Inst::Nop,
+            _ => Inst::Ret,
+        }
+    }
 }
 
-fn arb_rm_ymm() -> impl Strategy<Value = RmYmm> {
-    prop_oneof![arb_ymm().prop_map(RmYmm::Reg), arb_mem().prop_map(RmYmm::Mem)]
-}
-
-fn arb_hint() -> impl Strategy<Value = PrefetchHint> {
-    prop_oneof![
-        Just(PrefetchHint::Nta),
-        Just(PrefetchHint::T0),
-        Just(PrefetchHint::T1),
-        Just(PrefetchHint::T2)
-    ]
-}
-
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (arb_ymm(), arb_ymm(), arb_rm_ymm())
-            .prop_map(|(dst, src1, src2)| Inst::Vfmadd231pd { dst, src1, src2 }),
-        (arb_ymm(), arb_ymm(), arb_rm_ymm()).prop_map(|(dst, src1, src2)| Inst::Vmulpd {
-            dst,
-            src1,
-            src2
-        }),
-        (arb_ymm(), arb_ymm(), arb_rm_ymm()).prop_map(|(dst, src1, src2)| Inst::Vaddpd {
-            dst,
-            src1,
-            src2
-        }),
-        (arb_ymm(), arb_ymm(), arb_ymm()).prop_map(|(dst, src1, src2)| Inst::Vxorps {
-            dst,
-            src1,
-            src2
-        }),
-        (arb_ymm(), arb_mem()).prop_map(|(dst, src)| Inst::VmovapdLoad { dst, src }),
-        (arb_mem(), arb_ymm()).prop_map(|(dst, src)| Inst::VmovapdStore { dst, src }),
-        (arb_xmm(), arb_xmm()).prop_map(|(dst, src)| Inst::Sqrtsd { dst, src }),
-        (arb_xmm(), arb_xmm()).prop_map(|(dst, src)| Inst::Mulsd { dst, src }),
-        (arb_xmm(), arb_xmm()).prop_map(|(dst, src)| Inst::Addsd { dst, src }),
-        (arb_gp(), arb_gp()).prop_map(|(dst, src)| Inst::XorGp { dst, src }),
-        (arb_gp(), 0u8..64).prop_map(|(dst, imm)| Inst::ShlImm { dst, imm }),
-        (arb_gp(), 0u8..64).prop_map(|(dst, imm)| Inst::ShrImm { dst, imm }),
-        (arb_gp(), prop::num::i32::ANY).prop_map(|(dst, imm)| Inst::AddImm { dst, imm }),
-        (arb_gp(), arb_gp()).prop_map(|(dst, src)| Inst::AddGp { dst, src }),
-        (arb_gp(), prop::num::u64::ANY).prop_map(|(dst, imm)| Inst::MovImm64 { dst, imm }),
-        arb_gp().prop_map(Inst::Dec),
-        (arb_gp(), arb_gp()).prop_map(|(a, b)| Inst::CmpGp { a, b }),
-        prop::num::i32::ANY.prop_map(|rel| Inst::Jnz { rel }),
-        (arb_hint(), arb_mem()).prop_map(|(hint, mem)| Inst::Prefetch { hint, mem }),
-        Just(Inst::Nop),
-        Just(Inst::Ret),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2048))]
-
-    #[test]
-    fn encode_decode_round_trip(inst in arb_inst()) {
+#[test]
+fn encode_decode_round_trip() {
+    let mut g = Gen::new(0x15A_0001);
+    for case in 0..2048 {
+        let inst = g.inst();
         let mut buf = Vec::new();
         encode(&inst, &mut buf);
         let (decoded, len) = decode_one(&buf).expect("decode failure");
-        prop_assert_eq!(decoded, inst);
-        prop_assert_eq!(len, buf.len());
+        assert_eq!(decoded, inst, "case {case}: {inst:?}");
+        assert_eq!(len, buf.len(), "case {case}: {inst:?}");
     }
+}
 
-    #[test]
-    fn instruction_lengths_are_bounded(inst in arb_inst()) {
+#[test]
+fn instruction_lengths_are_bounded() {
+    let mut g = Gen::new(0x15A_0002);
+    for case in 0..2048 {
+        let inst = g.inst();
         let mut buf = Vec::new();
         encode(&inst, &mut buf);
         // x86-64 instructions are at most 15 bytes; our subset tops out at
         // 10 (mov r64, imm64).
-        prop_assert!(!buf.is_empty() && buf.len() <= 10, "len = {}", buf.len());
+        assert!(
+            !buf.is_empty() && buf.len() <= 10,
+            "case {case}: len = {} for {inst:?}",
+            buf.len()
+        );
     }
+}
 
-    #[test]
-    fn sequences_decode_without_resync(insts in prop::collection::vec(arb_inst(), 1..64)) {
+#[test]
+fn sequences_decode_without_resync() {
+    let mut g = Gen::new(0x15A_0003);
+    for case in 0..256 {
+        let insts: Vec<Inst> = (0..1 + g.below(63)).map(|_| g.inst()).collect();
         let mut buf = Vec::new();
         for inst in &insts {
             encode(inst, &mut buf);
         }
         let decoded = decode_all(&buf).expect("sequence decode failure");
-        prop_assert_eq!(decoded, insts);
+        assert_eq!(decoded, insts, "case {case}");
     }
 }

@@ -82,7 +82,11 @@ mod tests {
         let mut w = CsvWriter::new();
         w.header(&["metric", "mean", "unit"]);
         w.row(&["rapl".into(), "437.2".into(), "W".into()]);
-        w.row(&["perf-ipc".into(), "3.39".into(), "instructions/cycle".into()]);
+        w.row(&[
+            "perf-ipc".into(),
+            "3.39".into(),
+            "instructions/cycle".into(),
+        ]);
         let out = w.finish();
         assert_eq!(
             out,

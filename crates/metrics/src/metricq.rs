@@ -4,26 +4,37 @@
 //! streams into MetricQ, "where they are buffered. After a workload
 //! candidate finished execution, the values are retrieved and processed by
 //! FIRESTARTER". The essential property — samples accumulate while the
-//! workload runs and are drained afterwards — is reproduced with a
-//! crossbeam channel between the measurement side (sink) and the consumer
-//! (source/metric).
+//! workload runs and are drained afterwards — is reproduced with an
+//! unbounded in-process queue between the measurement side (sink) and
+//! the consumer (source/metric).
 
 use crate::metric::Metric;
 use crate::series::{Sample, TimeSeries};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Unbounded multi-producer buffer shared by sink and source (a minimal
+/// stand-in for a crossbeam channel; crates.io is unavailable offline).
+type Buffer = Arc<Mutex<VecDeque<Sample>>>;
 
 /// The producing half: lives with the power meter / measurement server.
+/// Holds only a weak handle so a dropped [`MetricQSource`] stops the
+/// buffer from growing (the channel-disconnect semantics of the real
+/// MetricQ path: samples with no consumer are discarded).
 #[derive(Debug, Clone)]
 pub struct MetricQSink {
-    tx: Sender<Sample>,
+    tx: std::sync::Weak<Mutex<VecDeque<Sample>>>,
     rate_hz: f64,
 }
 
 impl MetricQSink {
-    /// Sends one sample into the buffer.
+    /// Sends one sample into the buffer; dropped if the source is gone.
     pub fn send(&self, t_s: f64, value: f64) {
-        // Receiver dropping just means nobody will drain; ignore.
-        let _ = self.tx.send(Sample { t_s, value });
+        if let Some(q) = self.tx.upgrade() {
+            q.lock()
+                .expect("metricq buffer poisoned")
+                .push_back(Sample { t_s, value });
+        }
     }
 
     /// Samples a continuous window `[t0, t1)` at the configured rate,
@@ -46,7 +57,7 @@ impl MetricQSink {
 /// The consuming half: a [`Metric`] whose series fills when drained.
 pub struct MetricQSource {
     name: String,
-    rx: Receiver<Sample>,
+    rx: Buffer,
     series: TimeSeries,
 }
 
@@ -55,7 +66,8 @@ pub struct MetricQSource {
 /// `rate_hz` is the meter sampling rate (the paper uses 20 Sa/s).
 pub fn channel(name: impl Into<String>, rate_hz: f64) -> (MetricQSink, MetricQSource) {
     assert!(rate_hz > 0.0);
-    let (tx, rx) = unbounded();
+    let buffer: Buffer = Arc::new(Mutex::new(VecDeque::new()));
+    let (tx, rx) = (Arc::downgrade(&buffer), buffer);
     (
         MetricQSink { tx, rate_hz },
         MetricQSource {
@@ -70,17 +82,20 @@ impl MetricQSource {
     /// Drains all buffered samples into the local series (called after a
     /// workload candidate finishes). Returns the number of new samples.
     pub fn drain(&mut self) -> usize {
-        let mut n = 0;
-        while let Ok(s) = self.rx.try_recv() {
+        let drained: Vec<Sample> = {
+            let mut q = self.rx.lock().expect("metricq buffer poisoned");
+            q.drain(..).collect()
+        };
+        let n = drained.len();
+        for s in drained {
             self.series.push(s.t_s, s.value);
-            n += 1;
         }
         n
     }
 
     /// Buffered samples not yet drained.
     pub fn pending(&self) -> usize {
-        self.rx.len()
+        self.rx.lock().expect("metricq buffer poisoned").len()
     }
 }
 
@@ -146,6 +161,17 @@ mod tests {
         source.reset();
         assert!(source.series().is_empty());
         assert_eq!(source.pending(), 0);
+    }
+
+    #[test]
+    fn dropped_source_discards_samples() {
+        let (sink, source) = channel("metricq", 20.0);
+        sink.send(0.0, 1.0);
+        drop(source);
+        // No consumer left: sends are dropped instead of accumulating.
+        sink.send(1.0, 2.0);
+        sink.sample_window(0.0, 10.0, |_| 3.0);
+        assert!(sink.tx.upgrade().is_none());
     }
 
     #[test]

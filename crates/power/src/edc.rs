@@ -53,8 +53,7 @@ pub fn solve_throttle(
     loop {
         let node = sim.evaluate(kernel, f, active_cores);
         let power = model.workload_power(&node, kernel, trivial_fraction);
-        let within_limits =
-            power.core_rail_amps_per_socket <= edc && power.socket_power_w <= ppt;
+        let within_limits = power.core_rail_amps_per_socket <= edc && power.socket_power_w <= ppt;
         if within_limits || f <= floor {
             return ThrottleResult {
                 requested_mhz: freq_mhz,
@@ -85,8 +84,8 @@ mod tests {
     use super::*;
     use crate::model::NodePowerModel;
     use fs2_arch::{MemLevel, Sku};
-    use fs2_sim::kernel::TaggedInst;
     use fs2_isa::prelude::*;
+    use fs2_sim::kernel::TaggedInst;
 
     /// FMA mix with a dense access pattern: an L1 load+store pair every
     /// group and an L2 load every 2nd — the cache-saturating, compute-
@@ -144,7 +143,11 @@ mod tests {
         }
         body.push(TaggedInst::reg(Inst::Dec(Gp::Rdi)));
         body.push(TaggedInst::reg(Inst::Jnz { rel: 0 }));
-        Kernel::new(if with_caches { "cache-mix" } else { "reg-mix" }, body, groups)
+        Kernel::new(
+            if with_caches { "cache-mix" } else { "reg-mix" },
+            body,
+            groups,
+        )
     }
 
     fn setup() -> (SystemSim, NodePowerModel) {
@@ -185,9 +188,7 @@ mod tests {
         let (sim, model) = setup();
         let k = mix_kernel(64, true);
         let r = solve_throttle(&sim, &model, &k, 2500.0, None, 0.0);
-        assert!(
-            r.power.core_rail_amps_per_socket <= model.sku().edc_amps_per_socket + 1e-9
-        );
+        assert!(r.power.core_rail_amps_per_socket <= model.sku().edc_amps_per_socket + 1e-9);
         assert!(r.power.socket_power_w <= model.sku().ppt_w_per_socket + 1e-9);
     }
 

@@ -232,9 +232,9 @@ impl NodePowerModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fs2_isa::prelude::*;
     use fs2_sim::kernel::TaggedInst;
     use fs2_sim::SystemSim;
-    use fs2_isa::prelude::*;
 
     /// Two FMA + two ALU per group — the paper's §IV-B mix, register-only.
     fn reg_kernel(groups: u32) -> Kernel {
@@ -421,8 +421,8 @@ mod tests {
     /// A dense stress kernel without depending on fs2-core (layering):
     /// 2 FMA + L1 load/store pair + RAM load every 8th group.
     fn fs2_core_free_kernel(_sku: &Sku) -> Kernel {
-        use fs2_sim::kernel::TaggedInst;
         use fs2_isa::prelude::*;
+        use fs2_sim::kernel::TaggedInst;
         let mut body = Vec::new();
         for g in 0..64u32 {
             body.push(TaggedInst::reg(Inst::Vfmadd231pd {

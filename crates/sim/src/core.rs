@@ -130,7 +130,12 @@ impl CoreSteadyState {
 }
 
 /// Evaluates the steady state of `kernel` on one core of `sku`.
-pub fn steady_state(sku: &Sku, kernel: &Kernel, freq_mhz: f64, active: ActiveSet) -> CoreSteadyState {
+pub fn steady_state(
+    sku: &Sku,
+    kernel: &Kernel,
+    freq_mhz: f64,
+    active: ActiveSet,
+) -> CoreSteadyState {
     assert!(freq_mhz > 0.0, "frequency must be positive");
     let m = &kernel.meta;
     let fe_spec = &sku.frontend;
@@ -161,10 +166,7 @@ pub fn steady_state(sku: &Sku, kernel: &Kernel, freq_mhz: f64, active: ActiveSet
         (retire, Bottleneck::Retire),
         (sqrt, Bottleneck::Sqrt),
     ];
-    let compute_cycles = candidates
-        .iter()
-        .map(|(c, _)| *c)
-        .fold(0.0f64, f64::max);
+    let compute_cycles = candidates.iter().map(|(c, _)| *c).fold(0.0f64, f64::max);
 
     // Memory-level sustainable-throughput constraints.
     let mut mem_cycles = [0.0f64; 4];

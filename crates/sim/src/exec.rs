@@ -66,9 +66,7 @@ struct XorShift64 {
 
 impl XorShift64 {
     fn new(seed: u64) -> XorShift64 {
-        XorShift64 {
-            state: seed.max(1),
-        }
+        XorShift64 { state: seed.max(1) }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -90,6 +88,192 @@ const LANES: usize = 4;
 /// Per-level functional buffer length in 256-bit elements. Functional
 /// behaviour only needs value storage, not real capacities.
 const BUF_ELEMS: usize = 1024;
+
+/// Pre-resolved memory operand: register numbers and the level's buffer
+/// index extracted once so the hot loop does no `Option`/enum matching.
+#[derive(Debug, Clone, Copy)]
+struct MemOp {
+    base: u8,
+    /// Index register number; only read when `index_factor > 0`.
+    index_reg: u8,
+    /// Scale factor (1/2/4/8), or 0 when the operand has no index.
+    index_factor: u8,
+    disp: i32,
+    /// `MemLevel::idx()` of the access stream's target.
+    level: u8,
+}
+
+impl MemOp {
+    fn new(mem: &Mem, level: MemLevel) -> MemOp {
+        let (index_reg, index_factor) = match mem.index {
+            Some((r, s)) => (r.num(), s.factor()),
+            None => (0, 0),
+        };
+        MemOp {
+            base: mem.base.num(),
+            index_reg,
+            index_factor,
+            disp: mem.disp,
+            level: level.idx() as u8,
+        }
+    }
+}
+
+/// One pre-decoded micro-operation. Control flow (`cmp`/`jnz`), hints
+/// and `nop`/`ret` have no functional effect and are dropped at decode
+/// time, so the replay loop touches only state-changing operations.
+#[derive(Debug, Clone, Copy)]
+enum MicroOp {
+    Fma { dst: u8, a: u8, b: u8 },
+    FmaMem { dst: u8, a: u8, mem: MemOp },
+    Mul { dst: u8, a: u8, b: u8 },
+    MulMem { dst: u8, a: u8, mem: MemOp },
+    Add { dst: u8, a: u8, b: u8 },
+    AddMem { dst: u8, a: u8, mem: MemOp },
+    Xor { dst: u8, a: u8, b: u8 },
+    Load { dst: u8, mem: MemOp },
+    Store { src: u8, mem: MemOp },
+    SqrtSd { dst: u8, src: u8 },
+    MulSd { dst: u8, src: u8 },
+    AddSd { dst: u8, src: u8 },
+    GpXor { dst: u8, src: u8 },
+    GpShl { dst: u8, imm: u8 },
+    GpShr { dst: u8, imm: u8 },
+    GpAddImm { dst: u8, imm: i32 },
+    GpAdd { dst: u8, src: u8 },
+    GpMovImm { dst: u8, imm: u64 },
+    GpDec { dst: u8 },
+}
+
+/// A kernel pre-decoded into a flat micro-op table, built once and
+/// replayed for every functional iteration (and shared between the two
+/// executors of an error-detection run). Replay through
+/// [`Executor::run_decoded`] is bit-identical to interpreting the raw
+/// instruction stream.
+#[derive(Debug, Clone)]
+pub struct DecodedKernel {
+    ops: Vec<MicroOp>,
+}
+
+impl DecodedKernel {
+    /// Decodes a kernel body. Panics if a memory-touching instruction has
+    /// no level tag (same contract as [`Kernel::new`]).
+    pub fn new(kernel: &Kernel) -> DecodedKernel {
+        let mut ops = Vec::with_capacity(kernel.body.len());
+        for t in &kernel.body {
+            let level = |what: &str| {
+                t.level
+                    .unwrap_or_else(|| panic!("{what} needs a level tag in `{}`", kernel.name))
+            };
+            let op = match &t.inst {
+                Inst::Vfmadd231pd { dst, src1, src2 } => match src2 {
+                    RmYmm::Reg(b) => MicroOp::Fma {
+                        dst: dst.num(),
+                        a: src1.num(),
+                        b: b.num(),
+                    },
+                    RmYmm::Mem(m) => MicroOp::FmaMem {
+                        dst: dst.num(),
+                        a: src1.num(),
+                        mem: MemOp::new(m, level("memory operand")),
+                    },
+                },
+                Inst::Vmulpd { dst, src1, src2 } => match src2 {
+                    RmYmm::Reg(b) => MicroOp::Mul {
+                        dst: dst.num(),
+                        a: src1.num(),
+                        b: b.num(),
+                    },
+                    RmYmm::Mem(m) => MicroOp::MulMem {
+                        dst: dst.num(),
+                        a: src1.num(),
+                        mem: MemOp::new(m, level("memory operand")),
+                    },
+                },
+                Inst::Vaddpd { dst, src1, src2 } => match src2 {
+                    RmYmm::Reg(b) => MicroOp::Add {
+                        dst: dst.num(),
+                        a: src1.num(),
+                        b: b.num(),
+                    },
+                    RmYmm::Mem(m) => MicroOp::AddMem {
+                        dst: dst.num(),
+                        a: src1.num(),
+                        mem: MemOp::new(m, level("memory operand")),
+                    },
+                },
+                Inst::Vxorps { dst, src1, src2 } => MicroOp::Xor {
+                    dst: dst.num(),
+                    a: src1.num(),
+                    b: src2.num(),
+                },
+                Inst::VmovapdLoad { dst, src } => MicroOp::Load {
+                    dst: dst.num(),
+                    mem: MemOp::new(src, level("load")),
+                },
+                Inst::VmovapdStore { dst, src } => MicroOp::Store {
+                    src: src.num(),
+                    mem: MemOp::new(dst, level("store")),
+                },
+                Inst::Sqrtsd { dst, src } => MicroOp::SqrtSd {
+                    dst: dst.num(),
+                    src: src.num(),
+                },
+                Inst::Mulsd { dst, src } => MicroOp::MulSd {
+                    dst: dst.num(),
+                    src: src.num(),
+                },
+                Inst::Addsd { dst, src } => MicroOp::AddSd {
+                    dst: dst.num(),
+                    src: src.num(),
+                },
+                Inst::XorGp { dst, src } => MicroOp::GpXor {
+                    dst: dst.num(),
+                    src: src.num(),
+                },
+                Inst::ShlImm { dst, imm } => MicroOp::GpShl {
+                    dst: dst.num(),
+                    imm: *imm,
+                },
+                Inst::ShrImm { dst, imm } => MicroOp::GpShr {
+                    dst: dst.num(),
+                    imm: *imm,
+                },
+                Inst::AddImm { dst, imm } => MicroOp::GpAddImm {
+                    dst: dst.num(),
+                    imm: *imm,
+                },
+                Inst::AddGp { dst, src } => MicroOp::GpAdd {
+                    dst: dst.num(),
+                    src: src.num(),
+                },
+                Inst::MovImm64 { dst, imm } => MicroOp::GpMovImm {
+                    dst: dst.num(),
+                    imm: *imm,
+                },
+                Inst::Dec(r) => MicroOp::GpDec { dst: r.num() },
+                // No functional effect; dropped from the replay table.
+                Inst::CmpGp { .. }
+                | Inst::Jnz { .. }
+                | Inst::Prefetch { .. }
+                | Inst::Nop
+                | Inst::Ret => continue,
+            };
+            ops.push(op);
+        }
+        DecodedKernel { ops }
+    }
+
+    /// Number of state-changing micro-ops per iteration.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the kernel has no state-changing operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
 
 /// Value-level executor for payload kernels.
 #[derive(Debug, Clone)]
@@ -183,10 +367,11 @@ impl Executor {
     }
 
     fn buf_slot(&self, level: MemLevel, mem: &Mem) -> usize {
-        (self.addr_of(mem) / 32) as usize % BUF_ELEMS
-        // Slot granularity matches the 32-byte vmovapd width; `level`
-        // selects the buffer in the caller.
-        .min(self.buffers[level.idx()].len() - 1)
+        (self.addr_of(mem) / 32) as usize
+            % BUF_ELEMS
+                // Slot granularity matches the 32-byte vmovapd width; `level`
+                // selects the buffer in the caller.
+                .min(self.buffers[level.idx()].len() - 1)
     }
 
     fn count_fp(&mut self, operands: &[[f64; LANES]]) {
@@ -311,12 +496,42 @@ impl Executor {
             }
             // Control flow is driven by the caller; comparisons, branches
             // and hints have no functional effect here.
-            Inst::CmpGp { .. } | Inst::Jnz { .. } | Inst::Prefetch { .. } | Inst::Nop | Inst::Ret => {}
+            Inst::CmpGp { .. }
+            | Inst::Jnz { .. }
+            | Inst::Prefetch { .. }
+            | Inst::Nop
+            | Inst::Ret => {}
         }
     }
 
     /// Executes `iterations` passes over the kernel body.
+    ///
+    /// Pre-decodes the instruction stream into a micro-op table once,
+    /// then replays the table — repeated `functional_iters` loops stop
+    /// re-matching the same `Inst` variants every iteration. Equivalent
+    /// to [`Executor::run_interpreted`] bit for bit (state, stats).
     pub fn run(&mut self, kernel: &Kernel, iterations: u64) -> &ExecStats {
+        let decoded = DecodedKernel::new(kernel);
+        self.run_decoded(&decoded, iterations)
+    }
+
+    /// Executes `iterations` passes over a pre-decoded kernel. Decode the
+    /// kernel once with [`DecodedKernel::new`] and reuse it across runs
+    /// (e.g. the error-detection replay executes the same kernel twice).
+    pub fn run_decoded(&mut self, decoded: &DecodedKernel, iterations: u64) -> &ExecStats {
+        for _ in 0..iterations {
+            for op in &decoded.ops {
+                self.exec_op(op);
+            }
+            self.stats.iterations += 1;
+        }
+        &self.stats
+    }
+
+    /// Reference implementation: matches on the raw `Inst` stream every
+    /// iteration. Kept for the micro-benchmark baseline and the
+    /// decoded-vs-interpreted equivalence tests.
+    pub fn run_interpreted(&mut self, kernel: &Kernel, iterations: u64) -> &ExecStats {
         for _ in 0..iterations {
             for t in &kernel.body {
                 self.exec_inst(&t.inst, t.level);
@@ -324,6 +539,172 @@ impl Executor {
             self.stats.iterations += 1;
         }
         &self.stats
+    }
+
+    /// Lane accounting for two-operand FP ops; equivalent to
+    /// [`Executor::count_fp`] over `[a, b]` without the slice walk.
+    #[inline]
+    fn tally2(&mut self, a: &[f64; LANES], b: &[f64; LANES]) {
+        self.stats.fp_lane_ops += LANES as u64;
+        let mut trivial = 0u64;
+        for l in 0..LANES {
+            trivial += u64::from(is_trivial(a[l]) || is_trivial(b[l]));
+        }
+        self.stats.trivial_lane_ops += trivial;
+    }
+
+    /// Lane accounting for three-operand FP ops (FMA).
+    #[inline]
+    fn tally3(&mut self, a: &[f64; LANES], b: &[f64; LANES], c: &[f64; LANES]) {
+        self.stats.fp_lane_ops += LANES as u64;
+        let mut trivial = 0u64;
+        for l in 0..LANES {
+            trivial += u64::from(is_trivial(a[l]) || is_trivial(b[l]) || is_trivial(c[l]));
+        }
+        self.stats.trivial_lane_ops += trivial;
+    }
+
+    fn slot_of(&self, mem: &MemOp) -> usize {
+        let base = self.gp[mem.base as usize];
+        let idx = if mem.index_factor > 0 {
+            self.gp[mem.index_reg as usize].wrapping_mul(u64::from(mem.index_factor))
+        } else {
+            0
+        };
+        let addr = base.wrapping_add(idx).wrapping_add(mem.disp as i64 as u64);
+        (addr / 32) as usize % BUF_ELEMS.min(self.buffers[mem.level as usize].len() - 1)
+    }
+
+    fn exec_op(&mut self, op: &MicroOp) {
+        match *op {
+            MicroOp::Fma { dst, a, b } => {
+                let d = self.ymm[dst as usize];
+                let x = self.ymm[a as usize];
+                let y = self.ymm[b as usize];
+                self.tally3(&d, &x, &y);
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = x[l].mul_add(y[l], d[l]);
+                }
+                self.ymm[dst as usize] = out;
+            }
+            MicroOp::FmaMem { dst, a, mem } => {
+                let d = self.ymm[dst as usize];
+                let x = self.ymm[a as usize];
+                let y = self.buffers[mem.level as usize][self.slot_of(&mem)];
+                self.tally3(&d, &x, &y);
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = x[l].mul_add(y[l], d[l]);
+                }
+                self.ymm[dst as usize] = out;
+            }
+            MicroOp::Mul { dst, a, b } => {
+                let x = self.ymm[a as usize];
+                let y = self.ymm[b as usize];
+                self.tally2(&x, &y);
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = x[l] * y[l];
+                }
+                self.ymm[dst as usize] = out;
+            }
+            MicroOp::MulMem { dst, a, mem } => {
+                let x = self.ymm[a as usize];
+                let y = self.buffers[mem.level as usize][self.slot_of(&mem)];
+                self.tally2(&x, &y);
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = x[l] * y[l];
+                }
+                self.ymm[dst as usize] = out;
+            }
+            MicroOp::Add { dst, a, b } => {
+                let x = self.ymm[a as usize];
+                let y = self.ymm[b as usize];
+                self.tally2(&x, &y);
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = x[l] + y[l];
+                }
+                self.ymm[dst as usize] = out;
+            }
+            MicroOp::AddMem { dst, a, mem } => {
+                let x = self.ymm[a as usize];
+                let y = self.buffers[mem.level as usize][self.slot_of(&mem)];
+                self.tally2(&x, &y);
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = x[l] + y[l];
+                }
+                self.ymm[dst as usize] = out;
+            }
+            MicroOp::Xor { dst, a, b } => {
+                let x = self.ymm[a as usize];
+                let y = self.ymm[b as usize];
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = f64::from_bits(x[l].to_bits() ^ y[l].to_bits());
+                }
+                self.ymm[dst as usize] = out;
+            }
+            MicroOp::Load { dst, mem } => {
+                self.ymm[dst as usize] = self.buffers[mem.level as usize][self.slot_of(&mem)];
+            }
+            MicroOp::Store { src, mem } => {
+                let slot = self.slot_of(&mem);
+                self.buffers[mem.level as usize][slot] = self.ymm[src as usize];
+            }
+            MicroOp::SqrtSd { dst, src } => {
+                let s = self.ymm[src as usize][0];
+                self.ymm[dst as usize][0] = s.sqrt();
+            }
+            MicroOp::MulSd { dst, src } => {
+                let s = self.ymm[src as usize][0];
+                let d = self.ymm[dst as usize][0];
+                self.stats.fp_lane_ops += 1;
+                if is_trivial(s) || is_trivial(d) {
+                    self.stats.trivial_lane_ops += 1;
+                }
+                self.ymm[dst as usize][0] = d * s;
+            }
+            MicroOp::AddSd { dst, src } => {
+                let s = self.ymm[src as usize][0];
+                let d = self.ymm[dst as usize][0];
+                self.stats.fp_lane_ops += 1;
+                if is_trivial(s) || is_trivial(d) {
+                    self.stats.trivial_lane_ops += 1;
+                }
+                self.ymm[dst as usize][0] = d + s;
+            }
+            MicroOp::GpXor { dst, src } => {
+                self.gp[dst as usize] ^= self.gp[src as usize];
+            }
+            MicroOp::GpShl { dst, imm } => {
+                let d = &mut self.gp[dst as usize];
+                *d = d.wrapping_shl(u32::from(imm));
+            }
+            MicroOp::GpShr { dst, imm } => {
+                let d = &mut self.gp[dst as usize];
+                *d = d.wrapping_shr(u32::from(imm));
+            }
+            MicroOp::GpAddImm { dst, imm } => {
+                let d = &mut self.gp[dst as usize];
+                *d = d.wrapping_add(imm as i64 as u64);
+            }
+            MicroOp::GpAdd { dst, src } => {
+                let s = self.gp[src as usize];
+                let d = &mut self.gp[dst as usize];
+                *d = d.wrapping_add(s);
+            }
+            MicroOp::GpMovImm { dst, imm } => {
+                self.gp[dst as usize] = imm;
+            }
+            MicroOp::GpDec { dst } => {
+                let d = &mut self.gp[dst as usize];
+                *d = d.wrapping_sub(1);
+            }
+        }
     }
 
     /// Writes all vector registers in hexadecimal + decimal form — the
@@ -524,6 +905,88 @@ mod tests {
             assert!(s.contains(&format!("ymm{i}")), "missing ymm{i} in dump");
         }
         assert_eq!(s.lines().count(), 16);
+    }
+
+    #[test]
+    fn decoded_matches_interpreted_bit_for_bit() {
+        // The pre-decoded fast path must be indistinguishable from the
+        // reference interpreter: same registers, buffers, stats, hash.
+        let k = fma_kernel();
+        for seed in [1u64, 7, 42] {
+            let mut fast = Executor::new(InitScheme::V2Safe, seed);
+            let mut slow = Executor::new(InitScheme::V2Safe, seed);
+            fast.run(&k, 500);
+            slow.run_interpreted(&k, 500);
+            assert_eq!(fast.state_hash(), slow.state_hash());
+            assert_eq!(fast.registers(), slow.registers());
+            assert_eq!(fast.stats(), slow.stats());
+        }
+    }
+
+    #[test]
+    fn decoded_matches_interpreted_with_memory_ops() {
+        let body = vec![
+            TaggedInst::reg(Inst::MovImm64 {
+                dst: Gp::Rax,
+                imm: 64,
+            }),
+            TaggedInst::mem(
+                Inst::VmovapdLoad {
+                    dst: Ymm::new(0),
+                    src: Mem::base(Gp::Rax),
+                },
+                MemLevel::L1,
+            ),
+            TaggedInst::mem(
+                Inst::Vfmadd231pd {
+                    dst: Ymm::new(1),
+                    src1: Ymm::new(0),
+                    src2: RmYmm::Mem(Mem::base_disp(Gp::Rax, 32)),
+                },
+                MemLevel::L2,
+            ),
+            TaggedInst::mem(
+                Inst::VmovapdStore {
+                    dst: Mem::base_disp(Gp::Rax, 96),
+                    src: Ymm::new(1),
+                },
+                MemLevel::Ram,
+            ),
+            TaggedInst::reg(Inst::AddImm {
+                dst: Gp::Rax,
+                imm: 32,
+            }),
+            TaggedInst::reg(Inst::Dec(Gp::Rdi)),
+            TaggedInst::reg(Inst::Jnz { rel: 0 }),
+        ];
+        let k = Kernel::new("memmix", body, 1);
+        let mut fast = Executor::new(InitScheme::V2Safe, 9);
+        let mut slow = Executor::new(InitScheme::V2Safe, 9);
+        fast.run(&k, 300);
+        slow.run_interpreted(&k, 300);
+        assert_eq!(fast.state_hash(), slow.state_hash());
+        assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn decoded_kernel_drops_inert_instructions() {
+        let k = fma_kernel(); // 12 FMAs + dec + jnz
+        let d = DecodedKernel::new(&k);
+        assert_eq!(d.len(), 13); // jnz dropped, dec kept
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn decoded_kernel_reuse_across_runs() {
+        let k = fma_kernel();
+        let d = DecodedKernel::new(&k);
+        let mut a = Executor::new(InitScheme::V2Safe, 5);
+        let mut b = Executor::new(InitScheme::V2Safe, 5);
+        a.run_decoded(&d, 100);
+        a.run_decoded(&d, 100);
+        b.run(&k, 200);
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

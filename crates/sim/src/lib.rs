@@ -38,6 +38,6 @@ pub mod system;
 pub use crate::core::{Bottleneck, CoreSteadyState};
 pub use clock::SimClock;
 pub use events::HwEvents;
-pub use exec::{ExecStats, Executor, InitScheme};
+pub use exec::{DecodedKernel, ExecStats, Executor, InitScheme};
 pub use kernel::{Kernel, TaggedInst};
 pub use system::{NodeSteadyState, SystemSim};

@@ -52,10 +52,8 @@ impl SystemSim {
         // pins one worker per core in machine order; for the symmetric
         // full-load case this is exact).
         let frac = f64::from(active) / f64::from(total);
-        let per_ccx =
-            (f64::from(self.sku.topology.cores_per_ccx) * frac).ceil() as u32;
-        let per_socket =
-            (f64::from(self.sku.topology.cores_per_socket()) * frac).ceil() as u32;
+        let per_ccx = (f64::from(self.sku.topology.cores_per_ccx) * frac).ceil() as u32;
+        let per_socket = (f64::from(self.sku.topology.cores_per_socket()) * frac).ceil() as u32;
         ActiveSet {
             cores_per_ccx: per_ccx.max(1),
             cores_per_socket: per_socket.max(1),
@@ -76,8 +74,7 @@ impl SystemSim {
         let iters = core.iters_per_sec * f64::from(active);
         let mut node_level_bytes_per_sec = [0.0; 4];
         for level in MemLevel::ALL {
-            node_level_bytes_per_sec[level.idx()] =
-                kernel.traffic.bytes(level) as f64 * iters;
+            node_level_bytes_per_sec[level.idx()] = kernel.traffic.bytes(level) as f64 * iters;
         }
         NodeSteadyState {
             node_insts_per_sec: kernel.meta.insts as f64 * iters,
@@ -103,8 +100,7 @@ impl SystemSim {
         let node = self.evaluate(kernel, freq_mhz, active_cores);
         let iters = (node.core.iters_per_sec * duration_ns * 1e-9).floor() as u64;
         let cycles = (iters as f64 * node.core.cycles_per_iter).round() as u64;
-        let (dec, opc) =
-            HwEvents::attribute_uops(node.core.fetch_source, kernel.meta.uops * iters);
+        let (dec, opc) = HwEvents::attribute_uops(node.core.fetch_source, kernel.meta.uops * iters);
         let events = HwEvents {
             instructions: kernel.meta.insts * iters,
             cycles,

@@ -95,13 +95,13 @@ impl Nsga2 {
         let mut eval_index = 0u32;
 
         let eval = |genes: Vec<u32>,
-                        generation: u32,
-                        problem: &mut P,
-                        history: &mut Vec<EvaluatedIndividual>,
-                        cache: &mut HashMap<Vec<u32>, Vec<f64>>,
-                        cache_hits: &mut u32,
-                        eval_index: &mut u32,
-                        on_eval: &mut dyn FnMut(&EvaluatedIndividual)|
+                    generation: u32,
+                    problem: &mut P,
+                    history: &mut Vec<EvaluatedIndividual>,
+                    cache: &mut HashMap<Vec<u32>, Vec<f64>>,
+                    cache_hits: &mut u32,
+                    eval_index: &mut u32,
+                    on_eval: &mut dyn FnMut(&EvaluatedIndividual)|
          -> Member {
             let objectives = if let Some(cached) = cache.get(&genes) {
                 *cache_hits += 1;
@@ -333,10 +333,7 @@ mod tests {
             cfg.individuals * (cfg.generations as usize + 1)
         );
         assert_eq!(result.history[0].generation, 0);
-        assert_eq!(
-            result.history.last().unwrap().generation,
-            cfg.generations
-        );
+        assert_eq!(result.history.last().unwrap().generation, cfg.generations);
         // Eval indices are sequential.
         for (i, ind) in result.history.iter().enumerate() {
             assert_eq!(ind.eval_index as usize, i);
@@ -387,10 +384,9 @@ mod tests {
     fn callback_sees_every_evaluation() {
         let mut p = Sch::new();
         let mut seen = 0u32;
-        let result =
-            Nsga2::new(config(5)).run_with_callback(&mut p, |_ind| {
-                seen += 1;
-            });
+        let result = Nsga2::new(config(5)).run_with_callback(&mut p, |_ind| {
+            seen += 1;
+        });
         assert_eq!(seen as usize, result.history.len());
     }
 

@@ -72,9 +72,7 @@ pub fn crowding_distance(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
     #[allow(clippy::needless_range_loop)] // `obj` indexes a second array
     for obj in 0..m {
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            objectives[front[a]][obj].total_cmp(&objectives[front[b]][obj])
-        });
+        order.sort_by(|&a, &b| objectives[front[a]][obj].total_cmp(&objectives[front[b]][obj]));
         let lo = objectives[front[order[0]]][obj];
         let hi = objectives[front[order[n - 1]]][obj];
         dist[order[0]] = f64::INFINITY;

@@ -31,7 +31,14 @@ fn main() {
         let groups = parse_groups(spec).unwrap();
         let mix = MixRegistry::default_for(runner.sku().uarch);
         let unroll = default_unroll(runner.sku(), mix, &groups);
-        let payload = build_payload(runner.sku(), &PayloadConfig { mix, groups, unroll });
+        let payload = build_payload(
+            runner.sku(),
+            &PayloadConfig {
+                mix,
+                groups,
+                unroll,
+            },
+        );
         let r = runner.run(
             &payload,
             &RunConfig {

@@ -12,7 +12,14 @@ fn main() {
     let mix = MixRegistry::default_for(sku.uarch);
     let groups = parse_groups("REG:2,L1_LS:1").unwrap();
     let unroll = default_unroll(&sku, mix, &groups);
-    let payload = build_payload(&sku, &PayloadConfig { mix, groups, unroll });
+    let payload = build_payload(
+        &sku,
+        &PayloadConfig {
+            mix,
+            groups,
+            unroll,
+        },
+    );
     let mut runner = Runner::new(sku);
 
     let cfg = RunConfig {
@@ -29,7 +36,11 @@ fn main() {
     let r = runner.run(&payload, &cfg);
     println!(
         "clean run: error check {}",
-        if r.error_check_passed == Some(true) { "PASS" } else { "FAIL" }
+        if r.error_check_passed == Some(true) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     println!("first register lines of the dump:");
     for line in r.register_dump.as_deref().unwrap_or("").lines().take(3) {
@@ -39,9 +50,7 @@ fn main() {
     // Simulated overclocking fault: one flipped mantissa bit on core 1.
     runner.inject_fault_next_run(1, 4, 52);
     let r = runner.run(&payload, &cfg);
-    println!(
-        "\nafter injecting a single bit flip (reg ymm4, lane 1, bit 52):"
-    );
+    println!("\nafter injecting a single bit flip (reg ymm4, lane 1, bit 52):");
     println!(
         "error check {}",
         if r.error_check_passed == Some(false) {

@@ -13,9 +13,7 @@ fn main() {
 
     println!(
         "{} nodes x {} sixty-second means = {} samples",
-        fleet.config.nodes,
-        fleet.config.samples_per_node,
-        cdf.samples
+        fleet.config.nodes, fleet.config.samples_per_node, cdf.samples
     );
     println!("power range: {:.1} W .. {:.1} W", cdf.min_w, cdf.max_w);
     println!("\n  power [W]   cumulative fraction");

@@ -14,13 +14,28 @@ fn main() {
     let mix = MixRegistry::default_for(sku.uarch);
     let groups = parse_groups("REG:6,L1_2LS:2,L2_LS:1,L3_L:1,RAM_L:1").unwrap();
     let unroll = default_unroll(&sku, mix, &groups);
-    let payload = build_payload(&sku, &PayloadConfig { mix, groups, unroll });
+    let payload = build_payload(
+        &sku,
+        &PayloadConfig {
+            mix,
+            groups,
+            unroll,
+        },
+    );
 
     for (label, strategy, window) in [
         ("device-init, 240 s window", InitStrategy::OnDevice, 240.0),
-        ("host-init,   240 s window", InitStrategy::HostThenTransfer, 240.0),
+        (
+            "host-init,   240 s window",
+            InitStrategy::HostThenTransfer,
+            240.0,
+        ),
         ("device-init,  20 s window", InitStrategy::OnDevice, 20.0),
-        ("host-init,    20 s window", InitStrategy::HostThenTransfer, 20.0),
+        (
+            "host-init,    20 s window",
+            InitStrategy::HostThenTransfer,
+            20.0,
+        ),
     ] {
         let gpus = GpuStress {
             devices: (0..4).map(|_| GpuDevice::new(GpuSpec::k80())).collect(),

@@ -12,7 +12,12 @@ fn main() {
     // carries only mix definitions; the workload is generated now).
     let id = CpuId::amd_rome();
     let sku = detect(&id);
-    println!("detected: {} -> {} ({})", id.brand, sku.name, sku.uarch.name());
+    println!(
+        "detected: {} -> {} ({})",
+        id.brand,
+        sku.name,
+        sku.uarch.name()
+    );
 
     // The default instruction set for this architecture, the paper's
     // example access groups, and an L1I-resident unroll factor.
@@ -25,7 +30,15 @@ fn main() {
         format_groups(&groups)
     );
 
-    let payload = build_payload(&sku, &PayloadConfig { mix, groups, unroll });
+    // The engine memoizes payload builds and hands out measurement
+    // sessions; everything downstream (CLI, experiments, tuning) runs
+    // through this same pipeline.
+    let engine = Engine::new(sku);
+    let payload = engine.payload(&PayloadConfig {
+        mix,
+        groups,
+        unroll,
+    });
     println!(
         "generated {} instructions / {} bytes of machine code per loop",
         payload.kernel.insts(),
@@ -33,8 +46,7 @@ fn main() {
     );
 
     // Run for 60 simulated seconds at the nominal frequency.
-    let mut runner = Runner::new(sku);
-    let result = runner.run(
+    let result = engine.session().run_payload(
         &payload,
         &RunConfig {
             duration_s: 60.0,
@@ -49,7 +61,11 @@ fn main() {
     println!(
         "applied frequency: {:.0} MHz{}   IPC: {:.2}",
         result.applied_freq_mhz,
-        if result.throttled { " (EDC throttled)" } else { "" },
+        if result.throttled {
+            " (EDC throttled)"
+        } else {
+            ""
+        },
         result.ipc
     );
 }

@@ -129,7 +129,11 @@ OPTIMIZATION (§III-C)
   -h, --help                      this help
 ";
 
-fn parse_kv(arg: &str, args: &mut std::slice::Iter<'_, String>, key: &str) -> Result<Option<String>, CliError> {
+fn parse_kv(
+    arg: &str,
+    args: &mut std::slice::Iter<'_, String>,
+    key: &str,
+) -> Result<Option<String>, CliError> {
     if let Some(rest) = arg.strip_prefix(&format!("{key}=")) {
         return Ok(Some(rest.to_string()));
     }
@@ -180,8 +184,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
                     };
                 }
                 let id = |v: &String| -> Result<String, ()> { Ok(v.clone()) };
-                let some_id =
-                    |v: &String| -> Result<Option<String>, ()> { Ok(Some(v.clone())) };
+                let some_id = |v: &String| -> Result<Option<String>, ()> { Ok(Some(v.clone())) };
                 opt!("--cpu", cfg.cpu, id);
                 opt!("-i", cfg.function, some_id);
                 opt!("--function", cfg.function, some_id);
@@ -190,11 +193,15 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
                     .parse::<u32>()
                     .map(Some)
                     .map_err(|_| ()));
-                opt!("-t", cfg.timeout_s, |v: &String| v.parse::<f64>().map_err(|_| ()));
+                opt!("-t", cfg.timeout_s, |v: &String| v
+                    .parse::<f64>()
+                    .map_err(|_| ()));
                 opt!("--timeout", cfg.timeout_s, |v: &String| v
                     .parse::<f64>()
                     .map_err(|_| ()));
-                opt!("--freq", cfg.freq_mhz, |v: &String| v.parse::<f64>().map_err(|_| ()));
+                opt!("--freq", cfg.freq_mhz, |v: &String| v
+                    .parse::<f64>()
+                    .map_err(|_| ()));
                 opt!("--start-delta", cfg.start_delta_ms, |v: &String| v
                     .parse::<f64>()
                     .map_err(|_| ()));
@@ -202,7 +209,9 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
                     .parse::<f64>()
                     .map_err(|_| ()));
                 opt!("--version-emulation", cfg.version_emulation, id);
-                opt!("--gpus", cfg.gpus, |v: &String| v.parse::<u32>().map_err(|_| ()));
+                opt!("--gpus", cfg.gpus, |v: &String| v
+                    .parse::<u32>()
+                    .map_err(|_| ()));
                 opt!("--gpu-init", cfg.gpu_init, id);
                 opt!("--individuals", cfg.individuals, |v: &String| v
                     .parse::<usize>()
@@ -210,18 +219,27 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
                 opt!("--generations", cfg.generations, |v: &String| v
                     .parse::<u32>()
                     .map_err(|_| ()));
-                opt!("--nsga2-m", cfg.nsga2_m, |v: &String| v.parse::<f64>().map_err(|_| ()));
+                opt!("--nsga2-m", cfg.nsga2_m, |v: &String| v
+                    .parse::<f64>()
+                    .map_err(|_| ()));
                 opt!("--preheat", cfg.preheat_s, |v: &String| v
                     .parse::<f64>()
                     .map_err(|_| ()));
                 opt!("--optimization-metric", cfg.optimization_metrics, id);
                 opt!("--metric-path", cfg.optimization_metrics, id);
-                opt!("--seed", cfg.seed, |v: &String| v.parse::<u64>().map_err(|_| ()));
+                opt!("--seed", cfg.seed, |v: &String| v
+                    .parse::<u64>()
+                    .map_err(|_| ()));
                 if !matched {
                     return Err(err(format!("unknown argument `{a}` (see --help)")));
                 }
             }
         }
+    }
+    // Validated here so both Measure and Optimize reject it instead of
+    // tripping the payload builder's assert.
+    if cfg.line_count == Some(0) {
+        return Err(err("--set-line-count must be at least 1"));
     }
     Ok(cfg)
 }
@@ -241,7 +259,11 @@ pub fn execute(cfg: &CliConfig) -> Result<String, CliError> {
         Action::Help => Ok(HELP.to_string()),
         Action::Avail => {
             let sku = sku_for(cfg)?;
-            let mut out = format!("Available functions for {} ({}):\n", sku.name, sku.uarch.name());
+            let mut out = format!(
+                "Available functions for {} ({}):\n",
+                sku.name,
+                sku.uarch.name()
+            );
             for (i, m) in MixRegistry::available_for(sku.uarch).iter().enumerate() {
                 out.push_str(&format!(
                     "  {} | {:5} | {}{}\n",
@@ -266,7 +288,7 @@ Available metrics:
     }
 }
 
-fn build_from_cli(cfg: &CliConfig, sku: &Sku) -> Result<Payload, CliError> {
+fn workload_from_cli(cfg: &CliConfig, sku: &Sku) -> Result<PayloadConfig, CliError> {
     let mix = match &cfg.function {
         Some(name) => MixRegistry::by_name(sku.uarch, name)
             .ok_or_else(|| err(format!("unknown function `{name}` (see --avail)")))?,
@@ -279,14 +301,11 @@ fn build_from_cli(cfg: &CliConfig, sku: &Sku) -> Result<Payload, CliError> {
     let unroll = cfg
         .line_count
         .unwrap_or_else(|| default_unroll(sku, mix, &groups));
-    Ok(build_payload(
-        sku,
-        &PayloadConfig {
-            mix,
-            groups,
-            unroll,
-        },
-    ))
+    Ok(PayloadConfig {
+        mix,
+        groups,
+        unroll,
+    })
 }
 
 fn init_scheme(cfg: &CliConfig) -> Result<InitScheme, CliError> {
@@ -318,9 +337,10 @@ fn gpu_power(cfg: &CliConfig, duration_s: f64) -> Result<f64, CliError> {
 
 fn run_measure(cfg: &CliConfig) -> Result<String, CliError> {
     let sku = sku_for(cfg)?;
-    let payload = build_from_cli(cfg, &sku)?;
+    let workload = workload_from_cli(cfg, &sku)?;
     let external_w = gpu_power(cfg, cfg.timeout_s)?;
-    let mut runner = Runner::with_seed(sku, cfg.seed);
+    let engine = Engine::with_seed(sku, cfg.seed);
+    let payload = engine.payload(&workload);
     let run_cfg = RunConfig {
         freq_mhz: cfg.freq_mhz,
         duration_s: cfg.timeout_s,
@@ -332,7 +352,7 @@ fn run_measure(cfg: &CliConfig) -> Result<String, CliError> {
         external_w,
         ..RunConfig::default()
     };
-    let r = runner.run(&payload, &run_cfg);
+    let r = engine.session().run_payload(&payload, &run_cfg);
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -348,7 +368,11 @@ fn run_measure(cfg: &CliConfig) -> Result<String, CliError> {
     if let Some(passed) = r.error_check_passed {
         out.push_str(&format!(
             "  error detection: {}\n",
-            if passed { "PASS" } else { "FAIL — register divergence" }
+            if passed {
+                "PASS"
+            } else {
+                "FAIL — register divergence"
+            }
         ));
     }
     if cfg.measurement {
@@ -398,7 +422,7 @@ fn run_optimize(cfg: &CliConfig) -> Result<String, CliError> {
             .ok_or_else(|| err(format!("unknown function `{name}`")))?,
         None => MixRegistry::default_for(sku.uarch),
     };
-    let mut runner = Runner::with_seed(sku, cfg.seed);
+    let engine = Engine::with_seed(sku, cfg.seed);
     let tune_cfg = TuneConfig {
         nsga2: Nsga2Config {
             individuals: cfg.individuals,
@@ -414,7 +438,7 @@ fn run_optimize(cfg: &CliConfig) -> Result<String, CliError> {
         unroll: cfg.line_count,
         max_count: 8,
     };
-    let result = AutoTuner::run(&mut runner, &tune_cfg);
+    let result = engine.session().tune(&tune_cfg);
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -474,7 +498,10 @@ mod tests {
 
     #[test]
     fn measure_defaults() {
-        let out = run(&args("-t 6 --freq 1500 --start-delta 1000 --stop-delta 500")).unwrap();
+        let out = run(&args(
+            "-t 6 --freq 1500 --start-delta 1000 --stop-delta 500",
+        ))
+        .unwrap();
         assert!(out.contains("sysfs-powercap-rapl"));
         assert!(out.contains("applied 1500 MHz"));
     }
@@ -546,6 +573,10 @@ mod tests {
         assert!(run(&args("--run-instruction-groups L9_X:1")).is_err());
         assert!(run(&args("--optimize=SA")).is_err());
         assert!(run(&args("--set-line-count abc")).is_err());
+        // Zero unroll must be a CLI error on every action, not a panic
+        // inside the payload builder.
+        assert!(run(&args("--set-line-count 0")).is_err());
+        assert!(run(&args("--optimize=NSGA2 --set-line-count 0")).is_err());
         assert!(run(&args("-t")).is_err());
     }
 

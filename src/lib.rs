@@ -10,17 +10,16 @@
 //! ```
 //! use firestarter2::prelude::*;
 //!
-//! // Detect the (simulated) processor and build the default workload.
+//! // Detect the (simulated) processor and spin up the workload engine:
+//! // it memoizes payload generation and hands out measurement sessions.
 //! let sku = detect(&CpuId::amd_rome());
-//! let mix = MixRegistry::default_for(sku.uarch);
-//! let groups = parse_groups("REG:4,L1_L:2,L2_L:1").unwrap();
-//! let unroll = default_unroll(&sku, mix, &groups);
-//! let payload = build_payload(&sku, &PayloadConfig { mix, groups, unroll });
+//! let engine = Engine::new(sku);
 //!
-//! // Run it for 10 simulated seconds at 1500 MHz.
-//! let mut runner = Runner::new(sku);
-//! let result = runner.run(
-//!     &payload,
+//! // Build (and cache) the default workload for the paper's example
+//! // access groups, then run it for 10 simulated seconds at 1500 MHz.
+//! let workload = engine.config_for_spec("REG:4,L1_L:2,L2_L:1").unwrap();
+//! let result = engine.session().run(
+//!     &workload,
 //!     &RunConfig {
 //!         freq_mhz: 1500.0,
 //!         duration_s: 10.0,
@@ -30,6 +29,10 @@
 //!     },
 //! );
 //! assert!(result.power.mean > 150.0);
+//!
+//! // A second request for the same spec is served from the cache.
+//! let _ = engine.payload(&workload);
+//! assert_eq!(engine.cache_stats().hits, 1);
 //! ```
 
 pub use fs2_arch as arch;
@@ -49,6 +52,7 @@ pub mod cli;
 pub mod prelude {
     pub use fs2_arch::{detect, CpuId, MemLevel, Microarch, Sku};
     pub use fs2_core::autotune::{AutoTuner, TuneConfig, TuneResult};
+    pub use fs2_core::engine::{CacheStats, Engine, Session};
     pub use fs2_core::groups::{format_groups, parse_groups, AccessGroup, Pattern, Target};
     pub use fs2_core::legacy::{LegacyWorkload, Version};
     pub use fs2_core::mix::{InstructionMix, MixRegistry};

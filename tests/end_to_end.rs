@@ -7,7 +7,14 @@ fn payload(sku: &Sku, spec: &str) -> Payload {
     let mix = MixRegistry::default_for(sku.uarch);
     let groups = parse_groups(spec).unwrap();
     let unroll = default_unroll(sku, mix, &groups);
-    build_payload(sku, &PayloadConfig { mix, groups, unroll })
+    build_payload(
+        sku,
+        &PayloadConfig {
+            mix,
+            groups,
+            unroll,
+        },
+    )
 }
 
 fn measure(runner: &mut Runner, spec: &str, freq: f64) -> RunResult {
@@ -77,7 +84,11 @@ fn landmark_fig9_ladder_monotone_and_magnitude() {
 fn landmark_fig9_ipc_dip() {
     let mut runner = Runner::new(Sku::amd_epyc_7502());
     let reg = measure(&mut runner, "REG:1", 1500.0);
-    let ram = measure(&mut runner, "REG:8,L1_2LS:4,L2_LS:1,L3_LS:1,RAM_LS:1", 1500.0);
+    let ram = measure(
+        &mut runner,
+        "REG:8,L1_2LS:4,L2_LS:1,L3_LS:1,RAM_LS:1",
+        1500.0,
+    );
     assert!(reg.ipc > 3.9, "REG IPC = {}", reg.ipc);
     assert!(ram.ipc < reg.ipc, "no IPC dip");
     assert!(ram.ipc > 2.2, "IPC collapsed: {}", ram.ipc);

@@ -15,7 +15,14 @@ fn run_once(freq: f64) -> (RunResult, Sku) {
     // which the throttle-distortion test below depends on.
     let groups = parse_groups("REG:10,L1_2LS:4,L2_LS:2,L3_LS:1,RAM_L:1").unwrap();
     let unroll = default_unroll(&sku, mix, &groups);
-    let payload = build_payload(&sku, &PayloadConfig { mix, groups, unroll });
+    let payload = build_payload(
+        &sku,
+        &PayloadConfig {
+            mix,
+            groups,
+            unroll,
+        },
+    );
     let mut runner = Runner::new(sku.clone());
     let r = runner.run(
         &payload,
@@ -58,7 +65,11 @@ fn perf_ipc_matches_steady_state() {
     metric.record_counters(0.0, 0, 0);
     metric.record_counters(10.0, e.instructions, e.cycles);
     let got = metric.series().samples()[0].value;
-    assert!((got - r.ipc).abs() < 0.02, "perf-ipc {got} vs model {}", r.ipc);
+    assert!(
+        (got - r.ipc).abs() < 0.02,
+        "perf-ipc {got} vs model {}",
+        r.ipc
+    );
 }
 
 #[test]
@@ -117,7 +128,11 @@ fn registry_drives_all_metrics_and_prints_csv() {
     csv.header(&["metric", "mean", "unit"]);
     for m in registry.iter() {
         if let Some(s) = m.summarize(0.0, 5.0, 0.0, 0.0) {
-            csv.row(&[m.name().to_string(), format!("{:.2}", s.mean), m.unit().to_string()]);
+            csv.row(&[
+                m.name().to_string(),
+                format!("{:.2}", s.mean),
+                m.unit().to_string(),
+            ]);
         }
     }
     let out = csv.finish();

@@ -8,7 +8,14 @@ fn run_with_init(init: InitScheme, freq: f64) -> RunResult {
     let mix = MixRegistry::default_for(sku.uarch);
     let groups = parse_groups("REG:1").unwrap();
     let unroll = default_unroll(&sku, mix, &groups);
-    let payload = build_payload(&sku, &PayloadConfig { mix, groups, unroll });
+    let payload = build_payload(
+        &sku,
+        &PayloadConfig {
+            mix,
+            groups,
+            unroll,
+        },
+    );
     let mut runner = Runner::new(sku);
     runner.hold_power(240.0, 20.0, 300.0);
     runner.run(
@@ -32,7 +39,11 @@ fn version_bug_costs_single_digit_watts() {
     let v2 = run_with_init(InitScheme::V2Safe, 2500.0);
     let v174 = run_with_init(InitScheme::V174Buggy, 2500.0);
     assert_eq!(v2.trivial_fraction, 0.0);
-    assert!(v174.trivial_fraction > 0.8, "bug did not saturate: {}", v174.trivial_fraction);
+    assert!(
+        v174.trivial_fraction > 0.8,
+        "bug did not saturate: {}",
+        v174.trivial_fraction
+    );
     let delta = v2.power.mean - v174.power.mean;
     let rel = delta / v2.power.mean;
     assert!(
@@ -88,10 +99,7 @@ fn sku_variation_changes_the_optimal_workload() {
     let small = Sku::amd_epyc_7302();
     assert_eq!(big.family, small.family);
     assert_eq!(big.model, small.model);
-    assert_ne!(
-        big.topology.total_cores(),
-        small.topology.total_cores()
-    );
+    assert_ne!(big.topology.total_cores(), small.topology.total_cores());
 
     // A RAM-heavy workload: on the 16-core SKU each core gets twice the
     // DRAM share, so its per-core stall picture differs.
@@ -99,8 +107,22 @@ fn sku_variation_changes_the_optimal_workload() {
     let mix = MixRegistry::default_for(big.uarch);
     let groups = parse_groups(spec).unwrap();
     let unroll = 128;
-    let p_big = build_payload(&big, &PayloadConfig { mix, groups: groups.clone(), unroll });
-    let p_small = build_payload(&small, &PayloadConfig { mix, groups, unroll });
+    let p_big = build_payload(
+        &big,
+        &PayloadConfig {
+            mix,
+            groups: groups.clone(),
+            unroll,
+        },
+    );
+    let p_small = build_payload(
+        &small,
+        &PayloadConfig {
+            mix,
+            groups,
+            unroll,
+        },
+    );
 
     let sim_big = SystemSim::new(big);
     let sim_small = SystemSim::new(small);
@@ -127,7 +149,14 @@ fn dram_timings_change_behaviour_on_same_sku() {
     });
     let mix = MixRegistry::default_for(fast.uarch);
     let groups = parse_groups("REG:2,RAM_LS:2").unwrap();
-    let p = build_payload(&fast, &PayloadConfig { mix, groups, unroll: 128 });
+    let p = build_payload(
+        &fast,
+        &PayloadConfig {
+            mix,
+            groups,
+            unroll: 128,
+        },
+    );
     let ss_fast = SystemSim::new(fast).evaluate(&p.kernel, 2500.0, None);
     let ss_slow = SystemSim::new(slow).evaluate(&p.kernel, 2500.0, None);
     assert!(

@@ -1,0 +1,197 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace
+//! uses: `rngs::StdRng`, [`SeedableRng::seed_from_u64`], and the
+//! [`Rng`] methods `gen_range` / `gen_bool`.
+//!
+//! The container building this repository has no access to crates.io, so
+//! the real `rand` crate cannot be fetched. Call sites keep the upstream
+//! API; only the generator differs: xoshiro256++ seeded via SplitMix64
+//! instead of ChaCha12. Everything is deterministic per seed, which is
+//! all the workspace relies on (cluster fleet synthesis, NSGA-II, and
+//! the ablation binary all seed explicitly).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly from by [`Rng::gen_range`]
+/// (stand-in for `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from a range; panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p = {p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Maps a raw u64 to [0, 1) with 53-bit precision.
+#[inline]
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Unbiased uniform integer in [0, span) via 128-bit multiply with
+/// rejection (Lemire's method).
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(span);
+        let lo = m as u64;
+        if lo >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_ranges!(u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (API stand-in for the real
+    /// `rand::rngs::StdRng`; the stream differs from upstream ChaCha12,
+    /// which no caller in this workspace depends on).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, the reference seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..=u64::MAX), b.gen_range(0u64..=u64::MAX));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen_range(0..1u64 << 60), c.gen_range(0..1u64 << 60));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..=9);
+            assert!((3..=9).contains(&v));
+            let v = rng.gen_range(5usize..8);
+            assert!((5..8).contains(&v));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniformity_rough() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for c in counts {
+            let frac = f64::from(c) / n as f64;
+            assert!((frac - 0.1).abs() < 0.01, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.35)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.35).abs() < 0.01, "gen_bool(0.35) -> {frac}");
+    }
+}
