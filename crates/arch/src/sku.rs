@@ -357,6 +357,37 @@ impl Sku {
         }
     }
 
+    /// The 14-core Haswell sibling (E5-2695 v3): same family/model as
+    /// the E5-2680 v3, two more cores per socket, a bigger L3 slice and
+    /// a lower base clock — the second SKU of the heterogeneous Taurus
+    /// fleet simulation.
+    pub fn intel_xeon_e5_2695_v3() -> Sku {
+        let mut sku = Sku::intel_xeon_e5_2680_v3();
+        sku.name = "Intel Xeon E5-2695 v3 (2S)";
+        sku.topology.cores_per_ccx = 14;
+        // 14 x 2.5 MiB L3 slices on the ring.
+        sku.mem_levels[MemLevel::L3.idx()].size_bytes = 35 * 1024 * 1024;
+        sku.mem_levels[MemLevel::L3.idx()].shared_by_cores = 14;
+        sku.mem_levels[MemLevel::Ram.idx()].shared_by_cores = 14;
+        // 2.3 GHz base; same 120 W TDP stretched over more cores.
+        sku.pstates.states = vec![
+            PState {
+                freq_mhz: 2300,
+                voltage: 1.00,
+            },
+            PState {
+                freq_mhz: 1900,
+                voltage: 0.92,
+            },
+            PState {
+                freq_mhz: 1200,
+                voltage: 0.80,
+            },
+        ];
+        sku.ppt_w_per_socket = 160.0;
+        sku
+    }
+
     /// Conservative fallback for unknown processors.
     pub fn generic() -> Sku {
         let mut sku = Sku::intel_xeon_e5_2680_v3();
@@ -374,6 +405,7 @@ impl Sku {
             Sku::amd_epyc_7502(),
             Sku::amd_epyc_7302(),
             Sku::intel_xeon_e5_2680_v3(),
+            Sku::intel_xeon_e5_2695_v3(),
         ]
     }
 }
@@ -392,11 +424,36 @@ pub fn detect(id: &CpuId) -> Sku {
         return Sku::generic();
     }
     candidates.sort_by_key(|s| {
-        // Prefer the SKU whose marketing number appears in the brand string.
-        let sku_number: String = s.name.chars().filter(|c| c.is_ascii_digit()).collect();
-        sku_number.is_empty() || !id.brand.contains(&sku_number[..4.min(sku_number.len())])
+        // Prefer the SKU whose marketing number appears in the brand
+        // string. The number is the longest digit run in the database
+        // name ("E5-2680" → "2680", "EPYC 7302" → "7302"); collecting
+        // *all* digits used to splice the bus suffix in and never match.
+        let sku_number = longest_digit_run(s.name);
+        sku_number.is_empty() || !id.brand.contains(sku_number)
     });
     candidates[0].clone()
+}
+
+/// The longest contiguous run of ASCII digits in `s` (first on ties).
+fn longest_digit_run(s: &str) -> &str {
+    let bytes = s.as_bytes();
+    let (mut best, mut best_len) = (0usize, 0usize);
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i - start > best_len {
+                best = start;
+                best_len = i - start;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    &s[best..best + best_len]
 }
 
 #[cfg(test)]
@@ -435,6 +492,32 @@ mod tests {
         let sku = detect(&CpuId::intel_haswell());
         assert_eq!(sku.uarch, Microarch::Haswell);
         assert_eq!(sku.topology.total_cores(), 24);
+    }
+
+    #[test]
+    fn e5_2695_v3_inventory() {
+        let sku = Sku::intel_xeon_e5_2695_v3();
+        assert_eq!(sku.topology.total_cores(), 28);
+        assert_eq!(sku.mem_level(MemLevel::L3).size_bytes, 35 * 1024 * 1024);
+        assert_eq!(sku.pstates.nominal().freq_mhz, 2300);
+        assert_eq!(sku.uarch, Microarch::Haswell);
+    }
+
+    #[test]
+    fn detect_distinguishes_haswell_siblings_by_brand() {
+        // E5-2680 v3 and E5-2695 v3 share vendor/family/model; only the
+        // brand string separates them.
+        let id = CpuId {
+            vendor: Vendor::Intel,
+            family: 6,
+            model: 0x3F,
+            brand: "Intel(R) Xeon(R) CPU E5-2695 v3 @ 2.30GHz".to_string(),
+        };
+        let sku = detect(&id);
+        assert_eq!(sku.name, "Intel Xeon E5-2695 v3 (2S)");
+        assert_eq!(sku.topology.total_cores(), 28);
+        // The stock Taurus brand still resolves to the 12-core part.
+        assert_eq!(detect(&CpuId::intel_haswell()).topology.total_cores(), 24);
     }
 
     #[test]

@@ -8,16 +8,12 @@
 //! experiments`.
 
 use fs2_bench::experiments;
+use fs2_bench::timing::median_ms;
 use std::hint::black_box;
-use std::time::Instant;
 
-fn time_ms(reps: u32, mut f: impl FnMut()) -> f64 {
-    f(); // warm-up
-    let t0 = Instant::now();
-    for _ in 0..reps {
-        f();
-    }
-    t0.elapsed().as_secs_f64() * 1e3 / f64::from(reps)
+/// Mean wall time over `reps` calls (one warm-up), in ms/call.
+fn time_ms(reps: u32, f: impl FnMut()) -> f64 {
+    median_ms(1, reps, 1, f)
 }
 
 fn report(name: &str, ms: f64) {

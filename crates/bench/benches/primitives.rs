@@ -7,6 +7,7 @@
 //! Run with `cargo bench -p fs2-bench --bench primitives`.
 
 use fs2_arch::Sku;
+use fs2_bench::timing::median_ns;
 use fs2_core::groups::parse_groups;
 use fs2_core::mix::MixRegistry;
 use fs2_core::payload::{build_payload, PayloadConfig};
@@ -15,24 +16,10 @@ use fs2_sim::core::{steady_state, ActiveSet};
 use fs2_sim::{Executor, InitScheme, SystemSim};
 use fs2_tuning::{Nsga2, Nsga2Config};
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Times `f` over `iters` calls, median of 5 repetitions, in ns/call.
-pub fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
-    for _ in 0..iters.div_ceil(4) {
-        f(); // warm-up
-    }
-    let mut reps: Vec<f64> = (0..5)
-        .map(|_| {
-            let t0 = Instant::now();
-            for _ in 0..iters {
-                f();
-            }
-            t0.elapsed().as_secs_f64() * 1e9 / f64::from(iters)
-        })
-        .collect();
-    reps.sort_by(f64::total_cmp);
-    reps[2]
+pub fn time_ns(iters: u32, f: impl FnMut()) -> f64 {
+    median_ns(iters.div_ceil(4), iters, 5, f)
 }
 
 fn report(name: &str, ns: f64) {

@@ -11,28 +11,15 @@
 //! ```
 
 use fs2_arch::Sku;
+use fs2_bench::timing::median_ns;
 use fs2_core::engine::Engine;
 use fs2_sim::{DecodedKernel, Executor, InitScheme};
 use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Median-of-7 wall time of `f`, in nanoseconds per call.
-fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
-    for _ in 0..iters.div_ceil(4) {
-        f(); // warm-up
-    }
-    let mut reps: Vec<f64> = (0..7)
-        .map(|_| {
-            let t0 = Instant::now();
-            for _ in 0..iters {
-                f();
-            }
-            t0.elapsed().as_secs_f64() * 1e9 / f64::from(iters)
-        })
-        .collect();
-    reps.sort_by(f64::total_cmp);
-    reps[3]
+fn time_ns(iters: u32, f: impl FnMut()) -> f64 {
+    median_ns(iters.div_ceil(4), iters, 7, f)
 }
 
 struct Case {

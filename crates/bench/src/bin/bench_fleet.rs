@@ -1,0 +1,120 @@
+//! Micro-benchmark for the engine-backed fleet pipeline: serial vs
+//! parallel sample generation (hinted sweep), with the registry's
+//! cache hit/miss counters for the run.
+//!
+//! Writes the measured baseline to `BENCH_fleet.json` (pass an output
+//! path as the first argument to override). Criterion is unavailable
+//! offline, so the timing loop is manual: median of 5 repetitions.
+//!
+//! ```sh
+//! cargo run --release -p fs2-bench --bin bench_fleet
+//! ```
+
+use fs2_bench::timing::median_ms;
+use fs2_cluster::{FleetConfig, FleetSim};
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+/// Median-of-5 wall time of `f`, in milliseconds per call.
+fn time_ms(f: impl FnMut()) -> f64 {
+    median_ms(1, 1, 5, f)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+
+    // A long-tailed heterogeneous fleet: the fat-node slice is sampled
+    // 8x longer, so hinted packing has actual work to schedule around.
+    let mut cfg = FleetConfig::taurus_haswell_scaled(128);
+    cfg.samples_per_node = 2000;
+    cfg.groups[1].samples_per_node = Some(16_000);
+    let total_samples = cfg.total_samples();
+
+    let serial = {
+        let mut c = cfg.clone();
+        c.threads = 1;
+        FleetSim::new(c)
+    };
+    let parallel = {
+        let mut c = cfg.clone();
+        c.threads = 0;
+        FleetSim::new(c)
+    };
+
+    // Determinism gate before any number is published.
+    let base = serial.run();
+    assert_eq!(
+        base.samples,
+        parallel.generate(),
+        "parallel fleet diverges from serial"
+    );
+
+    let serial_ms = time_ms(|| {
+        black_box(serial.generate());
+    });
+    let parallel_ms = time_ms(|| {
+        black_box(parallel.generate());
+    });
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = serial_ms / parallel_ms;
+    let s = base.registry;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"engine-backed fleet generation (hinted sweep)\",\n");
+    let _ = writeln!(
+        json,
+        "  \"fleet\": \"{} nodes ({} SKUs), {} samples, fat slice at 16k samples/node\",",
+        cfg.total_nodes(),
+        cfg.groups.len(),
+        total_samples
+    );
+    let _ = writeln!(json, "  \"host_threads\": {threads},");
+    if threads == 1 {
+        // On a 1-thread host the parallel case degenerates to the
+        // serial path; the speedup number is not meaningful.
+        json.push_str(
+            "  \"note\": \"single-threaded host: parallel == serial path, \
+             speedup is not a packing measurement\",\n",
+        );
+    }
+    json.push_str("  \"cases_ms\": {\n");
+    let _ = writeln!(json, "    \"fleet_generate_serial\": {serial_ms:.2},");
+    let _ = writeln!(json, "    \"fleet_generate_parallel\": {parallel_ms:.2}");
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"speedup_parallel_vs_serial\": {speedup:.2},");
+    json.push_str("  \"registry\": {\n");
+    let _ = writeln!(json, "    \"engines\": {},", s.engines);
+    let _ = writeln!(json, "    \"payload_hits\": {},", s.payload_hits);
+    let _ = writeln!(json, "    \"payload_misses\": {},", s.payload_misses);
+    let _ = writeln!(json, "    \"payload_entries\": {},", s.payload_entries);
+    let _ = writeln!(json, "    \"spec_hits\": {},", s.spec_hits);
+    let _ = writeln!(json, "    \"spec_misses\": {},", s.spec_misses);
+    let _ = writeln!(json, "    \"unroll_hits\": {},", s.unroll_hits);
+    let _ = writeln!(json, "    \"unroll_misses\": {}", s.unroll_misses);
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    println!("### bench_fleet — engine-backed fleet generation\n");
+    println!(
+        "{} nodes, {} samples ({} long-tail)",
+        cfg.total_nodes(),
+        total_samples,
+        cfg.groups[1].nodes
+    );
+    println!("serial:   {serial_ms:>9.2} ms");
+    println!("parallel: {parallel_ms:>9.2} ms  ({threads} host threads)");
+    println!("speedup:  {speedup:>9.2}x");
+    if threads == 1 {
+        println!("(single-threaded host: speedup is not a packing measurement)");
+    }
+    println!(
+        "registry: {} engines, payloads {} built / {} hits, specs {} parsed / {} hits",
+        s.engines, s.payload_misses, s.payload_hits, s.spec_misses, s.spec_hits
+    );
+
+    std::fs::write(&out_path, json).expect("write benchmark baseline");
+    eprintln!("wrote {out_path}");
+}

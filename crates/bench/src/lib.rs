@@ -10,5 +10,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod timing;
 
 pub use report::Report;

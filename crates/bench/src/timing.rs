@@ -1,0 +1,56 @@
+//! Shared manual timing loop for the `src/bin` micro-benchmarks and
+//! the `benches/` harnesses (criterion is unavailable offline). One
+//! implementation so warm-up/median policy cannot drift between the
+//! benchmark binaries.
+
+use std::time::Instant;
+
+/// Median wall time per call of `f`, in seconds.
+///
+/// Runs `warmup` untimed calls, then `reps` timed batches of `iters`
+/// calls each, and returns the median batch normalized per call. Use
+/// `reps == 1` for a plain mean over `iters` calls.
+pub fn median_secs(warmup: u32, iters: u32, reps: u32, mut f: impl FnMut()) -> f64 {
+    assert!(iters > 0 && reps > 0);
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / f64::from(iters)
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// [`median_secs`] in nanoseconds per call.
+pub fn median_ns(warmup: u32, iters: u32, reps: u32, f: impl FnMut()) -> f64 {
+    median_secs(warmup, iters, reps, f) * 1e9
+}
+
+/// [`median_secs`] in milliseconds per call.
+pub fn median_ms(warmup: u32, iters: u32, reps: u32, f: impl FnMut()) -> f64 {
+    median_secs(warmup, iters, reps, f) * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_calls_and_orders_units() {
+        let mut calls = 0u32;
+        let secs = median_secs(2, 10, 3, || calls += 1);
+        assert_eq!(calls, 2 + 10 * 3);
+        assert!(secs >= 0.0);
+        let mut calls = 0u32;
+        let ns = median_ns(0, 1, 1, || calls += 1);
+        assert_eq!(calls, 1);
+        assert!(ns >= 0.0);
+    }
+}

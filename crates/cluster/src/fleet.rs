@@ -1,28 +1,104 @@
 //! Fleet simulation and the Fig. 1 CDF pipeline.
+//!
+//! A [`FleetSim`] owns a heterogeneous set of nodes (mixable SKUs) and
+//! drives one real `fs2_core::Engine` per SKU through an
+//! [`EngineRegistry`]. Per 60 s sample, a node draws a job class from
+//! the [`JobMix`], a duty cycle and a P-state, and its mean power is
+//! composed from engine-evaluated payload power and the node's idle
+//! floor — the workload-cloning pipeline, not distribution fitting.
+//! Generation fans out over [`fs2_core::Engine::sweep_hinted`] with
+//! per-node size hints and is bitwise-identical to a serial pass.
 
 use crate::jobs::JobMix;
+use fs2_core::{EngineRegistry, RegistryStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// One homogeneous slice of the fleet.
+#[derive(Debug, Clone)]
+pub struct NodeGroup {
+    pub sku: fs2_arch::Sku,
+    pub nodes: u32,
+    /// Overrides [`FleetConfig::samples_per_node`] for this group
+    /// (e.g. a slice monitored at a higher rate) — this is what makes
+    /// per-node size hints matter to the sweep packing.
+    pub samples_per_node: Option<u32>,
+}
 
 /// Fleet parameters (Fig. 1: 612 nodes, one year, 60 s means).
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    pub nodes: u32,
+    /// Heterogeneous node groups; engines are shared per SKU.
+    pub groups: Vec<NodeGroup>,
     /// 60 s-mean samples generated per node (a full year would be
     /// 525 600; the CDF converges far earlier).
     pub samples_per_node: u32,
     pub mix: JobMix,
     pub seed: u64,
+    /// Sweep worker threads; 0 = host parallelism, 1 = serial. The
+    /// samples are identical either way.
+    pub threads: usize,
+    /// Facility-side clamp, W (the paper's observed 359.9 W maximum).
+    pub cap_w: f64,
+}
+
+impl FleetConfig {
+    /// The 612-node Taurus Haswell partition: mostly 12-core
+    /// E5-2680 v3 nodes with a 14-core E5-2695 v3 slice mixed in.
+    pub fn taurus_haswell() -> FleetConfig {
+        FleetConfig::taurus_haswell_scaled(612)
+    }
+
+    /// A Taurus profile scaled to `nodes` total nodes, keeping the
+    /// SKU ratio (~7:1) and at least one node per group.
+    pub fn taurus_haswell_scaled(nodes: u32) -> FleetConfig {
+        assert!(nodes > 0, "fleet needs at least one node");
+        let fat = if nodes >= 2 {
+            (nodes * 72 / 612).max(1)
+        } else {
+            0
+        };
+        let mut groups = vec![NodeGroup {
+            sku: fs2_arch::Sku::intel_xeon_e5_2680_v3(),
+            nodes: nodes - fat,
+            samples_per_node: None,
+        }];
+        if fat > 0 {
+            groups.push(NodeGroup {
+                sku: fs2_arch::Sku::intel_xeon_e5_2695_v3(),
+                nodes: fat,
+                samples_per_node: None,
+            });
+        }
+        FleetConfig {
+            groups,
+            samples_per_node: 2000,
+            mix: JobMix::taurus_haswell(),
+            seed: 0xF1EE7,
+            threads: 0,
+            cap_w: 359.9,
+        }
+    }
+
+    /// Total node count across all groups.
+    pub fn total_nodes(&self) -> u32 {
+        self.groups.iter().map(|g| g.nodes).sum()
+    }
+
+    /// Total 60 s-mean samples the fleet will generate.
+    pub fn total_samples(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| {
+                g.nodes as usize * g.samples_per_node.unwrap_or(self.samples_per_node) as usize
+            })
+            .sum()
+    }
 }
 
 impl Default for FleetConfig {
     fn default() -> FleetConfig {
-        FleetConfig {
-            nodes: 612,
-            samples_per_node: 2000,
-            mix: JobMix::taurus_haswell(),
-            seed: 0xF1EE7,
-        }
+        FleetConfig::taurus_haswell()
     }
 }
 
@@ -66,8 +142,13 @@ impl PowerCdf {
         }
     }
 
-    /// Cumulative fraction at or below `power_w`.
+    /// Cumulative fraction at or below `power_w`. Queries below the
+    /// first bin's lower edge are outside the observed range and have
+    /// zero cumulative mass.
     pub fn fraction_at(&self, power_w: f64) -> f64 {
+        if power_w < self.min_w {
+            return 0.0;
+        }
         match self.bins.iter().find(|(edge, _)| *edge >= power_w) {
             Some((_, frac)) => *frac,
             None => 1.0,
@@ -85,6 +166,38 @@ impl PowerCdf {
     }
 }
 
+/// One engine-evaluated `(SKU, class, P-state)` operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassPower {
+    pub sku: &'static str,
+    pub class: &'static str,
+    /// Requested P-state frequency, MHz.
+    pub freq_mhz: u32,
+    /// Applied (possibly EDC/PPT-throttled) frequency, MHz.
+    pub applied_mhz: f64,
+    /// Node power while the payload executes, W.
+    pub watts: f64,
+}
+
+/// The output of one fleet generation pass.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// All 60 s-mean node power samples, in node order.
+    pub samples: Vec<f64>,
+    /// Registry/engine cache counters for the run.
+    pub registry: RegistryStats,
+    /// The engine-evaluated operating points the samples composed from.
+    pub power_table: Vec<ClassPower>,
+}
+
+/// Per-node work item handed to the sweep.
+struct NodeItem {
+    sku_idx: usize,
+    /// Fleet-global node id (stable across thread counts).
+    node_id: u32,
+    samples: u32,
+}
+
 /// The fleet generator.
 #[derive(Debug, Clone)]
 pub struct FleetSim {
@@ -93,24 +206,120 @@ pub struct FleetSim {
 
 impl FleetSim {
     pub fn new(config: FleetConfig) -> FleetSim {
+        assert!(!config.groups.is_empty(), "fleet needs at least one group");
         FleetSim { config }
+    }
+
+    /// Generates every 60 s-mean sample plus the run's cache counters.
+    pub fn run(&self) -> FleetRun {
+        let cfg = &self.config;
+        let registry = EngineRegistry::with_seed(cfg.seed);
+        let classes = cfg.mix.classes();
+
+        // Engine-evaluate each (SKU, class, P-state) operating point
+        // once; the per-sample loop then only composes duty cycles.
+        // `table[sku][class][pstate]` is the payload's node power.
+        let mut idle_w: Vec<f64> = Vec::with_capacity(cfg.groups.len());
+        let mut table: Vec<Vec<Vec<f64>>> = Vec::with_capacity(cfg.groups.len());
+        let mut power_table: Vec<ClassPower> = Vec::new();
+        for group in &cfg.groups {
+            let engine = registry.engine(&group.sku);
+            idle_w.push(engine.idle_power_w());
+            let n_pstates = group.sku.pstates.states.len();
+            let mut rows = Vec::with_capacity(classes.len());
+            for (class, _) in classes {
+                let config = registry
+                    .config_for(&group.sku, class.spec)
+                    .unwrap_or_else(|e| panic!("{}: bad spec {}: {e}", class.name, class.spec));
+                let payload = engine.payload(&config);
+                let mut row = vec![f64::NAN; n_pstates];
+                for &p in class.pstates {
+                    assert!(
+                        p < n_pstates,
+                        "{}: P-state index {p} out of range for {}",
+                        class.name,
+                        group.sku.name
+                    );
+                    if row[p].is_nan() {
+                        let freq = group.sku.pstates.states[p].freq_mhz;
+                        let r = engine.eval(&payload, f64::from(freq));
+                        row[p] = r.power.total_w();
+                        power_table.push(ClassPower {
+                            sku: group.sku.name,
+                            class: class.name,
+                            freq_mhz: freq,
+                            applied_mhz: r.applied_mhz,
+                            watts: row[p],
+                        });
+                    }
+                }
+                rows.push(row);
+            }
+            table.push(rows);
+        }
+
+        // Flatten the fleet into per-node work items. Node ids are
+        // global and stable, so per-node RNG streams (and therefore
+        // the samples) do not depend on grouping or thread count.
+        let mut items: Vec<NodeItem> = Vec::with_capacity(cfg.total_nodes() as usize);
+        let mut node_id = 0u32;
+        for (sku_idx, group) in cfg.groups.iter().enumerate() {
+            let samples = group.samples_per_node.unwrap_or(cfg.samples_per_node);
+            for _ in 0..group.nodes {
+                items.push(NodeItem {
+                    sku_idx,
+                    node_id,
+                    samples,
+                });
+                node_id += 1;
+            }
+        }
+
+        let mix = &cfg.mix;
+        let cap = cfg.cap_w;
+        let seed = cfg.seed;
+        let idle_w = &idle_w;
+        let table = &table;
+        // Any engine can host the sweep; the workers only read the
+        // precomputed tables (the &Engine argument goes unused).
+        let driver = registry.engine(&cfg.groups[0].sku);
+        let per_node: Vec<Vec<f64>> = driver.sweep_hinted(
+            &items,
+            cfg.threads,
+            |_, item| u64::from(item.samples),
+            move |_, _, item| {
+                // Per-node RNG streams keep generation order-independent.
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (u64::from(item.node_id).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                let idle = idle_w[item.sku_idx];
+                let rows = &table[item.sku_idx];
+                let mut out = Vec::with_capacity(item.samples as usize);
+                for _ in 0..item.samples {
+                    let ci = mix.pick_idx(&mut rng);
+                    let class = &mix.classes()[ci].0;
+                    let duty = class.draw_duty(&mut rng);
+                    let pstate = class.draw_pstate(&mut rng);
+                    let load = rows[ci][pstate];
+                    debug_assert!(!load.is_nan());
+                    // The 60 s mean: duty-cycled payload power on top
+                    // of the idle floor, clamped at the facility cap.
+                    out.push((idle + duty * (load - idle)).min(cap));
+                }
+                out
+            },
+        );
+
+        FleetRun {
+            samples: per_node.into_iter().flatten().collect(),
+            registry: registry.stats(),
+            power_table,
+        }
     }
 
     /// Generates all 60 s-mean samples for the fleet.
     pub fn generate(&self) -> Vec<f64> {
-        let n = self.config.nodes as usize * self.config.samples_per_node as usize;
-        let mut out = Vec::with_capacity(n);
-        for node in 0..self.config.nodes {
-            // Per-node RNG streams keep generation order-independent.
-            let mut rng = StdRng::seed_from_u64(
-                self.config.seed ^ (u64::from(node).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            );
-            for _ in 0..self.config.samples_per_node {
-                let class = self.config.mix.pick(&mut rng);
-                out.push(class.sample(&mut rng));
-            }
-        }
-        out
+        self.run().samples
     }
 
     /// Full Fig. 1 pipeline: generate, bin at 0.1 W, return the CDF.
@@ -125,9 +334,8 @@ mod tests {
 
     fn small_fleet() -> FleetSim {
         FleetSim::new(FleetConfig {
-            nodes: 64,
             samples_per_node: 500,
-            ..FleetConfig::default()
+            ..FleetConfig::taurus_haswell_scaled(64)
         })
     }
 
@@ -178,11 +386,60 @@ mod tests {
     }
 
     #[test]
+    fn parallel_fleet_matches_serial_bitwise() {
+        let mut serial = small_fleet();
+        serial.config.threads = 1;
+        let mut parallel = small_fleet();
+        parallel.config.threads = 4;
+        assert_eq!(serial.generate(), parallel.generate());
+    }
+
+    #[test]
+    fn every_sample_traces_to_the_engine_registry() {
+        let run = small_fleet().run();
+        let s = run.registry;
+        // One engine per distinct SKU; one payload per (SKU, class).
+        assert_eq!(s.engines, 2);
+        assert_eq!(s.payload_misses, 10);
+        assert_eq!(s.payload_entries, 10);
+        // The five class specs parse once, registry-wide.
+        assert_eq!(s.spec_misses, 5);
+        assert!(s.spec_hits >= 5, "second SKU must reuse parses");
+        // The power table holds every evaluated operating point, and
+        // every sample lies between the idle floor and the cap.
+        assert!(!run.power_table.is_empty());
+        for row in &run.power_table {
+            assert!(row.watts > 80.0 && row.watts < 400.0, "{row:?}");
+        }
+        assert_eq!(run.samples.len(), small_fleet().config.total_samples());
+        for &p in &run.samples {
+            assert!((50.0..=359.9).contains(&p), "sample {p} out of range");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_skus_differ_in_power() {
+        // The two SKU slices must not produce identical operating
+        // points — heterogeneity has to be visible in the table.
+        let run = small_fleet().run();
+        let of = |sku: &str| -> Vec<f64> {
+            run.power_table
+                .iter()
+                .filter(|r| r.sku == sku)
+                .map(|r| r.watts)
+                .collect()
+        };
+        let a = of("Intel Xeon E5-2680 v3 (2S)");
+        let b = of("Intel Xeon E5-2695 v3 (2S)");
+        assert!(!a.is_empty() && !b.is_empty());
+        assert_ne!(a, b);
+    }
+
+    #[test]
     fn different_seeds_differ() {
         let mut cfg = FleetConfig {
-            nodes: 8,
             samples_per_node: 100,
-            ..FleetConfig::default()
+            ..FleetConfig::taurus_haswell_scaled(8)
         };
         let a = FleetSim::new(cfg.clone()).generate();
         cfg.seed = 123;
@@ -191,9 +448,43 @@ mod tests {
     }
 
     #[test]
+    fn per_group_sample_overrides_are_respected() {
+        let mut cfg = FleetConfig {
+            samples_per_node: 50,
+            threads: 3,
+            ..FleetConfig::taurus_haswell_scaled(9)
+        };
+        // Long-tailed fleet: the fat-node slice is sampled 10x longer.
+        cfg.groups[1].samples_per_node = Some(500);
+        let sim = FleetSim::new(cfg.clone());
+        assert_eq!(
+            sim.config.total_samples(),
+            8 * 50 + 500 // 8 thin nodes + 1 fat node
+        );
+        let run = sim.run();
+        assert_eq!(run.samples.len(), sim.config.total_samples());
+        // Still bitwise-identical to serial despite the hint reorder.
+        let mut serial_cfg = cfg;
+        serial_cfg.threads = 1;
+        assert_eq!(run.samples, FleetSim::new(serial_cfg).generate());
+    }
+
+    #[test]
     fn fraction_at_extremes() {
         let cdf = PowerCdf::from_samples(&[100.0, 200.0, 300.0], 0.1);
         assert_eq!(cdf.fraction_at(1000.0), 1.0);
         assert!(cdf.fraction_at(100.05) > 0.3);
+    }
+
+    #[test]
+    fn fraction_at_below_min_is_zero() {
+        // Regression: queries below the first bin used to return the
+        // first bin's cumulative mass (~0.33 here) instead of 0.
+        let cdf = PowerCdf::from_samples(&[100.0, 200.0, 300.0], 0.1);
+        assert_eq!(cdf.fraction_at(0.0), 0.0);
+        assert_eq!(cdf.fraction_at(99.9), 0.0);
+        assert_eq!(cdf.fraction_at(-5.0), 0.0);
+        // At or above the minimum, mass appears.
+        assert!(cdf.fraction_at(100.0) > 0.3);
     }
 }

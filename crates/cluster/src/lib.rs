@@ -7,14 +7,19 @@
 //! between 50 W and 100 W and a maximum of 359.9 W — the argument for why
 //! worst-case stress tests matter to infrastructure designers.
 //!
-//! The production trace is not available, so [`fleet`] generates a
-//! synthetic equivalent from a parameterized [`jobs::JobMix`]: per-node
-//! job episodes drawn from utilization classes whose power levels span
-//! idle to full stress. The CDF pipeline (60 s aggregation, 0.1 W
-//! binning) is identical to the paper's.
+//! The production trace is not available, so [`fleet`] *clones* the
+//! workload instead of fitting a distribution: every node owns a seat in
+//! a heterogeneous fleet whose SKUs share real `fs2_core::Engine`s
+//! through an `EngineRegistry`. Per 60 s sample, a [`jobs::JobClass`] is
+//! drawn from the [`jobs::JobMix`], its payload spec is evaluated through
+//! `Engine::eval` at a drawn P-state, and the sample power is the
+//! duty-cycled mix of that payload power and the node's idle floor. The
+//! CDF pipeline (60 s aggregation, 0.1 W binning) is identical to the
+//! paper's, and the fan-out over `Engine::sweep_hinted` is
+//! bitwise-identical to a serial pass.
 
 pub mod fleet;
 pub mod jobs;
 
-pub use fleet::{FleetConfig, FleetSim, PowerCdf};
+pub use fleet::{ClassPower, FleetConfig, FleetRun, FleetSim, NodeGroup, PowerCdf};
 pub use jobs::{JobClass, JobMix};

@@ -116,6 +116,18 @@ impl Engine {
         &self.sim
     }
 
+    /// The calibrated node power model (idle floor, workload power
+    /// composition) the engine evaluates against.
+    pub fn power_model(&self) -> &NodePowerModel {
+        &self.power_model
+    }
+
+    /// Node power with every core in its deepest idle state, watts —
+    /// the floor duty-cycled fleet workloads decay to.
+    pub fn idle_power_w(&self) -> f64 {
+        self.power_model.idle_power().total_w()
+    }
+
     /// Returns the payload for `config`, building it at most once.
     /// Cached payloads are deterministic: a hit hands back the same
     /// `machine_code` bytes a fresh [`build_payload`] would produce.
@@ -127,12 +139,23 @@ impl Engine {
         }
         // Build outside the lock: payload generation is the expensive
         // part, and concurrent sweep workers must not serialize on it.
-        // Two threads racing on the same key both build; the first insert
-        // wins and the loser's copy is dropped (results are identical).
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Threads racing on the same key all build, but only the one
+        // whose insert lands in the vacant entry counts the miss; losers
+        // drop their (identical) copy, take the winner's Arc, and count
+        // as late hits — so `misses` equals the number of distinct
+        // payloads ever built into the cache.
         let built = Arc::new(build_payload(&self.sku, config));
         let mut cache = self.cache.lock().expect("payload cache poisoned");
-        Arc::clone(cache.entry(key).or_insert(built))
+        match cache.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(e.get())
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(v.insert(built))
+            }
+        }
     }
 
     /// Payload config for a group string with the architecture-default
@@ -226,6 +249,54 @@ impl Engine {
         R: Send,
         F: Fn(&Engine, usize, &T) -> R + Sync,
     {
+        let order: Vec<usize> = (0..items.len()).collect();
+        self.sweep_ordered(items, threads, order, worker)
+    }
+
+    /// [`Engine::sweep`] with a per-item size hint (arbitrary cost
+    /// units, larger = longer). The work queue serves items in
+    /// descending hint order — longest-processing-time-first packing —
+    /// so a long NSGA-II tuning next to 10 s measurement runs no longer
+    /// strands the other workers behind it at the tail of the queue.
+    /// Results still land in input order, and because hints only
+    /// reorder *execution*, the result vector stays bitwise-identical
+    /// to [`Engine::sweep`] and to a serial pass.
+    pub fn sweep_hinted<T, R, F, H>(
+        &self,
+        items: &[T],
+        threads: usize,
+        size_hint: H,
+        worker: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&Engine, usize, &T) -> R + Sync,
+        H: Fn(usize, &T) -> u64,
+    {
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        // Stable sort: ties keep input order, so equal-cost sweeps
+        // behave exactly like the unhinted queue. Cached key: the
+        // caller's hint closure runs exactly once per item.
+        order.sort_by_cached_key(|&i| std::cmp::Reverse(size_hint(i, &items[i])));
+        self.sweep_ordered(items, threads, order, worker)
+    }
+
+    /// Shared sweep core: a claim-by-index queue over `order`, results
+    /// written to input-order slots.
+    fn sweep_ordered<T, R, F>(
+        &self,
+        items: &[T],
+        threads: usize,
+        order: Vec<usize>,
+        worker: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&Engine, usize, &T) -> R + Sync,
+    {
+        debug_assert_eq!(order.len(), items.len());
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -246,10 +317,11 @@ impl Engine {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= order.len() {
                         break;
                     }
+                    let i = order[k];
                     let r = worker(self, i, &items[i]);
                     *slots[i].lock().expect("sweep slot poisoned") = Some(r);
                 });
@@ -513,5 +585,85 @@ mod tests {
         let e = engine();
         assert!(e.payload_for_spec("L9_X:1").is_err());
         assert!(parse_groups("L9_X:1").is_err());
+    }
+
+    #[test]
+    fn many_threads_one_key_counts_one_miss() {
+        // Regression: concurrent misses on the same key used to count one
+        // miss *per builder*. With entry-based insertion exactly one
+        // thread counts the miss, losers count as hits, and every caller
+        // gets the winner's Arc — whatever the interleaving.
+        let e = engine();
+        let cfg = e.config_for_spec("REG:4,L1_L:2,L2_L:1").unwrap();
+        const N: usize = 16;
+        let barrier = std::sync::Barrier::new(N);
+        let payloads: Vec<Arc<Payload>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..N)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait(); // maximize same-key contention
+                        e.payload(&cfg)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let s = e.cache_stats();
+        assert_eq!(s.misses, 1, "racing builders must count one miss");
+        assert_eq!(s.hits, (N - 1) as u64);
+        assert_eq!(s.entries, 1);
+        let cached = e.payload(&cfg);
+        for p in &payloads {
+            assert!(
+                Arc::ptr_eq(p, &cached),
+                "every caller must observe the single cached Arc"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_handles_empty_items() {
+        let e = engine();
+        let items: [u32; 0] = [];
+        let out = e.sweep(&items, 4, |_, _, &x| x * 2);
+        assert!(out.is_empty());
+        let out = e.sweep_hinted(&items, 4, |_, _| 1, |_, _, &x| x * 2);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sweep_with_more_threads_than_items() {
+        let e = engine();
+        let items = [10u32, 20, 30];
+        let out = e.sweep(&items, 64, |_, i, &x| (i, x + 1));
+        assert_eq!(out, vec![(0, 11), (1, 21), (2, 31)]);
+    }
+
+    #[test]
+    fn sweep_zero_threads_on_single_item() {
+        // threads == 0 means "host parallelism"; with one item it must
+        // degrade to the serial path, not spawn an empty pool.
+        let e = engine();
+        let items = [7u64];
+        let out = e.sweep(&items, 0, |_, i, &x| x + i as u64);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn sweep_hinted_matches_unhinted_bitwise() {
+        let e = engine();
+        let items: Vec<usize> = (0..40).collect();
+        // Long-tailed costs: item 0 is the most expensive, descending.
+        let worker = |e: &Engine, i: usize, item: &usize| {
+            let cfg = e.config_for_spec("REG:2,L1_LS:1").unwrap();
+            let p = e.payload(&cfg);
+            let r = e.eval(&p, 1500.0);
+            (i, *item, r.power.total_w().to_bits())
+        };
+        let plain = e.sweep(&items, 4, worker);
+        let hinted = e.sweep_hinted(&items, 4, |i, _| (items.len() - i) as u64, worker);
+        let serial = e.sweep(&items, 1, worker);
+        assert_eq!(plain, hinted);
+        assert_eq!(hinted, serial);
     }
 }

@@ -23,6 +23,10 @@
 //!   measurement [`Session`]s, evaluates traceless sweeps, and fans
 //!   work queues out over threads ([`Engine::sweep`]). The CLI, the
 //!   fig/table experiments and the NSGA-II loop all route through it.
+//! * [`registry`] — the cross-SKU layer above the engines: an
+//!   [`EngineRegistry`] owns one [`Engine`] per SKU and shares group
+//!   parsing and unroll derivation across them, feeding heterogeneous
+//!   sweeps (the cluster fleet) from one set of caches.
 //! * [`autotune`] — the §III-C optimization loop wiring NSGA-II to the
 //!   runner and metrics, gap-free between candidates (Fig. 7).
 //! * [`legacy`] — FIRESTARTER 1.x behaviour: fixed per-SKU workloads, the
@@ -37,6 +41,7 @@ pub mod legacy;
 pub mod mix;
 pub mod paracheck;
 pub mod payload;
+pub mod registry;
 pub mod runner;
 
 pub use autotune::{AutoTuner, TuneConfig, TuneResult};
@@ -46,4 +51,5 @@ pub use groups::{parse_groups, AccessGroup, GroupParseError, Pattern, Target};
 pub use mix::{InstructionMix, MixRegistry};
 pub use paracheck::{check_all_cores, CheckReport, InjectedFault};
 pub use payload::{default_unroll, Payload, PayloadConfig};
+pub use registry::{EngineRegistry, RegistryStats};
 pub use runner::{RunConfig, RunResult, Runner};

@@ -1,0 +1,302 @@
+//! Cross-SKU engine registry.
+//!
+//! [`Engine`]s are per-SKU, and so are their payload caches. A sweep
+//! over heterogeneous hardware — the cluster fleet, `--cpu` comparison
+//! runs — therefore used to re-parse every group string and re-derive
+//! every unroll factor once per SKU. An [`EngineRegistry`] owns one
+//! engine per SKU and hoists the SKU-independent work into shared
+//! caches:
+//!
+//! * **group parsing**: an access-group spec (`"REG:4,L1_L:2,L2_L:1"`)
+//!   parses to the same `Vec<AccessGroup>` on every SKU, so the parse
+//!   is memoized once registry-wide;
+//! * **unroll derivation**: [`default_unroll`] depends on the SKU's
+//!   L1I/µop-cache geometry and the mix, so it is memoized per
+//!   `(SKU, spec)` — each engine still gets its own value, but repeat
+//!   lookups (every fleet node of one SKU) are a map hit.
+//!
+//! The registry is `Sync` like the engines it owns: fleet sweep workers
+//! on different threads share one registry, and [`RegistryStats`]
+//! aggregates every layer's hit/miss counters for benchmark reports.
+
+use crate::engine::Engine;
+use crate::groups::{parse_groups, AccessGroup, GroupParseError};
+use crate::mix::MixRegistry;
+use crate::payload::{default_unroll, PayloadConfig};
+use fs2_arch::Sku;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters aggregated across the registry and all of its engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegistryStats {
+    /// Engines currently registered (distinct SKUs).
+    pub engines: usize,
+    /// Payload-cache hits summed over all engines.
+    pub payload_hits: u64,
+    /// Payload-cache misses summed over all engines.
+    pub payload_misses: u64,
+    /// Distinct payloads cached, summed over all engines.
+    pub payload_entries: usize,
+    /// Group-spec parses answered from the shared cache.
+    pub spec_hits: u64,
+    /// Group-spec parses that ran the parser.
+    pub spec_misses: u64,
+    /// Unroll derivations answered from the shared cache.
+    pub unroll_hits: u64,
+    /// Unroll derivations computed fresh.
+    pub unroll_misses: u64,
+}
+
+/// One engine per SKU plus the shared spec/unroll caches.
+pub struct EngineRegistry {
+    /// Keyed by `Sku::name`; a linear scan over a handful of SKUs beats
+    /// hashing the whole `Sku` struct.
+    engines: Mutex<Vec<(&'static str, Arc<Engine>)>>,
+    specs: Mutex<HashMap<String, Arc<Vec<AccessGroup>>>>,
+    unrolls: Mutex<HashMap<(&'static str, String), u32>>,
+    spec_hits: AtomicU64,
+    spec_misses: AtomicU64,
+    unroll_hits: AtomicU64,
+    unroll_misses: AtomicU64,
+    seed: u64,
+}
+
+impl EngineRegistry {
+    /// Registry whose engines get the default session seed.
+    pub fn new() -> EngineRegistry {
+        EngineRegistry::with_seed(0xF12E_57A2)
+    }
+
+    /// Registry whose engines are created with `seed`.
+    pub fn with_seed(seed: u64) -> EngineRegistry {
+        EngineRegistry {
+            engines: Mutex::new(Vec::new()),
+            specs: Mutex::new(HashMap::new()),
+            unrolls: Mutex::new(HashMap::new()),
+            spec_hits: AtomicU64::new(0),
+            spec_misses: AtomicU64::new(0),
+            unroll_hits: AtomicU64::new(0),
+            unroll_misses: AtomicU64::new(0),
+            seed,
+        }
+    }
+
+    /// The engine for `sku`, created on first request. Two SKUs are the
+    /// same engine iff they share a `name` (the database treats the
+    /// name as the node identity).
+    pub fn engine(&self, sku: &Sku) -> Arc<Engine> {
+        {
+            let engines = self.engines.lock().expect("engine registry poisoned");
+            if let Some((_, e)) = engines.iter().find(|(name, _)| *name == sku.name) {
+                return Arc::clone(e);
+            }
+        }
+        // Build outside the lock (simulator + power-model construction
+        // is not free); like the other caches, a same-SKU race keeps
+        // the first insert and drops the loser's engine.
+        let engine = Arc::new(Engine::with_seed(sku.clone(), self.seed));
+        let mut engines = self.engines.lock().expect("engine registry poisoned");
+        if let Some((_, e)) = engines.iter().find(|(name, _)| *name == sku.name) {
+            return Arc::clone(e);
+        }
+        engines.push((sku.name, Arc::clone(&engine)));
+        engine
+    }
+
+    /// Parses an access-group spec through the shared cache. Specs are
+    /// SKU-independent, so one parse serves every engine.
+    pub fn groups(&self, spec: &str) -> Result<Arc<Vec<AccessGroup>>, GroupParseError> {
+        if let Some(g) = self.specs.lock().expect("spec cache poisoned").get(spec) {
+            self.spec_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(g));
+        }
+        // Parse outside the lock; like the payload cache, losers of a
+        // same-spec race adopt the first insert.
+        let parsed = Arc::new(parse_groups(spec)?);
+        let mut specs = self.specs.lock().expect("spec cache poisoned");
+        match specs.entry(spec.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.spec_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::clone(e.get()))
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.spec_misses.fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::clone(v.insert(parsed)))
+            }
+        }
+    }
+
+    /// The architecture-default unroll for `spec` on `sku`, memoized per
+    /// `(SKU, spec)`. Uses the SKU's default instruction mix (the same
+    /// choice [`Engine::config_for_spec`] makes).
+    pub fn unroll_for(&self, sku: &Sku, spec: &str) -> Result<u32, GroupParseError> {
+        let groups = self.groups(spec)?;
+        Ok(self.unroll_for_groups(sku, spec, &groups, MixRegistry::default_for(sku.uarch)))
+    }
+
+    /// Memoized unroll derivation for already-parsed groups — the
+    /// single lookup path shared by [`EngineRegistry::unroll_for`] and
+    /// [`EngineRegistry::config_for`], so neither re-fetches the spec
+    /// (which would skew the spec hit counter with internal requests).
+    fn unroll_for_groups(
+        &self,
+        sku: &Sku,
+        spec: &str,
+        groups: &[AccessGroup],
+        mix: crate::mix::InstructionMix,
+    ) -> u32 {
+        let key = (sku.name, spec.to_string());
+        if let Some(&u) = self
+            .unrolls
+            .lock()
+            .expect("unroll cache poisoned")
+            .get(&key)
+        {
+            self.unroll_hits.fetch_add(1, Ordering::Relaxed);
+            return u;
+        }
+        let u = default_unroll(sku, mix, groups);
+        let mut unrolls = self.unrolls.lock().expect("unroll cache poisoned");
+        match unrolls.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.unroll_hits.fetch_add(1, Ordering::Relaxed);
+                *e.get()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.unroll_misses.fetch_add(1, Ordering::Relaxed);
+                *v.insert(u)
+            }
+        }
+    }
+
+    /// Payload config for `spec` on `sku` (default mix, cached groups,
+    /// cached unroll) — the registry-shared equivalent of
+    /// [`Engine::config_for_spec`]. One spec lookup per call.
+    pub fn config_for(&self, sku: &Sku, spec: &str) -> Result<PayloadConfig, GroupParseError> {
+        let groups = self.groups(spec)?;
+        let mix = MixRegistry::default_for(sku.uarch);
+        let unroll = self.unroll_for_groups(sku, spec, &groups, mix);
+        Ok(PayloadConfig {
+            mix,
+            groups: groups.as_ref().clone(),
+            unroll,
+        })
+    }
+
+    /// Cached payload for `spec` on `sku`'s engine.
+    pub fn payload_for(
+        &self,
+        sku: &Sku,
+        spec: &str,
+    ) -> Result<Arc<crate::payload::Payload>, GroupParseError> {
+        let config = self.config_for(sku, spec)?;
+        Ok(self.engine(sku).payload(&config))
+    }
+
+    /// Aggregated counters across the registry and all engines.
+    pub fn stats(&self) -> RegistryStats {
+        let engines = self.engines.lock().expect("engine registry poisoned");
+        let mut s = RegistryStats {
+            engines: engines.len(),
+            spec_hits: self.spec_hits.load(Ordering::Relaxed),
+            spec_misses: self.spec_misses.load(Ordering::Relaxed),
+            unroll_hits: self.unroll_hits.load(Ordering::Relaxed),
+            unroll_misses: self.unroll_misses.load(Ordering::Relaxed),
+            ..RegistryStats::default()
+        };
+        for (_, e) in engines.iter() {
+            let c = e.cache_stats();
+            s.payload_hits += c.hits;
+            s.payload_misses += c.misses;
+            s.payload_entries += c.entries;
+        }
+        s
+    }
+}
+
+impl Default for EngineRegistry {
+    fn default() -> EngineRegistry {
+        EngineRegistry::new()
+    }
+}
+
+impl std::fmt::Debug for EngineRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineRegistry")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_engine_per_sku_name() {
+        let reg = EngineRegistry::new();
+        let a = reg.engine(&Sku::amd_epyc_7502());
+        let b = reg.engine(&Sku::amd_epyc_7502());
+        let c = reg.engine(&Sku::intel_xeon_e5_2680_v3());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(reg.stats().engines, 2);
+    }
+
+    #[test]
+    fn spec_parse_is_shared_across_skus() {
+        let reg = EngineRegistry::new();
+        let spec = "REG:4,L1_L:2,L2_L:1";
+        let rome = reg.config_for(&Sku::amd_epyc_7502(), spec).unwrap();
+        let haswell = reg.config_for(&Sku::intel_xeon_e5_2680_v3(), spec).unwrap();
+        // Groups identical, parsed once; unroll derived per SKU.
+        assert_eq!(rome.groups, haswell.groups);
+        let s = reg.stats();
+        assert_eq!(s.spec_misses, 1, "one parse serves both SKUs");
+        assert!(s.spec_hits >= 1);
+        assert_eq!(s.unroll_misses, 2, "unroll is per-SKU");
+    }
+
+    #[test]
+    fn unroll_matches_engine_derivation() {
+        let reg = EngineRegistry::new();
+        let sku = Sku::intel_xeon_e5_2680_v3();
+        let spec = "REG:2,L1_LS:1,RAM_P:1";
+        let via_registry = reg.config_for(&sku, spec).unwrap();
+        let via_engine = Engine::new(sku.clone()).config_for_spec(spec).unwrap();
+        assert_eq!(via_registry.unroll, via_engine.unroll);
+        assert_eq!(via_registry.groups, via_engine.groups);
+        assert_eq!(via_registry.mix.kind, via_engine.mix.kind);
+        // Second lookup is a pure cache hit.
+        let before = reg.stats();
+        let _ = reg.config_for(&sku, spec).unwrap();
+        let after = reg.stats();
+        assert_eq!(after.spec_misses, before.spec_misses);
+        assert_eq!(after.unroll_misses, before.unroll_misses);
+        assert!(after.unroll_hits > before.unroll_hits);
+    }
+
+    #[test]
+    fn payload_for_lands_in_the_right_engine_cache() {
+        let reg = EngineRegistry::new();
+        let sku = Sku::amd_epyc_7502();
+        let p1 = reg.payload_for(&sku, "REG:1").unwrap();
+        let p2 = reg.payload_for(&sku, "REG:1").unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let s = reg.stats();
+        assert_eq!(s.payload_misses, 1);
+        assert_eq!(s.payload_hits, 1);
+        assert_eq!(s.payload_entries, 1);
+    }
+
+    #[test]
+    fn bad_spec_is_not_cached() {
+        let reg = EngineRegistry::new();
+        assert!(reg.groups("L9_X:1").is_err());
+        assert!(reg.groups("L9_X:1").is_err());
+        let s = reg.stats();
+        assert_eq!(s.spec_hits + s.spec_misses, 0, "errors must not count");
+    }
+}

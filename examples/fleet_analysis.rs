@@ -1,20 +1,36 @@
-//! The Fig. 1 pipeline: simulate a year of 612 Haswell nodes and print
-//! the cumulative power distribution — the motivation for stress tests.
+//! The Fig. 1 pipeline: simulate a year of the 612-node Haswell fleet
+//! through real per-node engines and print the cumulative power
+//! distribution — the motivation for stress tests.
 //!
 //! ```sh
 //! cargo run --example fleet_analysis
 //! ```
 
-use firestarter2::cluster::{FleetConfig, FleetSim};
+use firestarter2::cluster::{FleetConfig, FleetSim, PowerCdf};
 
 fn main() {
     let fleet = FleetSim::new(FleetConfig::default());
-    let cdf = fleet.power_cdf();
+    let run = fleet.run();
+    let cdf = PowerCdf::from_samples(&run.samples, 0.1);
 
     println!(
         "{} nodes x {} sixty-second means = {} samples",
-        fleet.config.nodes, fleet.config.samples_per_node, cdf.samples
+        fleet.config.total_nodes(),
+        fleet.config.samples_per_node,
+        cdf.samples
     );
+    println!(
+        "engine-backed: {} engines, {} payloads, {} operating points:",
+        run.registry.engines,
+        run.registry.payload_misses,
+        run.power_table.len()
+    );
+    for row in &run.power_table {
+        println!(
+            "  {:<28} {:<7} {:>4} MHz (applied {:>4.0}) -> {:6.1} W",
+            row.sku, row.class, row.freq_mhz, row.applied_mhz, row.watts
+        );
+    }
     println!("power range: {:.1} W .. {:.1} W", cdf.min_w, cdf.max_w);
     println!("\n  power [W]   cumulative fraction");
     for w in [60.0, 80.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 359.9] {

@@ -34,6 +34,7 @@ enum Action {
     ListMetrics,
     Measure,
     Optimize,
+    Fleet,
 }
 
 /// Parsed configuration.
@@ -59,8 +60,16 @@ pub struct CliConfig {
     nsga2_m: f64,
     preheat_s: f64,
     optimization_metrics: String,
-    seed: u64,
+    /// `None` keeps each action's own default (measurement seed for
+    /// Measure/Optimize, the Fig. 1 fleet seed for Fleet).
+    seed: Option<u64>,
+    nodes: u32,
+    samples_per_node: u32,
+    threads: usize,
 }
+
+/// Default RNG seed for Measure/Optimize runs.
+const DEFAULT_SEED: u64 = 0xF12E_57A2;
 
 impl Default for CliConfig {
     fn default() -> CliConfig {
@@ -85,7 +94,10 @@ impl Default for CliConfig {
             nsga2_m: 0.35,
             preheat_s: 240.0,
             optimization_metrics: "sysfs-powercap-rapl,perf-ipc".to_string(),
-            seed: 0xF12E_57A2,
+            seed: None,
+            nodes: 612,
+            samples_per_node: 2000,
+            threads: 0,
         }
     }
 }
@@ -116,6 +128,13 @@ MEASUREMENT
 GPUS
   --gpus N                        attach N simulated Tesla K80 cards
   --gpu-init {device|host}        matrix initialization strategy
+
+FLEET (Fig. 1)
+  --fleet                         simulate the Taurus Haswell fleet CDF
+                                  through real per-node engines
+  --nodes N                       fleet size (default 612, mixed SKUs)
+  --samples-per-node N            60 s means per node (default 2000)
+  --threads N                     sweep threads (default 0 = all cores)
 
 OPTIMIZATION (§III-C)
   --optimize=NSGA2                run the self-tuning loop
@@ -156,6 +175,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
             "-h" | "--help" => cfg.action = Action::Help,
             "-a" | "--avail" => cfg.action = Action::Avail,
             "--list-metrics" => cfg.action = Action::ListMetrics,
+            "--fleet" => cfg.action = Action::Fleet,
             "--measurement" => cfg.measurement = true,
             "--dump-registers" => cfg.dump_registers = true,
             "--error-detection" => cfg.error_detection = true,
@@ -229,6 +249,16 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
                 opt!("--metric-path", cfg.optimization_metrics, id);
                 opt!("--seed", cfg.seed, |v: &String| v
                     .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| ()));
+                opt!("--nodes", cfg.nodes, |v: &String| v
+                    .parse::<u32>()
+                    .map_err(|_| ()));
+                opt!("--samples-per-node", cfg.samples_per_node, |v: &String| v
+                    .parse::<u32>()
+                    .map_err(|_| ()));
+                opt!("--threads", cfg.threads, |v: &String| v
+                    .parse::<usize>()
                     .map_err(|_| ()));
                 if !matched {
                     return Err(err(format!("unknown argument `{a}` (see --help)")));
@@ -240,6 +270,12 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
     // tripping the payload builder's assert.
     if cfg.line_count == Some(0) {
         return Err(err("--set-line-count must be at least 1"));
+    }
+    if cfg.nodes == 0 {
+        return Err(err("--nodes must be at least 1"));
+    }
+    if cfg.samples_per_node == 0 {
+        return Err(err("--samples-per-node must be at least 1"));
     }
     Ok(cfg)
 }
@@ -285,7 +321,59 @@ Available metrics:
         .to_string()),
         Action::Measure => run_measure(cfg),
         Action::Optimize => run_optimize(cfg),
+        Action::Fleet => run_fleet(cfg),
     }
+}
+
+fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
+    use fs2_cluster::{FleetConfig, FleetSim, PowerCdf};
+
+    let mut fleet_cfg = FleetConfig::taurus_haswell_scaled(cfg.nodes);
+    fleet_cfg.samples_per_node = cfg.samples_per_node;
+    fleet_cfg.threads = cfg.threads;
+    // Without an explicit --seed the CLI matches the fig01/example
+    // pipeline exactly (FleetConfig's own Fig. 1 seed).
+    if let Some(seed) = cfg.seed {
+        fleet_cfg.seed = seed;
+    }
+    let sim = FleetSim::new(fleet_cfg);
+    let run = sim.run();
+    let cdf = PowerCdf::from_samples(&run.samples, 0.1);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "FIRESTARTER 2 reproduction — fleet of {} nodes ({} SKU groups)\n",
+        sim.config.total_nodes(),
+        sim.config.groups.len()
+    ));
+    for group in &sim.config.groups {
+        out.push_str(&format!("  {:>4} x {}\n", group.nodes, group.sku.name));
+    }
+    out.push_str(&format!(
+        "  {} 60 s-mean samples via {} engines: {} payloads built, {} operating points\n",
+        cdf.samples,
+        run.registry.engines,
+        run.registry.payload_misses,
+        run.power_table.len()
+    ));
+    out.push_str(&format!(
+        "  range {:.1} .. {:.1} W; {:.1} % at or below 100 W; median {:.1} W, p95 {:.1} W\n",
+        cdf.min_w,
+        cdf.max_w,
+        cdf.fraction_at(100.0) * 100.0,
+        cdf.quantile(0.5),
+        cdf.quantile(0.95)
+    ));
+    let mut csv = CsvWriter::new();
+    csv.header(&["power_w", "cumulative_fraction"]);
+    for w in (40..=360).step_by(20) {
+        csv.row(&[
+            format!("{w}"),
+            format!("{:.4}", cdf.fraction_at(f64::from(w))),
+        ]);
+    }
+    out.push_str(csv.as_str());
+    Ok(out)
 }
 
 fn workload_from_cli(cfg: &CliConfig, sku: &Sku) -> Result<PayloadConfig, CliError> {
@@ -339,7 +427,7 @@ fn run_measure(cfg: &CliConfig) -> Result<String, CliError> {
     let sku = sku_for(cfg)?;
     let workload = workload_from_cli(cfg, &sku)?;
     let external_w = gpu_power(cfg, cfg.timeout_s)?;
-    let engine = Engine::with_seed(sku, cfg.seed);
+    let engine = Engine::with_seed(sku, cfg.seed.unwrap_or(DEFAULT_SEED));
     let payload = engine.payload(&workload);
     let run_cfg = RunConfig {
         freq_mhz: cfg.freq_mhz,
@@ -422,14 +510,15 @@ fn run_optimize(cfg: &CliConfig) -> Result<String, CliError> {
             .ok_or_else(|| err(format!("unknown function `{name}`")))?,
         None => MixRegistry::default_for(sku.uarch),
     };
-    let engine = Engine::with_seed(sku, cfg.seed);
+    let seed = cfg.seed.unwrap_or(DEFAULT_SEED);
+    let engine = Engine::with_seed(sku, seed);
     let tune_cfg = TuneConfig {
         nsga2: Nsga2Config {
             individuals: cfg.individuals,
             generations: cfg.generations,
             mutation_prob: cfg.nsga2_m,
             crossover_prob: 0.9,
-            seed: cfg.seed,
+            seed,
         },
         test_duration_s: cfg.timeout_s,
         preheat_s: cfg.preheat_s,
@@ -567,6 +656,41 @@ mod tests {
     }
 
     #[test]
+    fn fleet_action_reports_engine_backed_cdf() {
+        let out = run(&args("--fleet --nodes 12 --samples-per-node 60 --seed 11")).unwrap();
+        assert!(out.contains("fleet of 12 nodes"));
+        assert!(out.contains("E5-2680 v3"));
+        assert!(out.contains("E5-2695 v3"), "fleet must mix SKUs: {out}");
+        assert!(out.contains("payloads built"));
+        assert!(out.contains("power_w,cumulative_fraction"));
+    }
+
+    #[test]
+    fn fleet_default_seed_matches_fig1_pipeline() {
+        // Without --seed the CLI must reproduce the fig01/example CDF
+        // (FleetConfig's 0xF1EE7), not the measurement default.
+        let implicit = run(&args("--fleet --nodes 12 --samples-per-node 60")).unwrap();
+        let explicit = run(&args(&format!(
+            "--fleet --nodes 12 --samples-per-node 60 --seed {}",
+            0xF1EE7u64
+        )))
+        .unwrap();
+        assert_eq!(implicit, explicit);
+    }
+
+    #[test]
+    fn fleet_action_is_deterministic_per_seed() {
+        let a = run(&args("--fleet --nodes 8 --samples-per-node 40 --seed 5")).unwrap();
+        let b = run(&args(
+            "--fleet --nodes 8 --samples-per-node 40 --seed 5 --threads 3",
+        ))
+        .unwrap();
+        assert_eq!(a, b, "thread count must not change the CDF");
+        let c = run(&args("--fleet --nodes 8 --samples-per-node 40 --seed 6")).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
     fn bad_arguments_are_rejected() {
         assert!(run(&args("--nonsense")).is_err());
         assert!(run(&args("--cpu mars")).is_err());
@@ -578,6 +702,8 @@ mod tests {
         assert!(run(&args("--set-line-count 0")).is_err());
         assert!(run(&args("--optimize=NSGA2 --set-line-count 0")).is_err());
         assert!(run(&args("-t")).is_err());
+        assert!(run(&args("--fleet --nodes 0")).is_err());
+        assert!(run(&args("--fleet --samples-per-node 0")).is_err());
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod prelude {
     pub use fs2_core::legacy::{LegacyWorkload, Version};
     pub use fs2_core::mix::{InstructionMix, MixRegistry};
     pub use fs2_core::payload::{build_payload, default_unroll, Payload, PayloadConfig};
+    pub use fs2_core::registry::{EngineRegistry, RegistryStats};
     pub use fs2_core::runner::{RunConfig, RunResult, Runner};
     pub use fs2_gpu::{GpuStress, InitStrategy};
     pub use fs2_metrics::{CsvWriter, Summary, TimeSeries};
