@@ -11,7 +11,7 @@
 //! ```
 
 use fs2_bench::timing::median_ms;
-use fs2_cluster::{FleetConfig, FleetSim};
+use fs2_cluster::{FleetConfig, FleetSim, TemporalMode};
 use std::fmt::Write as _;
 use std::hint::black_box;
 
@@ -61,6 +61,35 @@ fn main() {
     let speedup = serial_ms / parallel_ms;
     let s = base.registry;
 
+    // Episode mode over the same fleet: timing plus the temporal
+    // statistics (the autocorrelation an i.i.d. sampler cannot have),
+    // gated on the usual serial/parallel determinism check.
+    let ep_serial = {
+        let mut c = cfg.clone();
+        c.temporal = TemporalMode::Episodes;
+        c.threads = 1;
+        FleetSim::new(c)
+    };
+    let ep_parallel = {
+        let mut c = cfg.clone();
+        c.temporal = TemporalMode::Episodes;
+        c.threads = 0;
+        FleetSim::new(c)
+    };
+    let ep_base = ep_serial.run();
+    assert_eq!(
+        ep_base.samples,
+        ep_parallel.generate(),
+        "parallel episode fleet diverges from serial"
+    );
+    let ep_serial_ms = time_ms(|| {
+        black_box(ep_serial.generate());
+    });
+    let ep_parallel_ms = time_ms(|| {
+        black_box(ep_parallel.generate());
+    });
+    let ep_stats = ep_base.episodes.expect("episode stats");
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"engine-backed fleet generation (hinted sweep)\",\n");
@@ -82,9 +111,35 @@ fn main() {
     }
     json.push_str("  \"cases_ms\": {\n");
     let _ = writeln!(json, "    \"fleet_generate_serial\": {serial_ms:.2},");
-    let _ = writeln!(json, "    \"fleet_generate_parallel\": {parallel_ms:.2}");
+    let _ = writeln!(json, "    \"fleet_generate_parallel\": {parallel_ms:.2},");
+    let _ = writeln!(json, "    \"fleet_episodes_serial\": {ep_serial_ms:.2},");
+    let _ = writeln!(json, "    \"fleet_episodes_parallel\": {ep_parallel_ms:.2}");
     json.push_str("  },\n");
     let _ = writeln!(json, "  \"speedup_parallel_vs_serial\": {speedup:.2},");
+    json.push_str("  \"episodes\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"lag1_autocorr\": {:.4},",
+        ep_stats.lag1_autocorr
+    );
+    let _ = writeln!(
+        json,
+        "    \"floor_time_share\": {:.4},",
+        ep_stats.empirical_shares[0]
+    );
+    json.push_str("    \"mean_dwell_ticks\": {\n");
+    let n_states = ep_stats.states.len();
+    for (i, (state, d)) in ep_stats
+        .states
+        .iter()
+        .zip(&ep_stats.mean_dwell_ticks)
+        .enumerate()
+    {
+        let comma = if i + 1 < n_states { "," } else { "" };
+        let _ = writeln!(json, "      \"{state}\": {d:.1}{comma}");
+    }
+    json.push_str("    }\n");
+    json.push_str("  },\n");
     json.push_str("  \"registry\": {\n");
     let _ = writeln!(json, "    \"engines\": {},", s.engines);
     let _ = writeln!(json, "    \"payload_hits\": {},", s.payload_hits);
@@ -93,7 +148,8 @@ fn main() {
     let _ = writeln!(json, "    \"spec_hits\": {},", s.spec_hits);
     let _ = writeln!(json, "    \"spec_misses\": {},", s.spec_misses);
     let _ = writeln!(json, "    \"unroll_hits\": {},", s.unroll_hits);
-    let _ = writeln!(json, "    \"unroll_misses\": {}", s.unroll_misses);
+    let _ = writeln!(json, "    \"unroll_misses\": {},", s.unroll_misses);
+    let _ = writeln!(json, "    \"evals\": {}", s.evals);
     json.push_str("  }\n");
     json.push_str("}\n");
 
@@ -111,8 +167,14 @@ fn main() {
         println!("(single-threaded host: speedup is not a packing measurement)");
     }
     println!(
-        "registry: {} engines, payloads {} built / {} hits, specs {} parsed / {} hits",
-        s.engines, s.payload_misses, s.payload_hits, s.spec_misses, s.spec_hits
+        "episodes: {ep_serial_ms:.2} ms serial / {ep_parallel_ms:.2} ms parallel, \
+         lag-1 autocorr {:.3}, floor share {:.1}%",
+        ep_stats.lag1_autocorr,
+        ep_stats.empirical_shares[0] * 100.0
+    );
+    println!(
+        "registry: {} engines, payloads {} built / {} hits, specs {} parsed / {} hits, {} evals",
+        s.engines, s.payload_misses, s.payload_hits, s.spec_misses, s.spec_hits, s.evals
     );
 
     std::fs::write(&out_path, json).expect("write benchmark baseline");

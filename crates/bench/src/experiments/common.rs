@@ -89,16 +89,24 @@ pub fn optimize_rung(
         .filter(|groups| !groups.is_empty())
         .collect();
 
-    let evaluated = engine.sweep(&candidates, 0, |engine, _, groups| {
-        let mix = MixRegistry::default_for(engine.sku().uarch);
-        let unroll = default_unroll(engine.sku(), mix, groups);
-        let payload = engine.payload(&PayloadConfig {
-            mix,
-            groups: groups.clone(),
-            unroll,
-        });
-        engine.eval(&payload, freq_mhz)
-    });
+    let evaluated = engine.sweep_hinted(
+        &candidates,
+        0,
+        // Known per-candidate cost: payload generation dominates a
+        // cache-miss evaluation and scales with the total access
+        // count, so dense grids queue ahead of the trivial ones.
+        |_, groups| groups.iter().map(|g| u64::from(g.count)).sum(),
+        |engine, _, groups| {
+            let mix = MixRegistry::default_for(engine.sku().uarch);
+            let unroll = default_unroll(engine.sku(), mix, groups);
+            let payload = engine.payload(&PayloadConfig {
+                mix,
+                groups: groups.clone(),
+                unroll,
+            });
+            engine.eval(&payload, freq_mhz)
+        },
+    );
 
     // Deterministic selection: strict improvement, first index wins ties
     // (identical to the previous serial loop).
@@ -159,6 +167,44 @@ mod tests {
         let p = payload_for(&engine, "REG:1");
         let r = direct_eval(&engine, &p, 1500.0);
         assert!((180.0..280.0).contains(&r.power.total_w()));
+    }
+
+    #[test]
+    fn hinted_experiment_queue_matches_unhinted_bitwise() {
+        // Regression for the duration-hint wiring: the experiment
+        // worker shape (cached payload + traceless eval) must return
+        // identical results through the hinted queue, the unhinted
+        // queue and a serial pass.
+        let engine = engine_for(Sku::amd_epyc_7502());
+        let candidates: Vec<Vec<AccessGroup>> = [
+            "REG:1",
+            "REG:4,L1_L:2",
+            "REG:4,L1_2LS:2,L2_LS:1",
+            "REG:8,L1_2LS:4,L2_LS:1,L3_LS:1,RAM_LS:1",
+            "REG:2,RAM_LS:2",
+            "REG:30,L1_2LS:16,L2_LS:1,L3_LS:1,RAM_LS:1",
+        ]
+        .iter()
+        .map(|s| parse_groups(s).unwrap())
+        .collect();
+        let worker = |engine: &Engine, _: usize, groups: &Vec<AccessGroup>| {
+            let mix = MixRegistry::default_for(engine.sku().uarch);
+            let unroll = default_unroll(engine.sku(), mix, groups);
+            let payload = engine.payload(&PayloadConfig {
+                mix,
+                groups: groups.clone(),
+                unroll,
+            });
+            let r = engine.eval(&payload, 1500.0);
+            (r.power.total_w().to_bits(), r.applied_mhz.to_bits())
+        };
+        let hint =
+            |_: usize, groups: &Vec<AccessGroup>| groups.iter().map(|g| u64::from(g.count)).sum();
+        let serial = engine.sweep(&candidates, 1, worker);
+        let unhinted = engine.sweep(&candidates, 4, worker);
+        let hinted = engine.sweep_hinted(&candidates, 4, hint, worker);
+        assert_eq!(hinted, unhinted, "hinted queue changed results");
+        assert_eq!(hinted, serial, "parallel queue diverged from serial");
     }
 
     #[test]

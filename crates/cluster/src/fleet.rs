@@ -6,9 +6,17 @@
 //! the [`JobMix`], a duty cycle and a P-state, and its mean power is
 //! composed from engine-evaluated payload power and the node's idle
 //! floor — the workload-cloning pipeline, not distribution fitting.
+//!
+//! Two temporal modes share those operating points
+//! ([`TemporalMode`]): the historical i.i.d. per-node-minute sampler
+//! (the byte-stable Fig. 1 default) and the Markov episode model of
+//! [`crate::episodes`], which adds dwell times, ramps and hand-backs
+//! to the idle floor — the time correlation real traces show.
 //! Generation fans out over [`fs2_core::Engine::sweep_hinted`] with
-//! per-node size hints and is bitwise-identical to a serial pass.
+//! per-node size hints and is bitwise-identical to a serial pass in
+//! either mode.
 
+use crate::episodes::{EpisodeModel, EpisodeWalk};
 use crate::jobs::JobMix;
 use fs2_core::{EngineRegistry, RegistryStats};
 use rand::rngs::StdRng;
@@ -25,6 +33,19 @@ pub struct NodeGroup {
     pub samples_per_node: Option<u32>,
 }
 
+/// How consecutive 60 s samples of one node relate to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TemporalMode {
+    /// Independent draws per node-minute (the original Fig. 1
+    /// pipeline; the default, byte-stable across releases).
+    #[default]
+    Iid,
+    /// Markov job episodes over the same operating points: geometric
+    /// dwell times, ramp-in profiles, explicit idle-floor hand-backs
+    /// (see [`FleetConfig::episodes`]).
+    Episodes,
+}
+
 /// Fleet parameters (Fig. 1: 612 nodes, one year, 60 s means).
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -34,12 +55,24 @@ pub struct FleetConfig {
     /// 525 600; the CDF converges far earlier).
     pub samples_per_node: u32,
     pub mix: JobMix,
+    /// Temporal structure of each node's sample stream.
+    pub temporal: TemporalMode,
+    /// The episode model used when `temporal` is
+    /// [`TemporalMode::Episodes`]; ignored in i.i.d. mode.
+    pub episodes: EpisodeModel,
     pub seed: u64,
     /// Sweep worker threads; 0 = host parallelism, 1 = serial. The
     /// samples are identical either way.
     pub threads: usize,
     /// Facility-side clamp, W (the paper's observed 359.9 W maximum).
     pub cap_w: f64,
+    /// What-if power cap, W: a drawn P-state whose engine-evaluated
+    /// operating point exceeds the cap is clamped to the class's
+    /// highest admissible P-state (the fastest one still under the
+    /// cap). Classes with no admissible P-state keep their
+    /// lowest-power one (the facility clamp still applies). `None`
+    /// disables capping and leaves the sampler byte-stable.
+    pub power_cap_w: Option<f64>,
 }
 
 impl FleetConfig {
@@ -70,13 +103,18 @@ impl FleetConfig {
                 samples_per_node: None,
             });
         }
+        let mix = JobMix::taurus_haswell();
+        let episodes = EpisodeModel::taurus_haswell(&mix);
         FleetConfig {
             groups,
             samples_per_node: 2000,
-            mix: JobMix::taurus_haswell(),
+            mix,
+            temporal: TemporalMode::Iid,
+            episodes,
             seed: 0xF1EE7,
             threads: 0,
             cap_w: 359.9,
+            power_cap_w: None,
         }
     }
 
@@ -113,9 +151,19 @@ pub struct PowerCdf {
 }
 
 impl PowerCdf {
-    /// Builds the CDF from samples with the paper's 0.1 W bins.
+    /// Builds the CDF from samples with the paper's 0.1 W bins. An
+    /// empty sample set yields an empty CDF (zero mass everywhere)
+    /// rather than panicking.
     pub fn from_samples(samples: &[f64], bin_width: f64) -> PowerCdf {
-        assert!(!samples.is_empty() && bin_width > 0.0);
+        assert!(bin_width > 0.0);
+        if samples.is_empty() {
+            return PowerCdf {
+                bins: Vec::new(),
+                min_w: 0.0,
+                max_w: 0.0,
+                samples: 0,
+            };
+        }
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let nbins = (((max - min) / bin_width).floor() as usize + 1).max(1);
@@ -144,9 +192,9 @@ impl PowerCdf {
 
     /// Cumulative fraction at or below `power_w`. Queries below the
     /// first bin's lower edge are outside the observed range and have
-    /// zero cumulative mass.
+    /// zero cumulative mass, as does any query on an empty CDF.
     pub fn fraction_at(&self, power_w: f64) -> f64 {
-        if power_w < self.min_w {
+        if self.samples == 0 || power_w < self.min_w {
             return 0.0;
         }
         match self.bins.iter().find(|(edge, _)| *edge >= power_w) {
@@ -155,14 +203,25 @@ impl PowerCdf {
         }
     }
 
-    /// Power at a given quantile (first bin reaching it).
+    /// Power at quantile `q`: the lower edge of the first bin whose
+    /// cumulative fraction reaches `q`, so that
+    /// `quantile(fraction_at(x)) <= x` for any `x` at or above the
+    /// observed minimum. Out-of-range `q` clamps (`q <= 0` returns
+    /// `min_w`, `q >= 1` the last massed bin's lower edge) and an
+    /// empty CDF returns 0.0 — no panic, no NaN.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q));
-        self.bins
-            .iter()
-            .find(|(_, frac)| *frac >= q)
-            .map(|(edge, _)| *edge)
-            .unwrap_or(self.max_w)
+        if self.samples == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min_w;
+        }
+        let q = q.min(1.0);
+        match self.bins.iter().position(|&(_, frac)| frac >= q) {
+            Some(0) => self.min_w,
+            Some(i) => self.bins[i - 1].0,
+            None => self.max_w,
+        }
     }
 }
 
@@ -179,6 +238,23 @@ pub struct ClassPower {
     pub watts: f64,
 }
 
+/// Episode-mode statistics of one fleet generation pass.
+#[derive(Debug, Clone)]
+pub struct EpisodeStats {
+    /// State names (index 0 = the idle floor, then the mix classes).
+    pub states: Vec<&'static str>,
+    /// Empirical fraction of ticks spent per state.
+    pub empirical_shares: Vec<f64>,
+    /// The model's predicted long-run time shares.
+    pub model_shares: Vec<f64>,
+    /// Empirical mean dwell per state, in 60 s ticks (0 when a state
+    /// never started an episode).
+    pub mean_dwell_ticks: Vec<f64>,
+    /// Lag-1 autocorrelation of node power, pooled over all nodes
+    /// (per-node centered; i.i.d. sampling would measure ~0 here).
+    pub lag1_autocorr: f64,
+}
+
 /// The output of one fleet generation pass.
 #[derive(Debug, Clone)]
 pub struct FleetRun {
@@ -188,6 +264,11 @@ pub struct FleetRun {
     pub registry: RegistryStats,
     /// The engine-evaluated operating points the samples composed from.
     pub power_table: Vec<ClassPower>,
+    /// Episode statistics ([`TemporalMode::Episodes`] only).
+    pub episodes: Option<EpisodeStats>,
+    /// Number of `(SKU, class, P-state)` operating points the power
+    /// cap remapped to a lower P-state (0 when no cap is set).
+    pub capped_points: usize,
 }
 
 /// Per-node work item handed to the sweep.
@@ -196,6 +277,14 @@ struct NodeItem {
     /// Fleet-global node id (stable across thread counts).
     node_id: u32,
     samples: u32,
+}
+
+/// Per-node sweep output: the samples plus (episode mode only) the
+/// walk's state accounting.
+struct NodeOut {
+    samples: Vec<f64>,
+    state_ticks: Vec<u64>,
+    episode_counts: Vec<u64>,
 }
 
 /// The fleet generator.
@@ -207,6 +296,13 @@ pub struct FleetSim {
 impl FleetSim {
     pub fn new(config: FleetConfig) -> FleetSim {
         assert!(!config.groups.is_empty(), "fleet needs at least one group");
+        if config.temporal == TemporalMode::Episodes {
+            assert_eq!(
+                config.episodes.n_states(),
+                config.mix.classes().len() + 1,
+                "episode model must cover the floor plus every mix class"
+            );
+        }
         FleetSim { config }
     }
 
@@ -258,6 +354,52 @@ impl FleetSim {
             table.push(rows);
         }
 
+        // P-state admission under the what-if power cap:
+        // `remap[sku][class][pstate]` redirects a drawn P-state whose
+        // operating point exceeds the cap to the class's highest
+        // admissible one. The draw itself is untouched, so the RNG
+        // streams — and therefore capped/uncapped comparisons — stay
+        // aligned sample-for-sample.
+        let mut capped_points = 0usize;
+        let remap: Vec<Vec<Vec<usize>>> = cfg
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(sku_idx, group)| {
+                let n_pstates = group.sku.pstates.states.len();
+                classes
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, (class, _))| {
+                        let mut m: Vec<usize> = (0..n_pstates).collect();
+                        if let Some(cap) = cfg.power_cap_w {
+                            let row = &table[sku_idx][ci];
+                            let admissible = class
+                                .pstates
+                                .iter()
+                                .copied()
+                                .filter(|&p| row[p] <= cap)
+                                .max_by(|&a, &b| row[a].total_cmp(&row[b]));
+                            let fallback = class
+                                .pstates
+                                .iter()
+                                .copied()
+                                .min_by(|&a, &b| row[a].total_cmp(&row[b]))
+                                .expect("classes always have P-states");
+                            let target = admissible.unwrap_or(fallback);
+                            for &p in class.pstates {
+                                if row[p] > cap && p != target {
+                                    m[p] = target;
+                                    capped_points += 1;
+                                }
+                            }
+                        }
+                        m
+                    })
+                    .collect()
+            })
+            .collect();
+
         // Flatten the fleet into per-node work items. Node ids are
         // global and stable, so per-node RNG streams (and therefore
         // the samples) do not depend on grouping or thread count.
@@ -276,44 +418,84 @@ impl FleetSim {
         }
 
         let mix = &cfg.mix;
+        let episodes = &cfg.episodes;
+        let temporal = cfg.temporal;
         let cap = cfg.cap_w;
         let seed = cfg.seed;
         let idle_w = &idle_w;
         let table = &table;
+        let remap = &remap;
         // Any engine can host the sweep; the workers only read the
         // precomputed tables (the &Engine argument goes unused).
         let driver = registry.engine(&cfg.groups[0].sku);
-        let per_node: Vec<Vec<f64>> = driver.sweep_hinted(
+        let per_node: Vec<NodeOut> = driver.sweep_hinted(
             &items,
             cfg.threads,
             |_, item| u64::from(item.samples),
             move |_, _, item| {
-                // Per-node RNG streams keep generation order-independent.
-                let mut rng = StdRng::seed_from_u64(
-                    seed ^ (u64::from(item.node_id).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                );
                 let idle = idle_w[item.sku_idx];
                 let rows = &table[item.sku_idx];
+                let remap = &remap[item.sku_idx];
                 let mut out = Vec::with_capacity(item.samples as usize);
-                for _ in 0..item.samples {
-                    let ci = mix.pick_idx(&mut rng);
-                    let class = &mix.classes()[ci].0;
-                    let duty = class.draw_duty(&mut rng);
-                    let pstate = class.draw_pstate(&mut rng);
-                    let load = rows[ci][pstate];
-                    debug_assert!(!load.is_nan());
-                    // The 60 s mean: duty-cycled payload power on top
-                    // of the idle floor, clamped at the facility cap.
-                    out.push((idle + duty * (load - idle)).min(cap));
+                match temporal {
+                    TemporalMode::Iid => {
+                        // Per-node RNG streams keep generation
+                        // order-independent.
+                        let mut rng = StdRng::seed_from_u64(
+                            seed ^ (u64::from(item.node_id).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                        );
+                        for _ in 0..item.samples {
+                            let ci = mix.pick_idx(&mut rng);
+                            let class = &mix.classes()[ci].0;
+                            let duty = class.draw_duty(&mut rng);
+                            let pstate = remap[ci][class.draw_pstate(&mut rng)];
+                            let load = rows[ci][pstate];
+                            debug_assert!(!load.is_nan());
+                            // The 60 s mean: duty-cycled payload power
+                            // on top of the idle floor, clamped at the
+                            // facility cap.
+                            out.push((idle + duty * (load - idle)).min(cap));
+                        }
+                        NodeOut {
+                            samples: out,
+                            state_ticks: Vec::new(),
+                            episode_counts: Vec::new(),
+                        }
+                    }
+                    TemporalMode::Episodes => {
+                        let mut walk = EpisodeWalk::new(episodes, mix, seed, item.node_id);
+                        for _ in 0..item.samples {
+                            let t = walk.next_tick();
+                            let p = match t.class {
+                                None => idle,
+                                Some(ci) => {
+                                    let pstate = remap[ci][t.pstate];
+                                    let load = rows[ci][pstate];
+                                    debug_assert!(!load.is_nan());
+                                    idle + t.duty * (load - idle)
+                                }
+                            };
+                            out.push(p.min(cap));
+                        }
+                        NodeOut {
+                            samples: out,
+                            state_ticks: walk.state_ticks().to_vec(),
+                            episode_counts: walk.episode_counts().to_vec(),
+                        }
+                    }
                 }
-                out
             },
         );
 
+        let episode_stats = (temporal == TemporalMode::Episodes)
+            .then(|| aggregate_episode_stats(episodes, &per_node));
+
         FleetRun {
-            samples: per_node.into_iter().flatten().collect(),
+            samples: per_node.into_iter().flat_map(|n| n.samples).collect(),
             registry: registry.stats(),
             power_table,
+            episodes: episode_stats,
+            capped_points,
         }
     }
 
@@ -328,6 +510,59 @@ impl FleetSim {
     }
 }
 
+/// Folds per-node walk accounting into fleet-wide episode statistics.
+/// Nodes are visited in input order, so the result is identical for
+/// any sweep thread count.
+fn aggregate_episode_stats(model: &EpisodeModel, per_node: &[NodeOut]) -> EpisodeStats {
+    let n = model.n_states();
+    let mut ticks = vec![0u64; n];
+    let mut episodes = vec![0u64; n];
+    // Pooled lag-1 autocorrelation: per-node centering, fleet-wide
+    // numerator/denominator (constant-power nodes contribute nothing).
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for node in per_node {
+        for (a, b) in ticks.iter_mut().zip(&node.state_ticks) {
+            *a += b;
+        }
+        for (a, b) in episodes.iter_mut().zip(&node.episode_counts) {
+            *a += b;
+        }
+        let s = &node.samples;
+        if s.len() >= 2 {
+            let mean = s.iter().sum::<f64>() / s.len() as f64;
+            den += s.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>();
+            num += s
+                .windows(2)
+                .map(|w| (w[0] - mean) * (w[1] - mean))
+                .sum::<f64>();
+        }
+    }
+    let total: u64 = ticks.iter().sum();
+    let empirical_shares = ticks
+        .iter()
+        .map(|&t| {
+            if total == 0 {
+                0.0
+            } else {
+                t as f64 / total as f64
+            }
+        })
+        .collect();
+    let mean_dwell_ticks = ticks
+        .iter()
+        .zip(&episodes)
+        .map(|(&t, &e)| if e == 0 { 0.0 } else { t as f64 / e as f64 })
+        .collect();
+    EpisodeStats {
+        states: model.state_names().to_vec(),
+        empirical_shares,
+        model_shares: model.stationary_time_shares().to_vec(),
+        mean_dwell_ticks,
+        lag1_autocorr: if den > 0.0 { num / den } else { 0.0 },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +570,14 @@ mod tests {
     fn small_fleet() -> FleetSim {
         FleetSim::new(FleetConfig {
             samples_per_node: 500,
+            ..FleetConfig::taurus_haswell_scaled(64)
+        })
+    }
+
+    fn small_episode_fleet() -> FleetSim {
+        FleetSim::new(FleetConfig {
+            samples_per_node: 500,
+            temporal: TemporalMode::Episodes,
             ..FleetConfig::taurus_haswell_scaled(64)
         })
     }
@@ -395,6 +638,94 @@ mod tests {
     }
 
     #[test]
+    fn episode_fleet_parallel_matches_serial_bitwise() {
+        let mut serial = small_episode_fleet();
+        serial.config.threads = 1;
+        let mut parallel = small_episode_fleet();
+        parallel.config.threads = 4;
+        let a = serial.run();
+        let b = parallel.run();
+        assert_eq!(a.samples, b.samples);
+        // The aggregated episode statistics must match too.
+        let (sa, sb) = (a.episodes.unwrap(), b.episodes.unwrap());
+        assert_eq!(sa.empirical_shares, sb.empirical_shares);
+        assert_eq!(sa.mean_dwell_ticks, sb.mean_dwell_ticks);
+        assert_eq!(sa.lag1_autocorr, sb.lag1_autocorr);
+    }
+
+    #[test]
+    fn episode_mode_is_time_correlated_iid_is_not() {
+        let iid = small_fleet().run();
+        assert!(iid.episodes.is_none(), "i.i.d. runs carry no episode stats");
+        let ep = small_episode_fleet().run();
+        let stats = ep.episodes.expect("episode stats present");
+        assert!(
+            stats.lag1_autocorr > 0.3,
+            "episodes not time-correlated: r1 = {}",
+            stats.lag1_autocorr
+        );
+        // The i.i.d. stream, measured the same way, sits near zero.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for chunk in iid.samples.chunks(500) {
+            let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            den += chunk.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>();
+            num += chunk
+                .windows(2)
+                .map(|w| (w[0] - mean) * (w[1] - mean))
+                .sum::<f64>();
+        }
+        let r1_iid = num / den;
+        assert!(r1_iid.abs() < 0.05, "i.i.d. autocorrelation {r1_iid}");
+        assert!(stats.lag1_autocorr > r1_iid + 0.25);
+    }
+
+    #[test]
+    fn episode_stationary_tracks_model_shares() {
+        let run = small_episode_fleet().run();
+        let stats = run.episodes.unwrap();
+        assert_eq!(stats.states[0], "floor");
+        assert!((stats.empirical_shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for (i, (&got, &want)) in stats
+            .empirical_shares
+            .iter()
+            .zip(&stats.model_shares)
+            .enumerate()
+        {
+            assert!(
+                (got - want).abs() < 0.05,
+                "state {i}: empirical {got} vs model {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_cap_clamps_operating_points() {
+        let uncapped = small_episode_fleet().run();
+        assert_eq!(uncapped.capped_points, 0);
+        let mut capped_cfg = small_episode_fleet().config;
+        capped_cfg.power_cap_w = Some(300.0);
+        let capped = FleetSim::new(capped_cfg).run();
+        assert!(capped.capped_points > 0, "a 300 W cap must remap points");
+        // Same RNG streams: sample-for-sample the capped run is never
+        // hotter, and strictly cooler somewhere.
+        assert_eq!(capped.samples.len(), uncapped.samples.len());
+        let mut lowered = 0usize;
+        for (c, u) in capped.samples.iter().zip(&uncapped.samples) {
+            assert!(c <= &(u + 1e-9), "cap raised a sample: {c} > {u}");
+            if c + 1e-9 < *u {
+                lowered += 1;
+            }
+        }
+        assert!(lowered > 0, "cap lowered nothing");
+        // The cap also applies to the i.i.d. sampler.
+        let mut iid_cfg = small_fleet().config;
+        iid_cfg.power_cap_w = Some(300.0);
+        let iid_capped = FleetSim::new(iid_cfg).run();
+        assert!(iid_capped.capped_points > 0);
+    }
+
+    #[test]
     fn every_sample_traces_to_the_engine_registry() {
         let run = small_fleet().run();
         let s = run.registry;
@@ -405,6 +736,9 @@ mod tests {
         // The five class specs parse once, registry-wide.
         assert_eq!(s.spec_misses, 5);
         assert!(s.spec_hits >= 5, "second SKU must reuse parses");
+        // Every operating point is one engine eval — no sample power
+        // arrives outside the engine pipeline.
+        assert_eq!(s.evals as usize, run.power_table.len());
         // The power table holds every evaluated operating point, and
         // every sample lies between the idle floor and the cap.
         assert!(!run.power_table.is_empty());
@@ -443,8 +777,13 @@ mod tests {
         };
         let a = FleetSim::new(cfg.clone()).generate();
         cfg.seed = 123;
-        let b = FleetSim::new(cfg).generate();
+        let b = FleetSim::new(cfg.clone()).generate();
         assert_ne!(a, b);
+        // And the two temporal modes draw from distinct streams.
+        cfg.seed = 0xF1EE7;
+        cfg.temporal = TemporalMode::Episodes;
+        let c = FleetSim::new(cfg).generate();
+        assert_ne!(a, c);
     }
 
     #[test]
@@ -486,5 +825,44 @@ mod tests {
         assert_eq!(cdf.fraction_at(-5.0), 0.0);
         // At or above the minimum, mass appears.
         assert!(cdf.fraction_at(100.0) > 0.3);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q() {
+        // Regression: q outside [0, 1] used to assert-panic.
+        let cdf = PowerCdf::from_samples(&[100.0, 200.0, 300.0], 0.1);
+        assert_eq!(cdf.quantile(0.0), 100.0);
+        assert_eq!(cdf.quantile(-3.0), 100.0);
+        let top = cdf.quantile(1.0);
+        assert!(top <= 300.0 && top > 299.0, "q=1 -> {top}");
+        assert_eq!(cdf.quantile(7.5), top);
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert!(cdf.quantile(q).is_finite());
+        }
+    }
+
+    #[test]
+    fn quantile_round_trips_through_fraction_at() {
+        // Regression: with upper-edge quantiles,
+        // quantile(fraction_at(x)) could exceed x by up to one bin.
+        let cdf = PowerCdf::from_samples(&[100.0, 100.04, 200.0, 300.0], 0.1);
+        for x in [100.0, 100.05, 150.0, 200.0, 299.95, 300.0, 350.0] {
+            let q = cdf.quantile(cdf.fraction_at(x));
+            assert!(q <= x + 1e-9, "round trip rose: x {x} -> {q}");
+        }
+    }
+
+    #[test]
+    fn empty_cdf_never_panics_or_returns_nan() {
+        // Regression: an empty sample set used to assert-panic in
+        // from_samples.
+        let cdf = PowerCdf::from_samples(&[], 0.1);
+        assert_eq!(cdf.samples, 0);
+        assert_eq!(cdf.fraction_at(100.0), 0.0);
+        assert_eq!(cdf.fraction_at(-1.0), 0.0);
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            let v = cdf.quantile(q);
+            assert!(v.is_finite() && !v.is_nan());
+        }
     }
 }

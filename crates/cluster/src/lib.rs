@@ -17,9 +17,21 @@
 //! CDF pipeline (60 s aggregation, 0.1 W binning) is identical to the
 //! paper's, and the fan-out over `Engine::sweep_hinted` is
 //! bitwise-identical to a serial pass.
+//!
+//! On top of the i.i.d. per-node-minute sampler, [`episodes`] adds the
+//! temporal structure real traces show: a semi-Markov model whose
+//! states are the idle floor plus the job classes, with geometric
+//! dwell times (in 60 s ticks), ramp-in profiles and per-episode
+//! operating points. [`fleet::TemporalMode`] selects the sampler;
+//! [`fleet::FleetConfig::power_cap_w`] adds a power-capping what-if
+//! hook clamping draws to the highest admissible P-state.
 
+pub mod episodes;
 pub mod fleet;
 pub mod jobs;
 
-pub use fleet::{ClassPower, FleetConfig, FleetRun, FleetSim, NodeGroup, PowerCdf};
+pub use episodes::{EpisodeModel, EpisodeWalk, Tick};
+pub use fleet::{
+    ClassPower, EpisodeStats, FleetConfig, FleetRun, FleetSim, NodeGroup, PowerCdf, TemporalMode,
+};
 pub use jobs::{JobClass, JobMix};

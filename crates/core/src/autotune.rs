@@ -32,6 +32,17 @@ pub struct TuneConfig {
     pub max_count: u32,
 }
 
+impl TuneConfig {
+    /// Simulated wall time one tuning session occupies: preheat plus
+    /// the exact NSGA-II evaluation budget at the per-candidate test
+    /// duration, seconds. This is the duration-based size hint sweep
+    /// drivers pass to `Engine::sweep_hinted` when fanning several
+    /// tuning runs out next to cheaper work.
+    pub fn expected_duration_s(&self) -> f64 {
+        self.preheat_s + self.nsga2.evaluation_budget() as f64 * self.test_duration_s
+    }
+}
+
 impl Default for TuneConfig {
     fn default() -> TuneConfig {
         TuneConfig {
@@ -316,6 +327,7 @@ mod tests {
         let _ = AutoTuner::run(&mut runner, &cfg);
         // 60 s preheat + 40 evaluations × 10 s = 460 s.
         let expected = cfg.preheat_s + 40.0 * cfg.test_duration_s;
+        assert_eq!(cfg.expected_duration_s(), expected);
         let now = runner.clock().now_secs();
         // Cache hits skip runs, so the clock may be short of the bound.
         assert!(now <= expected + 1e-6, "clock {now} > {expected}");

@@ -79,6 +79,7 @@ pub struct Engine {
     cache: Mutex<HashMap<PayloadKey, Arc<Payload>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evals: AtomicU64,
     seed: u64,
 }
 
@@ -97,6 +98,7 @@ impl Engine {
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evals: AtomicU64::new(0),
             seed,
         }
     }
@@ -205,6 +207,7 @@ impl Engine {
     /// Orders of magnitude faster than a full session run; the parameter
     /// sweeps live on this.
     pub fn eval(&self, payload: &Payload, freq_mhz: f64) -> ThrottleResult {
+        self.evals.fetch_add(1, Ordering::Relaxed);
         solve_throttle(
             &self.sim,
             &self.power_model,
@@ -213,6 +216,12 @@ impl Engine {
             None,
             0.0,
         )
+    }
+
+    /// Number of [`Engine::eval`] operating-point solves so far (the
+    /// registry aggregates this across engines for fleet reports).
+    pub fn eval_count(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
     }
 
     /// A fresh measurement session on its own simulated clock, seeded
@@ -561,8 +570,11 @@ mod tests {
     fn eval_matches_runner_scale() {
         let e = engine();
         let p = e.payload_for_spec("REG:1").unwrap();
+        assert_eq!(e.eval_count(), 0);
         let r = e.eval(&p, 1500.0);
         assert!((180.0..280.0).contains(&r.power.total_w()));
+        let _ = e.eval(&p, 2200.0);
+        assert_eq!(e.eval_count(), 2, "eval counter must track solves");
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub struct RegistryStats {
     pub unroll_hits: u64,
     /// Unroll derivations computed fresh.
     pub unroll_misses: u64,
+    /// `Engine::eval` operating-point solves summed over all engines.
+    pub evals: u64,
 }
 
 /// One engine per SKU plus the shared spec/unroll caches.
@@ -211,6 +213,7 @@ impl EngineRegistry {
             s.payload_hits += c.hits;
             s.payload_misses += c.misses;
             s.payload_entries += c.entries;
+            s.evals += e.eval_count();
         }
         s
     }

@@ -6,7 +6,7 @@
 //! cargo run --example fleet_analysis
 //! ```
 
-use firestarter2::cluster::{FleetConfig, FleetSim, PowerCdf};
+use firestarter2::cluster::{FleetConfig, FleetSim, PowerCdf, TemporalMode};
 
 fn main() {
     let fleet = FleetSim::new(FleetConfig::default());
@@ -46,4 +46,28 @@ fn main() {
         "-> the infrastructure must still be sized for the {:.1} W worst case",
         cdf.max_w
     );
+
+    // The time-correlated variant: the same operating points sampled
+    // through Markov job episodes (dwell, ramps, idle hand-backs).
+    let episodes = FleetSim::new(FleetConfig {
+        temporal: TemporalMode::Episodes,
+        ..FleetConfig::default()
+    })
+    .run();
+    let stats = episodes.episodes.expect("episode stats");
+    println!(
+        "\nepisode mode: lag-1 autocorrelation {:.3} (i.i.d. would be ~0)",
+        stats.lag1_autocorr
+    );
+    for ((state, share), dwell) in stats
+        .states
+        .iter()
+        .zip(&stats.empirical_shares)
+        .zip(&stats.mean_dwell_ticks)
+    {
+        println!(
+            "  {state:<8} {:5.1} % of node time, mean episode {dwell:.1} min",
+            share * 100.0
+        );
+    }
 }

@@ -66,6 +66,8 @@ pub struct CliConfig {
     nodes: u32,
     samples_per_node: u32,
     threads: usize,
+    fleet_temporal: String,
+    cap_w: Option<f64>,
 }
 
 /// Default RNG seed for Measure/Optimize runs.
@@ -98,6 +100,8 @@ impl Default for CliConfig {
             nodes: 612,
             samples_per_node: 2000,
             threads: 0,
+            fleet_temporal: "iid".to_string(),
+            cap_w: None,
         }
     }
 }
@@ -135,6 +139,11 @@ FLEET (Fig. 1)
   --nodes N                       fleet size (default 612, mixed SKUs)
   --samples-per-node N            60 s means per node (default 2000)
   --threads N                     sweep threads (default 0 = all cores)
+  --fleet-temporal {iid|episodes} per-node sampling: independent minutes
+                                  (default) or Markov job episodes with
+                                  dwell times, ramps and idle hand-backs
+  --cap-w W                       what-if power cap: clamp drawn P-states
+                                  to the highest admissible one
 
 OPTIMIZATION (§III-C)
   --optimize=NSGA2                run the self-tuning loop
@@ -260,6 +269,11 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
                 opt!("--threads", cfg.threads, |v: &String| v
                     .parse::<usize>()
                     .map_err(|_| ()));
+                opt!("--fleet-temporal", cfg.fleet_temporal, id);
+                opt!("--cap-w", cfg.cap_w, |v: &String| v
+                    .parse::<f64>()
+                    .map(Some)
+                    .map_err(|_| ()));
                 if !matched {
                     return Err(err(format!("unknown argument `{a}` (see --help)")));
                 }
@@ -276,6 +290,11 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
     }
     if cfg.samples_per_node == 0 {
         return Err(err("--samples-per-node must be at least 1"));
+    }
+    if let Some(cap) = cfg.cap_w {
+        if cap <= 0.0 || !cap.is_finite() {
+            return Err(err("--cap-w must be a positive wattage"));
+        }
     }
     Ok(cfg)
 }
@@ -326,11 +345,22 @@ Available metrics:
 }
 
 fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
-    use fs2_cluster::{FleetConfig, FleetSim, PowerCdf};
+    use fs2_cluster::{FleetConfig, FleetSim, PowerCdf, TemporalMode};
 
+    let temporal = match cfg.fleet_temporal.to_ascii_lowercase().as_str() {
+        "iid" => TemporalMode::Iid,
+        "episodes" => TemporalMode::Episodes,
+        other => {
+            return Err(err(format!(
+                "unknown --fleet-temporal `{other}` (iid or episodes)"
+            )))
+        }
+    };
     let mut fleet_cfg = FleetConfig::taurus_haswell_scaled(cfg.nodes);
     fleet_cfg.samples_per_node = cfg.samples_per_node;
     fleet_cfg.threads = cfg.threads;
+    fleet_cfg.temporal = temporal;
+    fleet_cfg.power_cap_w = cfg.cap_w;
     // Without an explicit --seed the CLI matches the fig01/example
     // pipeline exactly (FleetConfig's own Fig. 1 seed).
     if let Some(seed) = cfg.seed {
@@ -356,6 +386,36 @@ fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
         run.registry.payload_misses,
         run.power_table.len()
     ));
+    if let Some(cap) = cfg.cap_w {
+        out.push_str(&format!(
+            "  power cap {cap:.1} W: {} operating points clamped to lower P-states\n",
+            run.capped_points
+        ));
+    }
+    if let Some(stats) = &run.episodes {
+        out.push_str(&format!(
+            "  episodes: lag-1 autocorr {:.3}; time shares",
+            stats.lag1_autocorr
+        ));
+        for ((state, &got), &want) in stats
+            .states
+            .iter()
+            .zip(&stats.empirical_shares)
+            .zip(&stats.model_shares)
+        {
+            out.push_str(&format!(
+                " {state} {:.1}% (model {:.1}%)",
+                got * 100.0,
+                want * 100.0
+            ));
+        }
+        out.push('\n');
+        out.push_str("  mean dwell [min]:");
+        for (state, &d) in stats.states.iter().zip(&stats.mean_dwell_ticks) {
+            out.push_str(&format!(" {state} {d:.1}"));
+        }
+        out.push('\n');
+    }
     out.push_str(&format!(
         "  range {:.1} .. {:.1} W; {:.1} % at or below 100 W; median {:.1} W, p95 {:.1} W\n",
         cdf.min_w,
@@ -691,6 +751,45 @@ mod tests {
     }
 
     #[test]
+    fn fleet_episode_mode_reports_temporal_stats() {
+        let out = run(&args(
+            "--fleet --fleet-temporal episodes --nodes 12 --samples-per-node 200",
+        ))
+        .unwrap();
+        assert!(out.contains("lag-1 autocorr"), "no episode stats: {out}");
+        assert!(out.contains("mean dwell"));
+        assert!(out.contains("floor"));
+        // The i.i.d. default prints no episode section.
+        let iid = run(&args("--fleet --nodes 12 --samples-per-node 200")).unwrap();
+        assert!(!iid.contains("lag-1 autocorr"));
+    }
+
+    #[test]
+    fn fleet_episode_mode_is_thread_invariant() {
+        let a = run(&args(
+            "--fleet --fleet-temporal episodes --nodes 8 --samples-per-node 100 --threads 1",
+        ))
+        .unwrap();
+        let b = run(&args(
+            "--fleet --fleet-temporal episodes --nodes 8 --samples-per-node 100 --threads 4",
+        ))
+        .unwrap();
+        assert_eq!(a, b, "episode CDF must not depend on thread count");
+    }
+
+    #[test]
+    fn fleet_power_cap_clamps_the_tail() {
+        let uncapped = run(&args("--fleet --nodes 16 --samples-per-node 200")).unwrap();
+        let capped = run(&args(
+            "--fleet --nodes 16 --samples-per-node 200 --cap-w 300",
+        ))
+        .unwrap();
+        assert!(capped.contains("power cap 300.0 W"));
+        assert!(capped.contains("clamped to lower P-states"));
+        assert_ne!(uncapped, capped);
+    }
+
+    #[test]
     fn bad_arguments_are_rejected() {
         assert!(run(&args("--nonsense")).is_err());
         assert!(run(&args("--cpu mars")).is_err());
@@ -704,6 +803,10 @@ mod tests {
         assert!(run(&args("-t")).is_err());
         assert!(run(&args("--fleet --nodes 0")).is_err());
         assert!(run(&args("--fleet --samples-per-node 0")).is_err());
+        assert!(run(&args("--fleet --fleet-temporal markov")).is_err());
+        assert!(run(&args("--fleet --cap-w 0")).is_err());
+        assert!(run(&args("--fleet --cap-w -10")).is_err());
+        assert!(run(&args("--fleet --cap-w watts")).is_err());
     }
 
     #[test]
