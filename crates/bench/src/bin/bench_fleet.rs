@@ -11,7 +11,7 @@
 //! ```
 
 use fs2_bench::timing::median_ms;
-use fs2_cluster::{FleetConfig, FleetSim, TemporalMode};
+use fs2_cluster::{BudgetPolicy, FleetConfig, FleetSim, TemporalMode};
 use std::fmt::Write as _;
 use std::hint::black_box;
 
@@ -90,6 +90,44 @@ fn main() {
     });
     let ep_stats = ep_base.episodes.expect("episode stats");
 
+    // Budget-arbitrated episode fleet: the tick-synchronous three-phase
+    // pass (propose parallel, arbitrate serial, apply parallel) under a
+    // binding facility budget. Uniform horizon here — with the fat
+    // slice's 16k-tick tail, 87.5 % of the ticks would have only 15
+    // active nodes and the arbiter would mostly idle. All 128 nodes
+    // stay active for all 2000 ticks, and 18 kW sits between the floor
+    // sum (~10.7 kW) and the unconstrained mean draw (~18.7 kW), so
+    // the arbiter works every tick.
+    let budget_w = 18_000.0;
+    let mut bu_cfg = cfg.clone();
+    bu_cfg.groups[1].samples_per_node = None;
+    bu_cfg.temporal = TemporalMode::Episodes;
+    bu_cfg.budget_w = Some(budget_w);
+    bu_cfg.budget_policy = BudgetPolicy::ShedToFloor;
+    let bu_serial = {
+        let mut c = bu_cfg.clone();
+        c.threads = 1;
+        FleetSim::new(c)
+    };
+    let bu_parallel = {
+        let mut c = bu_cfg.clone();
+        c.threads = 0;
+        FleetSim::new(c)
+    };
+    let bu_base = bu_serial.run();
+    assert_eq!(
+        bu_base.samples,
+        bu_parallel.generate(),
+        "parallel budgeted fleet diverges from serial"
+    );
+    let bu_serial_ms = time_ms(|| {
+        black_box(bu_serial.generate());
+    });
+    let bu_parallel_ms = time_ms(|| {
+        black_box(bu_parallel.generate());
+    });
+    let bu_stats = bu_base.budget.expect("budget stats");
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"engine-backed fleet generation (hinted sweep)\",\n");
@@ -113,7 +151,12 @@ fn main() {
     let _ = writeln!(json, "    \"fleet_generate_serial\": {serial_ms:.2},");
     let _ = writeln!(json, "    \"fleet_generate_parallel\": {parallel_ms:.2},");
     let _ = writeln!(json, "    \"fleet_episodes_serial\": {ep_serial_ms:.2},");
-    let _ = writeln!(json, "    \"fleet_episodes_parallel\": {ep_parallel_ms:.2}");
+    let _ = writeln!(
+        json,
+        "    \"fleet_episodes_parallel\": {ep_parallel_ms:.2},"
+    );
+    let _ = writeln!(json, "    \"fleet_budget_serial\": {bu_serial_ms:.2},");
+    let _ = writeln!(json, "    \"fleet_budget_parallel\": {bu_parallel_ms:.2}");
     json.push_str("  },\n");
     let _ = writeln!(json, "  \"speedup_parallel_vs_serial\": {speedup:.2},");
     json.push_str("  \"episodes\": {\n");
@@ -139,6 +182,28 @@ fn main() {
         let _ = writeln!(json, "      \"{state}\": {d:.1}{comma}");
     }
     json.push_str("    }\n");
+    json.push_str("  },\n");
+    json.push_str("  \"budget\": {\n");
+    let _ = writeln!(json, "    \"budget_w\": {budget_w:.0},");
+    let _ = writeln!(json, "    \"policy\": \"{}\",", bu_stats.policy.name());
+    let _ = writeln!(json, "    \"ticks\": {},", bu_stats.ticks);
+    let _ = writeln!(json, "    \"peak_fleet_w\": {:.1},", bu_stats.peak_fleet_w);
+    let _ = writeln!(json, "    \"mean_fleet_w\": {:.1},", bu_stats.mean_fleet_w);
+    let _ = writeln!(
+        json,
+        "    \"p95_utilization\": {:.4},",
+        bu_stats.utilization.quantile(0.95)
+    );
+    let _ = writeln!(
+        json,
+        "    \"shed_node_ticks\": {},",
+        bu_stats.shed_ticks.iter().sum::<u64>()
+    );
+    let _ = writeln!(
+        json,
+        "    \"infeasible_floor_ticks\": {}",
+        bu_stats.infeasible_floor_ticks
+    );
     json.push_str("  },\n");
     json.push_str("  \"registry\": {\n");
     let _ = writeln!(json, "    \"engines\": {},", s.engines);
@@ -171,6 +236,13 @@ fn main() {
          lag-1 autocorr {:.3}, floor share {:.1}%",
         ep_stats.lag1_autocorr,
         ep_stats.empirical_shares[0] * 100.0
+    );
+    println!(
+        "budget:   {bu_serial_ms:.2} ms serial / {bu_parallel_ms:.2} ms parallel at \
+         {budget_w:.0} W ({}), peak {:.0} W, {} node-ticks shed",
+        bu_stats.policy.name(),
+        bu_stats.peak_fleet_w,
+        bu_stats.shed_ticks.iter().sum::<u64>()
     );
     println!(
         "registry: {} engines, payloads {} built / {} hits, specs {} parsed / {} hits, {} evals",

@@ -6,10 +6,18 @@
 //! Alongside the paper's i.i.d. CDF, a time-correlated variant runs the
 //! same operating points through the Markov episode model (dwell times,
 //! ramps, idle hand-backs) — the structure the production trace has and
-//! an i.i.d. sampler cannot reproduce.
+//! an i.i.d. sampler cannot reproduce — and a budget-constrained
+//! variant adds facility-level power management: the fleet-wide sum of
+//! node draws is capped per 60 s tick and over-budget episodes are shed
+//! to the idle floor.
 
 use crate::report::{w, Report};
 use fs2_cluster::{FleetConfig, FleetSim, PowerCdf, TemporalMode};
+
+/// The facility budget of the constrained variant, W: between the
+/// unconstrained fleet's mean (~89 kW) and peak (~93 kW) tick draw, so
+/// it binds on the peaks without starving the fleet.
+const BUDGET_W: f64 = 90_000.0;
 
 pub fn run() -> Report {
     let fleet = FleetSim::new(FleetConfig::default());
@@ -88,16 +96,52 @@ pub fn run() -> Report {
         dwell.join(", ")
     ));
 
+    // Budget-constrained variant: the same episode fleet under a
+    // facility power budget; over-budget episodes shed to the floor.
+    let budget_fleet = FleetSim::new(FleetConfig {
+        temporal: TemporalMode::Episodes,
+        budget_w: Some(BUDGET_W),
+        ..FleetConfig::default()
+    });
+    let budget_run = budget_fleet.run();
+    let budget_cdf = PowerCdf::from_samples(&budget_run.samples, 0.1);
+    let budget = budget_run.budget.expect("budget stats");
+    rep.blank();
+    rep.line(format!(
+        "budget-constrained variant ({:.0} kW fleet budget, {} policy): \
+         peak fleet draw {:.1} kW, mean {:.1} kW, p95 utilization {:.1} %",
+        budget.budget_w / 1000.0,
+        budget.policy.name(),
+        budget.peak_fleet_w / 1000.0,
+        budget.mean_fleet_w / 1000.0,
+        budget.utilization.quantile(0.95) * 100.0
+    ));
+    let shed_total: u64 = budget.shed_ticks.iter().sum();
+    let shed: Vec<String> = budget
+        .states
+        .iter()
+        .zip(&budget.shed_ticks)
+        .filter(|(_, &n)| n > 0)
+        .map(|(s, n)| format!("{s} {n}"))
+        .collect();
+    rep.line(format!(
+        "shed node-ticks: {shed_total} total ({}); {} infeasible-floor ticks",
+        shed.join(", "),
+        budget.infeasible_floor_ticks
+    ));
+
     rep.csv_header(&[
         "power_w",
         "cumulative_fraction",
         "episode_cumulative_fraction",
+        "budget_cumulative_fraction",
     ]);
     for wv in (40..=360).step_by(10) {
         rep.csv_row(&[
             format!("{wv}"),
             format!("{:.4}", cdf.fraction_at(f64::from(wv))),
             format!("{:.4}", ep_cdf.fraction_at(f64::from(wv))),
+            format!("{:.4}", budget_cdf.fraction_at(f64::from(wv))),
         ]);
     }
     rep
@@ -114,7 +158,15 @@ mod tests {
         assert!(out.contains("engine-backed"));
         assert!(out.contains("time-correlated variant"));
         assert!(out.contains("lag-1 autocorrelation"));
+        assert!(out.contains("budget-constrained variant"));
+        assert!(out.contains("shed node-ticks"));
         assert!(rep.csv().lines().count() > 30);
         assert!(rep.csv().starts_with("power_w,cumulative_fraction,episode"));
+        assert!(rep
+            .csv()
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("budget_cumulative_fraction"));
     }
 }

@@ -145,6 +145,16 @@ impl EpisodeModel {
     /// the same jump distribution `q_j ∝ share_j / dwell_j`, so the
     /// embedded chain's stationary distribution is `q` and the time
     /// share of state `j` is exactly `q_j · dwell_j ∝ share_j`.
+    ///
+    /// Because every row is identical, the diagonal is *not* zero:
+    /// state `j` self-transitions with probability `q_j`. A
+    /// self-transition ends the episode and immediately starts a new
+    /// one in the same state — with fresh dwell, duty and P-state
+    /// draws and a restarted ramp — so consecutive same-state ticks
+    /// are not guaranteed to share an operating point (only ticks of
+    /// one *episode* are). A zero-weight mix class gets `q_j = 0`:
+    /// the state exists in the model but is unreachable (zero
+    /// stationary share, never visited by an [`EpisodeWalk`]).
     pub fn from_mix(
         mix: &JobMix,
         floor_share: f64,
@@ -464,6 +474,107 @@ mod tests {
                 "mean dwell {got} != {mean}"
             );
         }
+    }
+
+    #[test]
+    fn unit_mean_dwell_consumes_exactly_one_draw() {
+        // Regression guard for stream alignment: the `mean_ticks <= 1`
+        // shortcut must consume exactly one uniform, like the general
+        // path, so episode streams do not depend on which states have
+        // unit dwell.
+        for seed in 0..32u64 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            assert_eq!(geometric_ticks(&mut a, 1.0), 1);
+            let _: f64 = b.gen_range(0.0..1.0); // the one draw
+                                                // Both streams are now aligned: the next draws agree.
+            for _ in 0..4 {
+                assert_eq!(
+                    a.gen_range(0.0..1.0).to_bits(),
+                    b.gen_range(0.0..1.0).to_bits(),
+                    "seed {seed}: unit-dwell path consumed != 1 draw"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pathological_dwell_clamps_at_max_episode_ticks() {
+        // A huge mean pushes nearly every inverse-CDF draw past the
+        // clamp; no draw may ever exceed it (a stalled walk would hang
+        // the fleet propose phase).
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut clamped = 0u32;
+        for _ in 0..1000 {
+            let l = geometric_ticks(&mut rng, 1e12);
+            assert!(l <= MAX_EPISODE_TICKS, "dwell {l} escaped the clamp");
+            if l == MAX_EPISODE_TICKS {
+                clamped += 1;
+            }
+        }
+        assert!(clamped > 900, "only {clamped}/1000 draws hit the clamp");
+        // Sane means never come near it.
+        for _ in 0..1000 {
+            assert!(geometric_ticks(&mut rng, 120.0) < MAX_EPISODE_TICKS);
+        }
+    }
+
+    #[test]
+    fn zero_weight_class_is_an_unreachable_state() {
+        // `from_mix` with a zero-weight class: the identical-row
+        // construction gives that state jump probability q_j = 0, so
+        // it has zero stationary share and no walk ever visits it.
+        let dummy = |name: &'static str, w: f64| {
+            (
+                crate::jobs::JobClass {
+                    name,
+                    spec: "REG:1",
+                    duty: (0.1, 0.5),
+                    pstates: &[0],
+                },
+                w,
+            )
+        };
+        let mix = JobMix::new(vec![
+            dummy("a", 0.5),
+            dummy("disabled", 0.0),
+            dummy("c", 0.5),
+        ]);
+        let model = EpisodeModel::from_mix(&mix, 0.2, 10.0, &[5.0, 5.0, 5.0], &[0, 0, 0]);
+        // State 2 = the zero-weight class: zero stationary time share.
+        assert_eq!(model.stationary_time_shares()[2], 0.0);
+        for row in model.transitions() {
+            assert_eq!(row[2], 0.0, "jump probability into a dead state");
+        }
+        for node in 0..8u32 {
+            let mut walk = EpisodeWalk::new(&model, &mix, 77, node);
+            for _ in 0..2000 {
+                assert_ne!(
+                    walk.next_tick().state,
+                    2,
+                    "node {node} visited a dead state"
+                );
+            }
+            assert_eq!(walk.state_ticks()[2], 0);
+            assert_eq!(walk.episode_counts()[2], 0);
+        }
+    }
+
+    #[test]
+    fn identical_rows_allow_self_transitions() {
+        // The from_mix construction has a nonzero diagonal: an episode
+        // can be followed by a fresh episode of the same state (new
+        // dwell/duty/P-state draws). Verify the diagonal really is the
+        // stationary jump distribution, i.e. rows are identical.
+        let (_, model) = model();
+        let rows = model.transitions();
+        for row in rows.iter().skip(1) {
+            assert_eq!(row, &rows[0], "from_mix rows must be identical");
+        }
+        assert!(
+            rows[0].iter().all(|&p| p > 0.0),
+            "every state (floor included) must self-transition with p > 0"
+        );
     }
 
     #[test]

@@ -12,10 +12,20 @@
 //! (the byte-stable Fig. 1 default) and the Markov episode model of
 //! [`crate::episodes`], which adds dwell times, ramps and hand-backs
 //! to the idle floor — the time correlation real traces show.
-//! Generation fans out over [`fs2_core::Engine::sweep_hinted`] with
-//! per-node size hints and is bitwise-identical to a serial pass in
-//! either mode.
+//!
+//! Generation is a tick-synchronous three-phase pass: (1) **propose** —
+//! every node draws its full tick stream from its own `(seed, node_id)`
+//! RNG stream, fanned out over [`fs2_core::Engine::sweep_hinted`] with
+//! per-node size hints; (2) **arbitrate** — when
+//! [`FleetConfig::budget_w`] is set, a serial node-id-ordered fold
+//! ([`crate::budget`]) admits proposals against the remaining fleet
+//! budget per 60 s tick and sheds or defers the rest; (3) **apply** —
+//! decisions become samples in parallel. Every phase is deterministic,
+//! so the result is bitwise-identical for any thread count, and runs
+//! without a budget reproduce the historical sample streams byte for
+//! byte.
 
+use crate::budget::{arbitrate, Arbitration, BudgetPolicy, Decision, NodeStream};
 use crate::episodes::{EpisodeModel, EpisodeWalk};
 use crate::jobs::JobMix;
 use fs2_core::{EngineRegistry, RegistryStats};
@@ -70,9 +80,21 @@ pub struct FleetConfig {
     /// operating point exceeds the cap is clamped to the class's
     /// highest admissible P-state (the fastest one still under the
     /// cap). Classes with no admissible P-state keep their
-    /// lowest-power one (the facility clamp still applies). `None`
-    /// disables capping and leaves the sampler byte-stable.
+    /// lowest-power one (the facility clamp still applies; such
+    /// still-over-cap points are reported via
+    /// [`FleetRun::infeasible_points`]). `None` disables capping and
+    /// leaves the sampler byte-stable.
     pub power_cap_w: Option<f64>,
+    /// Fleet-wide power budget per 60 s tick, W: node draws are
+    /// admitted in node-id order until the tick's fleet sum would
+    /// exceed this, and the rest are resolved via `budget_policy`.
+    /// Idle floors are unconditional, so a budget below the sum of the
+    /// active floors is infeasible (counted, not hidden). `None`
+    /// disables arbitration and keeps both samplers byte-stable.
+    pub budget_w: Option<f64>,
+    /// How the arbiter resolves denied proposals (ignored without
+    /// `budget_w`).
+    pub budget_policy: BudgetPolicy,
 }
 
 impl FleetConfig {
@@ -115,6 +137,8 @@ impl FleetConfig {
             threads: 0,
             cap_w: 359.9,
             power_cap_w: None,
+            budget_w: None,
+            budget_policy: BudgetPolicy::default(),
         }
     }
 
@@ -255,6 +279,39 @@ pub struct EpisodeStats {
     pub lag1_autocorr: f64,
 }
 
+/// Budget-arbitration telemetry of one fleet generation pass.
+#[derive(Debug, Clone)]
+pub struct BudgetStats {
+    /// The configured per-tick fleet budget, W.
+    pub budget_w: f64,
+    pub policy: BudgetPolicy,
+    /// Synchronized 60 s ticks arbitrated (the longest node horizon).
+    pub ticks: usize,
+    /// Highest per-tick fleet draw, W.
+    pub peak_fleet_w: f64,
+    /// Mean per-tick fleet draw, W.
+    pub mean_fleet_w: f64,
+    /// Per-state count of proposals shed to the floor
+    /// ([`BudgetPolicy::ShedToFloor`]; index 0 = floor, then the mix
+    /// classes — floor proposals have zero increment and are never
+    /// denied).
+    pub shed_ticks: Vec<u64>,
+    /// Per-state count of tick-denials that deferred a proposal
+    /// ([`BudgetPolicy::Defer`]; one proposal can defer repeatedly).
+    pub deferred_ticks: Vec<u64>,
+    /// Proposals deferred past the end of their node's horizon and
+    /// therefore never run.
+    pub truncated_proposals: u64,
+    /// Ticks whose unconditional idle floors alone exceeded the
+    /// budget (the budget is infeasible on those ticks).
+    pub infeasible_floor_ticks: u64,
+    /// CDF of per-tick budget utilization (fleet draw / budget,
+    /// binned at 0.5 %).
+    pub utilization: PowerCdf,
+    /// State names aligned with the shed/deferred counters.
+    pub states: Vec<&'static str>,
+}
+
 /// The output of one fleet generation pass.
 #[derive(Debug, Clone)]
 pub struct FleetRun {
@@ -264,11 +321,26 @@ pub struct FleetRun {
     pub registry: RegistryStats,
     /// The engine-evaluated operating points the samples composed from.
     pub power_table: Vec<ClassPower>,
-    /// Episode statistics ([`TemporalMode::Episodes`] only).
+    /// Episode statistics ([`TemporalMode::Episodes`] only). State
+    /// shares and dwells describe the *proposed* walks; under a budget
+    /// the emitted stream additionally reflects sheds and defers,
+    /// which [`FleetRun::budget`] accounts for.
     pub episodes: Option<EpisodeStats>,
-    /// Number of `(SKU, class, P-state)` operating points the power
-    /// cap remapped to a lower P-state (0 when no cap is set).
+    /// Number of static `(SKU, class, P-state)` remap-table cells the
+    /// power cap redirected to a lower P-state (0 when no cap is
+    /// set). This counts table cells, not drawn samples — see
+    /// `capped_samples` for the per-sample count.
     pub capped_points: usize,
+    /// Number of drawn samples whose P-state the power cap actually
+    /// remapped (accumulated per node, summed in node input order, so
+    /// the count is identical for any thread count).
+    pub capped_samples: usize,
+    /// Remap-table cells whose final operating point still exceeds
+    /// `power_cap_w` — the class has no admissible P-state and fell
+    /// back to its lowest-power one over the cap.
+    pub infeasible_points: usize,
+    /// Budget arbitration telemetry ([`FleetConfig::budget_w`] only).
+    pub budget: Option<BudgetStats>,
 }
 
 /// Per-node work item handed to the sweep.
@@ -279,13 +351,18 @@ struct NodeItem {
     samples: u32,
 }
 
-/// Per-node sweep output: the samples plus (episode mode only) the
-/// walk's state accounting.
+/// Per-node propose-phase output: the proposal stream plus the walk's
+/// state accounting (episode mode) and the per-sample cap counter.
 struct NodeOut {
-    samples: Vec<f64>,
+    stream: NodeStream,
     state_ticks: Vec<u64>,
     episode_counts: Vec<u64>,
+    capped_samples: usize,
 }
+
+/// Per-node episode accounting carried past the propose phase:
+/// `(state_ticks, episode_counts)`.
+type NodeAccounting = (Vec<u64>, Vec<u64>);
 
 /// The fleet generator.
 #[derive(Debug, Clone)]
@@ -301,6 +378,12 @@ impl FleetSim {
                 config.episodes.n_states(),
                 config.mix.classes().len() + 1,
                 "episode model must cover the floor plus every mix class"
+            );
+        }
+        if let Some(b) = config.budget_w {
+            assert!(
+                b.is_finite() && b > 0.0,
+                "budget_w must be a positive wattage, got {b}"
             );
         }
         FleetSim { config }
@@ -359,8 +442,13 @@ impl FleetSim {
         // operating point exceeds the cap to the class's highest
         // admissible one. The draw itself is untouched, so the RNG
         // streams — and therefore capped/uncapped comparisons — stay
-        // aligned sample-for-sample.
+        // aligned sample-for-sample. `capped_points` counts remapped
+        // *table cells*; the per-sample count is accumulated in the
+        // propose phase. A class with no admissible P-state keeps its
+        // lowest-power one and every still-over-cap cell is surfaced
+        // through `infeasible_points` instead of silently passing.
         let mut capped_points = 0usize;
+        let mut infeasible_points = 0usize;
         let remap: Vec<Vec<Vec<usize>>> = cfg
             .groups
             .iter()
@@ -391,6 +479,9 @@ impl FleetSim {
                                 if row[p] > cap && p != target {
                                     m[p] = target;
                                     capped_points += 1;
+                                }
+                                if row[m[p]] > cap {
+                                    infeasible_points += 1;
                                 }
                             }
                         }
@@ -428,15 +519,24 @@ impl FleetSim {
         // Any engine can host the sweep; the workers only read the
         // precomputed tables (the &Engine argument goes unused).
         let driver = registry.engine(&cfg.groups[0].sku);
+
+        // Phase 1 — propose (parallel): every node draws its full tick
+        // stream from its own `(seed, node_id)` RNG stream. The draws
+        // and the composed watts are identical to the historical
+        // per-node generation, so runs without a budget stay
+        // byte-stable.
         let per_node: Vec<NodeOut> = driver.sweep_hinted(
             &items,
             cfg.threads,
             |_, item| u64::from(item.samples),
             move |_, _, item| {
                 let idle = idle_w[item.sku_idx];
+                let floor_w = idle.min(cap);
                 let rows = &table[item.sku_idx];
                 let remap = &remap[item.sku_idx];
-                let mut out = Vec::with_capacity(item.samples as usize);
+                let mut capped_samples = 0usize;
+                let mut watts = Vec::with_capacity(item.samples as usize);
+                let mut states = Vec::with_capacity(item.samples as usize);
                 match temporal {
                     TemporalMode::Iid => {
                         // Per-node RNG streams keep generation
@@ -448,18 +548,28 @@ impl FleetSim {
                             let ci = mix.pick_idx(&mut rng);
                             let class = &mix.classes()[ci].0;
                             let duty = class.draw_duty(&mut rng);
-                            let pstate = remap[ci][class.draw_pstate(&mut rng)];
+                            let drawn = class.draw_pstate(&mut rng);
+                            let pstate = remap[ci][drawn];
+                            if pstate != drawn {
+                                capped_samples += 1;
+                            }
                             let load = rows[ci][pstate];
                             debug_assert!(!load.is_nan());
                             // The 60 s mean: duty-cycled payload power
                             // on top of the idle floor, clamped at the
                             // facility cap.
-                            out.push((idle + duty * (load - idle)).min(cap));
+                            watts.push((idle + duty * (load - idle)).min(cap));
+                            states.push((ci + 1) as u16);
                         }
                         NodeOut {
-                            samples: out,
+                            stream: NodeStream {
+                                floor_w,
+                                watts,
+                                states,
+                            },
                             state_ticks: Vec::new(),
                             episode_counts: Vec::new(),
+                            capped_samples,
                         }
                     }
                     TemporalMode::Episodes => {
@@ -470,32 +580,109 @@ impl FleetSim {
                                 None => idle,
                                 Some(ci) => {
                                     let pstate = remap[ci][t.pstate];
+                                    if pstate != t.pstate {
+                                        capped_samples += 1;
+                                    }
                                     let load = rows[ci][pstate];
                                     debug_assert!(!load.is_nan());
                                     idle + t.duty * (load - idle)
                                 }
                             };
-                            out.push(p.min(cap));
+                            watts.push(p.min(cap));
+                            states.push(t.state as u16);
                         }
                         NodeOut {
-                            samples: out,
+                            stream: NodeStream {
+                                floor_w,
+                                watts,
+                                states,
+                            },
                             state_ticks: walk.state_ticks().to_vec(),
                             episode_counts: walk.episode_counts().to_vec(),
+                            capped_samples,
                         }
                     }
                 }
             },
         );
 
+        // Per-sample cap accounting is summed in node input order, so
+        // the total is identical for any sweep thread count.
+        let capped_samples: usize = per_node.iter().map(|n| n.capped_samples).sum();
+        let (streams, accounting): (Vec<NodeStream>, Vec<NodeAccounting>) = per_node
+            .into_iter()
+            .map(|n| (n.stream, (n.state_ticks, n.episode_counts)))
+            .unzip();
+
+        // Phase 2 — arbitrate (serial): fold the proposals against the
+        // fleet budget in node-id order. Skipped entirely without a
+        // budget, which keeps the historical streams byte-stable.
+        let n_states = classes.len() + 1;
+        let arbitration: Option<Arbitration> = cfg
+            .budget_w
+            .map(|b| arbitrate(&streams, b, cfg.budget_policy, n_states));
+
+        // Phase 3 — apply: decisions become samples. Each node only
+        // reads its own stream and decision row, so the budgeted
+        // fan-out is embarrassingly parallel and input-ordered. With
+        // no budget every decision is trivially "admit", so the watts
+        // columns *move* into the output — zero copies, exactly the
+        // historical unbudgeted cost.
+        let per_node_samples: Vec<Vec<f64>> = match &arbitration {
+            None => streams.into_iter().map(|s| s.watts).collect(),
+            Some(arb) => {
+                let streams_ref = &streams;
+                driver.sweep(streams_ref, cfg.threads, move |_, i, stream| {
+                    arb.decisions[i]
+                        .iter()
+                        .map(|d| match d {
+                            Decision::Admit(k) => stream.watts[*k as usize],
+                            Decision::Floor => stream.floor_w,
+                        })
+                        .collect()
+                })
+            }
+        };
+
         let episode_stats = (temporal == TemporalMode::Episodes)
-            .then(|| aggregate_episode_stats(episodes, &per_node));
+            .then(|| aggregate_episode_stats(episodes, &accounting, &per_node_samples));
+
+        let budget = arbitration.map(|arb| {
+            let budget_w = cfg.budget_w.expect("arbitration implies a budget");
+            let ticks = arb.tick_draw_w.len();
+            let peak_fleet_w = arb.tick_draw_w.iter().copied().fold(0.0, f64::max);
+            let mean_fleet_w = if ticks == 0 {
+                0.0
+            } else {
+                arb.tick_draw_w.iter().sum::<f64>() / ticks as f64
+            };
+            let util: Vec<f64> = arb.tick_draw_w.iter().map(|&d| d / budget_w).collect();
+            let mut states = vec!["floor"];
+            states.extend(classes.iter().map(|(c, _)| c.name));
+            BudgetStats {
+                budget_w,
+                policy: cfg.budget_policy,
+                ticks,
+                peak_fleet_w,
+                mean_fleet_w,
+                shed_ticks: arb.shed_ticks,
+                deferred_ticks: arb.deferred_ticks,
+                truncated_proposals: arb.truncated_proposals,
+                infeasible_floor_ticks: arb.infeasible_floor_ticks,
+                utilization: PowerCdf::from_samples(&util, 0.005),
+                states,
+            }
+        });
 
         FleetRun {
-            samples: per_node.into_iter().flat_map(|n| n.samples).collect(),
+            samples: per_node_samples.into_iter().flatten().collect(),
             registry: registry.stats(),
             power_table,
             episodes: episode_stats,
             capped_points,
+            capped_samples,
+            infeasible_points,
+            budget,
         }
     }
 
@@ -510,10 +697,17 @@ impl FleetSim {
     }
 }
 
-/// Folds per-node walk accounting into fleet-wide episode statistics.
+/// Folds per-node walk accounting `(state_ticks, episode_counts)` and
+/// the emitted sample streams into fleet-wide episode statistics.
 /// Nodes are visited in input order, so the result is identical for
-/// any sweep thread count.
-fn aggregate_episode_stats(model: &EpisodeModel, per_node: &[NodeOut]) -> EpisodeStats {
+/// any sweep thread count. The state shares and dwells describe the
+/// *proposed* walks; the autocorrelation measures the emitted stream
+/// (post-arbitration when a budget is set).
+fn aggregate_episode_stats(
+    model: &EpisodeModel,
+    accounting: &[NodeAccounting],
+    per_node_samples: &[Vec<f64>],
+) -> EpisodeStats {
     let n = model.n_states();
     let mut ticks = vec![0u64; n];
     let mut episodes = vec![0u64; n];
@@ -521,14 +715,13 @@ fn aggregate_episode_stats(model: &EpisodeModel, per_node: &[NodeOut]) -> Episod
     // numerator/denominator (constant-power nodes contribute nothing).
     let mut num = 0.0f64;
     let mut den = 0.0f64;
-    for node in per_node {
-        for (a, b) in ticks.iter_mut().zip(&node.state_ticks) {
+    for ((state_ticks, episode_counts), s) in accounting.iter().zip(per_node_samples) {
+        for (a, b) in ticks.iter_mut().zip(state_ticks) {
             *a += b;
         }
-        for (a, b) in episodes.iter_mut().zip(&node.episode_counts) {
+        for (a, b) in episodes.iter_mut().zip(episode_counts) {
             *a += b;
         }
-        let s = &node.samples;
         if s.len() >= 2 {
             let mean = s.iter().sum::<f64>() / s.len() as f64;
             den += s.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>();
@@ -697,6 +890,260 @@ mod tests {
                 "state {i}: empirical {got} vs model {want}"
             );
         }
+    }
+
+    #[test]
+    fn restructured_run_reproduces_pre_budget_streams() {
+        // Golden bit patterns captured from the pre-restructure
+        // (independent per-node streams) generator: the three-phase
+        // pass without a budget must reproduce them byte for byte.
+        let golden_iid: &[(usize, u64)] = &[
+            (0, 0x405526E41CAD1777),
+            (1, 0x4055D8E7012860E9),
+            (2, 0x4071A34942E8597B),
+            (99, 0x4064A3BB333C277E),
+            (100, 0x4070D0229EDDF40F),
+            (399, 0x40649B9C33875320),
+            (400, 0x407663A3160EC8BE),
+            (799, 0x4056EF96D9D21AC2),
+        ];
+        let golden_ep: &[(usize, u64)] = &[
+            (0, 0x405692472853DB3B),
+            (1, 0x405692472853DB3B),
+            (99, 0x4054B33333333333),
+            (100, 0x405C94D884529681),
+            (399, 0x4060E750EBC4F7BE),
+            (400, 0x405B564B57C70C39),
+            (799, 0x406A0C383723A280),
+        ];
+        for (mode, golden, sum_bits) in [
+            (TemporalMode::Iid, golden_iid, 0x40FDE54A0DD66BD7u64),
+            (TemporalMode::Episodes, golden_ep, 0x40FDBE5E1099D13Au64),
+        ] {
+            let s = FleetSim::new(FleetConfig {
+                samples_per_node: 100,
+                temporal: mode,
+                ..FleetConfig::taurus_haswell_scaled(8)
+            })
+            .generate();
+            for &(i, bits) in golden {
+                assert_eq!(
+                    s[i].to_bits(),
+                    bits,
+                    "{mode:?} sample {i} drifted from the pre-budget stream"
+                );
+            }
+            let sum: f64 = s.iter().sum();
+            assert_eq!(sum.to_bits(), sum_bits, "{mode:?} stream sum drifted");
+        }
+    }
+
+    /// Per-tick fleet sums of a uniform-horizon run (samples are
+    /// node-major: node `n`'s tick `t` sits at `n * spn + t`).
+    fn tick_sums(samples: &[f64], spn: usize) -> Vec<f64> {
+        let nodes = samples.len() / spn;
+        (0..spn)
+            .map(|t| (0..nodes).map(|n| samples[n * spn + t]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn budget_caps_the_fleet_sum_every_tick() {
+        let spn = 300usize;
+        let base_cfg = FleetConfig {
+            samples_per_node: spn as u32,
+            temporal: TemporalMode::Episodes,
+            ..FleetConfig::taurus_haswell_scaled(16)
+        };
+        let unbudgeted = FleetSim::new(base_cfg.clone()).run();
+        assert!(unbudgeted.budget.is_none());
+        // A budget below the unconstrained peak but well above the
+        // idle-floor sum (~16 x 83 W), so it binds and is feasible.
+        let budget_w = 2000.0;
+        let unconstrained_peak = tick_sums(&unbudgeted.samples, spn)
+            .into_iter()
+            .fold(0.0, f64::max);
+        assert!(unconstrained_peak > budget_w, "budget would not bind");
+        for policy in [BudgetPolicy::ShedToFloor, BudgetPolicy::Defer] {
+            let run = FleetSim::new(FleetConfig {
+                budget_w: Some(budget_w),
+                budget_policy: policy,
+                ..base_cfg.clone()
+            })
+            .run();
+            let stats = run.budget.as_ref().expect("budget stats present");
+            assert_eq!(stats.infeasible_floor_ticks, 0);
+            for (t, sum) in tick_sums(&run.samples, spn).into_iter().enumerate() {
+                assert!(
+                    sum <= budget_w + 1e-9,
+                    "{policy:?} tick {t}: fleet draw {sum} exceeds {budget_w}"
+                );
+            }
+            // The arbiter's own accounting matches the emitted stream.
+            assert_eq!(stats.ticks, spn);
+            assert!(stats.peak_fleet_w <= budget_w + 1e-9);
+            assert!(stats.peak_fleet_w > budget_w * 0.9, "budget never filled");
+            assert!(stats.mean_fleet_w < stats.peak_fleet_w);
+            assert!((stats.utilization.max_w - stats.peak_fleet_w / budget_w).abs() < 0.005);
+            let denied: u64 = match policy {
+                BudgetPolicy::ShedToFloor => stats.shed_ticks.iter().sum(),
+                BudgetPolicy::Defer => stats.deferred_ticks.iter().sum(),
+            };
+            assert!(denied > 0, "{policy:?}: a binding budget must deny ticks");
+            // Floor proposals are never denied.
+            assert_eq!(stats.shed_ticks[0], 0);
+            assert_eq!(stats.deferred_ticks[0], 0);
+        }
+    }
+
+    #[test]
+    fn budget_applies_to_the_iid_sampler_too() {
+        let spn = 200usize;
+        let budget_w = 1800.0;
+        let run = FleetSim::new(FleetConfig {
+            samples_per_node: spn as u32,
+            budget_w: Some(budget_w),
+            ..FleetConfig::taurus_haswell_scaled(16)
+        })
+        .run();
+        let stats = run.budget.as_ref().expect("budget stats");
+        assert!(stats.shed_ticks.iter().sum::<u64>() > 0);
+        for (t, sum) in tick_sums(&run.samples, spn).into_iter().enumerate() {
+            assert!(sum <= budget_w + 1e-9, "tick {t}: {sum} over budget");
+        }
+    }
+
+    #[test]
+    fn budgeted_runs_are_thread_count_invariant() {
+        for (temporal, policy) in [
+            (TemporalMode::Iid, BudgetPolicy::ShedToFloor),
+            (TemporalMode::Episodes, BudgetPolicy::ShedToFloor),
+            (TemporalMode::Episodes, BudgetPolicy::Defer),
+        ] {
+            let cfg = FleetConfig {
+                samples_per_node: 250,
+                temporal,
+                budget_w: Some(2000.0),
+                budget_policy: policy,
+                ..FleetConfig::taurus_haswell_scaled(16)
+            };
+            let mut serial_cfg = cfg.clone();
+            serial_cfg.threads = 1;
+            let mut parallel_cfg = cfg;
+            parallel_cfg.threads = 4;
+            let a = FleetSim::new(serial_cfg).run();
+            let b = FleetSim::new(parallel_cfg).run();
+            assert_eq!(a.samples, b.samples, "{temporal:?}/{policy:?} diverged");
+            let (sa, sb) = (a.budget.unwrap(), b.budget.unwrap());
+            assert_eq!(sa.shed_ticks, sb.shed_ticks);
+            assert_eq!(sa.deferred_ticks, sb.deferred_ticks);
+            assert_eq!(sa.peak_fleet_w.to_bits(), sb.peak_fleet_w.to_bits());
+            assert_eq!(a.capped_samples, b.capped_samples);
+        }
+    }
+
+    #[test]
+    fn shed_loses_work_defer_delays_it() {
+        let cfg = FleetConfig {
+            samples_per_node: 400,
+            temporal: TemporalMode::Episodes,
+            budget_w: Some(1900.0),
+            ..FleetConfig::taurus_haswell_scaled(16)
+        };
+        let shed = FleetSim::new(FleetConfig {
+            budget_policy: BudgetPolicy::ShedToFloor,
+            ..cfg.clone()
+        })
+        .run();
+        let defer = FleetSim::new(FleetConfig {
+            budget_policy: BudgetPolicy::Defer,
+            ..cfg
+        })
+        .run();
+        let (ss, ds) = (shed.budget.unwrap(), defer.budget.unwrap());
+        // Shed never defers or truncates; defer never sheds.
+        assert!(ss.shed_ticks.iter().sum::<u64>() > 0);
+        assert_eq!(ss.deferred_ticks.iter().sum::<u64>(), 0);
+        assert_eq!(ss.truncated_proposals, 0);
+        assert_eq!(ds.shed_ticks.iter().sum::<u64>(), 0);
+        assert!(ds.deferred_ticks.iter().sum::<u64>() > 0);
+        // The two policies genuinely produce different streams.
+        assert_ne!(shed.samples, defer.samples);
+    }
+
+    #[test]
+    fn capped_samples_counts_per_sample_and_is_thread_invariant() {
+        // Regression: `capped_points` counts static remap-table cells
+        // (the CLI's per-sample claim was wrong); `capped_samples` is
+        // the per-sample count, accumulated in node input order.
+        for temporal in [TemporalMode::Iid, TemporalMode::Episodes] {
+            let cfg = FleetConfig {
+                samples_per_node: 400,
+                temporal,
+                power_cap_w: Some(300.0),
+                ..FleetConfig::taurus_haswell_scaled(16)
+            };
+            let mut serial_cfg = cfg.clone();
+            serial_cfg.threads = 1;
+            let mut parallel_cfg = cfg.clone();
+            parallel_cfg.threads = 4;
+            let a = FleetSim::new(serial_cfg).run();
+            let b = FleetSim::new(parallel_cfg).run();
+            assert_eq!(
+                a.capped_samples, b.capped_samples,
+                "{temporal:?}: capped_samples depends on thread count"
+            );
+            assert!(a.capped_samples > 0, "{temporal:?}: cap clamped nothing");
+            // The static table count is far smaller than the drawn
+            // total and unchanged between the two runs.
+            assert_eq!(a.capped_points, b.capped_points);
+            assert!(a.capped_points > 0);
+            assert!(a.capped_points < 50, "table cells, not samples");
+            assert!(a.capped_samples > a.capped_points);
+            // Uncapped runs report zero on both counters.
+            let uncapped = FleetSim::new(FleetConfig {
+                power_cap_w: None,
+                ..cfg
+            })
+            .run();
+            assert_eq!(uncapped.capped_points, 0);
+            assert_eq!(uncapped.capped_samples, 0);
+        }
+    }
+
+    #[test]
+    fn infeasible_cap_is_surfaced_not_silent() {
+        // Regression: a cap below every operating point of a class used
+        // to fall back to the lowest-power P-state with no signal. A
+        // 150 W cap is under the whole "peak" class (and more).
+        let mut cfg = small_fleet().config;
+        cfg.power_cap_w = Some(150.0);
+        let run = FleetSim::new(cfg).run();
+        assert!(
+            run.infeasible_points > 0,
+            "cap below a whole class must surface infeasible points"
+        );
+        // 150 W is under every operating point: every drawable cell is
+        // infeasible (one per evaluated (SKU, class, P-state)).
+        let drawable = run.power_table.len();
+        assert_eq!(run.infeasible_points, drawable);
+        // A 300 W cap remaps the multi-P-state classes, but the
+        // single-P-state "peak" class (and the flat "high" rows) has no
+        // admissible point — both counters must be nonzero at once.
+        let mut mid_cfg = small_fleet().config;
+        mid_cfg.power_cap_w = Some(300.0);
+        let mid = FleetSim::new(mid_cfg).run();
+        assert!(mid.capped_points > 0);
+        assert!(mid.infeasible_points > 0);
+        assert!(mid.infeasible_points < drawable);
+        // A cap above every operating point touches nothing.
+        let mut ok_cfg = small_fleet().config;
+        ok_cfg.power_cap_w = Some(400.0);
+        let ok = FleetSim::new(ok_cfg).run();
+        assert_eq!(ok.capped_points, 0);
+        assert_eq!(ok.infeasible_points, 0);
+        // No cap: no accounting at all.
+        assert_eq!(small_fleet().run().infeasible_points, 0);
     }
 
     #[test]

@@ -25,13 +25,25 @@
 //! operating points. [`fleet::TemporalMode`] selects the sampler;
 //! [`fleet::FleetConfig::power_cap_w`] adds a power-capping what-if
 //! hook clamping draws to the highest admissible P-state.
+//!
+//! [`budget`] models facility-level power management on top of the
+//! per-node cap: [`fleet::FleetConfig::budget_w`] caps the fleet-wide
+//! *sum* of node draws per 60 s tick, with a pluggable
+//! [`budget::BudgetPolicy`] that sheds denied node-minutes to the idle
+//! floor or defers the episode's remaining ticks. Generation is a
+//! tick-synchronous propose → arbitrate → apply pass that stays
+//! bitwise-identical across thread counts and byte-stable when no
+//! budget is set.
 
+pub mod budget;
 pub mod episodes;
 pub mod fleet;
 pub mod jobs;
 
+pub use budget::{Arbitration, BudgetPolicy, Decision, NodeStream};
 pub use episodes::{EpisodeModel, EpisodeWalk, Tick};
 pub use fleet::{
-    ClassPower, EpisodeStats, FleetConfig, FleetRun, FleetSim, NodeGroup, PowerCdf, TemporalMode,
+    BudgetStats, ClassPower, EpisodeStats, FleetConfig, FleetRun, FleetSim, NodeGroup, PowerCdf,
+    TemporalMode,
 };
 pub use jobs::{JobClass, JobMix};

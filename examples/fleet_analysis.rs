@@ -6,7 +6,7 @@
 //! cargo run --example fleet_analysis
 //! ```
 
-use firestarter2::cluster::{FleetConfig, FleetSim, PowerCdf, TemporalMode};
+use firestarter2::cluster::{BudgetPolicy, FleetConfig, FleetSim, PowerCdf, TemporalMode};
 
 fn main() {
     let fleet = FleetSim::new(FleetConfig::default());
@@ -68,6 +68,35 @@ fn main() {
         println!(
             "  {state:<8} {:5.1} % of node time, mean episode {dwell:.1} min",
             share * 100.0
+        );
+    }
+
+    // Facility power management: cap the fleet-wide *sum* of draws per
+    // 60 s tick and shed over-budget episodes to the idle floor.
+    let budget_w = 90_000.0;
+    for policy in [BudgetPolicy::ShedToFloor, BudgetPolicy::Defer] {
+        let run = FleetSim::new(FleetConfig {
+            temporal: TemporalMode::Episodes,
+            budget_w: Some(budget_w),
+            budget_policy: policy,
+            ..FleetConfig::default()
+        })
+        .run();
+        let b = run.budget.expect("budget stats");
+        println!(
+            "\nfleet budget {:.0} kW ({}): peak draw {:.1} kW, mean {:.1} kW, \
+             p95 utilization {:.1} %",
+            budget_w / 1000.0,
+            b.policy.name(),
+            b.peak_fleet_w / 1000.0,
+            b.mean_fleet_w / 1000.0,
+            b.utilization.quantile(0.95) * 100.0
+        );
+        let shed: u64 = b.shed_ticks.iter().sum();
+        let deferred: u64 = b.deferred_ticks.iter().sum();
+        println!(
+            "  {shed} node-ticks shed, {deferred} deferred, {} truncated past the horizon",
+            b.truncated_proposals
         );
     }
 }

@@ -68,6 +68,8 @@ pub struct CliConfig {
     threads: usize,
     fleet_temporal: String,
     cap_w: Option<f64>,
+    budget_w: Option<f64>,
+    budget_policy: String,
 }
 
 /// Default RNG seed for Measure/Optimize runs.
@@ -102,6 +104,8 @@ impl Default for CliConfig {
             threads: 0,
             fleet_temporal: "iid".to_string(),
             cap_w: None,
+            budget_w: None,
+            budget_policy: "shed".to_string(),
         }
     }
 }
@@ -142,8 +146,16 @@ FLEET (Fig. 1)
   --fleet-temporal {iid|episodes} per-node sampling: independent minutes
                                   (default) or Markov job episodes with
                                   dwell times, ramps and idle hand-backs
-  --cap-w W                       what-if power cap: clamp drawn P-states
-                                  to the highest admissible one
+  --cap-w W                       what-if per-node power cap: clamp each
+                                  drawn P-state to the class's highest
+                                  admissible one (per-sample)
+  --budget-w W                    fleet-wide power budget per 60 s tick:
+                                  admit node draws in node-id order,
+                                  resolve the rest via --budget-policy
+  --budget-policy {shed|defer}    shed drops a denied node to its idle
+                                  floor for the tick; defer pushes the
+                                  episode's remaining ticks later
+                                  (default shed)
 
 OPTIMIZATION (§III-C)
   --optimize=NSGA2                run the self-tuning loop
@@ -274,6 +286,11 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
                     .parse::<f64>()
                     .map(Some)
                     .map_err(|_| ()));
+                opt!("--budget-w", cfg.budget_w, |v: &String| v
+                    .parse::<f64>()
+                    .map(Some)
+                    .map_err(|_| ()));
+                opt!("--budget-policy", cfg.budget_policy, id);
                 if !matched {
                     return Err(err(format!("unknown argument `{a}` (see --help)")));
                 }
@@ -294,6 +311,11 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
     if let Some(cap) = cfg.cap_w {
         if cap <= 0.0 || !cap.is_finite() {
             return Err(err("--cap-w must be a positive wattage"));
+        }
+    }
+    if let Some(b) = cfg.budget_w {
+        if b <= 0.0 || !b.is_finite() {
+            return Err(err("--budget-w must be a positive wattage"));
         }
     }
     Ok(cfg)
@@ -345,7 +367,7 @@ Available metrics:
 }
 
 fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
-    use fs2_cluster::{FleetConfig, FleetSim, PowerCdf, TemporalMode};
+    use fs2_cluster::{BudgetPolicy, FleetConfig, FleetSim, PowerCdf, TemporalMode};
 
     let temporal = match cfg.fleet_temporal.to_ascii_lowercase().as_str() {
         "iid" => TemporalMode::Iid,
@@ -356,11 +378,22 @@ fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
             )))
         }
     };
+    let budget_policy = match cfg.budget_policy.to_ascii_lowercase().as_str() {
+        "shed" | "shed-to-floor" => BudgetPolicy::ShedToFloor,
+        "defer" => BudgetPolicy::Defer,
+        other => {
+            return Err(err(format!(
+                "unknown --budget-policy `{other}` (shed or defer)"
+            )))
+        }
+    };
     let mut fleet_cfg = FleetConfig::taurus_haswell_scaled(cfg.nodes);
     fleet_cfg.samples_per_node = cfg.samples_per_node;
     fleet_cfg.threads = cfg.threads;
     fleet_cfg.temporal = temporal;
     fleet_cfg.power_cap_w = cfg.cap_w;
+    fleet_cfg.budget_w = cfg.budget_w;
+    fleet_cfg.budget_policy = budget_policy;
     // Without an explicit --seed the CLI matches the fig01/example
     // pipeline exactly (FleetConfig's own Fig. 1 seed).
     if let Some(seed) = cfg.seed {
@@ -388,9 +421,58 @@ fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
     ));
     if let Some(cap) = cfg.cap_w {
         out.push_str(&format!(
-            "  power cap {cap:.1} W: {} operating points clamped to lower P-states\n",
+            "  power cap {cap:.1} W: {} of {} drawn samples clamped to lower P-states \
+             ({} remap-table cells)\n",
+            run.capped_samples,
+            run.samples.len(),
             run.capped_points
         ));
+        if run.infeasible_points > 0 {
+            out.push_str(&format!(
+                "  warning: {} operating points exceed the cap even at their class's \
+                 lowest-power P-state (cap infeasible for those classes)\n",
+                run.infeasible_points
+            ));
+        }
+    }
+    if let Some(stats) = &run.budget {
+        out.push_str(&format!(
+            "  budget {:.0} W ({}): peak fleet draw {:.0} W, mean {:.0} W, \
+             p95 utilization {:.1} %\n",
+            stats.budget_w,
+            stats.policy.name(),
+            stats.peak_fleet_w,
+            stats.mean_fleet_w,
+            stats.utilization.quantile(0.95) * 100.0
+        ));
+        let shed: u64 = stats.shed_ticks.iter().sum();
+        let deferred: u64 = stats.deferred_ticks.iter().sum();
+        out.push_str(&format!(
+            "  budget denials: {shed} node-ticks shed, {deferred} deferred, \
+             {} proposals truncated past the horizon\n",
+            stats.truncated_proposals
+        ));
+        let denials = if shed > 0 {
+            &stats.shed_ticks
+        } else {
+            &stats.deferred_ticks
+        };
+        if shed + deferred > 0 {
+            out.push_str("  denied per state:");
+            for (state, &n) in stats.states.iter().zip(denials.iter()) {
+                if n > 0 {
+                    out.push_str(&format!(" {state} {n}"));
+                }
+            }
+            out.push('\n');
+        }
+        if stats.infeasible_floor_ticks > 0 {
+            out.push_str(&format!(
+                "  warning: {} ticks where idle floors alone exceed the budget \
+                 (budget infeasible without powering nodes off)\n",
+                stats.infeasible_floor_ticks
+            ));
+        }
     }
     if let Some(stats) = &run.episodes {
         out.push_str(&format!(
@@ -785,8 +867,95 @@ mod tests {
         ))
         .unwrap();
         assert!(capped.contains("power cap 300.0 W"));
-        assert!(capped.contains("clamped to lower P-states"));
+        // Per-sample semantics: the line reports drawn samples, with
+        // the static remap-cell count alongside.
+        assert!(capped.contains("drawn samples clamped to lower P-states"));
+        assert!(capped.contains("remap-table cells"));
         assert_ne!(uncapped, capped);
+    }
+
+    #[test]
+    fn fleet_infeasible_cap_prints_a_warning() {
+        // 150 W sits below every operating point: the fallback P-state
+        // still exceeds the cap and must be called out, not silent.
+        let out = run(&args(
+            "--fleet --nodes 12 --samples-per-node 100 --cap-w 150",
+        ))
+        .unwrap();
+        assert!(
+            out.contains("warning:") && out.contains("exceed the cap"),
+            "missing infeasible-cap warning: {out}"
+        );
+        // A cap above the table prints no warning.
+        let ok = run(&args(
+            "--fleet --nodes 12 --samples-per-node 100 --cap-w 400",
+        ))
+        .unwrap();
+        assert!(!ok.contains("warning:"));
+    }
+
+    #[test]
+    fn fleet_budget_reports_arbitration() {
+        // 12 nodes draw ~146 W each on average; 1500 W binds hard.
+        let budgeted = run(&args(
+            "--fleet --fleet-temporal episodes --nodes 12 --samples-per-node 200 --budget-w 1500",
+        ))
+        .unwrap();
+        assert!(budgeted.contains("budget 1500 W (shed-to-floor)"));
+        assert!(budgeted.contains("peak fleet draw"));
+        assert!(budgeted.contains("node-ticks shed"));
+        assert!(budgeted.contains("denied per state:"));
+        let unbudgeted = run(&args(
+            "--fleet --fleet-temporal episodes --nodes 12 --samples-per-node 200",
+        ))
+        .unwrap();
+        assert!(!unbudgeted.contains("budget"));
+        assert_ne!(budgeted, unbudgeted);
+        // The defer policy is reported and produces a different stream.
+        let deferred = run(&args(
+            "--fleet --fleet-temporal episodes --nodes 12 --samples-per-node 200 \
+             --budget-w 1500 --budget-policy defer",
+        ))
+        .unwrap();
+        assert!(deferred.contains("budget 1500 W (defer)"));
+        assert_ne!(deferred, budgeted);
+        // The budget also arbitrates the i.i.d. sampler.
+        let iid = run(&args(
+            "--fleet --nodes 12 --samples-per-node 200 --budget-w 1500",
+        ))
+        .unwrap();
+        assert!(iid.contains("budget 1500 W"));
+    }
+
+    #[test]
+    fn fleet_budget_is_thread_count_invariant() {
+        for policy in ["shed", "defer"] {
+            let a = run(&args(&format!(
+                "--fleet --fleet-temporal episodes --nodes 8 --samples-per-node 100 \
+                 --budget-w 1000 --budget-policy {policy} --threads 1"
+            )))
+            .unwrap();
+            let b = run(&args(&format!(
+                "--fleet --fleet-temporal episodes --nodes 8 --samples-per-node 100 \
+                 --budget-w 1000 --budget-policy {policy} --threads 4"
+            )))
+            .unwrap();
+            assert_eq!(a, b, "{policy}: budgeted CDF depends on thread count");
+        }
+    }
+
+    #[test]
+    fn fleet_infeasible_budget_prints_a_warning() {
+        // 12 nodes x ~83 W idle floor ≈ 1 kW: a 500 W budget is below
+        // the unconditional floors on every tick.
+        let out = run(&args(
+            "--fleet --nodes 12 --samples-per-node 50 --budget-w 500",
+        ))
+        .unwrap();
+        assert!(
+            out.contains("idle floors alone exceed the budget"),
+            "missing infeasible-budget warning: {out}"
+        );
     }
 
     #[test]
@@ -807,6 +976,10 @@ mod tests {
         assert!(run(&args("--fleet --cap-w 0")).is_err());
         assert!(run(&args("--fleet --cap-w -10")).is_err());
         assert!(run(&args("--fleet --cap-w watts")).is_err());
+        assert!(run(&args("--fleet --budget-w 0")).is_err());
+        assert!(run(&args("--fleet --budget-w -5")).is_err());
+        assert!(run(&args("--fleet --budget-w watts")).is_err());
+        assert!(run(&args("--fleet --budget-w 1000 --budget-policy bogus")).is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! style as `tests/props.rs`).
 
 use firestarter2::cluster::{
-    EpisodeModel, EpisodeWalk, FleetConfig, FleetSim, JobMix, PowerCdf, TemporalMode,
+    BudgetPolicy, EpisodeModel, EpisodeWalk, FleetConfig, FleetSim, JobMix, PowerCdf, TemporalMode,
 };
 
 /// xorshift64* — deterministic case generator for the property loops.
@@ -139,11 +139,12 @@ fn episode_fleet_stats_track_model_and_correlate() {
 
 /// Property (b): per-node episode walks are a pure function of
 /// `(seed, node_id)`, so the fleet's sample stream is invariant to the
-/// sweep thread count — including under a power cap.
+/// sweep thread count — including under a power cap and under fleet
+/// budget arbitration (both policies).
 #[test]
 fn episode_walks_are_invariant_to_thread_count() {
     let mut cases = Cases::new(0x7128_EAD5);
-    for case in 0..4 {
+    for case in 0..6 {
         let nodes = 4 + cases.below(12) as u32;
         let samples = 100 + cases.below(300) as u32;
         let mut cfg = FleetConfig {
@@ -155,6 +156,17 @@ fn episode_walks_are_invariant_to_thread_count() {
         if case % 2 == 1 {
             cfg.power_cap_w = Some(280.0 + cases.unit() * 60.0);
         }
+        if case >= 2 {
+            // A binding-but-feasible budget: above the idle-floor sum
+            // (~90 W per node), below the unconstrained mean draw
+            // (~146 W per node).
+            cfg.budget_w = Some(f64::from(nodes) * (100.0 + cases.unit() * 40.0));
+            cfg.budget_policy = if case % 2 == 0 {
+                BudgetPolicy::ShedToFloor
+            } else {
+                BudgetPolicy::Defer
+            };
+        }
         let runs: Vec<Vec<f64>> = [1usize, 2, 5]
             .iter()
             .map(|&threads| {
@@ -165,6 +177,60 @@ fn episode_walks_are_invariant_to_thread_count() {
             .collect();
         assert_eq!(runs[0], runs[1], "case {case}: 2 threads diverged");
         assert_eq!(runs[0], runs[2], "case {case}: 5 threads diverged");
+    }
+}
+
+/// Budget property: with `budget_w` set, the fleet-wide sum of node
+/// draws never exceeds the budget in any synchronized 60 s tick, for
+/// either policy and either temporal mode, across random fleet shapes
+/// and budgets — as long as the budget covers the unconditional idle
+/// floors.
+#[test]
+fn fleet_budget_bounds_every_tick_sum() {
+    let mut cases = Cases::new(0xB0D6_E701);
+    for case in 0..6 {
+        let nodes = 6 + cases.below(12) as u32;
+        let spn = 100 + cases.below(200) as usize;
+        let budget_w = f64::from(nodes) * (95.0 + cases.unit() * 50.0);
+        let policy = if case % 2 == 0 {
+            BudgetPolicy::ShedToFloor
+        } else {
+            BudgetPolicy::Defer
+        };
+        let temporal = if case % 3 == 0 {
+            TemporalMode::Iid
+        } else {
+            TemporalMode::Episodes
+        };
+        let run = FleetSim::new(FleetConfig {
+            samples_per_node: spn as u32,
+            temporal,
+            seed: cases.next_u64(),
+            budget_w: Some(budget_w),
+            budget_policy: policy,
+            ..FleetConfig::taurus_haswell_scaled(nodes)
+        })
+        .run();
+        let stats = run.budget.as_ref().expect("budget stats");
+        assert_eq!(
+            stats.infeasible_floor_ticks, 0,
+            "case {case}: budget {budget_w} fell below the idle floors"
+        );
+        // Samples are node-major with a uniform horizon.
+        let n = run.samples.len() / spn;
+        let tick_sums: Vec<f64> = (0..spn)
+            .map(|t| (0..n).map(|i| run.samples[i * spn + t]).sum())
+            .collect();
+        for (t, &sum) in tick_sums.iter().enumerate() {
+            assert!(
+                sum <= budget_w + 1e-9,
+                "case {case} ({policy:?}, {temporal:?}), tick {t}: \
+                 fleet draw {sum} exceeds budget {budget_w}"
+            );
+        }
+        // The reported peak matches the emitted stream's peak.
+        let peak = tick_sums.into_iter().fold(0.0, f64::max);
+        assert!((peak - stats.peak_fleet_w).abs() < 1e-6, "case {case}");
     }
 }
 
