@@ -1,6 +1,7 @@
-//! Micro-benchmark for the engine-layer optimizations: the pre-decoded
-//! functional executor vs. the old per-`Inst` match dispatch, and the
-//! payload cache vs. rebuilding.
+//! Micro-benchmark for the engine-layer optimizations: the three
+//! functional-executor tiers (interpreted → pre-decoded → SoA
+//! lane-vectorized), the engine's ExecStats cache, and the payload
+//! cache vs rebuilding.
 //!
 //! Writes the measured baseline to `BENCH_engine.json` (pass an output
 //! path as the first argument to override). Criterion is unavailable
@@ -13,7 +14,7 @@
 use fs2_arch::Sku;
 use fs2_bench::timing::median_ns;
 use fs2_core::engine::Engine;
-use fs2_sim::{DecodedKernel, Executor, InitScheme};
+use fs2_sim::{run_functional, DecodedKernel, Executor, InitScheme};
 use std::fmt::Write as _;
 use std::hint::black_box;
 
@@ -32,6 +33,7 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
     let engine = Engine::new(Sku::amd_epyc_7502());
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut cases: Vec<Case> = Vec::new();
 
     // Executor dispatch: the runner's per-candidate functional pass is
@@ -53,35 +55,70 @@ fn main() {
         ns_per_iter: interpreted,
     });
 
-    let decoded_fresh = time_ns(40, || {
+    let table = DecodedKernel::new(kernel);
+    let predecoded = time_ns(40, || {
         let mut ex = Executor::new(InitScheme::V2Safe, 42);
-        ex.run(black_box(kernel), FUNC_ITERS); // includes pre-decode
+        ex.run_predecoded(black_box(&table), FUNC_ITERS);
         black_box(ex.state_hash());
     });
     cases.push(Case {
         name: "exec_predecoded_100_iters",
-        ns_per_iter: decoded_fresh,
+        ns_per_iter: predecoded,
     });
 
-    let table = DecodedKernel::new(kernel);
-    let decoded_reused = time_ns(40, || {
+    let soa = time_ns(40, || {
         let mut ex = Executor::new(InitScheme::V2Safe, 42);
         ex.run_decoded(black_box(&table), FUNC_ITERS);
         black_box(ex.state_hash());
     });
     cases.push(Case {
-        name: "exec_predecoded_reused_table_100_iters",
-        ns_per_iter: decoded_reused,
+        name: "exec_soa_100_iters",
+        ns_per_iter: soa,
     });
 
-    // Sanity: both dispatchers agree before we publish numbers.
+    // Sanity: all three tiers agree before we publish numbers.
     {
         let mut a = Executor::new(InitScheme::V2Safe, 7);
         let mut b = Executor::new(InitScheme::V2Safe, 7);
-        a.run(kernel, FUNC_ITERS);
+        let mut c = Executor::new(InitScheme::V2Safe, 7);
+        a.run_decoded(&table, FUNC_ITERS);
         b.run_interpreted(kernel, FUNC_ITERS);
+        c.run_predecoded(&table, FUNC_ITERS);
         assert_eq!(a.state_hash(), b.state_hash(), "dispatch paths diverge");
+        assert_eq!(a.state_hash(), c.state_hash(), "baseline tier diverges");
+        assert_eq!(a.stats(), b.stats(), "stats accounting diverges");
     }
+
+    // ExecStats cache: a cold functional pass (the SoA executor end to
+    // end, packaged as a FunctionalOutcome) vs the engine serving the
+    // same (payload, init, seed, iters) tuple from its cache.
+    let exec_cfg = engine.config_for_spec("REG:2,L1_LS:1").expect("static");
+    let exec_cold = time_ns(40, || {
+        black_box(run_functional(
+            black_box(&table),
+            InitScheme::V2Safe,
+            42,
+            FUNC_ITERS,
+        ));
+    });
+    cases.push(Case {
+        name: "exec_stats_cold_100_iters",
+        ns_per_iter: exec_cold,
+    });
+
+    let _ = engine.functional_outcome(&exec_cfg, InitScheme::V2Safe, 42, FUNC_ITERS);
+    let exec_hit = time_ns(400, || {
+        black_box(engine.functional_outcome(
+            black_box(&exec_cfg),
+            InitScheme::V2Safe,
+            42,
+            FUNC_ITERS,
+        ));
+    });
+    cases.push(Case {
+        name: "exec_stats_cache_hit",
+        ns_per_iter: exec_hit,
+    });
 
     // Payload cache: cold build vs cached lookup of a paper-scale
     // payload (u = 1400, five access groups).
@@ -109,18 +146,23 @@ fn main() {
         ns_per_iter: warm,
     });
 
-    let speedup_exec = interpreted / decoded_reused;
+    let speedup_predecoded = interpreted / predecoded;
+    let speedup_soa = predecoded / soa;
+    let speedup_exec_cache = exec_cold / exec_hit;
     let speedup_cache = cold / warm;
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"benchmark\": \"engine layer: pre-decoded executor and payload cache\",\n");
+    json.push_str(
+        "  \"benchmark\": \"engine layer: SoA executor, ExecStats cache, payload cache\",\n",
+    );
     json.push_str("  \"workloads\": {\n");
     json.push_str(
         "    \"executor\": \"REG:2,L1_LS:1 (default unroll), 100 functional iterations\",\n",
     );
     let _ = writeln!(json, "    \"payload\": \"{spec} @ u=1400\"");
     json.push_str("  },\n");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
     json.push_str("  \"cases_ns\": {\n");
     for (i, c) in cases.iter().enumerate() {
         let comma = if i + 1 < cases.len() { "," } else { "" };
@@ -129,7 +171,12 @@ fn main() {
     json.push_str("  },\n");
     let _ = writeln!(
         json,
-        "  \"speedup_predecoded_vs_interpreted\": {speedup_exec:.2},"
+        "  \"speedup_predecoded_vs_interpreted\": {speedup_predecoded:.2},"
+    );
+    let _ = writeln!(json, "  \"speedup_soa_vs_predecoded\": {speedup_soa:.2},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_exec_stats_cache_hit\": {speedup_exec_cache:.1},"
     );
     let _ = writeln!(
         json,
@@ -137,12 +184,14 @@ fn main() {
     );
     json.push_str("}\n");
 
-    println!("### bench_engine — pre-decoded executor vs per-Inst dispatch\n");
+    println!("### bench_engine — functional-executor tiers and engine caches\n");
     for c in &cases {
         println!("{:<42} {:>12.0} ns/iter", c.name, c.ns_per_iter);
     }
-    println!("\npre-decoded executor speedup: {speedup_exec:.2}x");
-    println!("payload cache hit vs rebuild: {speedup_cache:.1}x");
+    println!("\npre-decoded vs interpreted:    {speedup_predecoded:.2}x");
+    println!("SoA vectorized vs pre-decoded: {speedup_soa:.2}x");
+    println!("ExecStats cache hit vs cold:   {speedup_exec_cache:.1}x");
+    println!("payload cache hit vs rebuild:  {speedup_cache:.1}x");
 
     std::fs::write(&out_path, json).expect("write benchmark baseline");
     eprintln!("wrote {out_path}");

@@ -214,6 +214,10 @@ fn main() {
     let _ = writeln!(json, "    \"spec_misses\": {},", s.spec_misses);
     let _ = writeln!(json, "    \"unroll_hits\": {},", s.unroll_hits);
     let _ = writeln!(json, "    \"unroll_misses\": {},", s.unroll_misses);
+    let _ = writeln!(json, "    \"decoded_hits\": {},", s.decoded_hits);
+    let _ = writeln!(json, "    \"decoded_misses\": {},", s.decoded_misses);
+    let _ = writeln!(json, "    \"exec_hits\": {},", s.exec_hits);
+    let _ = writeln!(json, "    \"exec_misses\": {},", s.exec_misses);
     let _ = writeln!(json, "    \"evals\": {}", s.evals);
     json.push_str("  }\n");
     json.push_str("}\n");

@@ -101,15 +101,20 @@ pub fn cross_evaluate(quick: bool) -> Matrix {
         0,
         |_, _| 480_000,
         |engine, _, (opt_freq, groups, unroll, test_freq)| {
-            let payload = engine.payload(&PayloadConfig {
+            let config = PayloadConfig {
                 mix,
                 groups: groups.clone(),
                 unroll: *unroll,
-            });
+            };
             let mut session = engine.session();
             session.hold_power(240.0, 20.0, 400.0); // preheated node
-            let r = session.run_payload(
-                &payload,
+
+            // Session::run goes through the engine cache tiers: the
+            // three test frequencies of one workload share a single
+            // functional pass (the §III-D value pass is frequency-
+            // independent), so only payload-distinct cells pay it.
+            let r = session.run(
+                &config,
                 &RunConfig {
                     freq_mhz: *test_freq,
                     duration_s: 240.0,

@@ -4,7 +4,7 @@
 //!
 //! Paper: 305.6 W (1.7.4) vs 314.1 W (2.0) — the fix gains ≈ 8.5 W.
 
-use crate::experiments::common::{engine_for, payload_for};
+use crate::experiments::common::engine_for;
 use crate::report::{w, Report};
 use fs2_arch::Sku;
 use fs2_core::legacy::Version;
@@ -20,12 +20,12 @@ pub struct VersionRun {
 pub fn compare() -> (VersionRun, VersionRun) {
     let engine = engine_for(Sku::amd_epyc_7502());
     let sku = engine.sku().clone();
-    let payload = payload_for(&engine, "REG:1");
+    let config = engine.config_for_spec("REG:1").expect("static spec");
     let measure = |init: InitScheme, version: Version| {
         let mut session = engine.session();
         session.hold_power(240.0, 20.0, 310.0); // warm node, like the lab
-        let r = session.run_payload(
-            &payload,
+        let r = session.run(
+            &config,
             &RunConfig {
                 freq_mhz: f64::from(sku.nominal_mhz()),
                 duration_s: 240.0,

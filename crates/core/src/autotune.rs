@@ -116,17 +116,18 @@ impl Problem for FirestarterProblem<'_> {
 
     fn evaluate(&mut self, genes: &[u32]) -> Vec<f64> {
         let groups = genes_to_groups(genes);
-        // Payloads come from the engine cache: a genome revisited across
-        // generations (or by a later tuning run sharing the engine) costs
-        // a lookup instead of a rebuild.
-        let payload = self.engine.payload(&PayloadConfig {
+        // Candidates go through every engine cache tier: a genome
+        // revisited across generations (or by a later tuning run sharing
+        // the engine) costs a payload lookup instead of a rebuild, and
+        // its functional pass is served from the ExecStats cache.
+        // Candidates still run back-to-back: the runner clock simply
+        // advances — no recompile, no idle gap (the Fig. 7 property).
+        let config = PayloadConfig {
             mix: self.cfg.mix,
             groups,
             unroll: self.unroll,
-        });
-        // Candidates run back-to-back: the runner clock simply advances —
-        // no recompile, no idle gap (the Fig. 7 property).
-        let result = self.runner.run(&payload, &self.run_cfg);
+        };
+        let result = self.engine.run_on(self.runner, &config, &self.run_cfg);
         vec![result.power.mean, result.ipc]
     }
 }
@@ -162,11 +163,11 @@ impl AutoTuner {
 
         // Preheat with the default workload to cancel thermal effects.
         if cfg.preheat_s > 0.0 {
-            let preheat_payload = engine.payload(&PayloadConfig {
+            let preheat_config = PayloadConfig {
                 mix: cfg.mix,
                 groups: reg_only,
                 unroll,
-            });
+            };
             let preheat_cfg = RunConfig {
                 freq_mhz: freq,
                 duration_s: cfg.preheat_s,
@@ -175,7 +176,7 @@ impl AutoTuner {
                 functional_iters: 200,
                 ..RunConfig::default()
             };
-            let _ = runner.run(&preheat_payload, &preheat_cfg);
+            let _ = engine.run_on(runner, &preheat_config, &preheat_cfg);
         }
 
         // Short per-candidate windows: with -t 10 the paper-equivalent

@@ -27,10 +27,10 @@ use crate::payload::{build_payload, default_unroll, Payload, PayloadConfig};
 use crate::runner::{RunConfig, RunResult, Runner};
 use fs2_arch::Sku;
 use fs2_power::{solve_throttle, NodePowerModel, ThrottleResult};
-use fs2_sim::SystemSim;
+use fs2_sim::{run_functional, DecodedKernel, FunctionalOutcome, InitScheme, SystemSim};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Cache key: the full workload specification `(I, u, M)`. The engine is
 /// per-SKU, so the SKU is not part of the key.
@@ -51,7 +51,29 @@ impl PayloadKey {
     }
 }
 
-/// Snapshot of the payload-cache counters.
+/// One payload-cache slot: the built payload plus its lazily decoded
+/// micro-op table. The decode is memoized per cache entry, so repeat
+/// runs of a cached payload (every NSGA-II re-evaluation, every fleet
+/// warm-up) replay the same shared [`DecodedKernel`] instead of
+/// re-decoding the instruction stream per run.
+struct PayloadEntry {
+    payload: Arc<Payload>,
+    decoded: OnceLock<Arc<DecodedKernel>>,
+}
+
+/// ExecStats-cache key: a [`FunctionalOutcome`] is a pure function of
+/// `(payload, init scheme, executor seed, iteration count)`, nothing
+/// else — which is exactly what makes memoizing it sound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ExecKey {
+    payload: PayloadKey,
+    init: InitScheme,
+    seed: u64,
+    iters: u64,
+}
+
+/// Snapshot of the engine's cache counters — all three tiers: payload
+/// builds, kernel decodes, and functional (ExecStats) passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Requests answered from the cache.
@@ -60,6 +82,16 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct payloads currently cached.
     pub entries: usize,
+    /// Decoded-kernel requests served from a memoized table.
+    pub decoded_hits: u64,
+    /// Decoded-kernel requests that ran the decoder.
+    pub decoded_misses: u64,
+    /// Functional passes answered from the ExecStats cache.
+    pub exec_hits: u64,
+    /// Functional passes executed live (then cached).
+    pub exec_misses: u64,
+    /// Distinct `(payload, init, seed, iters)` outcomes cached.
+    pub exec_entries: usize,
 }
 
 impl CacheStats {
@@ -76,9 +108,14 @@ pub struct Engine {
     sku: Sku,
     sim: SystemSim,
     power_model: NodePowerModel,
-    cache: Mutex<HashMap<PayloadKey, Arc<Payload>>>,
+    cache: Mutex<HashMap<PayloadKey, Arc<PayloadEntry>>>,
+    exec_cache: Mutex<HashMap<ExecKey, Arc<FunctionalOutcome>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    decoded_hits: AtomicU64,
+    decoded_misses: AtomicU64,
+    exec_hits: AtomicU64,
+    exec_misses: AtomicU64,
     evals: AtomicU64,
     seed: u64,
 }
@@ -96,8 +133,13 @@ impl Engine {
             power_model: NodePowerModel::new(sku.clone()),
             sku,
             cache: Mutex::new(HashMap::new()),
+            exec_cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            decoded_hits: AtomicU64::new(0),
+            decoded_misses: AtomicU64::new(0),
+            exec_hits: AtomicU64::new(0),
+            exec_misses: AtomicU64::new(0),
             evals: AtomicU64::new(0),
             seed,
         }
@@ -130,14 +172,18 @@ impl Engine {
         self.power_model.idle_power().total_w()
     }
 
-    /// Returns the payload for `config`, building it at most once.
-    /// Cached payloads are deterministic: a hit hands back the same
-    /// `machine_code` bytes a fresh [`build_payload`] would produce.
-    pub fn payload(&self, config: &PayloadConfig) -> Arc<Payload> {
-        let key = PayloadKey::of(config);
-        if let Some(p) = self.cache.lock().expect("payload cache poisoned").get(&key) {
+    /// The cache entry for `config`, building the payload at most once.
+    fn entry(&self, config: &PayloadConfig) -> Arc<PayloadEntry> {
+        self.entry_with(&PayloadKey::of(config), config)
+    }
+
+    /// [`Engine::entry`] for a caller that already computed the key
+    /// (`run_on` builds it once and reuses it for the ExecStats tier —
+    /// one groups-vector clone per run instead of two).
+    fn entry_with(&self, key: &PayloadKey, config: &PayloadConfig) -> Arc<PayloadEntry> {
+        if let Some(e) = self.cache.lock().expect("payload cache poisoned").get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(p);
+            return Arc::clone(e);
         }
         // Build outside the lock: payload generation is the expensive
         // part, and concurrent sweep workers must not serialize on it.
@@ -146,9 +192,12 @@ impl Engine {
         // drop their (identical) copy, take the winner's Arc, and count
         // as late hits — so `misses` equals the number of distinct
         // payloads ever built into the cache.
-        let built = Arc::new(build_payload(&self.sku, config));
+        let built = Arc::new(PayloadEntry {
+            payload: Arc::new(build_payload(&self.sku, config)),
+            decoded: OnceLock::new(),
+        });
         let mut cache = self.cache.lock().expect("payload cache poisoned");
-        match cache.entry(key) {
+        match cache.entry(key.clone()) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Arc::clone(e.get())
@@ -157,6 +206,130 @@ impl Engine {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 Arc::clone(v.insert(built))
             }
+        }
+    }
+
+    /// Returns the payload for `config`, building it at most once.
+    /// Cached payloads are deterministic: a hit hands back the same
+    /// `machine_code` bytes a fresh [`build_payload`] would produce.
+    pub fn payload(&self, config: &PayloadConfig) -> Arc<Payload> {
+        Arc::clone(&self.entry(config).payload)
+    }
+
+    /// The cached payload for `config` together with its memoized
+    /// micro-op table. The decode runs at most once per cache entry —
+    /// every later run of the same payload (any seed, any init scheme)
+    /// replays the shared table.
+    pub fn payload_decoded(&self, config: &PayloadConfig) -> (Arc<Payload>, Arc<DecodedKernel>) {
+        let entry = self.entry(config);
+        let decoded = self.decoded_of(&entry);
+        (Arc::clone(&entry.payload), decoded)
+    }
+
+    /// The entry's memoized micro-op table, decoding on first request.
+    fn decoded_of(&self, entry: &PayloadEntry) -> Arc<DecodedKernel> {
+        match entry.decoded.get() {
+            Some(d) => {
+                self.decoded_hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(d)
+            }
+            // OnceLock runs the init closure exactly once even under a
+            // race, so `decoded_misses` counts distinct decodes; a racer
+            // that blocked on the winner counts neither hit nor miss.
+            None => Arc::clone(entry.decoded.get_or_init(|| {
+                self.decoded_misses.fetch_add(1, Ordering::Relaxed);
+                Arc::new(DecodedKernel::new(&entry.payload.kernel))
+            })),
+        }
+    }
+
+    /// The functional (§III-D value-level) outcome of running `config`'s
+    /// payload for `iters` iterations from `(init, seed)`, served from
+    /// the ExecStats cache when this exact tuple ran before. The outcome
+    /// — [`fs2_sim::ExecStats`], state hash, register file — is a pure
+    /// function of the key, so a hit is bit-identical to a live pass.
+    pub fn functional_outcome(
+        &self,
+        config: &PayloadConfig,
+        init: InitScheme,
+        seed: u64,
+        iters: u64,
+    ) -> Arc<FunctionalOutcome> {
+        let key = PayloadKey::of(config);
+        let entry = self.entry_with(&key, config);
+        let decoded = self.decoded_of(&entry);
+        self.functional_outcome_keyed(key, &decoded, init, seed, iters)
+    }
+
+    /// [`Engine::functional_outcome`] for a caller already holding the
+    /// payload key and decoded table (no second payload-cache lookup or
+    /// groups clone; a miss replays `decoded` directly).
+    fn functional_outcome_keyed(
+        &self,
+        payload: PayloadKey,
+        decoded: &DecodedKernel,
+        init: InitScheme,
+        seed: u64,
+        iters: u64,
+    ) -> Arc<FunctionalOutcome> {
+        let key = ExecKey {
+            payload,
+            init,
+            seed,
+            iters,
+        };
+        if let Some(o) = self
+            .exec_cache
+            .lock()
+            .expect("exec cache poisoned")
+            .get(&key)
+        {
+            self.exec_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(o);
+        }
+        // Same discipline as the payload cache: run outside the lock,
+        // entry-based insert so a same-key race counts one miss.
+        let outcome = Arc::new(run_functional(decoded, init, seed, iters));
+        let mut cache = self.exec_cache.lock().expect("exec cache poisoned");
+        match cache.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.exec_hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(e.get())
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.exec_misses.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(v.insert(outcome))
+            }
+        }
+    }
+
+    /// Runs `config`'s payload on `runner` through every cache tier:
+    /// cached payload, memoized decoded kernel, and — for clean runs —
+    /// the ExecStats cache, which skips the functional pass entirely on
+    /// a hit. Armed fault injections replay the functional pass live
+    /// (their second executor is perturbed, so no cached outcome
+    /// describes them). Results are bit-identical to
+    /// [`Runner::run_kernel`] in every case.
+    pub fn run_on(
+        &self,
+        runner: &mut Runner,
+        config: &PayloadConfig,
+        cfg: &RunConfig,
+    ) -> RunResult {
+        let key = PayloadKey::of(config);
+        let entry = self.entry_with(&key, config);
+        let decoded = self.decoded_of(&entry);
+        if runner.has_pending_fault() {
+            runner.run_prepared(&entry.payload.kernel, &decoded, cfg)
+        } else {
+            let outcome = self.functional_outcome_keyed(
+                key,
+                &decoded,
+                cfg.init,
+                runner.seed(),
+                cfg.functional_iters,
+            );
+            runner.run_with_functional(&entry.payload.kernel, &outcome, cfg)
         }
     }
 
@@ -194,12 +367,17 @@ impl Engine {
         })
     }
 
-    /// Current cache counters.
+    /// Current cache counters (all three tiers).
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.cache.lock().expect("payload cache poisoned").len(),
+            decoded_hits: self.decoded_hits.load(Ordering::Relaxed),
+            decoded_misses: self.decoded_misses.load(Ordering::Relaxed),
+            exec_hits: self.exec_hits.load(Ordering::Relaxed),
+            exec_misses: self.exec_misses.load(Ordering::Relaxed),
+            exec_entries: self.exec_cache.lock().expect("exec cache poisoned").len(),
         }
     }
 
@@ -377,10 +555,10 @@ impl<'e> Session<'e> {
     }
 
     /// Runs the cached payload for `config` under `run_cfg`, advancing
-    /// the session clock.
+    /// the session clock. Goes through all three engine cache tiers
+    /// (payload → decoded kernel → ExecStats); see [`Engine::run_on`].
     pub fn run(&mut self, config: &PayloadConfig, run_cfg: &RunConfig) -> RunResult {
-        let payload = self.engine.payload(config);
-        self.runner.run(&payload, run_cfg)
+        self.engine.run_on(&mut self.runner, config, run_cfg)
     }
 
     /// Runs the cached payload for a group string (default mix/unroll).
@@ -630,6 +808,105 @@ mod tests {
                 Arc::ptr_eq(p, &cached),
                 "every caller must observe the single cached Arc"
             );
+        }
+    }
+
+    #[test]
+    fn decoded_kernel_is_memoized_per_payload_entry() {
+        let e = engine();
+        let cfg = e.config_for_spec("REG:2,L1_LS:1").unwrap();
+        let (p1, d1) = e.payload_decoded(&cfg);
+        let (p2, d2) = e.payload_decoded(&cfg);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert!(Arc::ptr_eq(&d1, &d2), "decode must run once per entry");
+        let s = e.cache_stats();
+        assert_eq!((s.decoded_hits, s.decoded_misses), (1, 1));
+        // A different payload gets its own table.
+        let cfg2 = e.config_for_spec("REG:1").unwrap();
+        let (_, d3) = e.payload_decoded(&cfg2);
+        assert!(!Arc::ptr_eq(&d1, &d3));
+        assert_eq!(e.cache_stats().decoded_misses, 2);
+    }
+
+    #[test]
+    fn exec_stats_cache_hits_are_bit_identical() {
+        let e = engine();
+        let cfg = e.config_for_spec("REG:2,L1_LS:1").unwrap();
+        let cold = e.functional_outcome(&cfg, InitScheme::V2Safe, 7, 120);
+        let warm = e.functional_outcome(&cfg, InitScheme::V2Safe, 7, 120);
+        assert!(Arc::ptr_eq(&cold, &warm), "hit must return the cached Arc");
+        let s = e.cache_stats();
+        assert_eq!((s.exec_hits, s.exec_misses, s.exec_entries), (1, 1, 1));
+
+        // The cached outcome equals an uncached executor pass, bit for bit.
+        let (_, decoded) = e.payload_decoded(&cfg);
+        let live = fs2_sim::run_functional(&decoded, InitScheme::V2Safe, 7, 120);
+        assert_eq!(*cold, live);
+
+        // Init scheme, seed, and iteration count are all part of the key.
+        let _ = e.functional_outcome(&cfg, InitScheme::V174Buggy, 7, 120);
+        let _ = e.functional_outcome(&cfg, InitScheme::V2Safe, 8, 120);
+        let _ = e.functional_outcome(&cfg, InitScheme::V2Safe, 7, 121);
+        assert_eq!(e.cache_stats().exec_entries, 4);
+    }
+
+    #[test]
+    fn session_run_hits_exec_cache_on_repeat() {
+        let e = engine();
+        let cfg = e.config_for_spec("REG:2,L1_LS:1").unwrap();
+        let run_cfg = quick_cfg(1500.0);
+        let first = e.session().run(&cfg, &run_cfg);
+        let second = e.session().run(&cfg, &run_cfg);
+        assert_eq!(first.power, second.power);
+        assert_eq!(first.trivial_fraction, second.trivial_fraction);
+        let s = e.cache_stats();
+        assert_eq!(s.exec_misses, 1, "one live functional pass");
+        assert_eq!(s.exec_hits, 1, "repeat run must be served from cache");
+        assert_eq!(s.decoded_misses, 1, "one decode for both runs");
+    }
+
+    #[test]
+    fn fault_injection_bypasses_the_exec_cache() {
+        let e = engine();
+        let cfg = e.config_for_spec("REG:2,L1_LS:1").unwrap();
+        let mut run_cfg = quick_cfg(1500.0);
+        run_cfg.error_detection = true;
+
+        // Warm every tier with a clean run.
+        let clean = e.session().run(&cfg, &run_cfg);
+        assert_eq!(clean.error_check_passed, Some(true));
+        let warm = e.cache_stats();
+
+        // An armed fault must replay the functional pass live and detect
+        // the divergence — a cached outcome would report a clean pass.
+        let mut session = e.session();
+        session.inject_fault_next_run(2, 5, 51);
+        let faulted = session.run(&cfg, &run_cfg);
+        assert_eq!(faulted.error_check_passed, Some(false));
+        let s = e.cache_stats();
+        assert_eq!(s.exec_hits, warm.exec_hits, "fault run must not hit");
+        assert_eq!(s.exec_misses, warm.exec_misses, "fault run must not fill");
+
+        // The fault is one-shot: the next run is clean and cache-served.
+        let after = session.run(&cfg, &run_cfg);
+        assert_eq!(after.error_check_passed, Some(true));
+        assert_eq!(e.cache_stats().exec_hits, warm.exec_hits + 1);
+    }
+
+    #[test]
+    fn concurrent_exec_requests_converge_to_one_entry() {
+        let e = engine();
+        let cfg = e.config_for_spec("REG:2,L1_LS:1").unwrap();
+        let items = vec![(); 8];
+        let outcomes = e.sweep(&items, 4, |e, _, _| {
+            e.functional_outcome(&cfg, InitScheme::V2Safe, 5, 100)
+        });
+        let s = e.cache_stats();
+        assert_eq!(s.exec_entries, 1);
+        assert_eq!(s.exec_misses, 1, "racing passes must count one miss");
+        assert_eq!(s.exec_hits + s.exec_misses, 8);
+        for o in &outcomes {
+            assert_eq!(o.state_hash, outcomes[0].state_hash);
         }
     }
 

@@ -47,6 +47,14 @@ pub struct RegistryStats {
     pub unroll_hits: u64,
     /// Unroll derivations computed fresh.
     pub unroll_misses: u64,
+    /// Kernel decodes served from memoized tables, summed over engines.
+    pub decoded_hits: u64,
+    /// Kernel decodes run fresh, summed over all engines.
+    pub decoded_misses: u64,
+    /// Functional passes served from the ExecStats caches.
+    pub exec_hits: u64,
+    /// Functional passes executed live (then cached).
+    pub exec_misses: u64,
     /// `Engine::eval` operating-point solves summed over all engines.
     pub evals: u64,
 }
@@ -213,6 +221,10 @@ impl EngineRegistry {
             s.payload_hits += c.hits;
             s.payload_misses += c.misses;
             s.payload_entries += c.entries;
+            s.decoded_hits += c.decoded_hits;
+            s.decoded_misses += c.decoded_misses;
+            s.exec_hits += c.exec_hits;
+            s.exec_misses += c.exec_misses;
             s.evals += e.eval_count();
         }
         s

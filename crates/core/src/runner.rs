@@ -10,7 +10,9 @@ use fs2_arch::Sku;
 use fs2_metrics::metric::Summary;
 use fs2_metrics::TimeSeries;
 use fs2_power::{solve_throttle, NodePowerModel, PowerBreakdown};
-use fs2_sim::{DecodedKernel, Executor, HwEvents, InitScheme, Kernel, SimClock, SystemSim};
+use fs2_sim::{
+    DecodedKernel, Executor, FunctionalOutcome, HwEvents, InitScheme, Kernel, SimClock, SystemSim,
+};
 
 /// Per-run parameters (CLI: `-t`, `--start-delta`, `--stop-delta`, …).
 #[derive(Debug, Clone, PartialEq)]
@@ -146,6 +148,19 @@ impl Runner {
         self.sim.sku()
     }
 
+    /// The seed functional executors are created with — part of the
+    /// engine's ExecStats cache key.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when a fault is armed for the next error-detection run.
+    /// Fault runs must replay the functional pass live (the engine's
+    /// ExecStats cache only describes clean executions).
+    pub fn has_pending_fault(&self) -> bool {
+        self.pending_fault.is_some()
+    }
+
     pub fn clock(&self) -> &SimClock {
         &self.clock
     }
@@ -203,24 +218,32 @@ impl Runner {
         self.run_kernel(&payload.kernel, cfg)
     }
 
-    /// Runs a raw kernel (used by baselines and tests).
+    /// Runs a raw kernel (used by baselines and tests). Pre-decodes the
+    /// kernel once for the run; callers that already hold a cached
+    /// [`DecodedKernel`] (the engine) use [`Runner::run_prepared`]
+    /// instead and skip the decode entirely.
     pub fn run_kernel(&mut self, kernel: &Kernel, cfg: &RunConfig) -> RunResult {
-        let freq = if cfg.freq_mhz > 0.0 {
-            cfg.freq_mhz
-        } else {
-            f64::from(self.sku().nominal_mhz())
-        };
-
-        // 1. Value-level execution: operand triviality + error detection.
-        // The kernel is pre-decoded once and replayed; the error-detection
-        // second pass reuses the same micro-op table.
         let decoded = DecodedKernel::new(kernel);
+        self.run_prepared(kernel, &decoded, cfg)
+    }
+
+    /// Runs a kernel whose micro-op table is already decoded (the
+    /// engine memoizes one `DecodedKernel` per cached payload). The
+    /// error-detection second pass replays the same shared table — the
+    /// kernel is never decoded twice within a run.
+    pub fn run_prepared(
+        &mut self,
+        kernel: &Kernel,
+        decoded: &DecodedKernel,
+        cfg: &RunConfig,
+    ) -> RunResult {
+        // 1. Value-level execution: operand triviality + error detection.
         let mut ex0 = Executor::new(cfg.init, self.seed);
-        ex0.run_decoded(&decoded, cfg.functional_iters);
+        ex0.run_decoded(decoded, cfg.functional_iters);
         let trivial_fraction = ex0.stats().trivial_fraction();
         let error_check_passed = if cfg.error_detection {
             let mut ex1 = Executor::new(cfg.init, self.seed);
-            ex1.run_decoded(&decoded, cfg.functional_iters);
+            ex1.run_decoded(decoded, cfg.functional_iters);
             if let Some((reg, lane, bit)) = self.pending_fault.take() {
                 ex1.inject_bit_flip(reg, lane, bit);
             }
@@ -233,6 +256,62 @@ impl Runner {
             ex0.dump_registers(&mut s);
             s
         });
+        self.finish_run(
+            kernel,
+            cfg,
+            trivial_fraction,
+            error_check_passed,
+            register_dump,
+        )
+    }
+
+    /// Runs a kernel whose functional pass was already computed (the
+    /// engine's ExecStats cache): the §III-D value-level replay is
+    /// skipped entirely and its results are taken from `functional`.
+    ///
+    /// `functional` must describe a clean pass of this kernel under
+    /// `(cfg.init, self.seed(), cfg.functional_iters)`; with that
+    /// contract the result is bit-identical to [`Runner::run_kernel`].
+    /// Error detection without an armed fault compares two executors
+    /// initialized from the same seed, so it deterministically passes.
+    /// Fault-injection runs cannot use this path (panics if one is
+    /// armed) — the engine routes them through [`Runner::run_prepared`].
+    pub fn run_with_functional(
+        &mut self,
+        kernel: &Kernel,
+        functional: &FunctionalOutcome,
+        cfg: &RunConfig,
+    ) -> RunResult {
+        assert!(
+            self.pending_fault.is_none(),
+            "fault-injection runs must replay the functional pass live"
+        );
+        let error_check_passed = cfg.error_detection.then_some(true);
+        let register_dump = cfg.dump_registers.then(|| functional.register_dump());
+        self.finish_run(
+            kernel,
+            cfg,
+            functional.stats.trivial_fraction(),
+            error_check_passed,
+            register_dump,
+        )
+    }
+
+    /// Steps 2–4 of a run, shared by every functional-pass front end:
+    /// steady state, power trace, hardware events, windowed summary.
+    fn finish_run(
+        &mut self,
+        kernel: &Kernel,
+        cfg: &RunConfig,
+        trivial_fraction: f64,
+        error_check_passed: Option<bool>,
+        register_dump: Option<String>,
+    ) -> RunResult {
+        let freq = if cfg.freq_mhz > 0.0 {
+            cfg.freq_mhz
+        } else {
+            f64::from(self.sku().nominal_mhz())
+        };
 
         // 2. EDC-aware steady state.
         let throttle = solve_throttle(
@@ -429,6 +508,79 @@ mod tests {
             healthy.power.mean,
             buggy.power.mean
         );
+    }
+
+    /// The fields of a [`RunResult`] that must be bit-identical across
+    /// the three functional-pass front ends.
+    fn fingerprint(r: &RunResult) -> (u64, u64, u64, Option<bool>, Option<String>, u64) {
+        (
+            r.power.mean.to_bits(),
+            r.applied_freq_mhz.to_bits(),
+            r.trivial_fraction.to_bits(),
+            r.error_check_passed,
+            r.register_dump.clone(),
+            r.ipc.to_bits(),
+        )
+    }
+
+    #[test]
+    fn run_prepared_shares_one_decoded_table() {
+        // Pin the §III-D refactor: `run_kernel` == `run_prepared` with an
+        // externally decoded table, including the error-detection second
+        // pass (which replays the *same* shared table, never re-decoding).
+        let p = rome_payload("REG:2,L1_LS:1", 63);
+        let mut cfg = quick_cfg(1500.0);
+        cfg.error_detection = true;
+        cfg.dump_registers = true;
+
+        let mut own = Runner::new(Sku::amd_epyc_7502());
+        let via_kernel = own.run_kernel(&p.kernel, &cfg);
+
+        let decoded = DecodedKernel::new(&p.kernel);
+        let mut shared = Runner::new(Sku::amd_epyc_7502());
+        let via_prepared = shared.run_prepared(&p.kernel, &decoded, &cfg);
+        assert_eq!(fingerprint(&via_kernel), fingerprint(&via_prepared));
+
+        // The shared table also serves the armed-fault path.
+        shared.inject_fault_next_run(2, 5, 51);
+        let faulted = shared.run_prepared(&p.kernel, &decoded, &cfg);
+        assert_eq!(faulted.error_check_passed, Some(false));
+    }
+
+    #[test]
+    fn run_with_functional_matches_live_pass() {
+        // A cached FunctionalOutcome must reproduce the live run bit for
+        // bit: trivial fraction, error check, register dump, power.
+        let p = rome_payload("REG:2,L1_LS:1", 63);
+        for init in [InitScheme::V2Safe, InitScheme::V174Buggy] {
+            let mut cfg = quick_cfg(1500.0);
+            cfg.init = init;
+            cfg.error_detection = true;
+            cfg.dump_registers = true;
+
+            let mut live = Runner::new(Sku::amd_epyc_7502());
+            let live_r = live.run_kernel(&p.kernel, &cfg);
+
+            let decoded = DecodedKernel::new(&p.kernel);
+            let mut cached = Runner::new(Sku::amd_epyc_7502());
+            let outcome =
+                fs2_sim::run_functional(&decoded, init, cached.seed(), cfg.functional_iters);
+            let cached_r = cached.run_with_functional(&p.kernel, &outcome, &cfg);
+            assert_eq!(fingerprint(&live_r), fingerprint(&cached_r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault-injection")]
+    fn run_with_functional_rejects_armed_faults() {
+        let p = rome_payload("REG:1", 64);
+        let mut runner = Runner::new(Sku::amd_epyc_7502());
+        runner.inject_fault_next_run(1, 1, 8);
+        let decoded = DecodedKernel::new(&p.kernel);
+        let outcome = fs2_sim::run_functional(&decoded, InitScheme::V2Safe, runner.seed(), 10);
+        let mut cfg = quick_cfg(1500.0);
+        cfg.error_detection = true;
+        let _ = runner.run_with_functional(&p.kernel, &outcome, &cfg);
     }
 
     #[test]

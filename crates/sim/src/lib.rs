@@ -38,6 +38,9 @@ pub mod system;
 pub use crate::core::{Bottleneck, CoreSteadyState};
 pub use clock::SimClock;
 pub use events::HwEvents;
-pub use exec::{DecodedKernel, ExecStats, Executor, InitScheme};
+pub use exec::{
+    format_register_dump, run_functional, DecodedKernel, ExecStats, Executor, FunctionalOutcome,
+    InitScheme, LANES,
+};
 pub use kernel::{Kernel, TaggedInst};
 pub use system::{NodeSteadyState, SystemSim};

@@ -52,6 +52,8 @@ pub struct CliConfig {
     measurement: bool,
     dump_registers: bool,
     error_detection: bool,
+    /// `None` keeps [`RunConfig::default`]'s iteration count.
+    functional_iters: Option<u64>,
     version_emulation: String,
     gpus: u32,
     gpu_init: String,
@@ -90,6 +92,7 @@ impl Default for CliConfig {
             measurement: true,
             dump_registers: false,
             error_detection: false,
+            functional_iters: None,
             version_emulation: "2.0".to_string(),
             gpus: 0,
             gpu_init: "device".to_string(),
@@ -132,6 +135,9 @@ MEASUREMENT
   --list-metrics                  list metric names
   --dump-registers                dump vector registers after the run
   --error-detection               compare register state across cores
+  --functional-iters N            value-level (§III-D) iterations for
+                                  triviality measurement and error
+                                  detection (default 1500)
 
 GPUS
   --gpus N                        attach N simulated Tesla K80 cards
@@ -249,6 +255,10 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
                 opt!("--stop-delta", cfg.stop_delta_ms, |v: &String| v
                     .parse::<f64>()
                     .map_err(|_| ()));
+                opt!("--functional-iters", cfg.functional_iters, |v: &String| v
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| ()));
                 opt!("--version-emulation", cfg.version_emulation, id);
                 opt!("--gpus", cfg.gpus, |v: &String| v
                     .parse::<u32>()
@@ -301,6 +311,9 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
     // tripping the payload builder's assert.
     if cfg.line_count == Some(0) {
         return Err(err("--set-line-count must be at least 1"));
+    }
+    if cfg.functional_iters == Some(0) {
+        return Err(err("--functional-iters must be at least 1"));
     }
     if cfg.nodes == 0 {
         return Err(err("--nodes must be at least 1"));
@@ -418,6 +431,13 @@ fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
         run.registry.engines,
         run.registry.payload_misses,
         run.power_table.len()
+    ));
+    out.push_str(&format!(
+        "  exec caches: decoded-kernel {}/{} hits, ExecStats {}/{} hits\n",
+        run.registry.decoded_hits,
+        run.registry.decoded_hits + run.registry.decoded_misses,
+        run.registry.exec_hits,
+        run.registry.exec_hits + run.registry.exec_misses,
     ));
     if let Some(cap) = cfg.cap_w {
         out.push_str(&format!(
@@ -579,10 +599,16 @@ fn run_measure(cfg: &CliConfig) -> Result<String, CliError> {
         init: init_scheme(cfg)?,
         error_detection: cfg.error_detection,
         dump_registers: cfg.dump_registers,
+        functional_iters: cfg
+            .functional_iters
+            .unwrap_or(RunConfig::default().functional_iters),
         external_w,
         ..RunConfig::default()
     };
-    let r = engine.session().run_payload(&payload, &run_cfg);
+    // Session::run goes through the engine's payload / decoded-kernel /
+    // ExecStats cache tiers (not that a one-shot CLI run repeats much —
+    // but it keeps the CLI on the same path the experiments use).
+    let r = engine.session().run(&workload, &run_cfg);
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -635,6 +661,13 @@ fn run_measure(cfg: &CliConfig) -> Result<String, CliError> {
             String::new(),
             String::new(),
             "accesses/cycle".into(),
+        ]);
+        csv.row(&[
+            "trivial-fraction".into(),
+            format!("{:.4}", r.trivial_fraction),
+            String::new(),
+            String::new(),
+            "of FP lane ops".into(),
         ]);
         out.push_str(csv.as_str());
     }
@@ -752,6 +785,68 @@ mod tests {
         let out = run(&args("-t 6 --freq 1500 --error-detection --dump-registers")).unwrap();
         assert!(out.contains("error detection: PASS"));
         assert!(out.contains("ymm15"));
+    }
+
+    #[test]
+    fn measure_reports_trivial_fraction() {
+        let grab = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.starts_with("trivial-fraction"))
+                .and_then(|l| l.split(',').nth(1))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let v2 = run(&args("-t 6 --freq 1500")).unwrap();
+        assert_eq!(grab(&v2), 0.0, "v2.0 init must stay non-trivial");
+        let v174 = run(&args(
+            "-t 6 --freq 1500 --version-emulation 1.7.4 --functional-iters 2000",
+        ))
+        .unwrap();
+        assert!(
+            grab(&v174) > 0.5,
+            "±∞ clock-gating fraction missing: {v174}"
+        );
+    }
+
+    #[test]
+    fn functional_iters_flag_controls_the_value_pass() {
+        // Under the 1.7.4 bug the first iteration still starts from
+        // finite registers, so the trivial fraction keeps climbing with
+        // more replays. The flag must actually reach the executor.
+        let grab = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.starts_with("trivial-fraction"))
+                .and_then(|l| l.split(',').nth(1))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let at = |iters: u32| -> f64 {
+            grab(
+                &run(&args(&format!(
+                    "-t 6 --freq 1500 --version-emulation 1.7.4 --functional-iters {iters}"
+                )))
+                .unwrap(),
+            )
+        };
+        let (short, long) = (at(1), at(2000));
+        assert!(
+            short < long,
+            "iteration count must reach the executor: {short} vs {long}"
+        );
+        assert!(run(&args("--functional-iters 0")).is_err());
+        assert!(run(&args("--functional-iters lots")).is_err());
+    }
+
+    #[test]
+    fn fleet_reports_exec_cache_counters() {
+        let out = run(&args("--fleet --nodes 8 --samples-per-node 40")).unwrap();
+        assert!(
+            out.contains("exec caches: decoded-kernel"),
+            "missing exec-cache counters: {out}"
+        );
+        assert!(out.contains("ExecStats"));
     }
 
     #[test]
