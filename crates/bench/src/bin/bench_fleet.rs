@@ -1,10 +1,13 @@
-//! Micro-benchmark for the engine-backed fleet pipeline: serial vs
-//! parallel sample generation (hinted sweep), with the registry's
-//! cache hit/miss counters for the run.
+//! Micro-benchmark for the engine-backed fleet pipeline: the batched
+//! group-eval path against the retained per-node reference, a serial
+//! vs parallel packing sweep, and the registry-wide cache counters
+//! accumulated across every case (the service-loop picture: one
+//! registry serves all requests).
 //!
 //! Writes the measured baseline to `BENCH_fleet.json` (pass an output
-//! path as the first argument to override). Criterion is unavailable
-//! offline, so the timing loop is manual: median of 5 repetitions.
+//! path as the first argument to override; `--threads 1,2,4` overrides
+//! the sweep list). Criterion is unavailable offline, so the timing
+//! loop is manual: median of 9 repetitions.
 //!
 //! ```sh
 //! cargo run --release -p fs2-bench --bin bench_fleet
@@ -12,18 +15,47 @@
 
 use fs2_bench::timing::median_ms;
 use fs2_cluster::{BudgetPolicy, FleetConfig, FleetSim, TemporalMode};
+use fs2_core::EngineRegistry;
 use std::fmt::Write as _;
 use std::hint::black_box;
 
-/// Median-of-5 wall time of `f`, in milliseconds per call.
+/// Median-of-9 wall time of `f`, in milliseconds per call.
 fn time_ms(f: impl FnMut()) -> f64 {
-    median_ms(1, 1, 5, f)
+    median_ms(2, 1, 9, f)
+}
+
+/// Thread counts to sweep: powers of two up to the host parallelism.
+/// A 1-thread host degrades to `[1]` — the sweep then records that no
+/// packing measurement was possible rather than a fake speedup.
+fn default_sweep(host_threads: usize) -> Vec<usize> {
+    let mut sweep = vec![1];
+    let mut t = 2;
+    while t <= host_threads {
+        sweep.push(t);
+        t *= 2;
+    }
+    if *sweep.last().unwrap() < host_threads {
+        sweep.push(host_threads);
+    }
+    sweep
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let mut out_path = "BENCH_fleet.json".to_string();
+    let mut sweep_override: Option<Vec<usize>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let list = args.next().expect("--threads needs a comma-separated list");
+            sweep_override = Some(
+                list.split(',')
+                    .map(|s| s.trim().parse().expect("thread count"))
+                    .collect(),
+            );
+        } else {
+            out_path = arg;
+        }
+    }
 
     // A long-tailed heterogeneous fleet: the fat-node slice is sampled
     // 8x longer, so hinted packing has actual work to schedule around.
@@ -31,6 +63,11 @@ fn main() {
     cfg.samples_per_node = 2000;
     cfg.groups[1].samples_per_node = Some(16_000);
     let total_samples = cfg.total_samples();
+
+    // One registry for the whole benchmark run: every case after the
+    // first hits the registry-wide payload/decode/ExecStats tier, the
+    // way a resident fleet service would.
+    let registry = EngineRegistry::with_seed(cfg.seed);
 
     let serial = {
         let mut c = cfg.clone();
@@ -43,23 +80,62 @@ fn main() {
         FleetSim::new(c)
     };
 
-    // Determinism gate before any number is published.
+    // Determinism gates before any number is published: the batched
+    // composer (cold and warm-registry), the parallel packing, and the
+    // per-node reference path must all emit identical bytes.
     let base = serial.run();
+    let reference = serial.run_reference();
+    assert_eq!(
+        base.samples, reference.samples,
+        "batched fleet diverges from the per-node reference"
+    );
     assert_eq!(
         base.samples,
-        parallel.generate(),
+        serial.run_with(&registry).samples,
+        "shared-registry fleet diverges from cold-registry run"
+    );
+    assert_eq!(
+        base.samples,
+        parallel.run_with(&registry).samples,
         "parallel fleet diverges from serial"
     );
 
+    // The per-node reference rebuilds its registry per call, exactly as
+    // the historical hot loop did; the batched cases share `registry`.
+    let per_node_ms = time_ms(|| {
+        black_box(serial.run_reference().samples);
+    });
     let serial_ms = time_ms(|| {
-        black_box(serial.generate());
+        black_box(serial.run_with(&registry).samples);
     });
     let parallel_ms = time_ms(|| {
-        black_box(parallel.generate());
+        black_box(parallel.run_with(&registry).samples);
     });
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let speedup = serial_ms / parallel_ms;
-    let s = base.registry;
+    let speedup_batch = per_node_ms / serial_ms;
+
+    // Thread sweep over the same fleet and shared registry: a real
+    // parallel-vs-serial packing measurement whenever the host has more
+    // than one thread.
+    let sweep = sweep_override.unwrap_or_else(|| default_sweep(host_threads));
+    let mut sweep_ms: Vec<(usize, f64)> = Vec::with_capacity(sweep.len());
+    for &t in &sweep {
+        let sim = {
+            let mut c = cfg.clone();
+            c.threads = t;
+            FleetSim::new(c)
+        };
+        assert_eq!(
+            base.samples,
+            sim.run_with(&registry).samples,
+            "fleet diverges at {t} threads"
+        );
+        let ms = time_ms(|| {
+            black_box(sim.run_with(&registry).samples);
+        });
+        sweep_ms.push((t, ms));
+    }
 
     // Episode mode over the same fleet: timing plus the temporal
     // statistics (the autocorrelation an i.i.d. sampler cannot have),
@@ -79,14 +155,14 @@ fn main() {
     let ep_base = ep_serial.run();
     assert_eq!(
         ep_base.samples,
-        ep_parallel.generate(),
+        ep_parallel.run_with(&registry).samples,
         "parallel episode fleet diverges from serial"
     );
     let ep_serial_ms = time_ms(|| {
-        black_box(ep_serial.generate());
+        black_box(ep_serial.run_with(&registry).samples);
     });
     let ep_parallel_ms = time_ms(|| {
-        black_box(ep_parallel.generate());
+        black_box(ep_parallel.run_with(&registry).samples);
     });
     let ep_stats = ep_base.episodes.expect("episode stats");
 
@@ -117,20 +193,35 @@ fn main() {
     let bu_base = bu_serial.run();
     assert_eq!(
         bu_base.samples,
-        bu_parallel.generate(),
+        bu_parallel.run_with(&registry).samples,
         "parallel budgeted fleet diverges from serial"
     );
     let bu_serial_ms = time_ms(|| {
-        black_box(bu_serial.generate());
+        black_box(bu_serial.run_with(&registry).samples);
     });
     let bu_parallel_ms = time_ms(|| {
-        black_box(bu_parallel.generate());
+        black_box(bu_parallel.run_with(&registry).samples);
     });
     let bu_stats = bu_base.budget.expect("budget stats");
 
+    // The shared registry's counters after every case above: this is
+    // the number the batching work exists for — repeat requests must be
+    // mostly cache hits.
+    let s = registry.stats();
+    let rate = |hits: u64, misses: u64| {
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    };
+    let payload_rate = rate(s.payload_hits, s.payload_misses);
+    let exec_rate = rate(s.exec_hits, s.exec_misses);
+    let decoded_rate = rate(s.decoded_hits, s.decoded_misses);
+
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"benchmark\": \"engine-backed fleet generation (hinted sweep)\",\n");
+    json.push_str("  \"benchmark\": \"engine-backed fleet generation (batched group eval)\",\n");
     let _ = writeln!(
         json,
         "  \"fleet\": \"{} nodes ({} SKUs), {} samples, fat slice at 16k samples/node\",",
@@ -138,8 +229,8 @@ fn main() {
         cfg.groups.len(),
         total_samples
     );
-    let _ = writeln!(json, "  \"host_threads\": {threads},");
-    if threads == 1 {
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    if host_threads == 1 {
         // On a 1-thread host the parallel case degenerates to the
         // serial path; the speedup number is not meaningful.
         json.push_str(
@@ -148,6 +239,7 @@ fn main() {
         );
     }
     json.push_str("  \"cases_ms\": {\n");
+    let _ = writeln!(json, "    \"fleet_generate_per_node\": {per_node_ms:.2},");
     let _ = writeln!(json, "    \"fleet_generate_serial\": {serial_ms:.2},");
     let _ = writeln!(json, "    \"fleet_generate_parallel\": {parallel_ms:.2},");
     let _ = writeln!(json, "    \"fleet_episodes_serial\": {ep_serial_ms:.2},");
@@ -158,7 +250,14 @@ fn main() {
     let _ = writeln!(json, "    \"fleet_budget_serial\": {bu_serial_ms:.2},");
     let _ = writeln!(json, "    \"fleet_budget_parallel\": {bu_parallel_ms:.2}");
     json.push_str("  },\n");
+    let _ = writeln!(json, "  \"speedup_batch_vs_per_node\": {speedup_batch:.2},");
     let _ = writeln!(json, "  \"speedup_parallel_vs_serial\": {speedup:.2},");
+    json.push_str("  \"threads_sweep_ms\": {\n");
+    for (i, (t, ms)) in sweep_ms.iter().enumerate() {
+        let comma = if i + 1 < sweep_ms.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{t}\": {ms:.2}{comma}");
+    }
+    json.push_str("  },\n");
     json.push_str("  \"episodes\": {\n");
     let _ = writeln!(
         json,
@@ -210,14 +309,17 @@ fn main() {
     let _ = writeln!(json, "    \"payload_hits\": {},", s.payload_hits);
     let _ = writeln!(json, "    \"payload_misses\": {},", s.payload_misses);
     let _ = writeln!(json, "    \"payload_entries\": {},", s.payload_entries);
+    let _ = writeln!(json, "    \"payload_hit_rate\": {payload_rate:.4},");
     let _ = writeln!(json, "    \"spec_hits\": {},", s.spec_hits);
     let _ = writeln!(json, "    \"spec_misses\": {},", s.spec_misses);
     let _ = writeln!(json, "    \"unroll_hits\": {},", s.unroll_hits);
     let _ = writeln!(json, "    \"unroll_misses\": {},", s.unroll_misses);
     let _ = writeln!(json, "    \"decoded_hits\": {},", s.decoded_hits);
     let _ = writeln!(json, "    \"decoded_misses\": {},", s.decoded_misses);
+    let _ = writeln!(json, "    \"decoded_hit_rate\": {decoded_rate:.4},");
     let _ = writeln!(json, "    \"exec_hits\": {},", s.exec_hits);
     let _ = writeln!(json, "    \"exec_misses\": {},", s.exec_misses);
+    let _ = writeln!(json, "    \"exec_hit_rate\": {exec_rate:.4},");
     let _ = writeln!(json, "    \"evals\": {}", s.evals);
     json.push_str("  }\n");
     json.push_str("}\n");
@@ -229,11 +331,15 @@ fn main() {
         total_samples,
         cfg.groups[1].nodes
     );
-    println!("serial:   {serial_ms:>9.2} ms");
-    println!("parallel: {parallel_ms:>9.2} ms  ({threads} host threads)");
+    println!("per-node: {per_node_ms:>9.2} ms  (pre-batching reference)");
+    println!("batched:  {serial_ms:>9.2} ms  ({speedup_batch:.2}x vs per-node)");
+    println!("parallel: {parallel_ms:>9.2} ms  ({host_threads} host threads)");
     println!("speedup:  {speedup:>9.2}x");
-    if threads == 1 {
+    if host_threads == 1 {
         println!("(single-threaded host: speedup is not a packing measurement)");
+    }
+    for (t, ms) in &sweep_ms {
+        println!("threads {t}: {ms:>8.2} ms");
     }
     println!(
         "episodes: {ep_serial_ms:.2} ms serial / {ep_parallel_ms:.2} ms parallel, \
@@ -249,8 +355,16 @@ fn main() {
         bu_stats.shed_ticks.iter().sum::<u64>()
     );
     println!(
-        "registry: {} engines, payloads {} built / {} hits, specs {} parsed / {} hits, {} evals",
-        s.engines, s.payload_misses, s.payload_hits, s.spec_misses, s.spec_hits, s.evals
+        "registry: {} engines, payloads {} built / {} hits ({:.0}% hit rate), \
+         exec {} live / {} hits ({:.0}% hit rate), {} evals",
+        s.engines,
+        s.payload_misses,
+        s.payload_hits,
+        payload_rate * 100.0,
+        s.exec_misses,
+        s.exec_hits,
+        exec_rate * 100.0,
+        s.evals
     );
 
     std::fs::write(&out_path, json).expect("write benchmark baseline");

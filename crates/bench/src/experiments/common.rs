@@ -28,9 +28,12 @@ pub fn payload_for(engine: &Engine, spec: &str) -> Arc<Payload> {
 
 /// Direct (traceless) evaluation: EDC-aware steady state + power.
 /// Orders of magnitude faster than a full runner pass; used by the
-/// parameter sweeps.
+/// parameter sweeps. This is the raw payload path without the §III-D
+/// data effect (trivial fraction 0.0), keeping the figure/table
+/// experiments byte-stable; config-holding callers use
+/// [`Engine::eval`], which wires in the cached trivial fraction.
 pub fn direct_eval(engine: &Engine, payload: &Payload, freq_mhz: f64) -> ThrottleResult {
-    engine.eval(payload, freq_mhz)
+    engine.eval_payload(payload, freq_mhz, 0.0)
 }
 
 /// "To get the ratio with the highest power consumption, we vary the
@@ -99,12 +102,14 @@ pub fn optimize_rung(
         |engine, _, groups| {
             let mix = MixRegistry::default_for(engine.sku().uarch);
             let unroll = default_unroll(engine.sku(), mix, groups);
-            let payload = engine.payload(&PayloadConfig {
-                mix,
-                groups: groups.clone(),
-                unroll,
-            });
-            engine.eval(&payload, freq_mhz)
+            engine.eval(
+                &PayloadConfig {
+                    mix,
+                    groups: groups.clone(),
+                    unroll,
+                },
+                freq_mhz,
+            )
         },
     );
 
@@ -190,12 +195,14 @@ mod tests {
         let worker = |engine: &Engine, _: usize, groups: &Vec<AccessGroup>| {
             let mix = MixRegistry::default_for(engine.sku().uarch);
             let unroll = default_unroll(engine.sku(), mix, groups);
-            let payload = engine.payload(&PayloadConfig {
-                mix,
-                groups: groups.clone(),
-                unroll,
-            });
-            let r = engine.eval(&payload, 1500.0);
+            let r = engine.eval(
+                &PayloadConfig {
+                    mix,
+                    groups: groups.clone(),
+                    unroll,
+                },
+                1500.0,
+            );
             (r.power.total_w().to_bits(), r.applied_mhz.to_bits())
         };
         let hint =

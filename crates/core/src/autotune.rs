@@ -30,7 +30,24 @@ pub struct TuneConfig {
     pub unroll: Option<u32>,
     /// Upper bound for each access-group count gene.
     pub max_count: u32,
+    /// Fast-simulator pre-screen: score each candidate with a traceless
+    /// cached evaluation first, and skip the full measured run for
+    /// candidates whose steady-state power falls clearly below the
+    /// preheat workload's (the `REG:1` default is always in the search
+    /// space, so such candidates can never be the selected optimum).
+    /// Pruned candidates keep their traceless objectives, so NSGA-II
+    /// still ranks them; pruning decisions are counted in
+    /// [`crate::engine::CacheStats`] / [`crate::RegistryStats`].
+    pub prescreen: bool,
 }
+
+/// Pre-screen margin: candidates are pruned only when their traceless
+/// power is below this fraction of the best traceless estimate seen so
+/// far. The always-on FMA stream keeps candidate powers within a few
+/// percent of each other, so the margin is tight; it still only trims
+/// the clear-loser tail, and the running best itself is never pruned
+/// (the measured and traceless orderings track each other).
+const PRESCREEN_MARGIN: f64 = 0.97;
 
 impl TuneConfig {
     /// Simulated wall time one tuning session occupies: preheat plus
@@ -53,6 +70,7 @@ impl Default for TuneConfig {
             mix: InstructionMix::FMA,
             unroll: None,
             max_count: 8,
+            prescreen: false,
         }
     }
 }
@@ -91,6 +109,10 @@ struct FirestarterProblem<'a> {
     cfg: &'a TuneConfig,
     unroll: u32,
     run_cfg: RunConfig,
+    /// Best traceless candidate power seen so far, seeded from the
+    /// preheat workload; `Some` iff the pre-screen is enabled. The prune
+    /// bar is [`PRESCREEN_MARGIN`] times this value.
+    prescreen_best_w: Option<f64>,
 }
 
 impl Problem for FirestarterProblem<'_> {
@@ -127,6 +149,25 @@ impl Problem for FirestarterProblem<'_> {
             groups,
             unroll: self.unroll,
         };
+        // Fast-simulator pre-screen: the traceless evaluation reuses
+        // every shared cache tier (payload, decoded kernel, ExecStats),
+        // so scoring a candidate costs a steady-state solve instead of
+        // a full measured run. Candidates clearly below the preheat
+        // workload's power keep their traceless objectives — they are
+        // dominated by the always-present REG:1 baseline on the power
+        // axis, so the selected optimum is never a pruned individual.
+        if let Some(best_w) = self.prescreen_best_w {
+            let est = self
+                .engine
+                .eval_init(&config, self.run_cfg.freq_mhz, self.run_cfg.init);
+            let est_w = est.power.total_w();
+            let pruned = est_w < best_w * PRESCREEN_MARGIN;
+            self.engine.caches().note_prescreen(pruned);
+            self.prescreen_best_w = Some(best_w.max(est_w));
+            if pruned {
+                return vec![est_w, est.node.core.ipc];
+            }
+        }
         let result = self.engine.run_on(self.runner, &config, &self.run_cfg);
         vec![result.power.mean, result.ipc]
     }
@@ -162,12 +203,12 @@ impl AutoTuner {
             .unwrap_or_else(|| default_unroll(runner.sku(), cfg.mix, &reg_only));
 
         // Preheat with the default workload to cancel thermal effects.
+        let preheat_config = PayloadConfig {
+            mix: cfg.mix,
+            groups: reg_only,
+            unroll,
+        };
         if cfg.preheat_s > 0.0 {
-            let preheat_config = PayloadConfig {
-                mix: cfg.mix,
-                groups: reg_only,
-                unroll,
-            };
             let preheat_cfg = RunConfig {
                 freq_mhz: freq,
                 duration_s: cfg.preheat_s,
@@ -178,6 +219,14 @@ impl AutoTuner {
             };
             let _ = engine.run_on(runner, &preheat_config, &preheat_cfg);
         }
+
+        // The pre-screen bar is seeded off the preheat workload: its
+        // payload and functional pass are already cached from the
+        // preheat run, so the seed is one cached traceless solve. From
+        // there the bar tracks the best candidate estimate seen so far.
+        let prescreen_best_w = cfg
+            .prescreen
+            .then(|| engine.eval(&preheat_config, freq).power.total_w());
 
         // Short per-candidate windows: with -t 10 the paper-equivalent
         // deltas shrink to keep a usable window.
@@ -198,6 +247,7 @@ impl AutoTuner {
             cfg,
             unroll,
             run_cfg,
+            prescreen_best_w,
         };
         let nsga2 = Nsga2::new(cfg.nsga2.clone()).run(&mut problem);
         let best = nsga2
@@ -319,6 +369,47 @@ mod tests {
         };
         assert_eq!(r1.best.genes, r2.best.genes);
         assert_eq!(r1.best.objectives, r2.best.objectives);
+    }
+
+    #[test]
+    fn prescreen_prunes_and_still_finds_a_memory_optimum() {
+        let engine = Engine::new(Sku::amd_epyc_7502());
+        let mut runner = Runner::new(Sku::amd_epyc_7502());
+        let cfg = TuneConfig {
+            prescreen: true,
+            ..small_cfg(1500.0, 11)
+        };
+        let result = AutoTuner::run_with_engine(&engine, &mut runner, &cfg);
+        let stats = engine.cache_stats();
+        assert_eq!(
+            stats.prescreen_evals as usize,
+            result.nsga2.history.len() - result.nsga2.cache_hits as usize,
+            "every live evaluation must be scored by the pre-screen"
+        );
+        assert!(
+            stats.prescreen_pruned > 0,
+            "a 6-count random search space always draws clear losers"
+        );
+        assert!(stats.prescreen_pruned < stats.prescreen_evals);
+        // The optimum is unaffected in kind: memory accesses beating the
+        // REG-only level (pruned candidates sit below the bar, so the
+        // power winner is always fully measured).
+        let has_mem = result
+            .best_groups
+            .iter()
+            .any(|g| matches!(g.target, Target::Mem(_)));
+        assert!(has_mem, "optimum register-only: {:?}", result.best_groups);
+        assert!(result.best.objectives[0] > 280.0);
+    }
+
+    #[test]
+    fn prescreen_off_counts_nothing() {
+        let engine = Engine::new(Sku::amd_epyc_7502());
+        let mut runner = Runner::new(Sku::amd_epyc_7502());
+        let _ = AutoTuner::run_with_engine(&engine, &mut runner, &small_cfg(1500.0, 11));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.prescreen_evals, 0);
+        assert_eq!(stats.prescreen_pruned, 0);
     }
 
     #[test]

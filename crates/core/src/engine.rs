@@ -32,18 +32,22 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Cache key: the full workload specification `(I, u, M)`. The engine is
-/// per-SKU, so the SKU is not part of the key.
+/// Cache key: the full workload specification `(SKU, I, u, M)`. The
+/// cache tiers behind an engine can be shared registry-wide across SKU
+/// engines ([`EngineCaches`]), so the SKU name is part of the key —
+/// sharing never aliases payloads across SKUs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PayloadKey {
+    sku: &'static str,
     mix: crate::mix::MixKind,
     groups: Vec<crate::groups::AccessGroup>,
     unroll: u32,
 }
 
 impl PayloadKey {
-    fn of(config: &PayloadConfig) -> PayloadKey {
+    fn of(sku: &Sku, config: &PayloadConfig) -> PayloadKey {
         PayloadKey {
+            sku: sku.name,
             mix: config.mix.kind,
             groups: config.groups.clone(),
             unroll: config.unroll,
@@ -92,6 +96,10 @@ pub struct CacheStats {
     pub exec_misses: u64,
     /// Distinct `(payload, init, seed, iters)` outcomes cached.
     pub exec_entries: usize,
+    /// Tuning candidates scored by the traceless pre-screen.
+    pub prescreen_evals: u64,
+    /// Pre-screened candidates pruned before full measurement.
+    pub prescreen_pruned: u64,
 }
 
 impl CacheStats {
@@ -101,6 +109,110 @@ impl CacheStats {
     }
 }
 
+/// The shareable cache tier behind one or more [`Engine`]s: payload
+/// builds, memoized kernel decodes, and functional (ExecStats)
+/// outcomes, plus their hit/miss counters.
+///
+/// A standalone engine owns a private tier; an
+/// [`crate::EngineRegistry`] hands every SKU engine one shared
+/// `Arc<EngineCaches>`, so heterogeneous fleet requests warm a single
+/// registry-wide cache instead of N per-engine ones. Keys are
+/// SKU-tagged ([`PayloadKey`]), so sharing is safe across SKUs — a hit
+/// can only come from the same `(SKU, mix, groups, unroll)` workload.
+pub struct EngineCaches {
+    payloads: Mutex<HashMap<PayloadKey, Arc<PayloadEntry>>>,
+    execs: Mutex<HashMap<ExecKey, Arc<FunctionalOutcome>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    decoded_hits: AtomicU64,
+    decoded_misses: AtomicU64,
+    exec_hits: AtomicU64,
+    exec_misses: AtomicU64,
+    prescreen_evals: AtomicU64,
+    prescreen_pruned: AtomicU64,
+}
+
+impl EngineCaches {
+    /// An empty cache tier, ready to be shared across engines.
+    pub fn new() -> EngineCaches {
+        EngineCaches {
+            payloads: Mutex::new(HashMap::new()),
+            execs: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            decoded_hits: AtomicU64::new(0),
+            decoded_misses: AtomicU64::new(0),
+            exec_hits: AtomicU64::new(0),
+            exec_misses: AtomicU64::new(0),
+            prescreen_evals: AtomicU64::new(0),
+            prescreen_pruned: AtomicU64::new(0),
+        }
+    }
+
+    /// Counter snapshot for the whole tier. When the tier is shared,
+    /// these are registry-wide totals (read the tier once — summing
+    /// per-engine snapshots would multiply-count shared counters).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.payloads.lock().expect("payload cache poisoned").len(),
+            decoded_hits: self.decoded_hits.load(Ordering::Relaxed),
+            decoded_misses: self.decoded_misses.load(Ordering::Relaxed),
+            exec_hits: self.exec_hits.load(Ordering::Relaxed),
+            exec_misses: self.exec_misses.load(Ordering::Relaxed),
+            exec_entries: self.execs.lock().expect("exec cache poisoned").len(),
+            prescreen_evals: self.prescreen_evals.load(Ordering::Relaxed),
+            prescreen_pruned: self.prescreen_pruned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records one tuner pre-screen decision (see
+    /// [`crate::autotune::TuneConfig::prescreen`]).
+    pub(crate) fn note_prescreen(&self, pruned: bool) {
+        self.prescreen_evals.fetch_add(1, Ordering::Relaxed);
+        if pruned {
+            self.prescreen_pruned.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for EngineCaches {
+    fn default() -> EngineCaches {
+        EngineCaches::new()
+    }
+}
+
+impl std::fmt::Debug for EngineCaches {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCaches")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// One batched traceless-evaluation request: a workload plus every
+/// frequency the caller needs operating points for (see
+/// [`Engine::eval_batch`]).
+#[derive(Debug, Clone)]
+pub struct EvalRequest {
+    pub config: PayloadConfig,
+    /// Init scheme of the cached functional pass that supplies the
+    /// trivial fraction ([`InitScheme::V2Safe`] matches
+    /// [`Engine::eval`]).
+    pub init: InitScheme,
+    pub freqs_mhz: Vec<f64>,
+}
+
+/// The result for one [`EvalRequest`]: the payload's cached trivial
+/// fraction and one operating point per requested frequency, in
+/// request order.
+#[derive(Debug, Clone)]
+pub struct EvalBatch {
+    pub trivial_fraction: f64,
+    pub points: Vec<ThrottleResult>,
+}
+
 /// A per-SKU workload engine: payload cache + session factory + sweep
 /// driver. Create one per simulated system and share it freely (`&Engine`
 /// is all any consumer needs).
@@ -108,14 +220,7 @@ pub struct Engine {
     sku: Sku,
     sim: SystemSim,
     power_model: NodePowerModel,
-    cache: Mutex<HashMap<PayloadKey, Arc<PayloadEntry>>>,
-    exec_cache: Mutex<HashMap<ExecKey, Arc<FunctionalOutcome>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    decoded_hits: AtomicU64,
-    decoded_misses: AtomicU64,
-    exec_hits: AtomicU64,
-    exec_misses: AtomicU64,
+    caches: Arc<EngineCaches>,
     evals: AtomicU64,
     seed: u64,
 }
@@ -126,23 +231,30 @@ impl Engine {
         Engine::with_seed(sku, 0xF12E_57A2)
     }
 
-    /// Engine whose sessions default to `seed`.
+    /// Engine whose sessions default to `seed`, with a private cache
+    /// tier.
     pub fn with_seed(sku: Sku, seed: u64) -> Engine {
+        Engine::with_caches(sku, seed, Arc::new(EngineCaches::new()))
+    }
+
+    /// Engine backed by an existing (possibly shared) cache tier — the
+    /// constructor [`crate::EngineRegistry`] uses so every SKU engine
+    /// warms the same registry-wide caches.
+    pub fn with_caches(sku: Sku, seed: u64, caches: Arc<EngineCaches>) -> Engine {
         Engine {
             sim: SystemSim::new(sku.clone()),
             power_model: NodePowerModel::new(sku.clone()),
             sku,
-            cache: Mutex::new(HashMap::new()),
-            exec_cache: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            decoded_hits: AtomicU64::new(0),
-            decoded_misses: AtomicU64::new(0),
-            exec_hits: AtomicU64::new(0),
-            exec_misses: AtomicU64::new(0),
+            caches,
             evals: AtomicU64::new(0),
             seed,
         }
+    }
+
+    /// The engine's cache tier (shared when the engine came from a
+    /// registry).
+    pub fn caches(&self) -> &Arc<EngineCaches> {
+        &self.caches
     }
 
     pub fn sku(&self) -> &Sku {
@@ -174,15 +286,21 @@ impl Engine {
 
     /// The cache entry for `config`, building the payload at most once.
     fn entry(&self, config: &PayloadConfig) -> Arc<PayloadEntry> {
-        self.entry_with(&PayloadKey::of(config), config)
+        self.entry_with(&PayloadKey::of(&self.sku, config), config)
     }
 
     /// [`Engine::entry`] for a caller that already computed the key
     /// (`run_on` builds it once and reuses it for the ExecStats tier —
     /// one groups-vector clone per run instead of two).
     fn entry_with(&self, key: &PayloadKey, config: &PayloadConfig) -> Arc<PayloadEntry> {
-        if let Some(e) = self.cache.lock().expect("payload cache poisoned").get(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        let caches = &self.caches;
+        if let Some(e) = caches
+            .payloads
+            .lock()
+            .expect("payload cache poisoned")
+            .get(key)
+        {
+            caches.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(e);
         }
         // Build outside the lock: payload generation is the expensive
@@ -196,14 +314,14 @@ impl Engine {
             payload: Arc::new(build_payload(&self.sku, config)),
             decoded: OnceLock::new(),
         });
-        let mut cache = self.cache.lock().expect("payload cache poisoned");
+        let mut cache = caches.payloads.lock().expect("payload cache poisoned");
         match cache.entry(key.clone()) {
             std::collections::hash_map::Entry::Occupied(e) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                caches.hits.fetch_add(1, Ordering::Relaxed);
                 Arc::clone(e.get())
             }
             std::collections::hash_map::Entry::Vacant(v) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                caches.misses.fetch_add(1, Ordering::Relaxed);
                 Arc::clone(v.insert(built))
             }
         }
@@ -230,14 +348,14 @@ impl Engine {
     fn decoded_of(&self, entry: &PayloadEntry) -> Arc<DecodedKernel> {
         match entry.decoded.get() {
             Some(d) => {
-                self.decoded_hits.fetch_add(1, Ordering::Relaxed);
+                self.caches.decoded_hits.fetch_add(1, Ordering::Relaxed);
                 Arc::clone(d)
             }
             // OnceLock runs the init closure exactly once even under a
             // race, so `decoded_misses` counts distinct decodes; a racer
             // that blocked on the winner counts neither hit nor miss.
             None => Arc::clone(entry.decoded.get_or_init(|| {
-                self.decoded_misses.fetch_add(1, Ordering::Relaxed);
+                self.caches.decoded_misses.fetch_add(1, Ordering::Relaxed);
                 Arc::new(DecodedKernel::new(&entry.payload.kernel))
             })),
         }
@@ -255,7 +373,7 @@ impl Engine {
         seed: u64,
         iters: u64,
     ) -> Arc<FunctionalOutcome> {
-        let key = PayloadKey::of(config);
+        let key = PayloadKey::of(&self.sku, config);
         let entry = self.entry_with(&key, config);
         let decoded = self.decoded_of(&entry);
         self.functional_outcome_keyed(key, &decoded, init, seed, iters)
@@ -278,26 +396,22 @@ impl Engine {
             seed,
             iters,
         };
-        if let Some(o) = self
-            .exec_cache
-            .lock()
-            .expect("exec cache poisoned")
-            .get(&key)
-        {
-            self.exec_hits.fetch_add(1, Ordering::Relaxed);
+        let caches = &self.caches;
+        if let Some(o) = caches.execs.lock().expect("exec cache poisoned").get(&key) {
+            caches.exec_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(o);
         }
         // Same discipline as the payload cache: run outside the lock,
         // entry-based insert so a same-key race counts one miss.
         let outcome = Arc::new(run_functional(decoded, init, seed, iters));
-        let mut cache = self.exec_cache.lock().expect("exec cache poisoned");
+        let mut cache = caches.execs.lock().expect("exec cache poisoned");
         match cache.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
-                self.exec_hits.fetch_add(1, Ordering::Relaxed);
+                caches.exec_hits.fetch_add(1, Ordering::Relaxed);
                 Arc::clone(e.get())
             }
             std::collections::hash_map::Entry::Vacant(v) => {
-                self.exec_misses.fetch_add(1, Ordering::Relaxed);
+                caches.exec_misses.fetch_add(1, Ordering::Relaxed);
                 Arc::clone(v.insert(outcome))
             }
         }
@@ -316,7 +430,7 @@ impl Engine {
         config: &PayloadConfig,
         cfg: &RunConfig,
     ) -> RunResult {
-        let key = PayloadKey::of(config);
+        let key = PayloadKey::of(&self.sku, config);
         let entry = self.entry_with(&key, config);
         let decoded = self.decoded_of(&entry);
         if runner.has_pending_fault() {
@@ -367,24 +481,61 @@ impl Engine {
         })
     }
 
-    /// Current cache counters (all three tiers).
+    /// Current cache counters (all tiers). When the engine shares a
+    /// registry-wide tier, these are the shared totals, not per-engine
+    /// slices.
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.cache.lock().expect("payload cache poisoned").len(),
-            decoded_hits: self.decoded_hits.load(Ordering::Relaxed),
-            decoded_misses: self.decoded_misses.load(Ordering::Relaxed),
-            exec_hits: self.exec_hits.load(Ordering::Relaxed),
-            exec_misses: self.exec_misses.load(Ordering::Relaxed),
-            exec_entries: self.exec_cache.lock().expect("exec cache poisoned").len(),
-        }
+        self.caches.stats()
     }
+
+    /// Functional iteration count backing [`Engine::eval`]'s cached
+    /// trivial fraction. Matches the autotuner's fast-feedback pass, so
+    /// tuning and traceless evaluation share ExecStats cache entries.
+    pub const EVAL_FUNCTIONAL_ITERS: u64 = 64;
 
     /// Direct (traceless) evaluation: EDC-aware steady state + power.
     /// Orders of magnitude faster than a full session run; the parameter
-    /// sweeps live on this.
-    pub fn eval(&self, payload: &Payload, freq_mhz: f64) -> ThrottleResult {
+    /// sweeps live on this. The §III-D data effect is included: the
+    /// payload's trivial fraction comes from a cached functional pass
+    /// ([`InitScheme::V2Safe`], the engine seed,
+    /// [`Engine::EVAL_FUNCTIONAL_ITERS`] iterations), so a
+    /// trivial-heavy payload evaluates to a different operating point
+    /// than a dense one.
+    pub fn eval(&self, config: &PayloadConfig, freq_mhz: f64) -> ThrottleResult {
+        self.eval_init(config, freq_mhz, InitScheme::V2Safe)
+    }
+
+    /// [`Engine::eval`] under an explicit init scheme (the v1.74 buggy
+    /// initialization drives most payloads trivial, which shifts the
+    /// operating point — the §III-D regression hook).
+    pub fn eval_init(
+        &self,
+        config: &PayloadConfig,
+        freq_mhz: f64,
+        init: InitScheme,
+    ) -> ThrottleResult {
+        let key = PayloadKey::of(&self.sku, config);
+        let entry = self.entry_with(&key, config);
+        let decoded = self.decoded_of(&entry);
+        let outcome = self.functional_outcome_keyed(
+            key,
+            &decoded,
+            init,
+            self.seed,
+            Engine::EVAL_FUNCTIONAL_ITERS,
+        );
+        self.eval_payload(&entry.payload, freq_mhz, outcome.stats.trivial_fraction())
+    }
+
+    /// Raw operating-point solve for an already-built payload with an
+    /// explicit trivial fraction (no cache traffic; callers that hold a
+    /// `Payload` but no config, e.g. ablation experiments).
+    pub fn eval_payload(
+        &self,
+        payload: &Payload,
+        freq_mhz: f64,
+        trivial_fraction: f64,
+    ) -> ThrottleResult {
         self.evals.fetch_add(1, Ordering::Relaxed);
         solve_throttle(
             &self.sim,
@@ -392,8 +543,41 @@ impl Engine {
             &payload.kernel,
             freq_mhz,
             None,
-            0.0,
+            trivial_fraction,
         )
+    }
+
+    /// Batched traceless evaluation: one payload fetch, one memoized
+    /// decode, and one cached functional pass per request serve every
+    /// requested frequency — the fleet table build asks for all of a
+    /// class's P-states in one request instead of per-node solves.
+    /// Results are bit-identical to calling [`Engine::eval_init`] per
+    /// `(config, freq)` pair, in request order.
+    pub fn eval_batch(&self, requests: &[EvalRequest]) -> Vec<EvalBatch> {
+        requests
+            .iter()
+            .map(|req| {
+                let key = PayloadKey::of(&self.sku, &req.config);
+                let entry = self.entry_with(&key, &req.config);
+                let decoded = self.decoded_of(&entry);
+                let outcome = self.functional_outcome_keyed(
+                    key,
+                    &decoded,
+                    req.init,
+                    self.seed,
+                    Engine::EVAL_FUNCTIONAL_ITERS,
+                );
+                let trivial_fraction = outcome.stats.trivial_fraction();
+                EvalBatch {
+                    trivial_fraction,
+                    points: req
+                        .freqs_mhz
+                        .iter()
+                        .map(|&f| self.eval_payload(&entry.payload, f, trivial_fraction))
+                        .collect(),
+                }
+            })
+            .collect()
     }
 
     /// Number of [`Engine::eval`] operating-point solves so far (the
@@ -747,12 +931,67 @@ mod tests {
     #[test]
     fn eval_matches_runner_scale() {
         let e = engine();
-        let p = e.payload_for_spec("REG:1").unwrap();
+        let cfg = e.config_for_spec("REG:1").unwrap();
         assert_eq!(e.eval_count(), 0);
-        let r = e.eval(&p, 1500.0);
+        let r = e.eval(&cfg, 1500.0);
         assert!((180.0..280.0).contains(&r.power.total_w()));
-        let _ = e.eval(&p, 2200.0);
+        let _ = e.eval(&cfg, 2200.0);
         assert_eq!(e.eval_count(), 2, "eval counter must track solves");
+        // Both evals share one cached functional pass for the trivial
+        // fraction.
+        let s = e.cache_stats();
+        assert_eq!((s.exec_misses, s.exec_hits), (1, 1));
+    }
+
+    #[test]
+    fn trivial_heavy_payload_changes_the_eval_point() {
+        // §III-D: operand values matter. The v1.74 buggy init drives
+        // nearly every FMA operand denormal/trivial, which the power
+        // composition discounts — the same workload must evaluate to a
+        // different (lower-power) operating point than under the safe
+        // init, i.e. the cached trivial fraction is actually wired into
+        // `Engine::eval`, not hard-coded to 0.0.
+        let e = engine();
+        let cfg = e.config_for_spec("REG:4,L1_L:2").unwrap();
+        let dense = e.eval(&cfg, 1500.0);
+        let trivial = e.eval_init(&cfg, 1500.0, InitScheme::V174Buggy);
+        assert!(
+            trivial.power.total_w() < dense.power.total_w(),
+            "trivial-heavy payload must evaluate below the dense point \
+             ({} W !< {} W)",
+            trivial.power.total_w(),
+            dense.power.total_w()
+        );
+    }
+
+    #[test]
+    fn eval_batch_matches_per_call_eval_bitwise() {
+        let e = engine();
+        let specs = ["REG:1", "REG:4,L1_L:2", "REG:2,RAM_LS:2"];
+        let freqs = [1200.0, 1500.0, 2200.0];
+        let requests: Vec<EvalRequest> = specs
+            .iter()
+            .map(|s| EvalRequest {
+                config: e.config_for_spec(s).unwrap(),
+                init: InitScheme::V2Safe,
+                freqs_mhz: freqs.to_vec(),
+            })
+            .collect();
+        let batched = e.eval_batch(&requests);
+
+        let fresh = engine();
+        for (req, batch) in requests.iter().zip(&batched) {
+            assert_eq!(batch.points.len(), freqs.len());
+            for (&f, point) in freqs.iter().zip(&batch.points) {
+                let single = fresh.eval(&req.config, f);
+                assert_eq!(point.power, single.power);
+                assert_eq!(point.applied_mhz.to_bits(), single.applied_mhz.to_bits());
+            }
+        }
+        // One functional pass per distinct workload serves all freqs.
+        let s = e.cache_stats();
+        assert_eq!(s.exec_misses as usize, specs.len());
+        assert_eq!(e.eval_count(), (specs.len() * freqs.len()) as u64);
     }
 
     #[test]
@@ -945,8 +1184,7 @@ mod tests {
         // Long-tailed costs: item 0 is the most expensive, descending.
         let worker = |e: &Engine, i: usize, item: &usize| {
             let cfg = e.config_for_spec("REG:2,L1_LS:1").unwrap();
-            let p = e.payload(&cfg);
-            let r = e.eval(&p, 1500.0);
+            let r = e.eval(&cfg, 1500.0);
             (i, *item, r.power.total_w().to_bits())
         };
         let plain = e.sweep(&items, 4, worker);

@@ -19,11 +19,12 @@
 //! on different threads share one registry, and [`RegistryStats`]
 //! aggregates every layer's hit/miss counters for benchmark reports.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineCaches, EvalBatch, EvalRequest};
 use crate::groups::{parse_groups, AccessGroup, GroupParseError};
 use crate::mix::MixRegistry;
 use crate::payload::{default_unroll, PayloadConfig};
 use fs2_arch::Sku;
+use fs2_sim::InitScheme;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -57,13 +58,46 @@ pub struct RegistryStats {
     pub exec_misses: u64,
     /// `Engine::eval` operating-point solves summed over all engines.
     pub evals: u64,
+    /// Tuning candidates scored by the traceless pre-screen.
+    pub prescreen_evals: u64,
+    /// Pre-screened candidates pruned before full measurement.
+    pub prescreen_pruned: u64,
 }
 
-/// One engine per SKU plus the shared spec/unroll caches.
+impl RegistryStats {
+    /// Fraction of pre-screened tuning candidates pruned before full
+    /// measurement (0.0 when the pre-screen never ran).
+    pub fn prescreen_prune_rate(&self) -> f64 {
+        if self.prescreen_evals == 0 {
+            0.0
+        } else {
+            self.prescreen_pruned as f64 / self.prescreen_evals as f64
+        }
+    }
+}
+
+/// One registry-level batched evaluation request: a SKU + group spec
+/// plus every frequency to solve (see [`EngineRegistry::eval_groups`]).
+#[derive(Debug, Clone)]
+pub struct GroupEvalRequest<'a> {
+    pub sku: &'a Sku,
+    pub spec: &'a str,
+    /// Init scheme of the cached functional pass supplying the trivial
+    /// fraction ([`InitScheme::V2Safe`] matches [`Engine::eval`]).
+    pub init: InitScheme,
+    pub freqs_mhz: Vec<f64>,
+}
+
+/// One engine per SKU plus the shared spec/unroll caches and the
+/// registry-wide [`EngineCaches`] tier every engine warms.
 pub struct EngineRegistry {
     /// Keyed by `Sku::name`; a linear scan over a handful of SKUs beats
     /// hashing the whole `Sku` struct.
     engines: Mutex<Vec<(&'static str, Arc<Engine>)>>,
+    /// The shared payload/decode/ExecStats tier (SKU-tagged keys), so
+    /// repeat fleet requests hit one registry-wide cache instead of
+    /// each warming a per-engine one.
+    caches: Arc<EngineCaches>,
     specs: Mutex<HashMap<String, Arc<Vec<AccessGroup>>>>,
     unrolls: Mutex<HashMap<(&'static str, String), u32>>,
     spec_hits: AtomicU64,
@@ -83,6 +117,7 @@ impl EngineRegistry {
     pub fn with_seed(seed: u64) -> EngineRegistry {
         EngineRegistry {
             engines: Mutex::new(Vec::new()),
+            caches: Arc::new(EngineCaches::new()),
             specs: Mutex::new(HashMap::new()),
             unrolls: Mutex::new(HashMap::new()),
             spec_hits: AtomicU64::new(0),
@@ -91,6 +126,11 @@ impl EngineRegistry {
             unroll_misses: AtomicU64::new(0),
             seed,
         }
+    }
+
+    /// The registry-wide shared cache tier.
+    pub fn caches(&self) -> &Arc<EngineCaches> {
+        &self.caches
     }
 
     /// The engine for `sku`, created on first request. Two SKUs are the
@@ -106,7 +146,11 @@ impl EngineRegistry {
         // Build outside the lock (simulator + power-model construction
         // is not free); like the other caches, a same-SKU race keeps
         // the first insert and drops the loser's engine.
-        let engine = Arc::new(Engine::with_seed(sku.clone(), self.seed));
+        let engine = Arc::new(Engine::with_caches(
+            sku.clone(),
+            self.seed,
+            Arc::clone(&self.caches),
+        ));
         let mut engines = self.engines.lock().expect("engine registry poisoned");
         if let Some((_, e)) = engines.iter().find(|(name, _)| *name == sku.name) {
             return Arc::clone(e);
@@ -205,26 +249,70 @@ impl EngineRegistry {
         Ok(self.engine(sku).payload(&config))
     }
 
-    /// Aggregated counters across the registry and all engines.
+    /// Batched traceless evaluation across SKUs: requests are bucketed
+    /// per SKU engine and dispatched through [`Engine::eval_batch`], so
+    /// one cached payload fetch, decode and functional pass serve every
+    /// frequency a `(SKU, spec)` pair asks for. Results come back in
+    /// request order, bit-identical to per-call [`Engine::eval_init`]
+    /// solves.
+    pub fn eval_groups(
+        &self,
+        requests: &[GroupEvalRequest<'_>],
+    ) -> Result<Vec<EvalBatch>, GroupParseError> {
+        let mut buckets: Vec<(Arc<Engine>, Vec<usize>, Vec<EvalRequest>)> = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            let req = EvalRequest {
+                config: self.config_for(r.sku, r.spec)?,
+                init: r.init,
+                freqs_mhz: r.freqs_mhz.clone(),
+            };
+            match buckets
+                .iter_mut()
+                .find(|(e, _, _)| e.sku().name == r.sku.name)
+            {
+                Some((_, order, reqs)) => {
+                    order.push(i);
+                    reqs.push(req);
+                }
+                None => buckets.push((self.engine(r.sku), vec![i], vec![req])),
+            }
+        }
+        let mut out: Vec<Option<EvalBatch>> = requests.iter().map(|_| None).collect();
+        for (engine, order, reqs) in buckets {
+            for (i, batch) in order.into_iter().zip(engine.eval_batch(&reqs)) {
+                out[i] = Some(batch);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|b| b.expect("every request is dispatched to exactly one bucket"))
+            .collect())
+    }
+
+    /// Aggregated counters across the registry and all engines. The
+    /// payload/decode/ExecStats tier is shared, so it is read once —
+    /// summing per-engine snapshots would count it once per engine.
     pub fn stats(&self) -> RegistryStats {
         let engines = self.engines.lock().expect("engine registry poisoned");
+        let c = self.caches.stats();
         let mut s = RegistryStats {
             engines: engines.len(),
             spec_hits: self.spec_hits.load(Ordering::Relaxed),
             spec_misses: self.spec_misses.load(Ordering::Relaxed),
             unroll_hits: self.unroll_hits.load(Ordering::Relaxed),
             unroll_misses: self.unroll_misses.load(Ordering::Relaxed),
+            payload_hits: c.hits,
+            payload_misses: c.misses,
+            payload_entries: c.entries,
+            decoded_hits: c.decoded_hits,
+            decoded_misses: c.decoded_misses,
+            exec_hits: c.exec_hits,
+            exec_misses: c.exec_misses,
+            prescreen_evals: c.prescreen_evals,
+            prescreen_pruned: c.prescreen_pruned,
             ..RegistryStats::default()
         };
         for (_, e) in engines.iter() {
-            let c = e.cache_stats();
-            s.payload_hits += c.hits;
-            s.payload_misses += c.misses;
-            s.payload_entries += c.entries;
-            s.decoded_hits += c.decoded_hits;
-            s.decoded_misses += c.decoded_misses;
-            s.exec_hits += c.exec_hits;
-            s.exec_misses += c.exec_misses;
             s.evals += e.eval_count();
         }
         s
@@ -304,6 +392,79 @@ mod tests {
         assert_eq!(s.payload_misses, 1);
         assert_eq!(s.payload_hits, 1);
         assert_eq!(s.payload_entries, 1);
+    }
+
+    #[test]
+    fn cache_tier_is_shared_across_sku_engines() {
+        let reg = EngineRegistry::new();
+        let rome = reg.engine(&Sku::amd_epyc_7502());
+        let haswell = reg.engine(&Sku::intel_xeon_e5_2680_v3());
+        assert!(
+            Arc::ptr_eq(rome.caches(), haswell.caches()),
+            "registry engines must share one cache tier"
+        );
+        assert!(Arc::ptr_eq(rome.caches(), reg.caches()));
+
+        // Same spec on two SKUs: keys are SKU-tagged, so each SKU gets
+        // its own entry — sharing must not alias payloads across SKUs.
+        let p_rome = reg.payload_for(&Sku::amd_epyc_7502(), "REG:1").unwrap();
+        let p_haswell = reg
+            .payload_for(&Sku::intel_xeon_e5_2680_v3(), "REG:1")
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&p_rome, &p_haswell),
+            "SKUs must get distinct cache entries even when codegen coincides"
+        );
+        let s = reg.stats();
+        assert_eq!(s.payload_misses, 2);
+        assert_eq!(s.payload_entries, 2);
+        // stats() reads the shared tier once — two engines must not
+        // double the counters.
+        assert_eq!(s.payload_hits, 0);
+    }
+
+    #[test]
+    fn eval_groups_matches_per_engine_eval_bitwise() {
+        use fs2_sim::InitScheme;
+        let reg = EngineRegistry::new();
+        let rome = Sku::amd_epyc_7502();
+        let haswell = Sku::intel_xeon_e5_2680_v3();
+        // Interleave SKUs to exercise the bucketing order mapping.
+        let requests = vec![
+            GroupEvalRequest {
+                sku: &rome,
+                spec: "REG:1",
+                init: InitScheme::V2Safe,
+                freqs_mhz: vec![1500.0, 2200.0],
+            },
+            GroupEvalRequest {
+                sku: &haswell,
+                spec: "REG:4,L1_L:2",
+                init: InitScheme::V2Safe,
+                freqs_mhz: vec![1200.0],
+            },
+            GroupEvalRequest {
+                sku: &rome,
+                spec: "REG:4,L1_L:2",
+                init: InitScheme::V2Safe,
+                freqs_mhz: vec![2500.0],
+            },
+        ];
+        let batches = reg.eval_groups(&requests).unwrap();
+        assert_eq!(batches.len(), requests.len());
+
+        let fresh = EngineRegistry::new();
+        for (req, batch) in requests.iter().zip(&batches) {
+            let engine = fresh.engine(req.sku);
+            let config = fresh.config_for(req.sku, req.spec).unwrap();
+            assert_eq!(batch.points.len(), req.freqs_mhz.len());
+            for (&f, point) in req.freqs_mhz.iter().zip(&batch.points) {
+                let single = engine.eval(&config, f);
+                assert_eq!(point.power, single.power);
+                assert_eq!(point.applied_mhz.to_bits(), single.applied_mhz.to_bits());
+            }
+        }
+        assert_eq!(reg.stats().evals, 4, "one solve per (request, freq)");
     }
 
     #[test]

@@ -238,9 +238,30 @@ impl Runner {
         cfg: &RunConfig,
     ) -> RunResult {
         // 1. Value-level execution: operand triviality + error detection.
+        let (outcome, error_check_passed) = self.functional_pass(decoded, cfg);
+        let trivial_fraction = outcome.stats.trivial_fraction();
+        let register_dump = cfg.dump_registers.then(|| outcome.register_dump());
+        self.finish_run(
+            kernel,
+            cfg,
+            trivial_fraction,
+            error_check_passed,
+            register_dump,
+        )
+    }
+
+    /// The §III-D value-level pass of a prepared run: the primary
+    /// functional outcome plus the error-detection verdict (if enabled).
+    /// Narrow tier: two independent [`Executor`] replays, with an armed
+    /// fault injected into the second before the hash comparison.
+    #[cfg(not(feature = "wide-lanes"))]
+    fn functional_pass(
+        &mut self,
+        decoded: &DecodedKernel,
+        cfg: &RunConfig,
+    ) -> (FunctionalOutcome, Option<bool>) {
         let mut ex0 = Executor::new(cfg.init, self.seed);
         ex0.run_decoded(decoded, cfg.functional_iters);
-        let trivial_fraction = ex0.stats().trivial_fraction();
         let error_check_passed = if cfg.error_detection {
             let mut ex1 = Executor::new(cfg.init, self.seed);
             ex1.run_decoded(decoded, cfg.functional_iters);
@@ -251,18 +272,42 @@ impl Runner {
         } else {
             None
         };
-        let register_dump = cfg.dump_registers.then(|| {
-            let mut s = String::new();
-            ex0.dump_registers(&mut s);
-            s
-        });
-        self.finish_run(
-            kernel,
-            cfg,
-            trivial_fraction,
-            error_check_passed,
-            register_dump,
-        )
+        (ex0.outcome(), error_check_passed)
+    }
+
+    /// Wide-tier variant: the error-detection replay's two redundant
+    /// contexts run as one 8-lane pass ([`fs2_sim::run_functional_pair`]),
+    /// halving the replay loop count. An armed fault is applied to the
+    /// second context's extracted register file and its hash recomputed
+    /// — exactly the narrow tier's post-run [`Executor::inject_bit_flip`]
+    /// + compare, so results are bit-identical with the feature on or
+    /// off (the exec_parity suite pins the tiers to each other).
+    #[cfg(feature = "wide-lanes")]
+    fn functional_pass(
+        &mut self,
+        decoded: &DecodedKernel,
+        cfg: &RunConfig,
+    ) -> (FunctionalOutcome, Option<bool>) {
+        if cfg.error_detection {
+            let (out0, mut out1) = fs2_sim::run_functional_pair(
+                decoded,
+                cfg.init,
+                self.seed,
+                self.seed,
+                cfg.functional_iters,
+            );
+            if let Some((reg, lane, bit)) = self.pending_fault.take() {
+                let v = &mut out1.registers[reg % 16][lane % fs2_sim::LANES];
+                *v = f64::from_bits(v.to_bits() ^ (1u64 << (bit % 64)));
+                out1.state_hash = fs2_sim::state_hash_of(&out1.registers);
+            }
+            let passed = out0.state_hash == out1.state_hash;
+            (out0, Some(passed))
+        } else {
+            let mut ex = Executor::new(cfg.init, self.seed);
+            ex.run_decoded(decoded, cfg.functional_iters);
+            (ex.outcome(), None)
+        }
     }
 
     /// Runs a kernel whose functional pass was already computed (the

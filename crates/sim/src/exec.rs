@@ -1185,16 +1185,7 @@ impl Executor {
     /// Byte order is register-major, lane within register — unchanged
     /// from the historical flat layout, so hashes are stable.
     pub fn state_hash(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for reg in &self.ymm {
-            for lane in reg {
-                for byte in lane.to_bits().to_le_bytes() {
-                    h ^= u64::from(byte);
-                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
-                }
-            }
-        }
-        h
+        state_hash_of(&self.ymm)
     }
 
     /// Flips one mantissa/exponent/sign bit — fault injection for the
@@ -1211,6 +1202,459 @@ impl Executor {
     pub fn any_trivial_register(&self) -> bool {
         self.ymm.iter().flatten().any(|&x| is_trivial(x))
     }
+}
+
+/// FNV-1a hash over a vector register file — the free-function form of
+/// [`Executor::state_hash`], usable on registers extracted from a
+/// [`FunctionalOutcome`] (e.g. after post-run fault injection re-hashes
+/// the corrupted file). Byte order is register-major, lane within
+/// register — unchanged from the historical flat layout, so hashes are
+/// stable across executor generations.
+pub fn state_hash_of(regs: &[[f64; LANES]; 16]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for reg in regs {
+        for lane in reg {
+            for byte in lane.to_bits().to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    h
+}
+
+/// f64 lanes per 512-bit vector register: the wide tier packs two
+/// [`LANES`]-lane execution contexts into one register file (lanes
+/// `0..LANES` context A, `LANES..2*LANES` context B).
+#[cfg(feature = "wide-lanes")]
+pub const WIDE_LANES: usize = 2 * LANES;
+
+/// 8-lane triviality bitmask via one 512-bit compare pair (bit `l` set ⇔
+/// lane `l` is ±∞/0/NaN) — same predicate as [`mask4`], one register.
+#[cfg(all(
+    feature = "wide-lanes",
+    target_arch = "x86_64",
+    target_feature = "avx512f"
+))]
+#[inline(always)]
+fn mask8(v: &[f64; WIDE_LANES]) -> u8 {
+    use std::arch::x86_64::{
+        _mm512_abs_pd, _mm512_cmp_pd_mask, _mm512_loadu_pd, _mm512_set1_pd, _mm512_setzero_pd,
+        _CMP_EQ_OQ, _CMP_NLT_UQ,
+    };
+    // SAFETY: this arm only compiles when AVX-512F is statically
+    // enabled, and `v` is a valid, readable `[f64; 8]`.
+    unsafe {
+        let x = _mm512_loadu_pd(v.as_ptr());
+        let is_zero = _mm512_cmp_pd_mask::<_CMP_EQ_OQ>(x, _mm512_setzero_pd());
+        let not_finite =
+            _mm512_cmp_pd_mask::<_CMP_NLT_UQ>(_mm512_abs_pd(x), _mm512_set1_pd(f64::INFINITY));
+        is_zero | not_finite
+    }
+}
+
+/// Portable 8-lane mask for targets without statically-enabled AVX-512:
+/// two [`mask4`] halves (each of which still uses the 256-bit intrinsic
+/// arm where available) composed nibble-wise.
+#[cfg(all(
+    feature = "wide-lanes",
+    not(all(target_arch = "x86_64", target_feature = "avx512f"))
+))]
+#[inline(always)]
+fn mask8(v: &[f64; WIDE_LANES]) -> u8 {
+    let lo: &[f64; LANES] = v[..LANES].try_into().expect("low half");
+    let hi: &[f64; LANES] = v[LANES..].try_into().expect("high half");
+    mask4(lo) | (mask4(hi) << LANES)
+}
+
+/// One memory level's wide functional buffer: each slot holds the two
+/// contexts' [`LANES`]-lane values side by side.
+#[cfg(feature = "wide-lanes")]
+type WideBuffer = Box<[[f64; WIDE_LANES]; BUF_ELEMS]>;
+
+/// 8-lane wide replay tier: two same-kernel execution contexts packed
+/// into one `16 × 8` SoA register file, so each micro-op's FP body is a
+/// single 512-bit-wide lane loop (one `zmm` operation on AVX-512 hosts,
+/// two fused 256-bit halves elsewhere) serving both contexts at once.
+///
+/// The packing is sound because the two contexts run the *same* decoded
+/// kernel and general-purpose state is seed-independent: GP registers
+/// start at zero and are only ever updated by GP micro-ops whose inputs
+/// are GP state and immediates (no FP→GP data flow exists in
+/// [`MicroOp`]), so both contexts compute identical addresses on every
+/// instruction and one shared `gp` file + one shared slot computation
+/// serves both lane halves. FP lanes never cross the half boundary —
+/// every body is element-wise — so each half is bit-identical to the
+/// narrow [`Executor`] run it replaces; the exec_parity suite pins this.
+///
+/// The natural consumer is the §III-D error-detection replay
+/// ([`run_functional_pair`]): the two redundant passes of one run become
+/// a single wide pass at roughly half the replay cost.
+#[cfg(feature = "wide-lanes")]
+#[derive(Debug, Clone)]
+pub struct WideExecutor {
+    /// Packed vector register file: `wymm[N][..LANES]` is context A's
+    /// `ymmN`, `wymm[N][LANES..]` context B's.
+    wymm: [[f64; WIDE_LANES]; 16],
+    /// Shared GP file (identical across contexts; see type docs).
+    gp: [u64; 16],
+    /// Per-register 8-bit triviality mask: low nibble context A, high
+    /// nibble context B.
+    wmask: [u8; 16],
+    buffers: [WideBuffer; 4],
+    buf_mask: [Box<[u8; BUF_ELEMS]>; 4],
+    stats_a: ExecStats,
+    stats_b: ExecStats,
+    scheme: InitScheme,
+}
+
+#[cfg(feature = "wide-lanes")]
+impl WideExecutor {
+    /// Packs two freshly initialized narrow executors — context A from
+    /// `seed_a`, context B from `seed_b` — into one wide register file.
+    /// Initialization draws are delegated to [`Executor::new`] so the
+    /// per-context state (and everything downstream of it) is bitwise
+    /// the state a narrow run would start from.
+    pub fn new(scheme: InitScheme, seed_a: u64, seed_b: u64) -> WideExecutor {
+        let a = Executor::new(scheme, seed_a);
+        let b = Executor::new(scheme, seed_b);
+        let mut wymm = [[0.0; WIDE_LANES]; 16];
+        for (r, reg) in wymm.iter_mut().enumerate() {
+            reg[..LANES].copy_from_slice(&a.ymm[r]);
+            reg[LANES..].copy_from_slice(&b.ymm[r]);
+        }
+        let mut buffers: [WideBuffer; 4] = std::array::from_fn(|_| {
+            vec![[0.0; WIDE_LANES]; BUF_ELEMS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("BUF_ELEMS wide slots")
+        });
+        for (lvl, buf) in buffers.iter_mut().enumerate() {
+            for (s, slot) in buf.iter_mut().enumerate() {
+                slot[..LANES].copy_from_slice(&a.buffers[lvl][s]);
+                slot[LANES..].copy_from_slice(&b.buffers[lvl][s]);
+            }
+        }
+        let buf_mask = std::array::from_fn(|_| {
+            vec![0u8; BUF_ELEMS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("BUF_ELEMS wide masks")
+        });
+        WideExecutor {
+            wymm,
+            gp: [0; 16],
+            wmask: [0; 16],
+            buffers,
+            buf_mask,
+            stats_a: ExecStats::default(),
+            stats_b: ExecStats::default(),
+            scheme,
+        }
+    }
+
+    /// The initialization scheme in use.
+    pub fn scheme(&self) -> InitScheme {
+        self.scheme
+    }
+
+    /// Per-context statistics so far: `(context A, context B)`.
+    pub fn stats_pair(&self) -> (&ExecStats, &ExecStats) {
+        (&self.stats_a, &self.stats_b)
+    }
+
+    /// Unpacks the wide file into the two contexts' register files.
+    pub fn registers_pair(&self) -> ([[f64; LANES]; 16], [[f64; LANES]; 16]) {
+        let mut a = [[0.0; LANES]; 16];
+        let mut b = [[0.0; LANES]; 16];
+        for r in 0..16 {
+            a[r].copy_from_slice(&self.wymm[r][..LANES]);
+            b[r].copy_from_slice(&self.wymm[r][LANES..]);
+        }
+        (a, b)
+    }
+
+    /// Packages the current state as two per-context
+    /// [`FunctionalOutcome`]s — each bitwise what the corresponding
+    /// narrow pass would produce.
+    pub fn outcome_pair(&self) -> (FunctionalOutcome, FunctionalOutcome) {
+        let (a, b) = self.registers_pair();
+        (
+            FunctionalOutcome {
+                stats: self.stats_a,
+                state_hash: state_hash_of(&a),
+                registers: a,
+            },
+            FunctionalOutcome {
+                stats: self.stats_b,
+                state_hash: state_hash_of(&b),
+                registers: b,
+            },
+        )
+    }
+
+    /// Flips one bit of one lane in context `ctx` (0 = A, 1 = B) —
+    /// fault injection matching [`Executor::inject_bit_flip`] on the
+    /// selected context, leaving the other untouched.
+    pub fn inject_bit_flip(&mut self, ctx: usize, reg: usize, lane: usize, bit: u32) {
+        let l = (ctx & 1) * LANES + lane % LANES;
+        let v = &mut self.wymm[reg % 16][l];
+        *v = f64::from_bits(v.to_bits() ^ (1u64 << (bit % 64)));
+        self.wmask[reg % 16] = mask8(&self.wymm[reg % 16]);
+    }
+
+    fn refresh_masks(&mut self) {
+        for (r, reg) in self.wymm.iter().enumerate() {
+            self.wmask[r] = mask8(reg);
+        }
+        for (masks, buf) in self.buf_mask.iter_mut().zip(&self.buffers) {
+            for (m, slot) in masks.iter_mut().zip(buf.iter()) {
+                *m = mask8(slot);
+            }
+        }
+    }
+
+    /// Shared-address slot resolution; identical arithmetic to
+    /// [`Executor::slot_fast`] over the shared GP file.
+    #[inline(always)]
+    fn slot_fast(&self, mem: &MemOp) -> usize {
+        let base = self.gp[mem.base as usize];
+        let idx = if mem.index_factor > 0 {
+            self.gp[mem.index_reg as usize].wrapping_mul(u64::from(mem.index_factor))
+        } else {
+            0
+        };
+        let addr = base.wrapping_add(idx).wrapping_add(mem.disp as i64 as u64);
+        ((addr / 32) as usize % SLOT_MOD) & (BUF_ELEMS - 1)
+    }
+
+    /// Replays a pre-decoded kernel over both packed contexts.
+    ///
+    /// Structure mirrors [`Executor::run_decoded`] with every FP body
+    /// widened from [`LANES`] to [`WIDE_LANES`] elements; per-op FP lane
+    /// accounting stays [`LANES`] per *context* (each context is one
+    /// narrow run), with triviality popcounts split nibble-wise.
+    pub fn run_decoded(&mut self, decoded: &DecodedKernel, iterations: u64) {
+        self.refresh_masks();
+        let mut fp_ops: u64 = 0;
+        let mut trivial_a: u64 = 0;
+        let mut trivial_b: u64 = 0;
+        for _ in 0..iterations {
+            for op in &decoded.ops {
+                match *op {
+                    MicroOp::Fma { dst, a, b } => {
+                        let di = ri(dst);
+                        let d = self.wymm[di];
+                        let x = self.wymm[ri(a)];
+                        let y = self.wymm[ri(b)];
+                        let tm = self.wmask[di] | self.wmask[ri(a)] | self.wmask[ri(b)];
+                        fp_ops += LANES as u64;
+                        trivial_a += u64::from((tm & 0xF).count_ones());
+                        trivial_b += u64::from((tm >> LANES).count_ones());
+                        let mut out = [0.0; WIDE_LANES];
+                        for l in 0..WIDE_LANES {
+                            out[l] = x[l].mul_add(y[l], d[l]);
+                        }
+                        self.wmask[di] = mask8(&out);
+                        self.wymm[di] = out;
+                    }
+                    MicroOp::FmaMem { dst, a, mem } => {
+                        let slot = self.slot_fast(&mem);
+                        let lvl = (mem.level & 3) as usize;
+                        let di = ri(dst);
+                        let d = self.wymm[di];
+                        let x = self.wymm[ri(a)];
+                        let y = self.buffers[lvl][slot];
+                        let tm = self.wmask[di] | self.wmask[ri(a)] | self.buf_mask[lvl][slot];
+                        fp_ops += LANES as u64;
+                        trivial_a += u64::from((tm & 0xF).count_ones());
+                        trivial_b += u64::from((tm >> LANES).count_ones());
+                        let mut out = [0.0; WIDE_LANES];
+                        for l in 0..WIDE_LANES {
+                            out[l] = x[l].mul_add(y[l], d[l]);
+                        }
+                        self.wmask[di] = mask8(&out);
+                        self.wymm[di] = out;
+                    }
+                    MicroOp::Mul { dst, a, b } => {
+                        let x = self.wymm[ri(a)];
+                        let y = self.wymm[ri(b)];
+                        let tm = self.wmask[ri(a)] | self.wmask[ri(b)];
+                        fp_ops += LANES as u64;
+                        trivial_a += u64::from((tm & 0xF).count_ones());
+                        trivial_b += u64::from((tm >> LANES).count_ones());
+                        let mut out = [0.0; WIDE_LANES];
+                        for l in 0..WIDE_LANES {
+                            out[l] = x[l] * y[l];
+                        }
+                        self.wmask[ri(dst)] = mask8(&out);
+                        self.wymm[ri(dst)] = out;
+                    }
+                    MicroOp::MulMem { dst, a, mem } => {
+                        let slot = self.slot_fast(&mem);
+                        let lvl = (mem.level & 3) as usize;
+                        let x = self.wymm[ri(a)];
+                        let y = self.buffers[lvl][slot];
+                        let tm = self.wmask[ri(a)] | self.buf_mask[lvl][slot];
+                        fp_ops += LANES as u64;
+                        trivial_a += u64::from((tm & 0xF).count_ones());
+                        trivial_b += u64::from((tm >> LANES).count_ones());
+                        let mut out = [0.0; WIDE_LANES];
+                        for l in 0..WIDE_LANES {
+                            out[l] = x[l] * y[l];
+                        }
+                        self.wmask[ri(dst)] = mask8(&out);
+                        self.wymm[ri(dst)] = out;
+                    }
+                    MicroOp::Add { dst, a, b } => {
+                        let x = self.wymm[ri(a)];
+                        let y = self.wymm[ri(b)];
+                        let tm = self.wmask[ri(a)] | self.wmask[ri(b)];
+                        fp_ops += LANES as u64;
+                        trivial_a += u64::from((tm & 0xF).count_ones());
+                        trivial_b += u64::from((tm >> LANES).count_ones());
+                        let mut out = [0.0; WIDE_LANES];
+                        for l in 0..WIDE_LANES {
+                            out[l] = x[l] + y[l];
+                        }
+                        self.wmask[ri(dst)] = mask8(&out);
+                        self.wymm[ri(dst)] = out;
+                    }
+                    MicroOp::AddMem { dst, a, mem } => {
+                        let slot = self.slot_fast(&mem);
+                        let lvl = (mem.level & 3) as usize;
+                        let x = self.wymm[ri(a)];
+                        let y = self.buffers[lvl][slot];
+                        let tm = self.wmask[ri(a)] | self.buf_mask[lvl][slot];
+                        fp_ops += LANES as u64;
+                        trivial_a += u64::from((tm & 0xF).count_ones());
+                        trivial_b += u64::from((tm >> LANES).count_ones());
+                        let mut out = [0.0; WIDE_LANES];
+                        for l in 0..WIDE_LANES {
+                            out[l] = x[l] + y[l];
+                        }
+                        self.wmask[ri(dst)] = mask8(&out);
+                        self.wymm[ri(dst)] = out;
+                    }
+                    MicroOp::Xor { dst, a, b } => {
+                        let x = self.wymm[ri(a)];
+                        let y = self.wymm[ri(b)];
+                        let mut out = [0.0; WIDE_LANES];
+                        for l in 0..WIDE_LANES {
+                            out[l] = f64::from_bits(x[l].to_bits() ^ y[l].to_bits());
+                        }
+                        self.wmask[ri(dst)] = mask8(&out);
+                        self.wymm[ri(dst)] = out;
+                    }
+                    MicroOp::Load { dst, mem } => {
+                        let slot = self.slot_fast(&mem);
+                        let lvl = (mem.level & 3) as usize;
+                        self.wmask[ri(dst)] = self.buf_mask[lvl][slot];
+                        self.wymm[ri(dst)] = self.buffers[lvl][slot];
+                    }
+                    MicroOp::Store { src, mem } => {
+                        let slot = self.slot_fast(&mem);
+                        let lvl = (mem.level & 3) as usize;
+                        self.buf_mask[lvl][slot] = self.wmask[ri(src)];
+                        self.buffers[lvl][slot] = self.wymm[ri(src)];
+                    }
+                    MicroOp::SqrtSd { dst, src } => {
+                        let si = ri(src);
+                        let di = ri(dst);
+                        let out_a = self.wymm[si][0].sqrt();
+                        let out_b = self.wymm[si][LANES].sqrt();
+                        self.wmask[di] = (self.wmask[di] & !0x11)
+                            | u8::from(is_trivial(out_a))
+                            | (u8::from(is_trivial(out_b)) << LANES);
+                        self.wymm[di][0] = out_a;
+                        self.wymm[di][LANES] = out_b;
+                    }
+                    MicroOp::MulSd { dst, src } => {
+                        let si = ri(src);
+                        let di = ri(dst);
+                        let tm = self.wmask[di] | self.wmask[si];
+                        fp_ops += 1;
+                        trivial_a += u64::from(tm & 1);
+                        trivial_b += u64::from((tm >> LANES) & 1);
+                        let out_a = self.wymm[di][0] * self.wymm[si][0];
+                        let out_b = self.wymm[di][LANES] * self.wymm[si][LANES];
+                        self.wmask[di] = (self.wmask[di] & !0x11)
+                            | u8::from(is_trivial(out_a))
+                            | (u8::from(is_trivial(out_b)) << LANES);
+                        self.wymm[di][0] = out_a;
+                        self.wymm[di][LANES] = out_b;
+                    }
+                    MicroOp::AddSd { dst, src } => {
+                        let si = ri(src);
+                        let di = ri(dst);
+                        let tm = self.wmask[di] | self.wmask[si];
+                        fp_ops += 1;
+                        trivial_a += u64::from(tm & 1);
+                        trivial_b += u64::from((tm >> LANES) & 1);
+                        let out_a = self.wymm[di][0] + self.wymm[si][0];
+                        let out_b = self.wymm[di][LANES] + self.wymm[si][LANES];
+                        self.wmask[di] = (self.wmask[di] & !0x11)
+                            | u8::from(is_trivial(out_a))
+                            | (u8::from(is_trivial(out_b)) << LANES);
+                        self.wymm[di][0] = out_a;
+                        self.wymm[di][LANES] = out_b;
+                    }
+                    MicroOp::GpXor { dst, src } => {
+                        self.gp[ri(dst)] ^= self.gp[ri(src)];
+                    }
+                    MicroOp::GpShl { dst, imm } => {
+                        let d = &mut self.gp[ri(dst)];
+                        *d = d.wrapping_shl(u32::from(imm));
+                    }
+                    MicroOp::GpShr { dst, imm } => {
+                        let d = &mut self.gp[ri(dst)];
+                        *d = d.wrapping_shr(u32::from(imm));
+                    }
+                    MicroOp::GpAddImm { dst, imm } => {
+                        let d = &mut self.gp[ri(dst)];
+                        *d = d.wrapping_add(imm as i64 as u64);
+                    }
+                    MicroOp::GpAdd { dst, src } => {
+                        let s = self.gp[ri(src)];
+                        let d = &mut self.gp[ri(dst)];
+                        *d = d.wrapping_add(s);
+                    }
+                    MicroOp::GpMovImm { dst, imm } => {
+                        self.gp[ri(dst)] = imm;
+                    }
+                    MicroOp::GpDec { dst } => {
+                        let d = &mut self.gp[ri(dst)];
+                        *d = d.wrapping_sub(1);
+                    }
+                }
+            }
+        }
+        self.stats_a.iterations += iterations;
+        self.stats_a.fp_lane_ops += fp_ops;
+        self.stats_a.trivial_lane_ops += trivial_a;
+        self.stats_b.iterations += iterations;
+        self.stats_b.fp_lane_ops += fp_ops;
+        self.stats_b.trivial_lane_ops += trivial_b;
+    }
+}
+
+/// Runs two complete functional passes of the same kernel — context A
+/// from `seed_a`, context B from `seed_b` — as one wide replay, and
+/// packages both [`FunctionalOutcome`]s. Each outcome is bitwise what
+/// [`run_functional`] would produce for the corresponding seed; the
+/// error-detection replay uses this to fold its two redundant passes
+/// into one loop over the micro-op table.
+#[cfg(feature = "wide-lanes")]
+pub fn run_functional_pair(
+    decoded: &DecodedKernel,
+    scheme: InitScheme,
+    seed_a: u64,
+    seed_b: u64,
+    iterations: u64,
+) -> (FunctionalOutcome, FunctionalOutcome) {
+    let mut ex = WideExecutor::new(scheme, seed_a, seed_b);
+    ex.run_decoded(decoded, iterations);
+    ex.outcome_pair()
 }
 
 #[cfg(test)]

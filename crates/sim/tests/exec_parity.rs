@@ -292,6 +292,10 @@ fn run_functional_equals_manual_replay() {
         ex.run_interpreted(&k, 300);
         assert_eq!(outcome.stats, *ex.stats());
         assert_eq!(outcome.state_hash, ex.state_hash());
+        assert_eq!(
+            outcome.state_hash,
+            fs2_sim::state_hash_of(&outcome.registers)
+        );
         assert_eq!(outcome.registers, ex.registers());
         let mut dump = String::new();
         format_register_dump(&outcome.registers, &mut dump);

@@ -1,0 +1,257 @@
+//! Wide-tier parity suite (`--features wide-lanes`): the 8-lane
+//! [`WideExecutor`] packs two narrow execution contexts into one
+//! `16 × 8` register file, and each packed context must be bitwise
+//! indistinguishable from the narrow [`Executor`] run it replaces —
+//! same [`fs2_sim::ExecStats`], same state hash, same register file —
+//! under both init schemes, distinct per-context seeds, and bit-flip
+//! fault injection into either context mid-run.
+#![cfg(feature = "wide-lanes")]
+
+use fs2_arch::MemLevel;
+use fs2_isa::prelude::*;
+use fs2_sim::{
+    run_functional, run_functional_pair, state_hash_of, DecodedKernel, Executor, InitScheme,
+    Kernel, TaggedInst, WideExecutor, LANES, WIDE_LANES,
+};
+
+/// Same instruction coverage as exec_parity's all-variants kernel:
+/// packed FMA/MUL/ADD with register and memory operands across levels,
+/// XOR, load/store, scalar lane-0 ops, the GP ALU, and the inert
+/// control-flow instructions the decoder drops.
+fn all_variants_kernel() -> Kernel {
+    let body = vec![
+        TaggedInst::reg(Inst::MovImm64 {
+            dst: Gp::Rax,
+            imm: 0x1000,
+        }),
+        TaggedInst::reg(Inst::MovImm64 {
+            dst: Gp::Rbx,
+            imm: 3,
+        }),
+        TaggedInst::reg(Inst::Vfmadd231pd {
+            dst: Ymm::new(0),
+            src1: Ymm::new(12),
+            src2: RmYmm::Reg(Ymm::new(14)),
+        }),
+        TaggedInst::reg(Inst::Vmulpd {
+            dst: Ymm::new(1),
+            src1: Ymm::new(2),
+            src2: RmYmm::Reg(Ymm::new(13)),
+        }),
+        TaggedInst::reg(Inst::Vaddpd {
+            dst: Ymm::new(3),
+            src1: Ymm::new(4),
+            src2: RmYmm::Reg(Ymm::new(5)),
+        }),
+        TaggedInst::mem(
+            Inst::Vfmadd231pd {
+                dst: Ymm::new(6),
+                src1: Ymm::new(12),
+                src2: RmYmm::Mem(Mem::base(Gp::Rax)),
+            },
+            MemLevel::L1,
+        ),
+        TaggedInst::mem(
+            Inst::Vmulpd {
+                dst: Ymm::new(7),
+                src1: Ymm::new(8),
+                src2: RmYmm::Mem(Mem::base_disp(Gp::Rax, 64)),
+            },
+            MemLevel::L2,
+        ),
+        TaggedInst::mem(
+            Inst::Vaddpd {
+                dst: Ymm::new(9),
+                src1: Ymm::new(10),
+                src2: RmYmm::Mem(Mem::base_index(Gp::Rax, Gp::Rbx, Scale::X8, 32)),
+            },
+            MemLevel::L3,
+        ),
+        TaggedInst::reg(Inst::Vxorps {
+            dst: Ymm::new(11),
+            src1: Ymm::new(11),
+            src2: Ymm::new(2),
+        }),
+        TaggedInst::mem(
+            Inst::VmovapdLoad {
+                dst: Ymm::new(2),
+                src: Mem::base_disp(Gp::Rax, 96),
+            },
+            MemLevel::Ram,
+        ),
+        TaggedInst::mem(
+            Inst::VmovapdStore {
+                dst: Mem::base_disp(Gp::Rax, 128),
+                src: Ymm::new(0),
+            },
+            MemLevel::L2,
+        ),
+        TaggedInst::reg(Inst::Sqrtsd {
+            dst: Xmm::new(4),
+            src: Xmm::new(5),
+        }),
+        TaggedInst::reg(Inst::Mulsd {
+            dst: Xmm::new(6),
+            src: Xmm::new(7),
+        }),
+        TaggedInst::reg(Inst::Addsd {
+            dst: Xmm::new(8),
+            src: Xmm::new(9),
+        }),
+        TaggedInst::reg(Inst::ShlImm {
+            dst: Gp::Rbx,
+            imm: 2,
+        }),
+        TaggedInst::reg(Inst::ShrImm {
+            dst: Gp::Rbx,
+            imm: 1,
+        }),
+        TaggedInst::reg(Inst::AddImm {
+            dst: Gp::Rax,
+            imm: 32,
+        }),
+        TaggedInst::reg(Inst::AddGp {
+            dst: Gp::Rbx,
+            src: Gp::Rax,
+        }),
+        TaggedInst::reg(Inst::XorGp {
+            dst: Gp::Rcx,
+            src: Gp::Rbx,
+        }),
+        TaggedInst::reg(Inst::CmpGp {
+            a: Gp::Rdi,
+            b: Gp::Rcx,
+        }),
+        TaggedInst::reg(Inst::Nop),
+        TaggedInst::reg(Inst::Dec(Gp::Rdi)),
+        TaggedInst::reg(Inst::Jnz { rel: 0 }),
+        TaggedInst::reg(Inst::Ret),
+    ];
+    Kernel::new("all-variants-wide", body, 1)
+}
+
+/// FMA-accumulate shape where the 1.7.4 bug saturates accumulators.
+fn fma_accumulate_kernel() -> Kernel {
+    let mut body = Vec::new();
+    for g in 0..12u8 {
+        body.push(TaggedInst::reg(Inst::Vfmadd231pd {
+            dst: Ymm::new(g),
+            src1: Ymm::new(12 + g % 2),
+            src2: RmYmm::Reg(Ymm::new(14 + g % 2)),
+        }));
+    }
+    body.push(TaggedInst::reg(Inst::Dec(Gp::Rdi)));
+    body.push(TaggedInst::reg(Inst::Jnz { rel: 0 }));
+    Kernel::new("fma-acc-wide", body, 12)
+}
+
+#[test]
+fn wide_pair_matches_two_narrow_passes_bitwise() {
+    assert_eq!(WIDE_LANES, 2 * LANES);
+    for k in [all_variants_kernel(), fma_accumulate_kernel()] {
+        let d = DecodedKernel::new(&k);
+        for scheme in [InitScheme::V2Safe, InitScheme::V174Buggy] {
+            for (seed_a, seed_b) in [(1u64, 2u64), (42, 42), (0xDEAD_BEEF, 7)] {
+                let (wa, wb) = run_functional_pair(&d, scheme, seed_a, seed_b, 257);
+                let na = run_functional(&d, scheme, seed_a, 257);
+                let nb = run_functional(&d, scheme, seed_b, 257);
+                assert_eq!(
+                    wa, na,
+                    "{}: context A diverged ({scheme:?}, seeds {seed_a}/{seed_b})",
+                    k.name
+                );
+                assert_eq!(
+                    wb, nb,
+                    "{}: context B diverged ({scheme:?}, seeds {seed_a}/{seed_b})",
+                    k.name
+                );
+                assert_eq!(wa.register_dump(), na.register_dump());
+                assert_eq!(wb.register_dump(), nb.register_dump());
+            }
+        }
+    }
+}
+
+#[test]
+fn equal_seeds_make_the_contexts_identical() {
+    // The error-detection use case: both contexts from the same seed
+    // must agree with each other (the clean-run hash comparison).
+    let d = DecodedKernel::new(&all_variants_kernel());
+    for scheme in [InitScheme::V2Safe, InitScheme::V174Buggy] {
+        let (a, b) = run_functional_pair(&d, scheme, 9, 9, 300);
+        assert_eq!(a, b, "{scheme:?}");
+        assert_eq!(a.state_hash, state_hash_of(&b.registers));
+    }
+}
+
+#[test]
+fn v174_saturation_survives_the_wide_path() {
+    let d = DecodedKernel::new(&fma_accumulate_kernel());
+    let (a, b) = run_functional_pair(&d, InitScheme::V174Buggy, 7, 8, 2000);
+    for (label, out) in [("A", &a), ("B", &b)] {
+        assert!(
+            out.stats.trivial_fraction() > 0.5,
+            "context {label}: accumulators must saturate: {}",
+            out.stats.trivial_fraction()
+        );
+    }
+}
+
+#[test]
+fn bit_flips_in_either_context_keep_lockstep_with_narrow() {
+    // Mid-run fault injection into one packed context: that context
+    // must track a narrow executor given the same flip, while the
+    // sibling context stays untouched.
+    let k = all_variants_kernel();
+    let d = DecodedKernel::new(&k);
+    for (ctx, reg, lane, bit) in [(0usize, 0usize, 0usize, 52u32), (1, 15, 3, 11)] {
+        let mut wide = WideExecutor::new(InitScheme::V2Safe, 9, 10);
+        let mut narrow_a = Executor::new(InitScheme::V2Safe, 9);
+        let mut narrow_b = Executor::new(InitScheme::V2Safe, 10);
+        wide.run_decoded(&d, 100);
+        narrow_a.run_decoded(&d, 100);
+        narrow_b.run_decoded(&d, 100);
+        wide.inject_bit_flip(ctx, reg, lane, bit);
+        let flipped = if ctx == 0 {
+            &mut narrow_a
+        } else {
+            &mut narrow_b
+        };
+        flipped.inject_bit_flip(reg, lane, bit);
+        wide.run_decoded(&d, 100);
+        narrow_a.run_decoded(&d, 100);
+        narrow_b.run_decoded(&d, 100);
+        let (wa, wb) = wide.outcome_pair();
+        assert_eq!(wa, narrow_a.outcome(), "ctx A after flip into ctx {ctx}");
+        assert_eq!(wb, narrow_b.outcome(), "ctx B after flip into ctx {ctx}");
+        // The flip stays visible against a clean twin of that context.
+        let clean_seed = if ctx == 0 { 9 } else { 10 };
+        let clean = run_functional(&d, InitScheme::V2Safe, clean_seed, 200);
+        let corrupted = if ctx == 0 { &wa } else { &wb };
+        assert_ne!(
+            clean.state_hash, corrupted.state_hash,
+            "flip at ctx {ctx} ({reg}, {lane}, {bit}) vanished"
+        );
+        // ...and the sibling context matches its clean twin exactly.
+        let sibling_seed = if ctx == 0 { 10 } else { 9 };
+        let sibling = if ctx == 0 { &wb } else { &wa };
+        let clean_sibling = run_functional(&d, InitScheme::V2Safe, sibling_seed, 200);
+        assert_eq!(*sibling, clean_sibling, "sibling context perturbed");
+    }
+}
+
+#[test]
+fn wide_stats_accumulate_across_runs() {
+    let d = DecodedKernel::new(&all_variants_kernel());
+    let mut wide = WideExecutor::new(InitScheme::V2Safe, 3, 4);
+    wide.run_decoded(&d, 40);
+    wide.run_decoded(&d, 60);
+    let mut narrow = Executor::new(InitScheme::V2Safe, 3);
+    narrow.run_decoded(&d, 40);
+    narrow.run_decoded(&d, 60);
+    let (sa, sb) = wide.stats_pair();
+    assert_eq!(sa, narrow.stats());
+    assert_eq!(sa.iterations, 100);
+    assert_eq!(sb.iterations, 100);
+    assert_eq!(sa.fp_lane_ops, sb.fp_lane_ops);
+}

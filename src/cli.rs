@@ -72,6 +72,7 @@ pub struct CliConfig {
     cap_w: Option<f64>,
     budget_w: Option<f64>,
     budget_policy: String,
+    prescreen: bool,
 }
 
 /// Default RNG seed for Measure/Optimize runs.
@@ -109,6 +110,7 @@ impl Default for CliConfig {
             cap_w: None,
             budget_w: None,
             budget_policy: "shed".to_string(),
+            prescreen: false,
         }
     }
 }
@@ -169,6 +171,9 @@ OPTIMIZATION (§III-C)
   --generations N                 generations (default 20)
   --nsga2-m P                     mutation probability (default 0.35)
   --preheat SECONDS               preheat duration (default 240)
+  --prescreen                     score candidates with cached traceless
+                                  evaluations first and skip the full
+                                  measured run for clear losers
   --optimization-metric A,B       objective metrics
   --seed N                        RNG seed
 
@@ -206,6 +211,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
             "--measurement" => cfg.measurement = true,
             "--dump-registers" => cfg.dump_registers = true,
             "--error-detection" => cfg.error_detection = true,
+            "--prescreen" => cfg.prescreen = true,
             _ if a == "--optimize" || a.starts_with("--optimize=") => {
                 let v = a.strip_prefix("--optimize=").unwrap_or("NSGA2");
                 if !v.eq_ignore_ascii_case("nsga2") {
@@ -438,6 +444,12 @@ fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
         run.registry.decoded_hits + run.registry.decoded_misses,
         run.registry.exec_hits,
         run.registry.exec_hits + run.registry.exec_misses,
+    ));
+    out.push_str(&format!(
+        "  tuner pre-screen: {} scored, {} pruned (rate {:.2})\n",
+        run.registry.prescreen_evals,
+        run.registry.prescreen_pruned,
+        run.registry.prescreen_prune_rate(),
     ));
     if let Some(cap) = cfg.cap_w {
         out.push_str(&format!(
@@ -701,6 +713,7 @@ fn run_optimize(cfg: &CliConfig) -> Result<String, CliError> {
         mix,
         unroll: cfg.line_count,
         max_count: 8,
+        prescreen: cfg.prescreen,
     };
     let result = engine.session().tune(&tune_cfg);
 
@@ -711,6 +724,20 @@ fn run_optimize(cfg: &CliConfig) -> Result<String, CliError> {
         result.nsga2.cache_hits,
         cfg.optimization_metrics
     ));
+    if cfg.prescreen {
+        let stats = engine.cache_stats();
+        out.push_str(&format!(
+            "pre-screen: {} candidates scored traceless, {} pruned before measurement \
+             ({:.1} % prune rate)\n",
+            stats.prescreen_evals,
+            stats.prescreen_pruned,
+            if stats.prescreen_evals > 0 {
+                stats.prescreen_pruned as f64 / stats.prescreen_evals as f64 * 100.0
+            } else {
+                0.0
+            }
+        ));
+    }
     out.push_str("final Pareto front (power [W], IPC):\n");
     let mut front = result.nsga2.front.clone();
     front.sort_by(|a, b| b.objectives[0].total_cmp(&a.objectives[0]));

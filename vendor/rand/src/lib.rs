@@ -43,6 +43,14 @@ pub trait Rng: RngCore {
         assert!((0.0..=1.0).contains(&p), "p = {p} out of [0, 1]");
         unit_f64(self.next_u64()) < p
     }
+
+    /// Uniform sample in [0, 1) with 53-bit precision — the primitive
+    /// behind the f64 `gen_range`, exposed so hot loops that precompute
+    /// a range's span can sample `lo + gen_unit() * span` with the
+    /// exact draw (and bit pattern) `gen_range(lo..hi)` would produce.
+    fn gen_unit(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
 }
 
 impl<T: RngCore + ?Sized> Rng for T {}
