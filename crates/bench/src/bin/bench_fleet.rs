@@ -16,6 +16,7 @@
 use fs2_bench::timing::median_ms;
 use fs2_cluster::{BudgetPolicy, FleetConfig, FleetSim, TemporalMode};
 use fs2_core::EngineRegistry;
+use fs2_service::{FleetRequest, FleetService, ServiceConfig};
 use std::fmt::Write as _;
 use std::hint::black_box;
 
@@ -219,6 +220,37 @@ fn main() {
     let exec_rate = rate(s.exec_hits, s.exec_misses);
     let decoded_rate = rate(s.decoded_hits, s.decoded_misses);
 
+    // Service case: the same fleet served through the request/shard
+    // stack, measuring the *cross-request* tier — a repeat tenant with
+    // an identical config, then a near-identical one (new power cap).
+    // This is the ROADMAP's "measure cross-request hit rates" ask.
+    let service = FleetService::new(ServiceConfig::default());
+    let svc_req = FleetRequest {
+        nodes: 64,
+        samples_per_node: 500,
+        seed: Some(cfg.seed),
+        ..FleetRequest::fig1()
+    };
+    let first = service.handle(&svc_req);
+    assert!(first.ok, "{:?}", first.error);
+    let svc_cold_ms = time_ms(|| {
+        black_box(service.handle(&svc_req).samples);
+    });
+    let repeat = service.handle(&svc_req);
+    assert!(repeat.ok);
+    assert_eq!(
+        first.samples, repeat.samples,
+        "served repeat diverges from the first reply"
+    );
+    let svc_identical_payload_rate = repeat.registry.cross_payload_hit_rate();
+    let svc_identical_exec_rate = repeat.registry.cross_exec_hit_rate();
+    let near = service.handle(&FleetRequest {
+        power_cap_w: Some(280.0),
+        ..svc_req.clone()
+    });
+    assert!(near.ok);
+    let svc_near_payload_rate = near.registry.cross_payload_hit_rate();
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"engine-backed fleet generation (batched group eval)\",\n");
@@ -321,6 +353,21 @@ fn main() {
     let _ = writeln!(json, "    \"exec_misses\": {},", s.exec_misses);
     let _ = writeln!(json, "    \"exec_hit_rate\": {exec_rate:.4},");
     let _ = writeln!(json, "    \"evals\": {}", s.evals);
+    json.push_str("  },\n");
+    json.push_str("  \"service\": {\n");
+    let _ = writeln!(json, "    \"request_ms\": {svc_cold_ms:.2},");
+    let _ = writeln!(
+        json,
+        "    \"identical_payload_hit_rate\": {svc_identical_payload_rate:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"identical_exec_hit_rate\": {svc_identical_exec_rate:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"near_identical_payload_hit_rate\": {svc_near_payload_rate:.4}"
+    );
     json.push_str("  }\n");
     json.push_str("}\n");
 
@@ -365,6 +412,13 @@ fn main() {
         s.exec_hits,
         exec_rate * 100.0,
         s.evals
+    );
+    println!(
+        "service:  {svc_cold_ms:.2} ms/request; cross-request hit rates: \
+         identical payload {:.0}% / exec {:.0}%, near-identical payload {:.0}%",
+        svc_identical_payload_rate * 100.0,
+        svc_identical_exec_rate * 100.0,
+        svc_near_payload_rate * 100.0
     );
 
     std::fs::write(&out_path, json).expect("write benchmark baseline");

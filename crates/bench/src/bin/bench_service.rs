@@ -1,0 +1,177 @@
+//! Micro-benchmark for the fleet service stack: concurrent clients
+//! against one resident `FleetService` over the in-process broker,
+//! measuring request throughput, reply-latency percentiles, and the
+//! cross-request engine-cache hit rates that the shared tier exists
+//! for (repeat tenants must be mostly cache hits).
+//!
+//! Writes the measured baseline to `BENCH_service.json` (pass an
+//! output path as the first argument to override).
+//!
+//! ```sh
+//! cargo run --release -p fs2-bench --bin bench_service
+//! ```
+
+use fs2_service::{Broker, FleetReply, FleetRequest, FleetService, ServiceConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const CONCURRENT_CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 8;
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    let service = Arc::new(FleetService::new(ServiceConfig {
+        workers: 0,        // one per host core
+        default_shards: 0, // one per worker
+        ..ServiceConfig::default()
+    }));
+    let broker = Arc::new(Broker::new(Arc::clone(&service), CONCURRENT_CLIENTS));
+
+    let request = |seed: u64, cap: Option<f64>| FleetRequest {
+        nodes: 64,
+        samples_per_node: 500,
+        seed: Some(seed),
+        power_cap_w: cap,
+        ..FleetRequest::fig1()
+    };
+
+    // Warm-up request: builds the payload/exec tier every later tenant
+    // re-serves from. Its registry counters are the cold baseline.
+    let line = broker
+        .call(request(1, None).to_line())
+        .expect("warm-up reply");
+    let cold = FleetReply::from_line(&line).expect("decode warm-up");
+    assert!(cold.ok, "{:?}", cold.error);
+
+    // A second identical request: every payload and functional pass
+    // must come out of the shared tier.
+    let line = broker.call(request(1, None).to_line()).expect("repeat");
+    let repeat = FleetReply::from_line(&line).expect("decode repeat");
+    assert!(repeat.ok);
+    assert_eq!(
+        cold.samples, repeat.samples,
+        "identical requests must produce identical samples"
+    );
+    let repeat_payload_rate = repeat.registry.cross_payload_hit_rate();
+    let repeat_exec_rate = repeat.registry.cross_exec_hit_rate();
+
+    // A near-identical tenant (new power cap, same fleet): the operating
+    // points differ but the payload tier still re-serves.
+    let line = broker
+        .call(request(1, Some(280.0)).to_line())
+        .expect("capped");
+    let capped = FleetReply::from_line(&line).expect("decode capped");
+    assert!(capped.ok);
+    let near_payload_rate = capped.registry.cross_payload_hit_rate();
+
+    // Throughput run: CONCURRENT_CLIENTS threads, each firing
+    // REQUESTS_PER_CLIENT sequential requests at the warm service.
+    // Per-request latencies pool across clients for the percentiles.
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CONCURRENT_CLIENTS)
+        .map(|client| {
+            let broker = Arc::clone(&broker);
+            std::thread::spawn(move || {
+                let mut latencies_ms = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                let mut ok = 0usize;
+                for i in 0..REQUESTS_PER_CLIENT {
+                    // Half the tenants repeat the warmed config, half
+                    // rotate fresh seeds — a realistic mixed fleet.
+                    let seed = if i % 2 == 0 { 1 } else { 10 + client as u64 };
+                    let t0 = Instant::now();
+                    let line = broker
+                        .call(request(seed, None).to_line())
+                        .expect("broker reply");
+                    latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    if FleetReply::from_line(&line).is_ok_and(|r| r.ok) {
+                        ok += 1;
+                    }
+                }
+                (latencies_ms, ok)
+            })
+        })
+        .collect();
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut replies_ok = 0usize;
+    for h in handles {
+        let (lat, ok) = h.join().unwrap();
+        latencies_ms.extend(lat);
+        replies_ok += ok;
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let requests = CONCURRENT_CLIENTS * REQUESTS_PER_CLIENT;
+    let requests_per_sec = requests as f64 / elapsed_s;
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50_ms = percentile(&latencies_ms, 0.50);
+    let p99_ms = percentile(&latencies_ms, 0.99);
+
+    let stats = service.admission_stats();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"fleet service stack (broker + shards + shared caches)\",\n");
+    let _ = writeln!(
+        json,
+        "  \"fleet\": \"64 nodes, 500 samples/node per request\","
+    );
+    let _ = writeln!(json, "  \"concurrent_clients\": {CONCURRENT_CLIENTS},");
+    let _ = writeln!(json, "  \"requests\": {requests},");
+    let _ = writeln!(json, "  \"replies_ok\": {replies_ok},");
+    let _ = writeln!(json, "  \"requests_per_sec\": {requests_per_sec:.2},");
+    let _ = writeln!(json, "  \"p50_ms\": {p50_ms:.2},");
+    let _ = writeln!(json, "  \"p99_ms\": {p99_ms:.2},");
+    let _ = writeln!(
+        json,
+        "  \"cross_request_payload_hit_rate\": {repeat_payload_rate:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"cross_request_exec_hit_rate\": {repeat_exec_rate:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"near_identical_payload_hit_rate\": {near_payload_rate:.4},"
+    );
+    json.push_str("  \"admission\": {\n");
+    let _ = writeln!(json, "    \"admitted\": {},", stats.admitted);
+    let _ = writeln!(json, "    \"queued\": {},", stats.queued);
+    let _ = writeln!(json, "    \"shed_busy\": {},", stats.shed_busy);
+    let _ = writeln!(
+        json,
+        "    \"rejected_oversize\": {},",
+        stats.rejected_oversize
+    );
+    let _ = writeln!(json, "    \"peak_queue_depth\": {}", stats.peak_queue_depth);
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    println!("### bench_service — fleet service stack\n");
+    println!(
+        "{requests} requests from {CONCURRENT_CLIENTS} clients in {elapsed_s:.2} s \
+         ({requests_per_sec:.1} req/s), {replies_ok} ok"
+    );
+    println!("latency: p50 {p50_ms:.1} ms, p99 {p99_ms:.1} ms");
+    println!(
+        "cross-request caches: payload {:.0}% / exec {:.0}% on the repeat tenant, \
+         payload {:.0}% near-identical",
+        repeat_payload_rate * 100.0,
+        repeat_exec_rate * 100.0,
+        near_payload_rate * 100.0
+    );
+    println!(
+        "admission: {} admitted, {} queued (peak depth {}), {} shed",
+        stats.admitted, stats.queued, stats.peak_queue_depth, stats.shed_busy
+    );
+
+    std::fs::write(&out_path, json).expect("write benchmark baseline");
+    eprintln!("wrote {out_path}");
+}

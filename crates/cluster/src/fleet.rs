@@ -109,8 +109,11 @@ impl FleetConfig {
     /// SKU ratio (~7:1) and at least one node per group.
     pub fn taurus_haswell_scaled(nodes: u32) -> FleetConfig {
         assert!(nodes > 0, "fleet needs at least one node");
+        // 64-bit ratio: `nodes * 72` would wrap u32 for the huge node
+        // counts service requests can carry (the result fits, the
+        // intermediate does not).
         let fat = if nodes >= 2 {
-            (nodes * 72 / 612).max(1)
+            ((u64::from(nodes) * 72 / 612) as u32).max(1)
         } else {
             0
         };
@@ -149,15 +152,52 @@ impl FleetConfig {
     }
 
     /// Total 60 s-mean samples the fleet will generate.
+    ///
+    /// Panics when the total does not fit a `usize` — use
+    /// [`FleetConfig::try_total_samples`] to surface the error instead
+    /// (the fleet service's admission control does, so an absurd
+    /// request is rejected rather than wrapped on 32-bit targets).
     pub fn total_samples(&self) -> usize {
-        self.groups
+        self.try_total_samples()
+            .unwrap_or_else(|e| panic!("fleet size overflows the address space: {e}"))
+    }
+
+    /// Checked [`FleetConfig::total_samples`]: `node_count * samples`
+    /// is summed in 128-bit so it cannot wrap, and a total beyond
+    /// `usize::MAX` comes back as [`FleetSizeError`].
+    pub fn try_total_samples(&self) -> Result<usize, FleetSizeError> {
+        let total: u128 = self
+            .groups
             .iter()
             .map(|g| {
-                g.nodes as usize * g.samples_per_node.unwrap_or(self.samples_per_node) as usize
+                u128::from(g.nodes)
+                    * u128::from(g.samples_per_node.unwrap_or(self.samples_per_node))
             })
-            .sum()
+            .sum();
+        usize::try_from(total).map_err(|_| FleetSizeError { total })
     }
 }
+
+/// A fleet configuration asks for more samples than the address space
+/// holds ([`FleetConfig::try_total_samples`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSizeError {
+    /// The requested total sample count.
+    pub total: u128,
+}
+
+impl std::fmt::Display for FleetSizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fleet requests {} samples, more than usize::MAX ({})",
+            self.total,
+            usize::MAX
+        )
+    }
+}
+
+impl std::error::Error for FleetSizeError {}
 
 impl Default for FleetConfig {
     fn default() -> FleetConfig {
@@ -364,6 +404,165 @@ struct NodeOut {
 /// Per-node episode accounting carried past the propose phase:
 /// `(state_ticks, episode_counts)`.
 type NodeAccounting = (Vec<u64>, Vec<u64>);
+
+/// The request-shared generation plan built by [`FleetSim::plan`]:
+/// the engine-evaluated operating-point tables, the power-cap remap,
+/// the flattened sampling lanes and the per-node work items —
+/// everything the propose loops read. A plan is immutable and `Sync`,
+/// so shard workers on any thread run [`FleetSim::run_shard`] against
+/// one shared plan without ever touching the engine registry.
+pub struct FleetPlan {
+    /// Per-group idle floor, W.
+    idle_w: Vec<f64>,
+    /// `table[sku][class][pstate]`: payload node power, W.
+    table: Vec<Vec<Vec<f64>>>,
+    /// Power-cap P-state remap, same shape as `table`.
+    remap: Vec<Vec<Vec<usize>>>,
+    /// Flattened per-SKU sampling tables for the batched composer.
+    lanes: Vec<SkuLanes>,
+    /// Per-node work items; index == fleet-global node id.
+    items: Vec<NodeItem>,
+    power_table: Vec<ClassPower>,
+    capped_points: usize,
+    infeasible_points: usize,
+}
+
+impl FleetPlan {
+    /// Total nodes the plan covers (shard ranges index into this).
+    pub fn total_nodes(&self) -> u32 {
+        self.items.len() as u32
+    }
+
+    /// The engine-evaluated operating points backing the plan.
+    pub fn power_table(&self) -> &[ClassPower] {
+        &self.power_table
+    }
+}
+
+impl std::fmt::Debug for FleetPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetPlan")
+            .field("nodes", &self.items.len())
+            .field("power_points", &self.power_table.len())
+            .field("capped_points", &self.capped_points)
+            .field("infeasible_points", &self.infeasible_points)
+            .finish()
+    }
+}
+
+/// One shard's propose-phase output ([`FleetSim::run_shard`]): the
+/// node range it covers plus either directly-filled samples
+/// (unbudgeted i.i.d. mode) or full per-node streams for the
+/// merge-side arbitrate/apply phases.
+pub struct FleetShard {
+    lo: u32,
+    hi: u32,
+    data: ShardData,
+}
+
+impl FleetShard {
+    /// The `[lo, hi)` node range this shard covers.
+    pub fn range(&self) -> (u32, u32) {
+        (self.lo, self.hi)
+    }
+}
+
+enum ShardData {
+    /// Unbudgeted i.i.d. shards write final samples directly.
+    Samples {
+        samples: Vec<f64>,
+        capped_samples: usize,
+    },
+    /// Everything else keeps per-node streams: the fleet-global budget
+    /// arbitration and episode accounting happen at merge time.
+    Nodes(Vec<NodeOut>),
+}
+
+/// Splits `0..total_nodes` into at most `shards` contiguous,
+/// near-equal, non-empty ranges (fewer when the fleet has fewer nodes
+/// than the requested shard count; always at least one).
+pub fn shard_ranges(total_nodes: u32, shards: usize) -> Vec<(u32, u32)> {
+    let n = shards.clamp(1, total_nodes.max(1) as usize) as u32;
+    let base = total_nodes / n;
+    let rem = total_nodes % n;
+    let mut out = Vec::with_capacity(n as usize);
+    let mut lo = 0u32;
+    for i in 0..n {
+        let len = base + u32::from(i < rem);
+        out.push((lo, lo + len));
+        lo += len;
+    }
+    out
+}
+
+/// The per-node RNG stream: a pure function of `(seed, node_id)` —
+/// which is exactly what makes sharding byte-transparent.
+fn rng_for(seed: u64, node_id: u32) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (u64::from(node_id).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Draws every sample of up to four node slices in lockstep: the
+/// per-sample critical path is the serial xoshiro/convert/compare
+/// chain, and the extra independent streams fill its pipeline bubbles.
+/// Per-node draw sequences and output slices are untouched, so the
+/// bytes match the one-stream-at-a-time reference exactly. Returns the
+/// number of cap-remapped samples. Shared by the whole-fleet fast path
+/// and the shard layer.
+fn lockstep_fill(mut parts: Vec<(&SkuLanes, StdRng, &mut [f64])>, cap: f64) -> usize {
+    let mut capped_samples = 0usize;
+    // Four-stream lockstep over the shortest slice.
+    if let [a, b, c, d] = parts.as_mut_slice() {
+        let n = a.2.len().min(b.2.len()).min(c.2.len()).min(d.2.len());
+        let (ha, ta) = std::mem::take(&mut a.2).split_at_mut(n);
+        let (hb, tb) = std::mem::take(&mut b.2).split_at_mut(n);
+        let (hc, tc) = std::mem::take(&mut c.2).split_at_mut(n);
+        let (hd, td) = std::mem::take(&mut d.2).split_at_mut(n);
+        (a.2, b.2, c.2, d.2) = (ta, tb, tc, td);
+        for (((sa, sb), sc), sd) in ha
+            .iter_mut()
+            .zip(hb.iter_mut())
+            .zip(hc.iter_mut())
+            .zip(hd.iter_mut())
+        {
+            let (pa, _, ra) = a.0.draw(&mut a.1);
+            let (pb, _, rb) = b.0.draw(&mut b.1);
+            let (pc, _, rc) = c.0.draw(&mut c.1);
+            let (pd, _, rd) = d.0.draw(&mut d.1);
+            capped_samples += usize::from(ra) + usize::from(rb) + usize::from(rc) + usize::from(rd);
+            *sa = pa.min(cap);
+            *sb = pb.min(cap);
+            *sc = pc.min(cap);
+            *sd = pd.min(cap);
+        }
+    }
+    // Remainders (under-four chunks, long-tail nodes): pairwise
+    // lockstep while possible, then singles.
+    parts.retain(|p| !p.2.is_empty());
+    while parts.len() >= 2 {
+        let n = parts[0].2.len().min(parts[1].2.len());
+        let (first, rest) = parts.split_at_mut(1);
+        let (a, b) = (&mut first[0], &mut rest[0]);
+        let (ha, ta) = std::mem::take(&mut a.2).split_at_mut(n);
+        let (hb, tb) = std::mem::take(&mut b.2).split_at_mut(n);
+        (a.2, b.2) = (ta, tb);
+        for (sa, sb) in ha.iter_mut().zip(hb.iter_mut()) {
+            let (pa, _, ra) = a.0.draw(&mut a.1);
+            let (pb, _, rb) = b.0.draw(&mut b.1);
+            capped_samples += usize::from(ra) + usize::from(rb);
+            *sa = pa.min(cap);
+            *sb = pb.min(cap);
+        }
+        parts.retain(|p| !p.2.is_empty());
+    }
+    if let [(l, rng, out)] = parts.as_mut_slice() {
+        for slot in out.iter_mut() {
+            let (p, _, remapped) = l.draw(rng);
+            capped_samples += usize::from(remapped);
+            *slot = p.min(cap);
+        }
+    }
+    capped_samples
+}
 
 /// Per-class draw parameters of the batched composer, packed so one
 /// indexed load per sample fetches everything the class needs.
@@ -580,7 +779,14 @@ impl FleetSim {
         self.run_inner(&EngineRegistry::with_seed(self.config.seed), false)
     }
 
-    fn run_inner(&self, registry: &EngineRegistry, batched: bool) -> FleetRun {
+    /// Builds the request-shared generation plan: one batched
+    /// engine-evaluation of the operating-point table, the power-cap
+    /// remap and the flattened sampling lanes. This is the only phase
+    /// that touches the engine registry (plus the final merge, for its
+    /// counters), so shard workers stay pure table readers. Also
+    /// announces the request to the registry's cross-request counters.
+    pub fn plan(&self, registry: &EngineRegistry) -> FleetPlan {
+        registry.begin_request();
         let cfg = &self.config;
         let classes = cfg.mix.classes();
 
@@ -791,15 +997,24 @@ impl FleetSim {
             })
             .collect();
 
-        let mix = &cfg.mix;
-        let episodes = &cfg.episodes;
-        let temporal = cfg.temporal;
+        FleetPlan {
+            idle_w,
+            table,
+            remap,
+            lanes,
+            items,
+            power_table,
+            capped_points,
+            infeasible_points,
+        }
+    }
+
+    fn run_inner(&self, registry: &EngineRegistry, batched: bool) -> FleetRun {
+        let cfg = &self.config;
+        let plan = self.plan(registry);
         let cap = cfg.cap_w;
         let seed = cfg.seed;
-        let idle_w = &idle_w;
-        let table = &table;
-        let remap = &remap;
-        let lanes = &lanes;
+        let lanes = &plan.lanes;
         // Any engine can host the sweep; the workers only read the
         // precomputed tables (the &Engine argument goes unused).
         let driver = registry.engine(&cfg.groups[0].sku);
@@ -811,8 +1026,8 @@ impl FleetSim {
         // flatten copy disappear. Draw streams and slice order match
         // the per-node reference path, so the output bytes are
         // identical.
-        if batched && temporal == TemporalMode::Iid && cfg.budget_w.is_none() {
-            let total_n: usize = items.iter().map(|it| it.samples as usize).sum();
+        if batched && cfg.temporal == TemporalMode::Iid && cfg.budget_w.is_none() {
+            let total_n: usize = plan.items.iter().map(|it| it.samples as usize).sum();
             let mut samples = vec![0.0f64; total_n];
             struct FillNode<'a> {
                 sku_idx: usize,
@@ -831,7 +1046,7 @@ impl FleetSim {
             }
             let nodes: Vec<FillNode<'_>> = {
                 let mut rest = samples.as_mut_slice();
-                items
+                plan.items
                     .iter()
                     .map(|it| {
                         let (head, tail) =
@@ -862,11 +1077,6 @@ impl FleetSim {
                     samples,
                 });
             }
-            let rng_for = move |node_id: u32| {
-                StdRng::seed_from_u64(
-                    seed ^ (u64::from(node_id).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                )
-            };
             fn take<'a>(n: &FillNode<'a>) -> &'a mut [f64] {
                 n.out
                     .lock()
@@ -879,78 +1089,23 @@ impl FleetSim {
                 cfg.threads,
                 |_, u| u64::from(u.samples),
                 move |_, _, u| {
-                    let mut capped_samples = 0usize;
-                    let mut parts: Vec<(&SkuLanes, StdRng, &mut [f64])> = u
+                    let parts: Vec<(&SkuLanes, StdRng, &mut [f64])> = u
                         .nodes
                         .iter()
-                        .map(|n| (&lanes[n.sku_idx], rng_for(n.node_id), take(n)))
+                        .map(|n| (&lanes[n.sku_idx], rng_for(seed, n.node_id), take(n)))
                         .collect();
-                    // Four-stream lockstep over the shortest slice.
-                    if let [a, b, c, d] = parts.as_mut_slice() {
-                        let n = a.2.len().min(b.2.len()).min(c.2.len()).min(d.2.len());
-                        let (ha, ta) = std::mem::take(&mut a.2).split_at_mut(n);
-                        let (hb, tb) = std::mem::take(&mut b.2).split_at_mut(n);
-                        let (hc, tc) = std::mem::take(&mut c.2).split_at_mut(n);
-                        let (hd, td) = std::mem::take(&mut d.2).split_at_mut(n);
-                        (a.2, b.2, c.2, d.2) = (ta, tb, tc, td);
-                        for (((sa, sb), sc), sd) in ha
-                            .iter_mut()
-                            .zip(hb.iter_mut())
-                            .zip(hc.iter_mut())
-                            .zip(hd.iter_mut())
-                        {
-                            let (pa, _, ra) = a.0.draw(&mut a.1);
-                            let (pb, _, rb) = b.0.draw(&mut b.1);
-                            let (pc, _, rc) = c.0.draw(&mut c.1);
-                            let (pd, _, rd) = d.0.draw(&mut d.1);
-                            capped_samples += usize::from(ra)
-                                + usize::from(rb)
-                                + usize::from(rc)
-                                + usize::from(rd);
-                            *sa = pa.min(cap);
-                            *sb = pb.min(cap);
-                            *sc = pc.min(cap);
-                            *sd = pd.min(cap);
-                        }
-                    }
-                    // Remainders (under-four chunks, long-tail nodes):
-                    // pairwise lockstep while possible, then singles.
-                    parts.retain(|p| !p.2.is_empty());
-                    while parts.len() >= 2 {
-                        let n = parts[0].2.len().min(parts[1].2.len());
-                        let (first, rest) = parts.split_at_mut(1);
-                        let (a, b) = (&mut first[0], &mut rest[0]);
-                        let (ha, ta) = std::mem::take(&mut a.2).split_at_mut(n);
-                        let (hb, tb) = std::mem::take(&mut b.2).split_at_mut(n);
-                        (a.2, b.2) = (ta, tb);
-                        for (sa, sb) in ha.iter_mut().zip(hb.iter_mut()) {
-                            let (pa, _, ra) = a.0.draw(&mut a.1);
-                            let (pb, _, rb) = b.0.draw(&mut b.1);
-                            capped_samples += usize::from(ra) + usize::from(rb);
-                            *sa = pa.min(cap);
-                            *sb = pb.min(cap);
-                        }
-                        parts.retain(|p| !p.2.is_empty());
-                    }
-                    if let [(l, rng, out)] = parts.as_mut_slice() {
-                        for slot in out.iter_mut() {
-                            let (p, _, remapped) = l.draw(rng);
-                            capped_samples += usize::from(remapped);
-                            *slot = p.min(cap);
-                        }
-                    }
-                    capped_samples
+                    lockstep_fill(parts, cap)
                 },
             );
             drop(units);
             return FleetRun {
                 samples,
                 registry: registry.stats(),
-                power_table,
+                power_table: plan.power_table,
                 episodes: None,
-                capped_points,
+                capped_points: plan.capped_points,
                 capped_samples: capped.iter().sum(),
-                infeasible_points,
+                infeasible_points: plan.infeasible_points,
                 budget: None,
             };
         }
@@ -961,126 +1116,160 @@ impl FleetSim {
         // per-node generation, so runs without a budget stay
         // byte-stable. The batched composer and the per-node reference
         // path are pinned bit-identical by the regression tests below.
-        let episode_node = move |item: &NodeItem| -> NodeOut {
-            let idle = idle_w[item.sku_idx];
-            let rows = &table[item.sku_idx];
-            let remap = &remap[item.sku_idx];
-            let mut capped_samples = 0usize;
-            let mut watts = Vec::with_capacity(item.samples as usize);
-            let mut states = Vec::with_capacity(item.samples as usize);
-            let mut walk = EpisodeWalk::new(episodes, mix, seed, item.node_id);
-            for _ in 0..item.samples {
-                let t = walk.next_tick();
-                let p = match t.class {
-                    None => idle,
-                    Some(ci) => {
-                        let pstate = remap[ci][t.pstate];
-                        if pstate != t.pstate {
-                            capped_samples += 1;
-                        }
-                        let load = rows[ci][pstate];
-                        debug_assert!(!load.is_nan());
-                        idle + t.duty * (load - idle)
-                    }
-                };
-                watts.push(p.min(cap));
-                states.push(t.state as u16);
+        let plan_ref = &plan;
+        let per_node: Vec<NodeOut> = driver.sweep_hinted(
+            &plan.items,
+            cfg.threads,
+            |_, item| u64::from(item.samples),
+            move |_, _, item| {
+                if batched {
+                    self.propose_batched(plan_ref, item)
+                } else {
+                    self.propose_reference(plan_ref, item)
+                }
+            },
+        );
+        self.finish(registry, &plan, per_node)
+    }
+
+    /// Proposes one node's stream through the batched composer (the
+    /// production path: flattened [`SkuLanes`] draws in i.i.d. mode,
+    /// the episode walk otherwise). Also the shard layer's per-node
+    /// propose, so sharded runs share every draw with the serial path.
+    fn propose_batched(&self, plan: &FleetPlan, item: &NodeItem) -> NodeOut {
+        match self.config.temporal {
+            TemporalMode::Iid => self.propose_iid_batched(plan, item),
+            TemporalMode::Episodes => self.propose_episode(plan, item),
+        }
+    }
+
+    /// Proposes one node's stream through the historical per-node
+    /// reference path (every draw walks the `JobMix`/`JobClass` API
+    /// and the nested power tables).
+    fn propose_reference(&self, plan: &FleetPlan, item: &NodeItem) -> NodeOut {
+        match self.config.temporal {
+            TemporalMode::Iid => self.propose_iid_reference(plan, item),
+            TemporalMode::Episodes => self.propose_episode(plan, item),
+        }
+    }
+
+    fn propose_iid_batched(&self, plan: &FleetPlan, item: &NodeItem) -> NodeOut {
+        // Unbudgeted whole-fleet Iid runs take the direct-fill fast
+        // path in `run_inner`, so this arm feeds the budget arbiter
+        // and the shard layer, which keep state labels.
+        let cap = self.config.cap_w;
+        let l = &plan.lanes[item.sku_idx];
+        let mut capped_samples = 0usize;
+        let mut watts = Vec::with_capacity(item.samples as usize);
+        let mut states = Vec::with_capacity(item.samples as usize);
+        // Per-node RNG streams keep generation order-independent.
+        let mut rng = rng_for(self.config.seed, item.node_id);
+        for _ in 0..item.samples {
+            let (p, ci, remapped) = l.draw(&mut rng);
+            capped_samples += usize::from(remapped);
+            watts.push(p.min(cap));
+            states.push((ci + 1) as u16);
+        }
+        NodeOut {
+            stream: NodeStream {
+                floor_w: l.floor_w,
+                watts,
+                states,
+            },
+            state_ticks: Vec::new(),
+            episode_counts: Vec::new(),
+            capped_samples,
+        }
+    }
+
+    fn propose_iid_reference(&self, plan: &FleetPlan, item: &NodeItem) -> NodeOut {
+        let cap = self.config.cap_w;
+        let mix = &self.config.mix;
+        let idle = plan.idle_w[item.sku_idx];
+        let rows = &plan.table[item.sku_idx];
+        let remap = &plan.remap[item.sku_idx];
+        let mut capped_samples = 0usize;
+        let mut watts = Vec::with_capacity(item.samples as usize);
+        let mut states = Vec::with_capacity(item.samples as usize);
+        let mut rng = rng_for(self.config.seed, item.node_id);
+        for _ in 0..item.samples {
+            let ci = mix.pick_idx(&mut rng);
+            let class = &mix.classes()[ci].0;
+            let duty = class.draw_duty(&mut rng);
+            let drawn = class.draw_pstate(&mut rng);
+            let pstate = remap[ci][drawn];
+            if pstate != drawn {
+                capped_samples += 1;
             }
-            NodeOut {
-                stream: NodeStream {
-                    floor_w: idle.min(cap),
-                    watts,
-                    states,
-                },
-                state_ticks: walk.state_ticks().to_vec(),
-                episode_counts: walk.episode_counts().to_vec(),
-                capped_samples,
-            }
-        };
-        let per_node: Vec<NodeOut> = if batched {
-            driver.sweep_hinted(
-                &items,
-                cfg.threads,
-                |_, item| u64::from(item.samples),
-                move |_, _, item| match temporal {
-                    TemporalMode::Iid => {
-                        // Unbudgeted Iid runs took the direct-fill
-                        // fast path above, so this arm always feeds
-                        // the budget arbiter and needs state labels.
-                        let l = &lanes[item.sku_idx];
-                        let mut capped_samples = 0usize;
-                        let mut watts = Vec::with_capacity(item.samples as usize);
-                        let mut states = Vec::with_capacity(item.samples as usize);
-                        // Per-node RNG streams keep generation
-                        // order-independent.
-                        let mut rng = StdRng::seed_from_u64(
-                            seed ^ (u64::from(item.node_id).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                        );
-                        for _ in 0..item.samples {
-                            let (p, ci, remapped) = l.draw(&mut rng);
-                            capped_samples += usize::from(remapped);
-                            watts.push(p.min(cap));
-                            states.push((ci + 1) as u16);
-                        }
-                        NodeOut {
-                            stream: NodeStream {
-                                floor_w: l.floor_w,
-                                watts,
-                                states,
-                            },
-                            state_ticks: Vec::new(),
-                            episode_counts: Vec::new(),
-                            capped_samples,
-                        }
+            let load = rows[ci][pstate];
+            debug_assert!(!load.is_nan());
+            watts.push((idle + duty * (load - idle)).min(cap));
+            states.push((ci + 1) as u16);
+        }
+        NodeOut {
+            stream: NodeStream {
+                floor_w: idle.min(cap),
+                watts,
+                states,
+            },
+            state_ticks: Vec::new(),
+            episode_counts: Vec::new(),
+            capped_samples,
+        }
+    }
+
+    fn propose_episode(&self, plan: &FleetPlan, item: &NodeItem) -> NodeOut {
+        let cfg = &self.config;
+        let cap = cfg.cap_w;
+        let idle = plan.idle_w[item.sku_idx];
+        let rows = &plan.table[item.sku_idx];
+        let remap = &plan.remap[item.sku_idx];
+        let mut capped_samples = 0usize;
+        let mut watts = Vec::with_capacity(item.samples as usize);
+        let mut states = Vec::with_capacity(item.samples as usize);
+        let mut walk = EpisodeWalk::new(&cfg.episodes, &cfg.mix, cfg.seed, item.node_id);
+        for _ in 0..item.samples {
+            let t = walk.next_tick();
+            let p = match t.class {
+                None => idle,
+                Some(ci) => {
+                    let pstate = remap[ci][t.pstate];
+                    if pstate != t.pstate {
+                        capped_samples += 1;
                     }
-                    TemporalMode::Episodes => episode_node(item),
-                },
-            )
-        } else {
-            driver.sweep_hinted(
-                &items,
-                cfg.threads,
-                |_, item| u64::from(item.samples),
-                move |_, _, item| match temporal {
-                    TemporalMode::Iid => {
-                        let idle = idle_w[item.sku_idx];
-                        let rows = &table[item.sku_idx];
-                        let remap = &remap[item.sku_idx];
-                        let mut capped_samples = 0usize;
-                        let mut watts = Vec::with_capacity(item.samples as usize);
-                        let mut states = Vec::with_capacity(item.samples as usize);
-                        let mut rng = StdRng::seed_from_u64(
-                            seed ^ (u64::from(item.node_id).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                        );
-                        for _ in 0..item.samples {
-                            let ci = mix.pick_idx(&mut rng);
-                            let class = &mix.classes()[ci].0;
-                            let duty = class.draw_duty(&mut rng);
-                            let drawn = class.draw_pstate(&mut rng);
-                            let pstate = remap[ci][drawn];
-                            if pstate != drawn {
-                                capped_samples += 1;
-                            }
-                            let load = rows[ci][pstate];
-                            debug_assert!(!load.is_nan());
-                            watts.push((idle + duty * (load - idle)).min(cap));
-                            states.push((ci + 1) as u16);
-                        }
-                        NodeOut {
-                            stream: NodeStream {
-                                floor_w: idle.min(cap),
-                                watts,
-                                states,
-                            },
-                            state_ticks: Vec::new(),
-                            episode_counts: Vec::new(),
-                            capped_samples,
-                        }
-                    }
-                    TemporalMode::Episodes => episode_node(item),
-                },
-            )
-        };
+                    let load = rows[ci][pstate];
+                    debug_assert!(!load.is_nan());
+                    idle + t.duty * (load - idle)
+                }
+            };
+            watts.push(p.min(cap));
+            states.push(t.state as u16);
+        }
+        NodeOut {
+            stream: NodeStream {
+                floor_w: idle.min(cap),
+                watts,
+                states,
+            },
+            state_ticks: walk.state_ticks().to_vec(),
+            episode_counts: walk.episode_counts().to_vec(),
+            capped_samples,
+        }
+    }
+
+    /// Phases 2 + 3 over already-proposed node streams: arbitrate the
+    /// fleet budget in node-id order, apply decisions, and fold the
+    /// episode/budget accounting. Shared verbatim by the whole-fleet
+    /// path and the shard merge, so both produce identical bytes.
+    fn finish(
+        &self,
+        registry: &EngineRegistry,
+        plan: &FleetPlan,
+        per_node: Vec<NodeOut>,
+    ) -> FleetRun {
+        let cfg = &self.config;
+        let classes = cfg.mix.classes();
+        let driver = registry.engine(&cfg.groups[0].sku);
 
         // Per-sample cap accounting is summed in node input order, so
         // the total is identical for any sweep thread count.
@@ -1120,8 +1309,8 @@ impl FleetSim {
             }
         };
 
-        let episode_stats = (temporal == TemporalMode::Episodes)
-            .then(|| aggregate_episode_stats(episodes, &accounting, &per_node_samples));
+        let episode_stats = (cfg.temporal == TemporalMode::Episodes)
+            .then(|| aggregate_episode_stats(&cfg.episodes, &accounting, &per_node_samples));
 
         let budget = arbitration.map(|arb| {
             let budget_w = cfg.budget_w.expect("arbitration implies a budget");
@@ -1153,13 +1342,150 @@ impl FleetSim {
         FleetRun {
             samples: per_node_samples.into_iter().flatten().collect(),
             registry: registry.stats(),
-            power_table,
+            power_table: plan.power_table.clone(),
             episodes: episode_stats,
-            capped_points,
+            capped_points: plan.capped_points,
             capped_samples,
-            infeasible_points,
+            infeasible_points: plan.infeasible_points,
             budget,
         }
+    }
+
+    /// Proposes the node range `[lo, hi)` of an already-built plan.
+    ///
+    /// This is the scheduler/shard layer's unit of work: because every
+    /// node's stream is a pure function of `(seed, node_id)`, a shard
+    /// proposes exactly the bytes the serial run would have produced
+    /// for those nodes, and [`FleetSim::merge_shards`] reassembles the
+    /// full run bitwise-identically. Unbudgeted i.i.d. shards take the
+    /// same 4-lane lockstep fill as the whole-fleet fast path.
+    pub fn run_shard(&self, plan: &FleetPlan, lo: u32, hi: u32) -> FleetShard {
+        let cfg = &self.config;
+        assert!(
+            lo <= hi && (hi as usize) <= plan.items.len(),
+            "shard [{lo}, {hi}) out of range for {} nodes",
+            plan.items.len()
+        );
+        let nodes = &plan.items[lo as usize..hi as usize];
+        let data = if cfg.temporal == TemporalMode::Iid && cfg.budget_w.is_none() {
+            // Direct fill, chunked 4 nodes at a time exactly like the
+            // whole-fleet fast path's lockstep units.
+            let total: usize = nodes.iter().map(|n| n.samples as usize).sum();
+            let mut samples = vec![0.0f64; total];
+            let mut capped_samples = 0usize;
+            let mut rest = samples.as_mut_slice();
+            let mut parts: Vec<(&SkuLanes, StdRng, &mut [f64])> = Vec::with_capacity(4);
+            let mut it = nodes.iter().peekable();
+            while it.peek().is_some() {
+                for n in it.by_ref().take(4) {
+                    let (head, tail) = rest.split_at_mut(n.samples as usize);
+                    rest = tail;
+                    parts.push((&plan.lanes[n.sku_idx], rng_for(cfg.seed, n.node_id), head));
+                }
+                capped_samples += lockstep_fill(std::mem::take(&mut parts), cfg.cap_w);
+            }
+            ShardData::Samples {
+                samples,
+                capped_samples,
+            }
+        } else {
+            ShardData::Nodes(
+                nodes
+                    .iter()
+                    .map(|it| self.propose_batched(plan, it))
+                    .collect(),
+            )
+        };
+        FleetShard { lo, hi, data }
+    }
+
+    /// Merges shard results back into one [`FleetRun`].
+    ///
+    /// Shards must tile the plan's node range exactly (any order; they
+    /// are sorted by range here). Streams concatenate in node-id order
+    /// and the shared [`finish`](Self::finish) phase arbitrates and
+    /// aggregates, so the merged run is byte-identical to
+    /// [`FleetSim::run`] for every shard split.
+    pub fn merge_shards(
+        &self,
+        registry: &EngineRegistry,
+        plan: &FleetPlan,
+        mut shards: Vec<FleetShard>,
+    ) -> FleetRun {
+        shards.sort_by_key(|s| s.lo);
+        let mut expected = 0u32;
+        for s in &shards {
+            assert!(
+                s.lo == expected,
+                "shards do not tile the node range: expected lo {expected}, got {}",
+                s.lo
+            );
+            expected = s.hi;
+        }
+        assert!(
+            expected as usize == plan.items.len(),
+            "shards cover {expected} of {} nodes",
+            plan.items.len()
+        );
+
+        if shards
+            .iter()
+            .all(|s| matches!(s.data, ShardData::Samples { .. }))
+        {
+            // Fast-path shards: samples are final, concatenate.
+            let mut samples = Vec::with_capacity(self.config.total_samples());
+            let mut capped_samples = 0usize;
+            for s in shards {
+                match s.data {
+                    ShardData::Samples {
+                        samples: mut part,
+                        capped_samples: c,
+                    } => {
+                        samples.append(&mut part);
+                        capped_samples += c;
+                    }
+                    ShardData::Nodes(_) => unreachable!(),
+                }
+            }
+            return FleetRun {
+                samples,
+                registry: registry.stats(),
+                power_table: plan.power_table.clone(),
+                episodes: None,
+                capped_points: plan.capped_points,
+                capped_samples,
+                infeasible_points: plan.infeasible_points,
+                budget: None,
+            };
+        }
+
+        let per_node: Vec<NodeOut> = shards
+            .into_iter()
+            .flat_map(|s| match s.data {
+                ShardData::Nodes(nodes) => nodes,
+                ShardData::Samples { .. } => {
+                    unreachable!("mixed shard kinds cannot arise from run_shard")
+                }
+            })
+            .collect();
+        self.finish(registry, plan, per_node)
+    }
+
+    /// Runs the fleet split across `shards` shards, each proposed on
+    /// its own OS thread, and merges the results. Produces bytes
+    /// identical to [`FleetSim::run`] for every shard count.
+    pub fn run_sharded(&self, registry: &EngineRegistry, shards: usize) -> FleetRun {
+        let plan = self.plan(registry);
+        let ranges = shard_ranges(plan.total_nodes(), shards);
+        let parts: Vec<FleetShard> = std::thread::scope(|scope| {
+            let plan = &plan;
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| scope.spawn(move || self.run_shard(plan, lo, hi)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        self.merge_shards(registry, &plan, parts)
     }
 
     /// Generates all 60 s-mean samples for the fleet.
@@ -2007,5 +2333,188 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_node_range() {
+        for &(total, shards) in &[
+            (64u32, 1usize),
+            (64, 2),
+            (64, 7),
+            (64, 64),
+            (64, 100),
+            (5, 3),
+            (1, 8),
+            (0, 4),
+        ] {
+            let ranges = shard_ranges(total, shards);
+            let mut expected = 0u32;
+            for &(lo, hi) in &ranges {
+                assert_eq!(lo, expected, "{total} nodes / {shards} shards: gap");
+                assert!(hi >= lo);
+                expected = hi;
+            }
+            assert_eq!(expected, total, "{total} nodes / {shards} shards: cover");
+            if total > 0 {
+                assert!(ranges.iter().all(|&(lo, hi)| hi > lo), "empty shard");
+                let sizes: Vec<u32> = ranges.iter().map(|&(lo, hi)| hi - lo).collect();
+                let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced split: {sizes:?}");
+            }
+        }
+    }
+
+    fn assert_optional_stats_identical(a: &FleetRun, b: &FleetRun, label: &str) {
+        match (&a.episodes, &b.episodes) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.states, y.states, "{label}: episode states");
+                assert_eq!(
+                    bits(&x.empirical_shares),
+                    bits(&y.empirical_shares),
+                    "{label}: empirical shares"
+                );
+                assert_eq!(
+                    bits(&x.mean_dwell_ticks),
+                    bits(&y.mean_dwell_ticks),
+                    "{label}: mean dwells"
+                );
+                assert_eq!(
+                    x.lag1_autocorr.to_bits(),
+                    y.lag1_autocorr.to_bits(),
+                    "{label}: lag-1 autocorrelation"
+                );
+            }
+            _ => panic!("{label}: episode stats presence diverged"),
+        }
+        match (&a.budget, &b.budget) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.ticks, y.ticks, "{label}: arbitrated ticks");
+                assert_eq!(
+                    x.peak_fleet_w.to_bits(),
+                    y.peak_fleet_w.to_bits(),
+                    "{label}: peak draw"
+                );
+                assert_eq!(
+                    x.mean_fleet_w.to_bits(),
+                    y.mean_fleet_w.to_bits(),
+                    "{label}: mean draw"
+                );
+                assert_eq!(x.shed_ticks, y.shed_ticks, "{label}: shed ticks");
+                assert_eq!(x.deferred_ticks, y.deferred_ticks, "{label}: deferrals");
+                assert_eq!(
+                    x.truncated_proposals, y.truncated_proposals,
+                    "{label}: truncations"
+                );
+            }
+            _ => panic!("{label}: budget stats presence diverged"),
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_bitwise_identical_for_any_split() {
+        // The scheduler/shard layer's contract: every split of the
+        // node range merges back to the bytes of the unsharded run —
+        // samples, CDF, episode stats, and budget stats — because each
+        // node's walk is a pure function of `(seed, node_id)`.
+        let configs: Vec<(&str, FleetConfig)> = vec![
+            (
+                "iid fast path",
+                FleetConfig {
+                    samples_per_node: 300,
+                    ..FleetConfig::taurus_haswell_scaled(63)
+                },
+            ),
+            (
+                "episodes",
+                FleetConfig {
+                    samples_per_node: 300,
+                    temporal: TemporalMode::Episodes,
+                    ..FleetConfig::taurus_haswell_scaled(63)
+                },
+            ),
+            (
+                "budgeted iid + cap",
+                FleetConfig {
+                    samples_per_node: 200,
+                    budget_w: Some(63.0 * 180.0),
+                    power_cap_w: Some(250.0),
+                    ..FleetConfig::taurus_haswell_scaled(63)
+                },
+            ),
+        ];
+        for (label, cfg) in configs {
+            let sim = FleetSim::new(cfg.clone());
+            let reference = sim.run();
+            let ref_cdf = PowerCdf::from_samples(&reference.samples, 0.1);
+            for shards in [1usize, 2, 7, 64] {
+                let registry = EngineRegistry::with_seed(cfg.seed);
+                let sharded = sim.run_sharded(&registry, shards);
+                let tag = format!("{label}, {shards} shards");
+                assert_runs_identical(&reference, &sharded, &tag);
+                assert_optional_stats_identical(&reference, &sharded, &tag);
+                let cdf = PowerCdf::from_samples(&sharded.samples, 0.1);
+                assert_eq!(ref_cdf.bins, cdf.bins, "{tag}: CDF bins diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_hand_built_shards_merge_identically() {
+        // merge_shards accepts any tiling in any order; deliberately
+        // lopsided out-of-order ranges must still reassemble the
+        // serial bytes.
+        let sim = small_episode_fleet();
+        let reference = sim.run();
+        let registry = EngineRegistry::with_seed(sim.config.seed);
+        let plan = sim.plan(&registry);
+        let ranges = [(13u32, 64u32), (0, 1), (1, 13)];
+        let shards: Vec<FleetShard> = ranges
+            .iter()
+            .map(|&(lo, hi)| sim.run_shard(&plan, lo, hi))
+            .collect();
+        let merged = sim.merge_shards(&registry, &plan, shards);
+        assert_runs_identical(&reference, &merged, "uneven shards");
+        assert_optional_stats_identical(&reference, &merged, "uneven shards");
+    }
+
+    #[test]
+    #[should_panic(expected = "do not tile")]
+    fn merge_rejects_gapped_shards() {
+        let sim = small_fleet();
+        let registry = EngineRegistry::with_seed(sim.config.seed);
+        let plan = sim.plan(&registry);
+        let shards = vec![sim.run_shard(&plan, 0, 10), sim.run_shard(&plan, 20, 64)];
+        sim.merge_shards(&registry, &plan, shards);
+    }
+
+    #[test]
+    fn total_samples_overflow_is_an_error_not_a_wrap() {
+        // A service request for u32::MAX nodes × u32::MAX samples each
+        // exceeds usize::MAX on every target; try_total_samples must
+        // surface that instead of wrapping (the admission layer turns
+        // it into a reject).
+        let cfg = FleetConfig {
+            groups: vec![
+                NodeGroup {
+                    sku: fs2_arch::Sku::intel_xeon_e5_2680_v3(),
+                    nodes: u32::MAX,
+                    samples_per_node: Some(u32::MAX),
+                },
+                NodeGroup {
+                    sku: fs2_arch::Sku::intel_xeon_e5_2695_v3(),
+                    nodes: u32::MAX,
+                    samples_per_node: Some(u32::MAX),
+                },
+            ],
+            ..FleetConfig::taurus_haswell_scaled(1)
+        };
+        let err = cfg.try_total_samples().expect_err("must overflow");
+        assert_eq!(err.total, 2 * (u128::from(u32::MAX) * u128::from(u32::MAX)));
+        assert!(err.to_string().contains("more than usize::MAX"));
+        // Sane configs round-trip through the checked path.
+        let ok = FleetConfig::taurus_haswell_scaled(612);
+        assert_eq!(ok.try_total_samples().unwrap(), ok.total_samples());
     }
 }

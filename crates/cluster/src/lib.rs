@@ -43,7 +43,7 @@ pub mod jobs;
 pub use budget::{Arbitration, BudgetPolicy, Decision, NodeStream};
 pub use episodes::{EpisodeModel, EpisodeWalk, Tick};
 pub use fleet::{
-    BudgetStats, ClassPower, EpisodeStats, FleetConfig, FleetRun, FleetSim, NodeGroup, PowerCdf,
-    TemporalMode,
+    shard_ranges, BudgetStats, ClassPower, EpisodeStats, FleetConfig, FleetPlan, FleetRun,
+    FleetShard, FleetSim, FleetSizeError, NodeGroup, PowerCdf, TemporalMode,
 };
 pub use jobs::{JobClass, JobMix};

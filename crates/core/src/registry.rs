@@ -62,6 +62,22 @@ pub struct RegistryStats {
     pub prescreen_evals: u64,
     /// Pre-screened candidates pruned before full measurement.
     pub prescreen_pruned: u64,
+    /// Fleet requests announced via [`EngineRegistry::begin_request`].
+    pub requests: u64,
+    /// Payload-cache hits landed after the first request finished — the
+    /// service-tier "warm registry" signal (0 until a second request
+    /// starts).
+    pub cross_payload_hits: u64,
+    /// Payload-cache lookups (hits + misses) after the first request.
+    pub cross_payload_lookups: u64,
+    /// ExecStats-cache hits after the first request.
+    pub cross_exec_hits: u64,
+    /// ExecStats-cache lookups after the first request.
+    pub cross_exec_lookups: u64,
+    /// Decoded-kernel hits after the first request.
+    pub cross_decoded_hits: u64,
+    /// Decoded-kernel lookups after the first request.
+    pub cross_decoded_lookups: u64,
 }
 
 impl RegistryStats {
@@ -74,6 +90,43 @@ impl RegistryStats {
             self.prescreen_pruned as f64 / self.prescreen_evals as f64
         }
     }
+
+    /// Payload-cache hit rate over lookups made after the first request
+    /// completed its warm-up (0.0 before a second request exists).
+    pub fn cross_request_payload_hit_rate(&self) -> f64 {
+        rate(self.cross_payload_hits, self.cross_payload_lookups)
+    }
+
+    /// ExecStats-cache hit rate over post-first-request lookups.
+    pub fn cross_request_exec_hit_rate(&self) -> f64 {
+        rate(self.cross_exec_hits, self.cross_exec_lookups)
+    }
+
+    /// Decoded-kernel hit rate over post-first-request lookups.
+    pub fn cross_request_decoded_hit_rate(&self) -> f64 {
+        rate(self.cross_decoded_hits, self.cross_decoded_lookups)
+    }
+}
+
+fn rate(hits: u64, lookups: u64) -> f64 {
+    if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    }
+}
+
+/// Cache-counter snapshot taken when the second request begins, so the
+/// cross-request deltas in [`RegistryStats`] measure only traffic that
+/// could plausibly hit another request's warm entries.
+#[derive(Debug, Clone, Copy, Default)]
+struct CrossBase {
+    payload_hits: u64,
+    payload_misses: u64,
+    decoded_hits: u64,
+    decoded_misses: u64,
+    exec_hits: u64,
+    exec_misses: u64,
 }
 
 /// One registry-level batched evaluation request: a SKU + group spec
@@ -104,6 +157,8 @@ pub struct EngineRegistry {
     spec_misses: AtomicU64,
     unroll_hits: AtomicU64,
     unroll_misses: AtomicU64,
+    requests: AtomicU64,
+    cross_base: Mutex<Option<CrossBase>>,
     seed: u64,
 }
 
@@ -115,16 +170,49 @@ impl EngineRegistry {
 
     /// Registry whose engines are created with `seed`.
     pub fn with_seed(seed: u64) -> EngineRegistry {
+        EngineRegistry::with_caches(seed, Arc::new(EngineCaches::new()))
+    }
+
+    /// Registry whose engines are created with `seed` and warm a
+    /// caller-provided cache tier. The fleet service uses this to share
+    /// one payload/decode/ExecStats tier across the per-seed registries
+    /// it keeps (cache keys are SKU-tagged and, where results depend on
+    /// the engine seed, seed-tagged, so sharing is sound).
+    pub fn with_caches(seed: u64, caches: Arc<EngineCaches>) -> EngineRegistry {
         EngineRegistry {
             engines: Mutex::new(Vec::new()),
-            caches: Arc::new(EngineCaches::new()),
+            caches,
             specs: Mutex::new(HashMap::new()),
             unrolls: Mutex::new(HashMap::new()),
             spec_hits: AtomicU64::new(0),
             spec_misses: AtomicU64::new(0),
             unroll_hits: AtomicU64::new(0),
             unroll_misses: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            cross_base: Mutex::new(None),
             seed,
+        }
+    }
+
+    /// Announces the start of a fleet request against this registry.
+    /// When the second request arrives, the current cache counters are
+    /// snapshotted so [`RegistryStats`] can report how much later
+    /// traffic was served by entries an earlier request warmed.
+    pub fn begin_request(&self) {
+        let n = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        if n == 2 {
+            let c = self.caches.stats();
+            let mut base = self.cross_base.lock().expect("cross base poisoned");
+            if base.is_none() {
+                *base = Some(CrossBase {
+                    payload_hits: c.hits,
+                    payload_misses: c.misses,
+                    decoded_hits: c.decoded_hits,
+                    decoded_misses: c.decoded_misses,
+                    exec_hits: c.exec_hits,
+                    exec_misses: c.exec_misses,
+                });
+            }
         }
     }
 
@@ -295,6 +383,21 @@ impl EngineRegistry {
     pub fn stats(&self) -> RegistryStats {
         let engines = self.engines.lock().expect("engine registry poisoned");
         let c = self.caches.stats();
+        let base = self
+            .cross_base
+            .lock()
+            .expect("cross base poisoned")
+            .unwrap_or(CrossBase {
+                // No second request yet: the cross window is empty, so
+                // baseline at the current counters and every delta is 0.
+                payload_hits: c.hits,
+                payload_misses: c.misses,
+                decoded_hits: c.decoded_hits,
+                decoded_misses: c.decoded_misses,
+                exec_hits: c.exec_hits,
+                exec_misses: c.exec_misses,
+            });
+        let lookups = |h: u64, m: u64, bh: u64, bm: u64| (h + m).saturating_sub(bh + bm);
         let mut s = RegistryStats {
             engines: engines.len(),
             spec_hits: self.spec_hits.load(Ordering::Relaxed),
@@ -310,6 +413,28 @@ impl EngineRegistry {
             exec_misses: c.exec_misses,
             prescreen_evals: c.prescreen_evals,
             prescreen_pruned: c.prescreen_pruned,
+            requests: self.requests.load(Ordering::Relaxed),
+            cross_payload_hits: c.hits.saturating_sub(base.payload_hits),
+            cross_payload_lookups: lookups(
+                c.hits,
+                c.misses,
+                base.payload_hits,
+                base.payload_misses,
+            ),
+            cross_exec_hits: c.exec_hits.saturating_sub(base.exec_hits),
+            cross_exec_lookups: lookups(
+                c.exec_hits,
+                c.exec_misses,
+                base.exec_hits,
+                base.exec_misses,
+            ),
+            cross_decoded_hits: c.decoded_hits.saturating_sub(base.decoded_hits),
+            cross_decoded_lookups: lookups(
+                c.decoded_hits,
+                c.decoded_misses,
+                base.decoded_hits,
+                base.decoded_misses,
+            ),
             ..RegistryStats::default()
         };
         for (_, e) in engines.iter() {
@@ -465,6 +590,53 @@ mod tests {
             }
         }
         assert_eq!(reg.stats().evals, 4, "one solve per (request, freq)");
+    }
+
+    #[test]
+    fn cross_request_counters_open_on_the_second_request() {
+        let reg = EngineRegistry::new();
+        let sku = Sku::amd_epyc_7502();
+
+        // Request 1 warms the payload cache.
+        reg.begin_request();
+        let _ = reg.payload_for(&sku, "REG:1").unwrap();
+        let s1 = reg.stats();
+        assert_eq!(s1.requests, 1);
+        assert_eq!(s1.cross_payload_lookups, 0, "window opens at request 2");
+        assert_eq!(s1.cross_request_payload_hit_rate(), 0.0);
+
+        // Request 2 replays the same spec: every lookup after the
+        // baseline is a hit on request 1's entry.
+        reg.begin_request();
+        let _ = reg.payload_for(&sku, "REG:1").unwrap();
+        let s2 = reg.stats();
+        assert_eq!(s2.requests, 2);
+        assert_eq!(s2.cross_payload_hits, 1);
+        assert_eq!(s2.cross_payload_lookups, 1);
+        assert_eq!(s2.cross_request_payload_hit_rate(), 1.0);
+
+        // A third request with a cold spec dilutes but keeps the window.
+        reg.begin_request();
+        let _ = reg.payload_for(&sku, "REG:2").unwrap();
+        let s3 = reg.stats();
+        assert_eq!(s3.requests, 3);
+        assert_eq!(s3.cross_payload_hits, 1);
+        assert_eq!(s3.cross_payload_lookups, 2);
+        assert_eq!(s3.cross_request_payload_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn shared_caches_constructor_shares_the_tier_across_registries() {
+        let caches = Arc::new(EngineCaches::new());
+        let a = EngineRegistry::with_caches(7, Arc::clone(&caches));
+        let b = EngineRegistry::with_caches(7, Arc::clone(&caches));
+        let sku = Sku::amd_epyc_7502();
+        let _ = a.payload_for(&sku, "REG:1").unwrap();
+        // Registry `b` never built anything, yet its first lookup hits.
+        let _ = b.payload_for(&sku, "REG:1").unwrap();
+        let s = b.stats();
+        assert_eq!(s.payload_misses, 1);
+        assert_eq!(s.payload_hits, 1);
     }
 
     #[test]

@@ -280,7 +280,7 @@ impl Runner {
     /// halving the replay loop count. An armed fault is applied to the
     /// second context's extracted register file and its hash recomputed
     /// — exactly the narrow tier's post-run [`Executor::inject_bit_flip`]
-    /// + compare, so results are bit-identical with the feature on or
+    /// and compare, so results are bit-identical with the feature on or
     /// off (the exec_parity suite pins the tiers to each other).
     #[cfg(feature = "wide-lanes")]
     fn functional_pass(

@@ -29,5 +29,5 @@ pub mod series;
 pub use builtin::{IpcEstimateMetric, PerfIpcMetric, RaplPowerMetric};
 pub use csv::CsvWriter;
 pub use metric::{ExternalMetric, Metric, MetricRegistry, Summary};
-pub use metricq::{MetricQSink, MetricQSource};
+pub use metricq::{channel, channel_bounded, MetricQSink, MetricQSource, MetricQueue};
 pub use series::{Sample, TimeSeries};

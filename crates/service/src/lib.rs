@@ -1,0 +1,41 @@
+//! # fs2-service — fleet-as-a-service
+//!
+//! The paper's Fig. 1 fleet pipeline as a long-running, multi-tenant
+//! service instead of a one-shot CLI action. Four layers, many callers:
+//!
+//! * [`proto`] — the request layer: [`proto::FleetRequest`] /
+//!   [`proto::FleetReply`] with dependency-free JSON-lines framing
+//!   ([`json`]); 64-bit seeds and `f64` samples round-trip exactly, so
+//!   a served reply is byte-comparable to a local run.
+//! * [`admission`] — the control layer: per-request node·sample cost
+//!   estimates, a bounded wait queue, and a queue/shed/reject policy
+//!   so floods of requests degrade gracefully instead of OOMing.
+//! * [`pool`] + the scheduler inside [`service::FleetService`] — the
+//!   shard layer: each request's node range splits across a persistent
+//!   worker pool via `FleetSim::run_shard`, and merges back
+//!   bitwise-identically to the serial result.
+//! * the engine layer stays `fs2-core`'s [`fs2_core::EngineRegistry`],
+//!   shared: all per-seed registries share one `EngineCaches` tier, and
+//!   the cross-request hit rates surface in every reply.
+//!
+//! Two transports expose the stack: [`broker`] (in-process, built on
+//! the `fs2-metrics` channel seam — the CLI's `--fleet` path) and
+//! [`tcp`] (plain TCP JSON-lines, the CLI's `--serve`/`--connect`).
+
+pub mod admission;
+pub mod broker;
+pub mod json;
+pub mod pool;
+pub mod proto;
+pub mod service;
+pub mod tcp;
+
+pub use admission::{AdmissionConfig, AdmissionError, AdmissionStats, Gate, Permit};
+pub use broker::{Broker, BrokerJob};
+pub use json::{Json, JsonError};
+pub use pool::WorkerPool;
+pub use proto::{
+    BudgetWire, CdfWire, EpisodeWire, FleetReply, FleetRequest, ProtoError, RegistryWire,
+};
+pub use service::{FleetService, ServiceConfig};
+pub use tcp::{call, serve, Client, Server};

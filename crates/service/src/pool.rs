@@ -1,0 +1,162 @@
+//! The persistent worker pool behind the scheduler/shard layer.
+//!
+//! Workers live for the service's lifetime and pull boxed jobs from a
+//! shared [`MetricQueue`] — the same channel seam the metric stack
+//! uses (Fig. 10's buffered out-of-band source), reused here as the
+//! job conduit. [`WorkerPool::scatter`] fans a batch of closures out
+//! and gathers their results *in submission order*, which is what
+//! keeps sharded fleet runs bitwise-identical to serial ones.
+
+use fs2_metrics::MetricQueue;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size pool of long-lived worker threads.
+#[derive(Debug)]
+pub struct WorkerPool {
+    jobs: Arc<MetricQueue<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (0 = one per host core).
+    pub fn new(workers: usize) -> WorkerPool {
+        let n = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        } else {
+            workers
+        };
+        let jobs: Arc<MetricQueue<Job>> = Arc::new(MetricQueue::unbounded());
+        let handles = (0..n)
+            .map(|_| {
+                let jobs = Arc::clone(&jobs);
+                std::thread::spawn(move || {
+                    // pop_wait returns None once the queue is closed
+                    // and drained — the pool's shutdown signal.
+                    while let Some(job) = jobs.pop_wait() {
+                        job();
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            jobs,
+            workers: handles,
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one fire-and-forget job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.jobs
+            .push_wait(Box::new(job))
+            .unwrap_or_else(|_| panic!("worker pool is shut down"));
+    }
+
+    /// Runs every task on the pool and returns their results in task
+    /// order. The calling thread also drains jobs while it waits, so
+    /// a scatter submitted *from* a pool worker (nested requests)
+    /// cannot deadlock the pool.
+    pub fn scatter<R, F>(&self, tasks: Vec<F>) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let n = tasks.len();
+        let results: Arc<MetricQueue<(usize, R)>> = Arc::new(MetricQueue::unbounded());
+        for (i, task) in tasks.into_iter().enumerate() {
+            let results = Arc::clone(&results);
+            self.execute(move || {
+                let _ = results.try_push((i, task()));
+            });
+        }
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut filled = 0;
+        while filled < n {
+            if let Some((i, r)) = results.try_pop() {
+                out[i] = Some(r);
+                filled += 1;
+            } else if let Some(job) = self.jobs.try_pop() {
+                // Help instead of blocking: run someone's job (possibly
+                // one of ours) while our results trickle in.
+                job();
+            } else if let Some((i, r)) = results.pop_wait() {
+                out[i] = Some(r);
+                filled += 1;
+            } else {
+                unreachable!("result queue closed with tasks outstanding");
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.jobs.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scatter_preserves_task_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<_> = (0..64).map(|i| move || i * i).collect();
+        assert_eq!(
+            pool.scatter(tasks),
+            (0..64).map(|i| i * i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn execute_runs_everything_before_shutdown() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..100 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Drop closes the queue and joins; queued jobs still run.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn nested_scatter_does_not_deadlock() {
+        // More outer tasks than workers, each scattering again: the
+        // help-while-waiting loop must keep the pool moving.
+        let pool = Arc::new(WorkerPool::new(2));
+        let outer: Vec<_> = (0..8)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                move || {
+                    let inner: Vec<_> = (0..4).map(|j| move || i * 10 + j).collect();
+                    pool.scatter(inner).into_iter().sum::<usize>()
+                }
+            })
+            .collect();
+        let sums = pool.scatter(outer);
+        for (i, s) in sums.iter().enumerate() {
+            assert_eq!(*s, i * 40 + 6);
+        }
+    }
+}

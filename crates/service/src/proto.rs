@@ -1,0 +1,683 @@
+//! Wire protocol of the fleet service: [`FleetRequest`] in,
+//! [`FleetReply`] out, one JSON object per line.
+//!
+//! The request mirrors the CLI's `--fleet` knobs (node count, samples
+//! per node, seed, temporal mode, caps, budget) plus service-side
+//! controls (shard count, which artifacts to return). The reply
+//! carries everything the CLI printer shows for a one-shot run —
+//! samples, registry counters, cap/budget/episode telemetry — so a
+//! remote client renders byte-identical output to the local path.
+//!
+//! Floats and 64-bit seeds round-trip exactly (see [`crate::json`]),
+//! which is what makes the CI smoke diff of served-vs-local samples
+//! meaningful.
+
+use crate::json::Json;
+use fs2_cluster::{BudgetPolicy, FleetConfig, TemporalMode};
+use std::fmt;
+
+/// A malformed or unsupported request/reply line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn perr(msg: impl Into<String>) -> ProtoError {
+    ProtoError(msg.into())
+}
+
+/// One fleet-simulation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRequest {
+    /// Total fleet size; expanded via the Taurus SKU ratio like the
+    /// CLI's `--nodes`.
+    pub nodes: u32,
+    pub samples_per_node: u32,
+    /// `None` uses the Fig. 1 seed, like the CLI without `--seed`.
+    pub seed: Option<u64>,
+    pub temporal: TemporalMode,
+    /// Sweep threads for the plan/apply phases (0 = host cores).
+    pub threads: usize,
+    pub power_cap_w: Option<f64>,
+    pub budget_w: Option<f64>,
+    pub budget_policy: BudgetPolicy,
+    /// Shard count override; `None` leaves it to the service.
+    pub shards: Option<usize>,
+    /// Return the raw 60 s-mean samples (the big artifact).
+    pub want_samples: bool,
+    /// Return the binned 0.1 W CDF.
+    pub want_cdf: bool,
+}
+
+impl FleetRequest {
+    /// The Fig. 1 pipeline as a request (612 nodes, default seed).
+    pub fn fig1() -> FleetRequest {
+        FleetRequest {
+            nodes: 612,
+            samples_per_node: 2000,
+            seed: None,
+            temporal: TemporalMode::Iid,
+            threads: 0,
+            power_cap_w: None,
+            budget_w: None,
+            budget_policy: BudgetPolicy::default(),
+            shards: None,
+            want_samples: true,
+            want_cdf: false,
+        }
+    }
+
+    /// Expands the request into the simulator configuration, exactly
+    /// like the CLI builds one from its flags.
+    pub fn to_config(&self) -> FleetConfig {
+        let mut cfg = FleetConfig::taurus_haswell_scaled(self.nodes);
+        cfg.samples_per_node = self.samples_per_node;
+        cfg.threads = self.threads;
+        cfg.temporal = self.temporal;
+        cfg.power_cap_w = self.power_cap_w;
+        cfg.budget_w = self.budget_w;
+        cfg.budget_policy = self.budget_policy;
+        if let Some(seed) = self.seed {
+            cfg.seed = seed;
+        }
+        cfg
+    }
+
+    pub fn to_json(&self) -> Json {
+        let opt_f64 = |v: Option<f64>| v.map(Json::of_f64).unwrap_or(Json::Null);
+        Json::obj()
+            .set("type", Json::of_str("fleet"))
+            .set("nodes", Json::of_u64(u64::from(self.nodes)))
+            .set(
+                "samples_per_node",
+                Json::of_u64(u64::from(self.samples_per_node)),
+            )
+            .set("seed", self.seed.map(Json::of_u64).unwrap_or(Json::Null))
+            .set(
+                "temporal",
+                Json::of_str(match self.temporal {
+                    TemporalMode::Iid => "iid",
+                    TemporalMode::Episodes => "episodes",
+                }),
+            )
+            .set("threads", Json::of_usize(self.threads))
+            .set("cap_w", opt_f64(self.power_cap_w))
+            .set("budget_w", opt_f64(self.budget_w))
+            .set(
+                "budget_policy",
+                Json::of_str(match self.budget_policy {
+                    BudgetPolicy::ShedToFloor => "shed",
+                    BudgetPolicy::Defer => "defer",
+                }),
+            )
+            .set(
+                "shards",
+                self.shards.map(Json::of_usize).unwrap_or(Json::Null),
+            )
+            .set("want_samples", Json::of_bool(self.want_samples))
+            .set("want_cdf", Json::of_bool(self.want_cdf))
+    }
+
+    pub fn to_line(&self) -> String {
+        self.to_json().to_line()
+    }
+
+    pub fn from_json(v: &Json) -> Result<FleetRequest, ProtoError> {
+        match v.get("type").and_then(Json::as_str) {
+            Some("fleet") => {}
+            Some(other) => return Err(perr(format!("unknown request type `{other}`"))),
+            None => return Err(perr("missing request type")),
+        }
+        let u32_field = |key: &str, default: u32| -> Result<u32, ProtoError> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(j) => j
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| perr(format!("`{key}` must be a u32"))),
+            }
+        };
+        let opt_f64 = |key: &str| -> Result<Option<f64>, ProtoError> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(Json::Null) => Ok(None),
+                Some(j) => {
+                    let w = j
+                        .as_f64()
+                        .ok_or_else(|| perr(format!("`{key}` must be a number")))?;
+                    if !w.is_finite() || w <= 0.0 {
+                        return Err(perr(format!("`{key}` must be a positive wattage")));
+                    }
+                    Ok(Some(w))
+                }
+            }
+        };
+        let nodes = u32_field("nodes", 612)?;
+        if nodes == 0 {
+            return Err(perr("`nodes` must be at least 1"));
+        }
+        let samples_per_node = u32_field("samples_per_node", 2000)?;
+        if samples_per_node == 0 {
+            return Err(perr("`samples_per_node` must be at least 1"));
+        }
+        let seed = match v.get("seed") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(j.as_u64().ok_or_else(|| perr("`seed` must be a u64"))?),
+        };
+        let temporal = match v.get("temporal").and_then(Json::as_str) {
+            None | Some("iid") => TemporalMode::Iid,
+            Some("episodes") => TemporalMode::Episodes,
+            Some(other) => return Err(perr(format!("unknown temporal mode `{other}`"))),
+        };
+        let budget_policy = match v.get("budget_policy").and_then(Json::as_str) {
+            None | Some("shed") | Some("shed-to-floor") => BudgetPolicy::ShedToFloor,
+            Some("defer") => BudgetPolicy::Defer,
+            Some(other) => return Err(perr(format!("unknown budget policy `{other}`"))),
+        };
+        let threads = match v.get("threads") {
+            None | Some(Json::Null) => 0,
+            Some(j) => j
+                .as_usize()
+                .ok_or_else(|| perr("`threads` must be an integer"))?,
+        };
+        let shards = match v.get("shards") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(
+                j.as_usize()
+                    .filter(|&s| s > 0)
+                    .ok_or_else(|| perr("`shards` must be a positive integer"))?,
+            ),
+        };
+        Ok(FleetRequest {
+            nodes,
+            samples_per_node,
+            seed,
+            temporal,
+            threads,
+            power_cap_w: opt_f64("cap_w")?,
+            budget_w: opt_f64("budget_w")?,
+            budget_policy,
+            shards,
+            want_samples: v
+                .get("want_samples")
+                .and_then(Json::as_bool)
+                .unwrap_or(true),
+            want_cdf: v.get("want_cdf").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+
+    pub fn from_line(line: &str) -> Result<FleetRequest, ProtoError> {
+        let v = Json::parse(line).map_err(|e| perr(e.to_string()))?;
+        FleetRequest::from_json(&v)
+    }
+}
+
+/// Engine-registry counters on the wire (the subset the CLI prints
+/// plus the cross-request cache telemetry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryWire {
+    pub engines: usize,
+    pub payload_hits: u64,
+    pub payload_misses: u64,
+    pub decoded_hits: u64,
+    pub decoded_misses: u64,
+    pub exec_hits: u64,
+    pub exec_misses: u64,
+    pub prescreen_evals: u64,
+    pub prescreen_pruned: u64,
+    pub requests: u64,
+    pub cross_payload_hits: u64,
+    pub cross_payload_lookups: u64,
+    pub cross_exec_hits: u64,
+    pub cross_exec_lookups: u64,
+}
+
+impl RegistryWire {
+    pub fn from_stats(s: &fs2_core::RegistryStats) -> RegistryWire {
+        RegistryWire {
+            engines: s.engines,
+            payload_hits: s.payload_hits,
+            payload_misses: s.payload_misses,
+            decoded_hits: s.decoded_hits,
+            decoded_misses: s.decoded_misses,
+            exec_hits: s.exec_hits,
+            exec_misses: s.exec_misses,
+            prescreen_evals: s.prescreen_evals,
+            prescreen_pruned: s.prescreen_pruned,
+            requests: s.requests,
+            cross_payload_hits: s.cross_payload_hits,
+            cross_payload_lookups: s.cross_payload_lookups,
+            cross_exec_hits: s.cross_exec_hits,
+            cross_exec_lookups: s.cross_exec_lookups,
+        }
+    }
+
+    /// Mirror of `RegistryStats::prescreen_prune_rate`.
+    pub fn prescreen_prune_rate(&self) -> f64 {
+        if self.prescreen_evals == 0 {
+            0.0
+        } else {
+            self.prescreen_pruned as f64 / self.prescreen_evals as f64
+        }
+    }
+
+    pub fn cross_payload_hit_rate(&self) -> f64 {
+        rate(self.cross_payload_hits, self.cross_payload_lookups)
+    }
+
+    pub fn cross_exec_hit_rate(&self) -> f64 {
+        rate(self.cross_exec_hits, self.cross_exec_lookups)
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj()
+            .set("engines", Json::of_usize(self.engines))
+            .set("payload_hits", Json::of_u64(self.payload_hits))
+            .set("payload_misses", Json::of_u64(self.payload_misses))
+            .set("decoded_hits", Json::of_u64(self.decoded_hits))
+            .set("decoded_misses", Json::of_u64(self.decoded_misses))
+            .set("exec_hits", Json::of_u64(self.exec_hits))
+            .set("exec_misses", Json::of_u64(self.exec_misses))
+            .set("prescreen_evals", Json::of_u64(self.prescreen_evals))
+            .set("prescreen_pruned", Json::of_u64(self.prescreen_pruned))
+            .set("requests", Json::of_u64(self.requests))
+            .set("cross_payload_hits", Json::of_u64(self.cross_payload_hits))
+            .set(
+                "cross_payload_lookups",
+                Json::of_u64(self.cross_payload_lookups),
+            )
+            .set("cross_exec_hits", Json::of_u64(self.cross_exec_hits))
+            .set("cross_exec_lookups", Json::of_u64(self.cross_exec_lookups))
+    }
+
+    fn from_json(v: &Json) -> RegistryWire {
+        let u = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+        RegistryWire {
+            engines: v.get("engines").and_then(Json::as_usize).unwrap_or(0),
+            payload_hits: u("payload_hits"),
+            payload_misses: u("payload_misses"),
+            decoded_hits: u("decoded_hits"),
+            decoded_misses: u("decoded_misses"),
+            exec_hits: u("exec_hits"),
+            exec_misses: u("exec_misses"),
+            prescreen_evals: u("prescreen_evals"),
+            prescreen_pruned: u("prescreen_pruned"),
+            requests: u("requests"),
+            cross_payload_hits: u("cross_payload_hits"),
+            cross_payload_lookups: u("cross_payload_lookups"),
+            cross_exec_hits: u("cross_exec_hits"),
+            cross_exec_lookups: u("cross_exec_lookups"),
+        }
+    }
+}
+
+fn rate(hits: u64, lookups: u64) -> f64 {
+    if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    }
+}
+
+/// Budget-arbitration telemetry on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetWire {
+    pub budget_w: f64,
+    /// `BudgetPolicy::name()` of the policy that ran.
+    pub policy: String,
+    pub ticks: usize,
+    pub peak_fleet_w: f64,
+    pub mean_fleet_w: f64,
+    pub shed_ticks: Vec<u64>,
+    pub deferred_ticks: Vec<u64>,
+    pub truncated_proposals: u64,
+    pub infeasible_floor_ticks: u64,
+    /// 95th percentile of per-tick budget utilization.
+    pub util_p95: f64,
+    pub states: Vec<String>,
+}
+
+/// Episode-statistics telemetry on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeWire {
+    pub states: Vec<String>,
+    pub empirical_shares: Vec<f64>,
+    pub model_shares: Vec<f64>,
+    pub mean_dwell_ticks: Vec<f64>,
+    pub lag1_autocorr: f64,
+}
+
+/// The 0.1 W-binned CDF on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdfWire {
+    /// `(bin_upper_edge_w, cumulative_fraction)` pairs, ascending.
+    pub bins: Vec<(f64, f64)>,
+    pub min_w: f64,
+    pub max_w: f64,
+    pub samples: usize,
+}
+
+/// One fleet-simulation reply (or a service-side rejection).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReply {
+    pub ok: bool,
+    /// Rejection/failure reason when `ok` is false.
+    pub error: Option<String>,
+    /// Raw 60 s-mean samples (empty unless requested).
+    pub samples: Vec<f64>,
+    pub cdf: Option<CdfWire>,
+    pub registry: RegistryWire,
+    /// Operating points in the request's power table.
+    pub power_points: usize,
+    pub capped_points: usize,
+    pub capped_samples: usize,
+    pub infeasible_points: usize,
+    pub budget: Option<BudgetWire>,
+    pub episodes: Option<EpisodeWire>,
+    /// Shards the request was actually split into.
+    pub shards: usize,
+}
+
+impl FleetReply {
+    pub fn failure(error: impl Into<String>) -> FleetReply {
+        FleetReply {
+            ok: false,
+            error: Some(error.into()),
+            samples: Vec::new(),
+            cdf: None,
+            registry: RegistryWire::default(),
+            power_points: 0,
+            capped_points: 0,
+            capped_samples: 0,
+            infeasible_points: 0,
+            budget: None,
+            episodes: None,
+            shards: 0,
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let strs = |v: &[String]| Json::Arr(v.iter().map(|s| Json::of_str(s)).collect());
+        let mut out = Json::obj()
+            .set("type", Json::of_str("reply"))
+            .set("ok", Json::of_bool(self.ok));
+        if let Some(e) = &self.error {
+            out = out.set("error", Json::of_str(e));
+        }
+        out = out
+            .set("samples", Json::of_f64s(&self.samples))
+            .set("registry", self.registry.to_json())
+            .set("power_points", Json::of_usize(self.power_points))
+            .set("capped_points", Json::of_usize(self.capped_points))
+            .set("capped_samples", Json::of_usize(self.capped_samples))
+            .set("infeasible_points", Json::of_usize(self.infeasible_points))
+            .set("shards", Json::of_usize(self.shards));
+        if let Some(c) = &self.cdf {
+            let bins = c
+                .bins
+                .iter()
+                .map(|&(w, f)| Json::Arr(vec![Json::of_f64(w), Json::of_f64(f)]))
+                .collect();
+            out = out.set(
+                "cdf",
+                Json::obj()
+                    .set("bins", Json::Arr(bins))
+                    .set("min_w", Json::of_f64(c.min_w))
+                    .set("max_w", Json::of_f64(c.max_w))
+                    .set("samples", Json::of_usize(c.samples)),
+            );
+        }
+        if let Some(b) = &self.budget {
+            out = out.set(
+                "budget",
+                Json::obj()
+                    .set("budget_w", Json::of_f64(b.budget_w))
+                    .set("policy", Json::of_str(&b.policy))
+                    .set("ticks", Json::of_usize(b.ticks))
+                    .set("peak_fleet_w", Json::of_f64(b.peak_fleet_w))
+                    .set("mean_fleet_w", Json::of_f64(b.mean_fleet_w))
+                    .set("shed_ticks", Json::of_u64s(&b.shed_ticks))
+                    .set("deferred_ticks", Json::of_u64s(&b.deferred_ticks))
+                    .set("truncated_proposals", Json::of_u64(b.truncated_proposals))
+                    .set(
+                        "infeasible_floor_ticks",
+                        Json::of_u64(b.infeasible_floor_ticks),
+                    )
+                    .set("util_p95", Json::of_f64(b.util_p95))
+                    .set("states", strs(&b.states)),
+            );
+        }
+        if let Some(e) = &self.episodes {
+            out = out.set(
+                "episodes",
+                Json::obj()
+                    .set("states", strs(&e.states))
+                    .set("empirical_shares", Json::of_f64s(&e.empirical_shares))
+                    .set("model_shares", Json::of_f64s(&e.model_shares))
+                    .set("mean_dwell_ticks", Json::of_f64s(&e.mean_dwell_ticks))
+                    .set("lag1_autocorr", Json::of_f64(e.lag1_autocorr)),
+            );
+        }
+        out
+    }
+
+    pub fn to_line(&self) -> String {
+        self.to_json().to_line()
+    }
+
+    pub fn from_line(line: &str) -> Result<FleetReply, ProtoError> {
+        let v = Json::parse(line).map_err(|e| perr(e.to_string()))?;
+        match v.get("type").and_then(Json::as_str) {
+            Some("reply") => {}
+            _ => return Err(perr("not a reply line")),
+        }
+        let strs = |j: &Json| -> Vec<String> {
+            j.as_arr()
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|v| v.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let cdf = v.get("cdf").map(|c| {
+            let bins = c
+                .get("bins")
+                .and_then(Json::as_arr)
+                .map(|pairs| {
+                    pairs
+                        .iter()
+                        .filter_map(|p| {
+                            let p = p.as_arr()?;
+                            Some((p.first()?.as_f64()?, p.get(1)?.as_f64()?))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            CdfWire {
+                bins,
+                min_w: c.get("min_w").and_then(Json::as_f64).unwrap_or(0.0),
+                max_w: c.get("max_w").and_then(Json::as_f64).unwrap_or(0.0),
+                samples: c.get("samples").and_then(Json::as_usize).unwrap_or(0),
+            }
+        });
+        let budget = v.get("budget").map(|b| {
+            let u64s = |k: &str| b.get(k).and_then(Json::u64s).unwrap_or_default();
+            let f = |k: &str| b.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            BudgetWire {
+                budget_w: f("budget_w"),
+                policy: b
+                    .get("policy")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                ticks: b.get("ticks").and_then(Json::as_usize).unwrap_or(0),
+                peak_fleet_w: f("peak_fleet_w"),
+                mean_fleet_w: f("mean_fleet_w"),
+                shed_ticks: u64s("shed_ticks"),
+                deferred_ticks: u64s("deferred_ticks"),
+                truncated_proposals: b
+                    .get("truncated_proposals")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                infeasible_floor_ticks: b
+                    .get("infeasible_floor_ticks")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                util_p95: f("util_p95"),
+                states: strs(b.get("states").unwrap_or(&Json::Null)),
+            }
+        });
+        let episodes = v.get("episodes").map(|e| {
+            let f64s = |k: &str| e.get(k).and_then(Json::f64s).unwrap_or_default();
+            EpisodeWire {
+                states: strs(e.get("states").unwrap_or(&Json::Null)),
+                empirical_shares: f64s("empirical_shares"),
+                model_shares: f64s("model_shares"),
+                mean_dwell_ticks: f64s("mean_dwell_ticks"),
+                lag1_autocorr: e.get("lag1_autocorr").and_then(Json::as_f64).unwrap_or(0.0),
+            }
+        });
+        Ok(FleetReply {
+            ok: v.get("ok").and_then(Json::as_bool).unwrap_or(false),
+            error: v.get("error").and_then(Json::as_str).map(str::to_string),
+            samples: v
+                .get("samples")
+                .and_then(Json::f64s)
+                .ok_or_else(|| perr("reply carries no samples array"))?,
+            cdf,
+            registry: v
+                .get("registry")
+                .map(RegistryWire::from_json)
+                .unwrap_or_default(),
+            power_points: v.get("power_points").and_then(Json::as_usize).unwrap_or(0),
+            capped_points: v.get("capped_points").and_then(Json::as_usize).unwrap_or(0),
+            capped_samples: v
+                .get("capped_samples")
+                .and_then(Json::as_usize)
+                .unwrap_or(0),
+            infeasible_points: v
+                .get("infeasible_points")
+                .and_then(Json::as_usize)
+                .unwrap_or(0),
+            budget,
+            episodes,
+            shards: v.get("shards").and_then(Json::as_usize).unwrap_or(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_exactly() {
+        let req = FleetRequest {
+            nodes: 63,
+            samples_per_node: 321,
+            seed: Some(u64::MAX - 7),
+            temporal: TemporalMode::Episodes,
+            threads: 3,
+            power_cap_w: Some(250.5),
+            budget_w: Some(9000.25),
+            budget_policy: BudgetPolicy::Defer,
+            shards: Some(7),
+            want_samples: false,
+            want_cdf: true,
+        };
+        let back = FleetRequest::from_line(&req.to_line()).unwrap();
+        assert_eq!(req, back);
+        // Defaults: a minimal request is the Fig. 1 shape.
+        let minimal = FleetRequest::from_line(r#"{"type":"fleet"}"#).unwrap();
+        assert_eq!(minimal, FleetRequest::fig1());
+    }
+
+    #[test]
+    fn request_validation_rejects_nonsense() {
+        for bad in [
+            r#"{"type":"quote"}"#,
+            r#"{"type":"fleet","nodes":0}"#,
+            r#"{"type":"fleet","samples_per_node":0}"#,
+            r#"{"type":"fleet","temporal":"markov"}"#,
+            r#"{"type":"fleet","cap_w":-3}"#,
+            r#"{"type":"fleet","budget_w":0}"#,
+            r#"{"type":"fleet","budget_policy":"auction"}"#,
+            r#"{"type":"fleet","shards":0}"#,
+            r#"{"type":"fleet","seed":-1}"#,
+            "not json",
+        ] {
+            assert!(FleetRequest::from_line(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn reply_round_trips_sample_bits() {
+        let reply = FleetReply {
+            ok: true,
+            error: None,
+            samples: vec![83.25, 359.9, f64::from_bits(0x405526E41CAD1777)],
+            cdf: Some(CdfWire {
+                bins: vec![(100.0, 0.25), (360.0, 1.0)],
+                min_w: 83.25,
+                max_w: 359.9,
+                samples: 3,
+            }),
+            registry: RegistryWire {
+                engines: 2,
+                payload_misses: 10,
+                exec_hits: 5,
+                cross_payload_hits: 3,
+                cross_payload_lookups: 4,
+                ..RegistryWire::default()
+            },
+            power_points: 40,
+            capped_points: 1,
+            capped_samples: 2,
+            infeasible_points: 0,
+            budget: Some(BudgetWire {
+                budget_w: 1500.0,
+                policy: "shed-to-floor".into(),
+                ticks: 200,
+                peak_fleet_w: 1499.5,
+                mean_fleet_w: 1200.25,
+                shed_ticks: vec![0, 4, 5],
+                deferred_ticks: vec![0, 0, 0],
+                truncated_proposals: 1,
+                infeasible_floor_ticks: 0,
+                util_p95: 0.99,
+                states: vec!["floor".into(), "hpl".into()],
+            }),
+            episodes: Some(EpisodeWire {
+                states: vec!["floor".into(), "hpl".into()],
+                empirical_shares: vec![0.5, 0.5],
+                model_shares: vec![0.4, 0.6],
+                mean_dwell_ticks: vec![3.5, 7.25],
+                lag1_autocorr: 0.42,
+            }),
+            shards: 7,
+        };
+        let back = FleetReply::from_line(&reply.to_line()).unwrap();
+        assert_eq!(reply, back);
+        assert_eq!(
+            back.samples[2].to_bits(),
+            0x405526E41CAD1777,
+            "sample bits must survive the wire"
+        );
+        assert!((back.registry.cross_payload_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_replies_carry_the_reason() {
+        let line = FleetReply::failure("rejected: queue full").to_line();
+        let back = FleetReply::from_line(&line).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.error.as_deref(), Some("rejected: queue full"));
+    }
+}

@@ -1,0 +1,315 @@
+//! The fleet service core: admission gate in front, persistent worker
+//! pool underneath, one shared engine-cache tier across everything.
+//!
+//! A request travels the full stack: decode → cost estimate →
+//! [`Gate::admit`] → per-seed [`EngineRegistry`] (all registries share
+//! one [`EngineCaches`] tier, so repeated configurations re-serve
+//! payloads and functional passes across requests) → plan → shards
+//! scattered on the [`WorkerPool`] → bitwise-identical merge → reply.
+
+use crate::admission::{AdmissionConfig, AdmissionStats, Gate};
+use crate::pool::WorkerPool;
+use crate::proto::{BudgetWire, CdfWire, EpisodeWire, FleetReply, FleetRequest, RegistryWire};
+use fs2_cluster::{shard_ranges, FleetShard, FleetSim, PowerCdf};
+use fs2_core::{EngineCaches, EngineRegistry, RegistryStats};
+use std::sync::{Arc, Mutex};
+
+/// Service-level knobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads in the shard pool (0 = one per host core).
+    pub workers: usize,
+    /// Default shards per request (0 = one per worker); requests may
+    /// override via [`FleetRequest::shards`].
+    pub default_shards: usize,
+    pub admission: AdmissionConfig,
+}
+
+impl ServiceConfig {
+    /// A deliberately small footprint for tests and examples.
+    pub fn small() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            default_shards: 2,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// A long-running fleet-simulation service.
+pub struct FleetService {
+    gate: Gate,
+    pool: WorkerPool,
+    caches: Arc<EngineCaches>,
+    /// One registry per engine seed (the seed keys cached functional
+    /// passes); all of them share `caches`, so cross-seed requests
+    /// still reuse payload builds.
+    registries: Mutex<Vec<(u64, Arc<EngineRegistry>)>>,
+    default_shards: usize,
+}
+
+impl FleetService {
+    pub fn new(cfg: ServiceConfig) -> FleetService {
+        FleetService {
+            gate: Gate::new(cfg.admission),
+            pool: WorkerPool::new(cfg.workers),
+            caches: Arc::new(EngineCaches::new()),
+            registries: Mutex::new(Vec::new()),
+            default_shards: cfg.default_shards,
+        }
+    }
+
+    pub fn admission_config(&self) -> AdmissionConfig {
+        self.gate.config()
+    }
+
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.gate.stats()
+    }
+
+    /// Counters of the registry serving `seed`, if any request used it.
+    pub fn registry_stats(&self, seed: u64) -> Option<RegistryStats> {
+        let registries = self.registries.lock().unwrap();
+        registries
+            .iter()
+            .find(|(s, _)| *s == seed)
+            .map(|(_, r)| r.stats())
+    }
+
+    fn registry_for(&self, seed: u64) -> Arc<EngineRegistry> {
+        let mut registries = self.registries.lock().unwrap();
+        if let Some((_, r)) = registries.iter().find(|(s, _)| *s == seed) {
+            return Arc::clone(r);
+        }
+        let r = Arc::new(EngineRegistry::with_caches(seed, Arc::clone(&self.caches)));
+        registries.push((seed, Arc::clone(&r)));
+        r
+    }
+
+    /// Serves one request through the full stack.
+    pub fn handle(&self, req: &FleetRequest) -> FleetReply {
+        let cfg = req.to_config();
+        // node·samples in 128-bit: an address-space overflow becomes an
+        // oversize cost, not a wrap (FleetSizeError carries the total).
+        let cost = match cfg.try_total_samples() {
+            Ok(n) => n as u128,
+            Err(e) => e.total,
+        };
+        let permit = match self.gate.admit(cost) {
+            Ok(p) => p,
+            Err(e) => return FleetReply::failure(e.to_string()),
+        };
+
+        let registry = self.registry_for(cfg.seed);
+        let shards = match req.shards.unwrap_or(self.default_shards) {
+            0 => self.pool.workers(),
+            n => n,
+        };
+        let sim = Arc::new(FleetSim::new(cfg));
+        let plan = Arc::new(sim.plan(&registry));
+        let ranges = shard_ranges(plan.total_nodes(), shards);
+        let tasks: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let sim = Arc::clone(&sim);
+                let plan = Arc::clone(&plan);
+                move || sim.run_shard(&plan, lo, hi)
+            })
+            .collect();
+        let parts: Vec<FleetShard> = self.pool.scatter(tasks);
+        let run = sim.merge_shards(&registry, &plan, parts);
+        drop(permit);
+
+        let cdf = req.want_cdf.then(|| {
+            let c = PowerCdf::from_samples(&run.samples, 0.1);
+            CdfWire {
+                bins: c.bins.clone(),
+                min_w: c.min_w,
+                max_w: c.max_w,
+                samples: c.samples,
+            }
+        });
+        let budget = run.budget.as_ref().map(|b| BudgetWire {
+            budget_w: b.budget_w,
+            policy: b.policy.name().to_string(),
+            ticks: b.ticks,
+            peak_fleet_w: b.peak_fleet_w,
+            mean_fleet_w: b.mean_fleet_w,
+            shed_ticks: b.shed_ticks.clone(),
+            deferred_ticks: b.deferred_ticks.clone(),
+            truncated_proposals: b.truncated_proposals,
+            infeasible_floor_ticks: b.infeasible_floor_ticks,
+            util_p95: b.utilization.quantile(0.95),
+            states: b.states.iter().map(|s| s.to_string()).collect(),
+        });
+        let episodes = run.episodes.as_ref().map(|e| EpisodeWire {
+            states: e.states.iter().map(|s| s.to_string()).collect(),
+            empirical_shares: e.empirical_shares.clone(),
+            model_shares: e.model_shares.clone(),
+            mean_dwell_ticks: e.mean_dwell_ticks.clone(),
+            lag1_autocorr: e.lag1_autocorr,
+        });
+        FleetReply {
+            ok: true,
+            error: None,
+            samples: if req.want_samples {
+                run.samples
+            } else {
+                Vec::new()
+            },
+            cdf,
+            registry: RegistryWire::from_stats(&run.registry),
+            power_points: run.power_table.len(),
+            capped_points: run.capped_points,
+            capped_samples: run.capped_samples,
+            infeasible_points: run.infeasible_points,
+            budget,
+            episodes,
+            shards: ranges.len(),
+        }
+    }
+
+    /// Wire entry point: one request line in, one reply line out.
+    /// Never panics on malformed input — decode failures become
+    /// failure replies.
+    pub fn handle_line(&self, line: &str) -> String {
+        match FleetRequest::from_line(line) {
+            Ok(req) => self.handle(&req).to_line(),
+            Err(e) => FleetReply::failure(e.to_string()).to_line(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs2_cluster::TemporalMode;
+
+    fn bits(samples: &[f64]) -> Vec<u64> {
+        samples.iter().map(|s| s.to_bits()).collect()
+    }
+
+    fn request(seed: u64) -> FleetRequest {
+        FleetRequest {
+            nodes: 24,
+            samples_per_node: 120,
+            seed: Some(seed),
+            ..FleetRequest::fig1()
+        }
+    }
+
+    #[test]
+    fn served_samples_match_the_one_shot_path_bitwise() {
+        let service = FleetService::new(ServiceConfig::small());
+        for req in [
+            request(41),
+            FleetRequest {
+                temporal: TemporalMode::Episodes,
+                budget_w: Some(24.0 * 170.0),
+                shards: Some(5),
+                ..request(41)
+            },
+        ] {
+            let direct = FleetSim::new(req.to_config()).run();
+            let reply = service.handle(&req);
+            assert!(reply.ok, "{:?}", reply.error);
+            assert_eq!(
+                bits(&direct.samples),
+                bits(&reply.samples),
+                "served bytes diverged from the one-shot run"
+            );
+            assert_eq!(reply.capped_samples, direct.capped_samples);
+            assert_eq!(reply.power_points, direct.power_table.len());
+        }
+    }
+
+    #[test]
+    fn identical_requests_hit_the_cross_request_caches() {
+        let service = FleetService::new(ServiceConfig::small());
+        let req = request(7);
+        let first = service.handle(&req);
+        assert_eq!(first.registry.requests, 1);
+        assert_eq!(first.registry.cross_payload_lookups, 0);
+        let second = service.handle(&req);
+        assert_eq!(bits(&first.samples), bits(&second.samples));
+        assert_eq!(second.registry.requests, 2);
+        assert!(
+            second.registry.cross_payload_hit_rate() > 0.99,
+            "identical config must re-serve every payload: {:?}",
+            second.registry
+        );
+        assert!(second.registry.cross_exec_hit_rate() > 0.99);
+        // A near-identical request (new cap) still reuses the payload
+        // tier even though its operating points differ.
+        let capped = service.handle(&FleetRequest {
+            power_cap_w: Some(260.0),
+            ..request(7)
+        });
+        assert!(capped.ok);
+        assert!(capped.registry.cross_payload_hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn distinct_seeds_share_the_payload_tier_across_registries() {
+        let service = FleetService::new(ServiceConfig::small());
+        let a = service.handle(&request(1));
+        assert!(a.registry.payload_misses > 0);
+        let b = service.handle(&request(2));
+        // Seed 2 runs on its own registry, but the cache tier is
+        // shared service-wide, so part of the payload work re-serves
+        // (the seed-keyed entries still build fresh).
+        assert!(
+            b.registry.payload_hits > 0,
+            "second seed saw none of the shared tier: {:?}",
+            b.registry
+        );
+    }
+
+    #[test]
+    fn oversize_and_overflowing_requests_are_rejected_cleanly() {
+        let service = FleetService::new(ServiceConfig {
+            admission: AdmissionConfig {
+                max_request_cost: 10_000,
+                ..AdmissionConfig::default()
+            },
+            ..ServiceConfig::small()
+        });
+        let reply = service.handle(&FleetRequest {
+            nodes: 1000,
+            samples_per_node: 1000,
+            ..FleetRequest::fig1()
+        });
+        assert!(!reply.ok);
+        assert!(reply.error.as_deref().unwrap().contains("rejected"));
+        // u32::MAX × u32::MAX nodes·samples overflows usize on every
+        // target; the checked total feeds admission, nothing wraps.
+        let reply = service.handle(&FleetRequest {
+            nodes: u32::MAX,
+            samples_per_node: u32::MAX,
+            ..FleetRequest::fig1()
+        });
+        assert!(!reply.ok, "address-space bomb was admitted");
+        assert_eq!(service.admission_stats().rejected_oversize, 2);
+        assert_eq!(service.admission_stats().admitted, 0);
+    }
+
+    #[test]
+    fn shard_count_and_worker_count_do_not_change_the_bytes() {
+        let req = request(13);
+        let reference = FleetSim::new(req.to_config()).run();
+        for (workers, shards) in [(1, 1), (2, 7), (4, 24), (3, 64)] {
+            let service = FleetService::new(ServiceConfig {
+                workers,
+                default_shards: shards,
+                admission: AdmissionConfig::default(),
+            });
+            let reply = service.handle(&req);
+            assert!(reply.ok);
+            assert_eq!(
+                bits(&reference.samples),
+                bits(&reply.samples),
+                "{workers} workers / {shards} shards diverged"
+            );
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Plain-TCP front-end: JSON lines over a socket.
+//!
+//! The framing is the broker's, byte for byte — one request object per
+//! line in, one reply object per line out — so `nc` works as a client:
+//!
+//! ```text
+//! $ echo '{"type":"fleet","nodes":12,"samples_per_node":60}' | nc 127.0.0.1 7171
+//! {"type":"reply","ok":true,"samples":[...],...}
+//! ```
+//!
+//! Each connection gets a reader thread; requests from one connection
+//! are served in order, connections are independent, and admission
+//! control (not the socket layer) decides what queues or sheds.
+
+use crate::service::FleetService;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP server.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_loop: Option<JoinHandle<()>>,
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
+/// `service` until [`Server::shutdown`] or drop.
+pub fn serve(service: Arc<FleetService>, addr: &str) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_loop = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || serve_connection(&service, stream));
+        }
+    });
+    Ok(Server {
+        addr,
+        stop,
+        accept_loop: Some(accept_loop),
+    })
+}
+
+fn serve_connection(service: &FleetService, stream: TcpStream) {
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(writer);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = service.handle_line(&line);
+        if writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+impl Server {
+    /// The bound address (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop. Connections already
+    /// being served finish their current line independently.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag on a connection;
+        // poke it so it wakes up and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_loop.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_loop.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+/// A persistent client connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line, blocks for the reply line.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+}
+
+/// One-shot convenience: connect, send, receive, disconnect.
+pub fn call(addr: &str, line: &str) -> std::io::Result<String> {
+    Client::connect(addr)?.request(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{FleetReply, FleetRequest};
+    use crate::service::ServiceConfig;
+
+    #[test]
+    fn tcp_round_trip_serves_requests() {
+        let service = Arc::new(FleetService::new(ServiceConfig::small()));
+        let server = serve(service, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        let req = FleetRequest {
+            nodes: 6,
+            samples_per_node: 25,
+            seed: Some(3),
+            ..FleetRequest::fig1()
+        };
+        let reply = FleetReply::from_line(&call(&addr, &req.to_line()).unwrap()).unwrap();
+        assert!(reply.ok, "{:?}", reply.error);
+        assert_eq!(reply.samples.len(), 6 * 25);
+        // A persistent client can pipeline several requests.
+        let mut client = Client::connect(&addr).unwrap();
+        for _ in 0..3 {
+            let line = client.request(&req.to_line()).unwrap();
+            assert!(FleetReply::from_line(&line).unwrap().ok);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_lines_do_not_kill_the_connection() {
+        let service = Arc::new(FleetService::new(ServiceConfig::small()));
+        let server = serve(service, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        let reply = FleetReply::from_line(&client.request("{broken").unwrap()).unwrap();
+        assert!(!reply.ok);
+        // Same connection still serves a valid request afterwards.
+        let req = FleetRequest {
+            nodes: 4,
+            samples_per_node: 10,
+            seed: Some(1),
+            ..FleetRequest::fig1()
+        };
+        let reply = FleetReply::from_line(&client.request(&req.to_line()).unwrap()).unwrap();
+        assert!(reply.ok);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,86 @@
+//! Fleet-as-a-service: the Fig. 1 pipeline served as a long-running
+//! request/shard/engine stack instead of a one-shot run — several
+//! tenants, one shared engine-cache tier, bounded admission.
+//!
+//! ```sh
+//! cargo run --example fleet_service
+//! ```
+
+use firestarter2::service::{
+    serve, AdmissionConfig, Broker, FleetReply, FleetRequest, FleetService, ServiceConfig,
+};
+use std::sync::Arc;
+
+fn main() {
+    let service = Arc::new(FleetService::new(ServiceConfig {
+        workers: 4,
+        default_shards: 4,
+        admission: AdmissionConfig {
+            max_active: 2,
+            max_queue: 8,
+            ..AdmissionConfig::default()
+        },
+    }));
+
+    // Transport 1: the in-process broker (what the CLI's --fleet uses).
+    let broker = Broker::new(Arc::clone(&service), 2);
+    let req = FleetRequest {
+        nodes: 64,
+        samples_per_node: 240,
+        seed: Some(42),
+        ..FleetRequest::fig1()
+    };
+    let line = broker.call(req.to_line()).expect("broker reply");
+    let first = FleetReply::from_line(&line).expect("decode");
+    println!(
+        "request 1: {} samples over {} shards, {} engines, {} payloads built",
+        first.samples.len(),
+        first.shards,
+        first.registry.engines,
+        first.registry.payload_misses
+    );
+
+    // The same configuration again: the second tenant re-serves the
+    // warmed payload/exec tier instead of rebuilding it.
+    let line = broker.call(req.to_line()).expect("broker reply");
+    let second = FleetReply::from_line(&line).expect("decode");
+    println!(
+        "request 2: cross-request payload hit rate {:.2}, exec hit rate {:.2}",
+        second.registry.cross_payload_hit_rate(),
+        second.registry.cross_exec_hit_rate()
+    );
+    assert_eq!(
+        first.samples, second.samples,
+        "identical requests must produce identical samples"
+    );
+
+    // Transport 2: plain TCP JSON-lines (the CLI's --serve/--connect).
+    let server = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    let line = firestarter2::service::call(&addr, &req.to_line()).expect("tcp round trip");
+    let served = FleetReply::from_line(&line).expect("decode");
+    println!(
+        "request 3 (TCP {addr}): {} samples, bitwise equal to request 1: {}",
+        served.samples.len(),
+        served.samples == first.samples
+    );
+
+    // Admission control: a deliberately oversized request is rejected
+    // before any engine work happens.
+    let bomb = FleetRequest {
+        nodes: u32::MAX,
+        samples_per_node: u32::MAX,
+        ..FleetRequest::fig1()
+    };
+    let reply = service.handle(&bomb);
+    println!(
+        "oversize request: ok={} ({})",
+        reply.ok,
+        reply.error.as_deref().unwrap_or("-")
+    );
+    let stats = service.admission_stats();
+    println!(
+        "admission: {} admitted, {} queued, {} shed, {} rejected oversize",
+        stats.admitted, stats.queued, stats.shed_busy, stats.rejected_oversize
+    );
+}

@@ -35,6 +35,10 @@ enum Action {
     Measure,
     Optimize,
     Fleet,
+    /// Run the fleet service on a TCP address until killed.
+    Serve,
+    /// Submit the fleet request to a remote `--serve` instance.
+    Connect,
 }
 
 /// Parsed configuration.
@@ -73,6 +77,18 @@ pub struct CliConfig {
     budget_w: Option<f64>,
     budget_policy: String,
     prescreen: bool,
+    serve_addr: Option<String>,
+    connect_addr: Option<String>,
+    /// Shards per fleet request (0 = one per worker).
+    shards: usize,
+    /// Service worker-pool size (0 = host cores).
+    workers: usize,
+    /// Admission wait-queue bound.
+    queue_depth: usize,
+    /// Admission per-request node·sample cost cap.
+    max_cost: u64,
+    /// Write the reply's raw sample bits here (one hex u64 per line).
+    dump_samples: Option<String>,
 }
 
 /// Default RNG seed for Measure/Optimize runs.
@@ -111,6 +127,13 @@ impl Default for CliConfig {
             budget_w: None,
             budget_policy: "shed".to_string(),
             prescreen: false,
+            serve_addr: None,
+            connect_addr: None,
+            shards: 0,
+            workers: 0,
+            queue_depth: 64,
+            max_cost: 1 << 30,
+            dump_samples: None,
         }
     }
 }
@@ -164,6 +187,23 @@ FLEET (Fig. 1)
                                   floor for the tick; defer pushes the
                                   episode's remaining ticks later
                                   (default shed)
+
+FLEET SERVICE
+  --serve ADDR                    run the fleet service on ADDR
+                                  (e.g. 127.0.0.1:7171) until killed;
+                                  JSON-lines protocol, one request per
+                                  line, nc-compatible
+  --connect ADDR                  submit this invocation's fleet flags
+                                  to a --serve instance and print the
+                                  reply like a local --fleet run
+  --shards N                      shards per request (0 = one/worker)
+  --workers N                     worker-pool threads (0 = host cores)
+  --queue-depth N                 admission wait-queue bound before the
+                                  service sheds requests (default 64)
+  --max-cost N                    reject requests above N node-samples
+                                  (default 2^30)
+  --dump-samples PATH             write the reply's raw sample bits to
+                                  PATH, one hex u64 per line
 
 OPTIMIZATION (§III-C)
   --optimize=NSGA2                run the self-tuning loop
@@ -307,6 +347,21 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
                     .map(Some)
                     .map_err(|_| ()));
                 opt!("--budget-policy", cfg.budget_policy, id);
+                opt!("--serve", cfg.serve_addr, some_id);
+                opt!("--connect", cfg.connect_addr, some_id);
+                opt!("--shards", cfg.shards, |v: &String| v
+                    .parse::<usize>()
+                    .map_err(|_| ()));
+                opt!("--workers", cfg.workers, |v: &String| v
+                    .parse::<usize>()
+                    .map_err(|_| ()));
+                opt!("--queue-depth", cfg.queue_depth, |v: &String| v
+                    .parse::<usize>()
+                    .map_err(|_| ()));
+                opt!("--max-cost", cfg.max_cost, |v: &String| v
+                    .parse::<u64>()
+                    .map_err(|_| ()));
+                opt!("--dump-samples", cfg.dump_samples, some_id);
                 if !matched {
                     return Err(err(format!("unknown argument `{a}` (see --help)")));
                 }
@@ -335,6 +390,19 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
     if let Some(b) = cfg.budget_w {
         if b <= 0.0 || !b.is_finite() {
             return Err(err("--budget-w must be a positive wattage"));
+        }
+    }
+    if cfg.max_cost == 0 {
+        return Err(err("--max-cost must be at least 1"));
+    }
+    if cfg.serve_addr.is_some() && cfg.connect_addr.is_some() {
+        return Err(err("--serve and --connect are mutually exclusive"));
+    }
+    if cfg.action != Action::Help {
+        if cfg.serve_addr.is_some() {
+            cfg.action = Action::Serve;
+        } else if cfg.connect_addr.is_some() {
+            cfg.action = Action::Connect;
         }
     }
     Ok(cfg)
@@ -382,11 +450,15 @@ Available metrics:
         Action::Measure => run_measure(cfg),
         Action::Optimize => run_optimize(cfg),
         Action::Fleet => run_fleet(cfg),
+        Action::Serve => run_serve(cfg),
+        Action::Connect => run_connect(cfg),
     }
 }
 
-fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
-    use fs2_cluster::{BudgetPolicy, FleetConfig, FleetSim, PowerCdf, TemporalMode};
+/// Expands the fleet flags into a service request (shared by the
+/// local `--fleet` broker path and the remote `--connect` path).
+fn fleet_request_from_cli(cfg: &CliConfig) -> Result<fs2_service::FleetRequest, CliError> {
+    use fs2_cluster::{BudgetPolicy, TemporalMode};
 
     let temporal = match cfg.fleet_temporal.to_ascii_lowercase().as_str() {
         "iid" => TemporalMode::Iid,
@@ -406,76 +478,109 @@ fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
             )))
         }
     };
-    let mut fleet_cfg = FleetConfig::taurus_haswell_scaled(cfg.nodes);
-    fleet_cfg.samples_per_node = cfg.samples_per_node;
-    fleet_cfg.threads = cfg.threads;
-    fleet_cfg.temporal = temporal;
-    fleet_cfg.power_cap_w = cfg.cap_w;
-    fleet_cfg.budget_w = cfg.budget_w;
-    fleet_cfg.budget_policy = budget_policy;
-    // Without an explicit --seed the CLI matches the fig01/example
-    // pipeline exactly (FleetConfig's own Fig. 1 seed).
-    if let Some(seed) = cfg.seed {
-        fleet_cfg.seed = seed;
+    Ok(fs2_service::FleetRequest {
+        nodes: cfg.nodes,
+        samples_per_node: cfg.samples_per_node,
+        // Without an explicit --seed the request matches the
+        // fig01/example pipeline exactly (the Fig. 1 seed).
+        seed: cfg.seed,
+        temporal,
+        threads: cfg.threads,
+        power_cap_w: cfg.cap_w,
+        budget_w: cfg.budget_w,
+        budget_policy,
+        shards: (cfg.shards > 0).then_some(cfg.shards),
+        want_samples: true,
+        want_cdf: false,
+    })
+}
+
+fn service_config_from_cli(cfg: &CliConfig) -> fs2_service::ServiceConfig {
+    fs2_service::ServiceConfig {
+        workers: cfg.workers,
+        default_shards: cfg.shards,
+        admission: fs2_service::AdmissionConfig {
+            max_queue: cfg.queue_depth,
+            max_request_cost: cfg.max_cost,
+            ..fs2_service::AdmissionConfig::default()
+        },
     }
-    let sim = FleetSim::new(fleet_cfg);
-    let run = sim.run();
-    let cdf = PowerCdf::from_samples(&run.samples, 0.1);
+}
+
+fn write_sample_bits(path: &str, samples: &[f64]) -> Result<(), CliError> {
+    let mut text = String::with_capacity(samples.len() * 17);
+    for s in samples {
+        text.push_str(&format!("{:016x}\n", s.to_bits()));
+    }
+    std::fs::write(path, text).map_err(|e| err(format!("--dump-samples {path}: {e}")))
+}
+
+/// Renders a service reply exactly like the historical one-shot
+/// `--fleet` output (the CDF is recomputed client-side from the
+/// returned samples, so local and served runs print the same bytes).
+fn print_fleet_reply(cfg: &CliConfig, reply: &fs2_service::FleetReply) -> Result<String, CliError> {
+    use fs2_cluster::{FleetConfig, PowerCdf};
+
+    if !reply.ok {
+        return Err(err(format!(
+            "fleet service: {}",
+            reply.error.as_deref().unwrap_or("unspecified failure")
+        )));
+    }
+    let fleet_cfg = FleetConfig::taurus_haswell_scaled(cfg.nodes);
+    let cdf = PowerCdf::from_samples(&reply.samples, 0.1);
 
     let mut out = String::new();
     out.push_str(&format!(
         "FIRESTARTER 2 reproduction — fleet of {} nodes ({} SKU groups)\n",
-        sim.config.total_nodes(),
-        sim.config.groups.len()
+        fleet_cfg.total_nodes(),
+        fleet_cfg.groups.len()
     ));
-    for group in &sim.config.groups {
+    for group in &fleet_cfg.groups {
         out.push_str(&format!("  {:>4} x {}\n", group.nodes, group.sku.name));
     }
     out.push_str(&format!(
         "  {} 60 s-mean samples via {} engines: {} payloads built, {} operating points\n",
-        cdf.samples,
-        run.registry.engines,
-        run.registry.payload_misses,
-        run.power_table.len()
+        cdf.samples, reply.registry.engines, reply.registry.payload_misses, reply.power_points
     ));
     out.push_str(&format!(
         "  exec caches: decoded-kernel {}/{} hits, ExecStats {}/{} hits\n",
-        run.registry.decoded_hits,
-        run.registry.decoded_hits + run.registry.decoded_misses,
-        run.registry.exec_hits,
-        run.registry.exec_hits + run.registry.exec_misses,
+        reply.registry.decoded_hits,
+        reply.registry.decoded_hits + reply.registry.decoded_misses,
+        reply.registry.exec_hits,
+        reply.registry.exec_hits + reply.registry.exec_misses,
     ));
     out.push_str(&format!(
         "  tuner pre-screen: {} scored, {} pruned (rate {:.2})\n",
-        run.registry.prescreen_evals,
-        run.registry.prescreen_pruned,
-        run.registry.prescreen_prune_rate(),
+        reply.registry.prescreen_evals,
+        reply.registry.prescreen_pruned,
+        reply.registry.prescreen_prune_rate(),
     ));
     if let Some(cap) = cfg.cap_w {
         out.push_str(&format!(
             "  power cap {cap:.1} W: {} of {} drawn samples clamped to lower P-states \
              ({} remap-table cells)\n",
-            run.capped_samples,
-            run.samples.len(),
-            run.capped_points
+            reply.capped_samples,
+            reply.samples.len(),
+            reply.capped_points
         ));
-        if run.infeasible_points > 0 {
+        if reply.infeasible_points > 0 {
             out.push_str(&format!(
                 "  warning: {} operating points exceed the cap even at their class's \
                  lowest-power P-state (cap infeasible for those classes)\n",
-                run.infeasible_points
+                reply.infeasible_points
             ));
         }
     }
-    if let Some(stats) = &run.budget {
+    if let Some(stats) = &reply.budget {
         out.push_str(&format!(
             "  budget {:.0} W ({}): peak fleet draw {:.0} W, mean {:.0} W, \
              p95 utilization {:.1} %\n",
             stats.budget_w,
-            stats.policy.name(),
+            stats.policy,
             stats.peak_fleet_w,
             stats.mean_fleet_w,
-            stats.utilization.quantile(0.95) * 100.0
+            stats.util_p95 * 100.0
         ));
         let shed: u64 = stats.shed_ticks.iter().sum();
         let deferred: u64 = stats.deferred_ticks.iter().sum();
@@ -506,7 +611,7 @@ fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
             ));
         }
     }
-    if let Some(stats) = &run.episodes {
+    if let Some(stats) = &reply.episodes {
         out.push_str(&format!(
             "  episodes: lag-1 autocorr {:.3}; time shares",
             stats.lag1_autocorr
@@ -548,6 +653,62 @@ fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
     }
     out.push_str(csv.as_str());
     Ok(out)
+}
+
+/// One-shot `--fleet`: a thin client of the in-process broker over a
+/// fresh service instance (the full request → admission → shard →
+/// engine stack, minus the socket).
+fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
+    use std::sync::Arc;
+
+    let req = fleet_request_from_cli(cfg)?;
+    let service = Arc::new(fs2_service::FleetService::new(service_config_from_cli(cfg)));
+    let broker = fs2_service::Broker::new(service, 1);
+    let line = broker
+        .call(req.to_line())
+        .ok_or_else(|| err("fleet broker shut down mid-request"))?;
+    let reply = fs2_service::FleetReply::from_line(&line).map_err(|e| err(e.to_string()))?;
+    if let Some(path) = &cfg.dump_samples {
+        if reply.ok {
+            write_sample_bits(path, &reply.samples)?;
+        }
+    }
+    print_fleet_reply(cfg, &reply)
+}
+
+fn run_serve(cfg: &CliConfig) -> Result<String, CliError> {
+    use std::sync::Arc;
+
+    let addr = cfg
+        .serve_addr
+        .as_deref()
+        .expect("Serve action implies --serve");
+    let service = Arc::new(fs2_service::FleetService::new(service_config_from_cli(cfg)));
+    let server =
+        fs2_service::serve(service, addr).map_err(|e| err(format!("--serve {addr}: {e}")))?;
+    // Announce readiness on stdout (smoke tests poll for this), then
+    // serve until the process is killed.
+    println!("fleet service listening on {}", server.local_addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+fn run_connect(cfg: &CliConfig) -> Result<String, CliError> {
+    let addr = cfg
+        .connect_addr
+        .as_deref()
+        .expect("Connect action implies --connect");
+    let req = fleet_request_from_cli(cfg)?;
+    let line = fs2_service::call(addr, &req.to_line())
+        .map_err(|e| err(format!("--connect {addr}: {e}")))?;
+    let reply = fs2_service::FleetReply::from_line(&line).map_err(|e| err(e.to_string()))?;
+    if let Some(path) = &cfg.dump_samples {
+        if reply.ok {
+            write_sample_bits(path, &reply.samples)?;
+        }
+    }
+    print_fleet_reply(cfg, &reply)
 }
 
 fn workload_from_cli(cfg: &CliConfig, sku: &Sku) -> Result<PayloadConfig, CliError> {
@@ -1014,6 +1175,70 @@ mod tests {
         ))
         .unwrap();
         assert!(!ok.contains("warning:"));
+    }
+
+    #[test]
+    fn sharded_fleet_matches_the_unsharded_output() {
+        let plain = run(&args("--fleet --nodes 12 --samples-per-node 80 --seed 9")).unwrap();
+        for shards in [1, 2, 7] {
+            let sharded = run(&args(&format!(
+                "--fleet --nodes 12 --samples-per-node 80 --seed 9 --shards {shards} --workers 2"
+            )))
+            .unwrap();
+            assert_eq!(plain, sharded, "--shards {shards} changed the output");
+        }
+    }
+
+    #[test]
+    fn connect_matches_the_local_fleet_output() {
+        use std::sync::Arc;
+        // A fresh server per comparison keeps the registry counters
+        // cold, so local and served runs print identical bytes.
+        let service = Arc::new(fs2_service::FleetService::new(
+            fs2_service::ServiceConfig::small(),
+        ));
+        let server = fs2_service::serve(service, "127.0.0.1:0").unwrap();
+        let local = run(&args("--fleet --nodes 10 --samples-per-node 60 --seed 3")).unwrap();
+        let served = run(&args(&format!(
+            "--connect {} --nodes 10 --samples-per-node 60 --seed 3",
+            server.local_addr()
+        )))
+        .unwrap();
+        assert_eq!(local, served, "served output diverged from local run");
+    }
+
+    #[test]
+    fn dump_samples_is_invariant_across_transports_and_shards() {
+        let dir = std::env::temp_dir();
+        let a = dir.join(format!("fs2_dump_a_{}.txt", std::process::id()));
+        let b = dir.join(format!("fs2_dump_b_{}.txt", std::process::id()));
+        run(&args(&format!(
+            "--fleet --nodes 8 --samples-per-node 40 --seed 5 --dump-samples {}",
+            a.display()
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "--fleet --nodes 8 --samples-per-node 40 --seed 5 --shards 7 --workers 3 \
+             --dump-samples {}",
+            b.display()
+        )))
+        .unwrap();
+        let dump_a = std::fs::read_to_string(&a).unwrap();
+        let dump_b = std::fs::read_to_string(&b).unwrap();
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+        assert_eq!(dump_a.lines().count(), 8 * 40);
+        assert!(dump_a.lines().all(|l| u64::from_str_radix(l, 16).is_ok()));
+        assert_eq!(dump_a, dump_b, "sample bits changed across shard counts");
+    }
+
+    #[test]
+    fn service_flags_are_validated() {
+        assert!(run(&args("--fleet --max-cost 0")).is_err());
+        assert!(run(&args("--serve 127.0.0.1:0 --connect 127.0.0.1:1")).is_err());
+        assert!(run(&args("--help --serve 127.0.0.1:0"))
+            .unwrap()
+            .contains("FLEET SERVICE"));
     }
 
     #[test]

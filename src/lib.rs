@@ -43,6 +43,7 @@ pub use fs2_gpu as gpu;
 pub use fs2_isa as isa;
 pub use fs2_metrics as metrics;
 pub use fs2_power as power;
+pub use fs2_service as service;
 pub use fs2_sim as sim;
 pub use fs2_tuning as tuning;
 
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use fs2_gpu::{GpuStress, InitStrategy};
     pub use fs2_metrics::{CsvWriter, Summary, TimeSeries};
     pub use fs2_power::{NodePowerModel, PowerBreakdown};
+    pub use fs2_service::{FleetReply, FleetRequest, FleetService, ServiceConfig};
     pub use fs2_sim::{InitScheme, Kernel, SystemSim};
     pub use fs2_tuning::Nsga2Config;
 }
