@@ -14,6 +14,7 @@
 //! ```
 
 use fs2_bench::timing::median_ms;
+use fs2_calib::{calibrate, CalibConfig, FleetProfile, Trace};
 use fs2_cluster::{BudgetPolicy, FleetConfig, FleetSim, TemporalMode};
 use fs2_core::EngineRegistry;
 use fs2_service::{FleetRequest, FleetService, ServiceConfig};
@@ -251,6 +252,43 @@ fn main() {
     assert!(near.ok);
     let svc_near_payload_rate = near.registry.cross_payload_hit_rate();
 
+    // Clone-fidelity case: a trace synthesized from the pinned
+    // exemplar profile, calibrated back with the CI smoke's budget.
+    // The acceptance gates (shares within 2 %, lag-1 autocorr within
+    // 0.02, per-state mean dwell within 10 %) run here too, so a
+    // published baseline always reflects a passing calibration.
+    let mut ct_cfg = FleetConfig {
+        samples_per_node: 1200,
+        seed: 0x7AC3_D00D,
+        temporal: TemporalMode::Episodes,
+        ..FleetConfig::taurus_haswell_scaled(96)
+    };
+    FleetProfile::exemplar().apply(&mut ct_cfg);
+    let ct_run = FleetSim::new(ct_cfg.clone()).run();
+    let ct_trace = Trace::from_fleet(&ct_cfg, &ct_run.samples);
+    let calib_cfg = CalibConfig {
+        eval_nodes: 32,
+        eval_ticks: 600,
+        individuals: 12,
+        generations: 6,
+        ..CalibConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let calib = calibrate(&ct_trace, &calib_cfg).expect("exemplar trace is well-formed");
+    let calib_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let fid = &calib.report;
+    assert!(fid.max_share_error <= 0.02, "share {}", fid.max_share_error);
+    assert!(
+        fid.autocorr_error <= 0.02,
+        "autocorr {}",
+        fid.autocorr_error
+    );
+    assert!(
+        fid.max_dwell_rel_error <= 0.10,
+        "dwell {}",
+        fid.max_dwell_rel_error
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"engine-backed fleet generation (batched group eval)\",\n");
@@ -368,6 +406,24 @@ fn main() {
         json,
         "    \"near_identical_payload_hit_rate\": {svc_near_payload_rate:.4}"
     );
+    json.push_str("  },\n");
+    json.push_str("  \"fidelity\": {\n");
+    json.push_str("    \"trace\": \"exemplar-profile self-clone, 96 nodes x 1200 ticks\",\n");
+    let _ = writeln!(json, "    \"calibrate_ms\": {calib_ms:.2},");
+    let _ = writeln!(json, "    \"evaluations\": {},", calib.evaluations);
+    let _ = writeln!(json, "    \"cdf_distance\": {:.4},", fid.cdf_distance);
+    let _ = writeln!(json, "    \"autocorr_error\": {:.4},", fid.autocorr_error);
+    let _ = writeln!(json, "    \"max_share_error\": {:.4},", fid.max_share_error);
+    let _ = writeln!(
+        json,
+        "    \"mean_dwell_rel_error\": {:.4},",
+        fid.mean_dwell_rel_error
+    );
+    let _ = writeln!(
+        json,
+        "    \"max_dwell_rel_error\": {:.4}",
+        fid.max_dwell_rel_error
+    );
     json.push_str("  }\n");
     json.push_str("}\n");
 
@@ -419,6 +475,15 @@ fn main() {
         svc_identical_payload_rate * 100.0,
         svc_identical_exec_rate * 100.0,
         svc_near_payload_rate * 100.0
+    );
+    println!(
+        "fidelity: self-clone in {calib_ms:.0} ms / {} evals; cdf {:.4}, \
+         autocorr err {:.4}, max share err {:.4}, dwell rel err {:.4} max",
+        calib.evaluations,
+        fid.cdf_distance,
+        fid.autocorr_error,
+        fid.max_share_error,
+        fid.max_dwell_rel_error
     );
 
     std::fs::write(&out_path, json).expect("write benchmark baseline");

@@ -1,0 +1,39 @@
+//! # fs2-calib — trace-driven fleet cloning
+//!
+//! The fleet's episode dwell/share profile and per-class duty mixes
+//! (`fs2-cluster`) started as hand-set guesses. This crate closes the
+//! loop: ingest a target trace (per-node power time series, CSV via
+//! `fs2-metrics`), extract fit targets — power CDF, pooled lag-1
+//! autocorrelation, stationary state shares, per-state mean dwell —
+//! and fit a [`FleetProfile`] whose cloned fleet reproduces them.
+//!
+//! * [`trace`] — the trace container, CSV load/store, and target
+//!   extraction ([`Trace`], [`FitTargets`]). Every malformed input is
+//!   a typed [`TraceError`], never a panic.
+//! * [`profile`] — the fleet-profile config file format
+//!   ([`FleetProfile`]): a round-trip-exact text format describing
+//!   the idle floor, per-class weights, dwells, duty bands and
+//!   P-state sets. A profile applies onto a `FleetConfig`, so a
+//!   calibrated clone runs through the unmodified fleet pipeline
+//!   (and can be attached to `fs2-service` requests).
+//! * [`calibrate`] — the fitting loop: closed-form moment matching
+//!   for shares/dwells (state-labeled traces) plus `fs2-tuning`
+//!   NSGA-II over `FleetSim` itself for duty bands and P-state sets,
+//!   reusing one engine registry so every candidate after the first
+//!   hits the shared `EngineCaches` tier. Outputs a
+//!   [`FidelityReport`] — the clone-quality numbers CI gates on.
+//!
+//! Determinism: a fit is a pure function of `(trace, CalibConfig)`.
+//! `FleetSim` is bitwise thread-invariant and NSGA-II is seeded, so
+//! the fitted profile and every fidelity number are identical for any
+//! `threads` setting.
+
+pub mod calibrate;
+pub mod profile;
+pub mod trace;
+
+pub use calibrate::{
+    calibrate, CalibConfig, CalibError, CalibrationResult, FidelityReport, StateFidelity,
+};
+pub use profile::{ClassProfile, FleetProfile, ProfileError, PSTATE_SETS};
+pub use trace::{FitTargets, LabeledTargets, NodeTrace, Trace, TraceError};

@@ -1,0 +1,540 @@
+//! Target-trace ingestion and fit-target extraction.
+//!
+//! A trace is what an operator measures on a real installation:
+//! per-node 60 s-mean power samples, optionally labeled with the
+//! scheduler's job state per tick. The CSV wire format is long-form,
+//! one row per `(node, tick)`:
+//!
+//! ```text
+//! node,tick,power_w[,state]
+//! 0,0,93.5,idle
+//! 0,1,210.4,medium
+//! ...
+//! ```
+//!
+//! Rows must be grouped by node with ticks consecutive from 0; the
+//! `state` column is optional but all-or-nothing. Parsing returns
+//! typed [`TraceError`]s — empty input, a single-tick node, missing
+//! or short columns, non-finite or negative power — never a panic.
+//! A *constant-power* trace is valid: its pooled lag-1
+//! autocorrelation is defined as 0.0 (the same zero-variance contract
+//! as `EpisodeStats::lag1_autocorr`), not `NaN`.
+
+use fs2_cluster::episodes::EpisodeWalk;
+use fs2_cluster::fleet::{FleetConfig, PowerCdf};
+use fs2_metrics::{CsvError, CsvReader, CsvWriter};
+use std::fmt;
+
+/// A typed trace-ingestion failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// CSV-layer failure (malformed quoting, short rows, missing
+    /// columns, non-numeric fields).
+    Csv(CsvError),
+    /// The trace has a header but no data rows.
+    Empty,
+    /// A node carries fewer than two ticks, so it cannot contribute a
+    /// single lag-1 pair (a one-row trace lands here).
+    TooShort { node: u32, ticks: usize },
+    /// A power value is negative (non-finite values are caught at the
+    /// CSV layer as `BadNumber`).
+    BadPower { line: usize, value: f64 },
+    /// Ticks within a node are not consecutive from 0.
+    NonContiguousTick { node: u32, expected: u64, got: u64 },
+    /// A node id repeats after another node's rows began.
+    SplitNode { node: u32 },
+    /// Some rows carry a state label and others do not.
+    MixedLabels { line: usize },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Csv(e) => write!(f, "trace CSV: {e}"),
+            TraceError::Empty => write!(f, "trace has no data rows"),
+            TraceError::TooShort { node, ticks } => {
+                write!(
+                    f,
+                    "node {node} has {ticks} tick(s); lag-1 statistics need at least 2"
+                )
+            }
+            TraceError::BadPower { line, value } => {
+                write!(f, "line {line}: negative power {value}")
+            }
+            TraceError::NonContiguousTick {
+                node,
+                expected,
+                got,
+            } => {
+                write!(f, "node {node}: expected tick {expected}, got {got}")
+            }
+            TraceError::SplitNode { node } => {
+                write!(f, "node {node}: rows are not contiguous")
+            }
+            TraceError::MixedLabels { line } => {
+                write!(
+                    f,
+                    "line {line}: state labels must be present on every row or none"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<CsvError> for TraceError {
+    fn from(e: CsvError) -> TraceError {
+        TraceError::Csv(e)
+    }
+}
+
+/// One node's tick stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTrace {
+    /// Node id as it appeared in the trace.
+    pub node: u32,
+    /// 60 s-mean power per tick, W.
+    pub power_w: Vec<f64>,
+    /// Per-tick state labels; empty when the trace is unlabeled.
+    pub states: Vec<String>,
+}
+
+/// A target trace: per-node power time series, optionally
+/// state-labeled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    nodes: Vec<NodeTrace>,
+    labeled: bool,
+}
+
+/// Stationary-share and dwell targets extracted from a state-labeled
+/// trace. States appear in order of first appearance; dwell is the
+/// *observed-run* dwell (consecutive same-state ticks on one node form
+/// one run — an episode model's self-transitions merge into runs, so
+/// this is what any tick-level observer measures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledTargets {
+    pub states: Vec<String>,
+    /// Fraction of all ticks per state (sums to 1).
+    pub shares: Vec<f64>,
+    /// Mean observed-run length per state, ticks.
+    pub mean_run_ticks: Vec<f64>,
+}
+
+/// The statistics a calibration run fits against.
+#[derive(Debug, Clone)]
+pub struct FitTargets {
+    /// Power CDF over the paper's 0.1 W bins.
+    pub cdf: PowerCdf,
+    /// Pooled per-node-centered lag-1 autocorrelation; 0.0 on zero
+    /// pooled variance (constant trace), never `NaN`.
+    pub lag1_autocorr: f64,
+    /// Share/dwell targets when the trace is state-labeled.
+    pub labels: Option<LabeledTargets>,
+    pub n_nodes: usize,
+    pub n_ticks: usize,
+}
+
+impl Trace {
+    /// Builds a trace from per-node streams. Panics on internal
+    /// misuse (empty node set, label/power length mismatch); external
+    /// input goes through [`Trace::from_csv`] which returns typed
+    /// errors instead.
+    pub fn new(nodes: Vec<NodeTrace>) -> Trace {
+        assert!(!nodes.is_empty(), "trace needs at least one node");
+        let labeled = !nodes[0].states.is_empty();
+        for n in &nodes {
+            assert!(n.power_w.len() >= 2, "node {}: needs >= 2 ticks", n.node);
+            if labeled {
+                assert_eq!(n.states.len(), n.power_w.len());
+            } else {
+                assert!(n.states.is_empty());
+            }
+        }
+        Trace { nodes, labeled }
+    }
+
+    /// Whether the trace carries per-tick state labels.
+    pub fn is_labeled(&self) -> bool {
+        self.labeled
+    }
+
+    /// The per-node streams.
+    pub fn nodes(&self) -> &[NodeTrace] {
+        &self.nodes
+    }
+
+    /// Total tick count across nodes.
+    pub fn n_ticks(&self) -> usize {
+        self.nodes.iter().map(|n| n.power_w.len()).sum()
+    }
+
+    /// Synthesizes a state-labeled trace from a fleet run: `samples`
+    /// is `FleetRun::samples` for `cfg` (node-major order). The state
+    /// labels replay each node's `EpisodeWalk` — a pure function of
+    /// `(cfg.seed, node_id)`, exactly the stream the fleet's propose
+    /// phase consumed — so the labels match the run tick for tick.
+    pub fn from_fleet(cfg: &FleetConfig, samples: &[f64]) -> Trace {
+        let mut nodes = Vec::new();
+        let mut offset = 0usize;
+        let mut node_id = 0u32;
+        for group in &cfg.groups {
+            let ticks = group.samples_per_node.unwrap_or(cfg.samples_per_node) as usize;
+            for _ in 0..group.nodes {
+                let power = samples[offset..offset + ticks].to_vec();
+                let mut walk = EpisodeWalk::new(&cfg.episodes, &cfg.mix, cfg.seed, node_id);
+                let names = cfg.episodes.state_names();
+                let states = (0..ticks)
+                    .map(|_| names[walk.next_tick().state].to_string())
+                    .collect();
+                nodes.push(NodeTrace {
+                    node: node_id,
+                    power_w: power,
+                    states,
+                });
+                offset += ticks;
+                node_id += 1;
+            }
+        }
+        assert_eq!(offset, samples.len(), "sample count != fleet size");
+        Trace::new(nodes)
+    }
+
+    /// Renders the trace as CSV (`node,tick,power_w[,state]`).
+    /// Power uses shortest round-trip formatting, so
+    /// `from_csv(to_csv(t))` reproduces every bit.
+    pub fn to_csv(&self) -> String {
+        let mut w = CsvWriter::new();
+        if self.labeled {
+            w.header(&["node", "tick", "power_w", "state"]);
+        } else {
+            w.header(&["node", "tick", "power_w"]);
+        }
+        for n in &self.nodes {
+            for (t, &p) in n.power_w.iter().enumerate() {
+                let mut row = vec![n.node.to_string(), t.to_string(), format!("{p}")];
+                if self.labeled {
+                    row.push(n.states[t].clone());
+                }
+                w.row(&row);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses a CSV trace. Returns a typed [`TraceError`] on any
+    /// malformed input; see the module docs for the format.
+    pub fn from_csv(text: &str) -> Result<Trace, TraceError> {
+        let csv = CsvReader::parse(text)?;
+        let node_col = csv.column("node")?;
+        let tick_col = csv.column("tick")?;
+        let power_col = csv.column("power_w")?;
+        let state_col = csv.column("state").ok();
+        if csv.n_rows() == 0 {
+            return Err(TraceError::Empty);
+        }
+        let mut nodes: Vec<NodeTrace> = Vec::new();
+        let mut seen: Vec<u32> = Vec::new();
+        for row in 0..csv.n_rows() {
+            // CsvReader rows are 1-based lines with the header on
+            // line 1; data row `i` sits on line `i + 2` for the error
+            // messages below (trace rows never embed newlines).
+            let line = row + 2;
+            let node = u32::try_from(csv.u64_at(row, node_col)?).map_err(|_| {
+                TraceError::Csv(CsvError::BadNumber {
+                    line,
+                    column: "node".into(),
+                    value: csv.field(row, node_col).into(),
+                })
+            })?;
+            let tick = csv.u64_at(row, tick_col)?;
+            let power = csv.f64_at(row, power_col)?;
+            if power < 0.0 {
+                return Err(TraceError::BadPower { line, value: power });
+            }
+            let state = state_col.map(|c| csv.field(row, c).to_string());
+            let is_new = nodes.last().map(|n| n.node) != Some(node);
+            if is_new {
+                if seen.contains(&node) {
+                    return Err(TraceError::SplitNode { node });
+                }
+                seen.push(node);
+                if tick != 0 {
+                    return Err(TraceError::NonContiguousTick {
+                        node,
+                        expected: 0,
+                        got: tick,
+                    });
+                }
+                nodes.push(NodeTrace {
+                    node,
+                    power_w: Vec::new(),
+                    states: Vec::new(),
+                });
+            }
+            let cur = nodes.last_mut().expect("node pushed above");
+            let expected = cur.power_w.len() as u64;
+            if tick != expected {
+                return Err(TraceError::NonContiguousTick {
+                    node,
+                    expected,
+                    got: tick,
+                });
+            }
+            cur.power_w.push(power);
+            match state {
+                Some(s) if !s.is_empty() => cur.states.push(s),
+                // A present-but-empty state field means "unlabeled
+                // row"; mixing those with labeled rows is an error,
+                // caught below.
+                _ => {}
+            }
+        }
+        let labeled = !nodes[0].states.is_empty();
+        let mut line = 2usize;
+        for n in &nodes {
+            if n.power_w.len() < 2 {
+                return Err(TraceError::TooShort {
+                    node: n.node,
+                    ticks: n.power_w.len(),
+                });
+            }
+            let node_labeled = !n.states.is_empty();
+            if node_labeled != labeled || (node_labeled && n.states.len() != n.power_w.len()) {
+                return Err(TraceError::MixedLabels { line });
+            }
+            line += n.power_w.len();
+        }
+        Ok(Trace { nodes, labeled })
+    }
+
+    /// Extracts the fit targets: power CDF, pooled lag-1
+    /// autocorrelation, and — when labeled — stationary state shares
+    /// and mean observed-run dwell.
+    pub fn targets(&self) -> FitTargets {
+        let all: Vec<f64> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.power_w.iter().copied())
+            .collect();
+        let cdf = PowerCdf::from_samples(&all, 0.1);
+        // Pooled lag-1 autocorrelation, per-node centered — the same
+        // estimator (and the same 0.0-on-zero-variance contract) as
+        // `EpisodeStats::lag1_autocorr`.
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for n in &self.nodes {
+            let s = &n.power_w;
+            if s.len() >= 2 {
+                let mean = s.iter().sum::<f64>() / s.len() as f64;
+                den += s.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>();
+                num += s
+                    .windows(2)
+                    .map(|w| (w[0] - mean) * (w[1] - mean))
+                    .sum::<f64>();
+            }
+        }
+        let lag1_autocorr = if den > 0.0 { num / den } else { 0.0 };
+        let labels = self.labeled.then(|| self.labeled_targets());
+        FitTargets {
+            cdf,
+            lag1_autocorr,
+            labels,
+            n_nodes: self.nodes.len(),
+            n_ticks: all.len(),
+        }
+    }
+
+    /// Share/run-dwell extraction over the state labels. States are
+    /// indexed in order of first appearance across nodes in node
+    /// order, so the result is deterministic.
+    fn labeled_targets(&self) -> LabeledTargets {
+        let mut states: Vec<String> = Vec::new();
+        let mut ticks: Vec<u64> = Vec::new();
+        let mut runs: Vec<u64> = Vec::new();
+        for n in &self.nodes {
+            let mut prev: Option<usize> = None;
+            for s in &n.states {
+                let idx = match states.iter().position(|x| x == s) {
+                    Some(i) => i,
+                    None => {
+                        states.push(s.clone());
+                        ticks.push(0);
+                        runs.push(0);
+                        states.len() - 1
+                    }
+                };
+                ticks[idx] += 1;
+                if prev != Some(idx) {
+                    runs[idx] += 1;
+                }
+                prev = Some(idx);
+            }
+        }
+        let total: u64 = ticks.iter().sum();
+        let shares = ticks.iter().map(|&t| t as f64 / total as f64).collect();
+        let mean_run_ticks = ticks
+            .iter()
+            .zip(&runs)
+            .map(|(&t, &r)| if r == 0 { 0.0 } else { t as f64 / r as f64 })
+            .collect();
+        LabeledTargets {
+            states,
+            shares,
+            mean_run_ticks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs2_cluster::fleet::{FleetSim, TemporalMode};
+
+    fn tiny_labeled() -> Trace {
+        Trace::new(vec![
+            NodeTrace {
+                node: 0,
+                power_w: vec![80.0, 80.0, 200.0, 200.0, 80.0],
+                states: ["floor", "floor", "high", "high", "floor"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            },
+            NodeTrace {
+                node: 1,
+                power_w: vec![80.0, 200.0, 200.0],
+                states: ["floor", "high", "high"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            },
+        ])
+    }
+
+    #[test]
+    fn csv_round_trip_is_byte_exact() {
+        let t = tiny_labeled();
+        let text = t.to_csv();
+        let back = Trace::from_csv(&text).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.to_csv(), text);
+    }
+
+    #[test]
+    fn targets_measure_shares_and_runs() {
+        let t = tiny_labeled();
+        let targets = t.targets();
+        let labels = targets.labels.unwrap();
+        assert_eq!(labels.states, vec!["floor".to_string(), "high".to_string()]);
+        // 4 floor ticks of 8, over 3 runs; 4 high ticks over 2 runs.
+        assert!((labels.shares[0] - 0.5).abs() < 1e-12);
+        assert!((labels.mean_run_ticks[0] - 4.0 / 3.0).abs() < 1e-12);
+        assert!((labels.mean_run_ticks[1] - 2.0).abs() < 1e-12);
+        assert_eq!(targets.n_nodes, 2);
+        assert_eq!(targets.n_ticks, 8);
+    }
+
+    #[test]
+    fn constant_power_trace_is_valid_with_zero_autocorr() {
+        let t = Trace::new(vec![NodeTrace {
+            node: 0,
+            power_w: vec![100.0; 32],
+            states: Vec::new(),
+        }]);
+        let targets = t.targets();
+        assert_eq!(targets.lag1_autocorr, 0.0);
+        assert!(!targets.lag1_autocorr.is_nan());
+        assert!(targets.labels.is_none());
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_traces() {
+        // Header only: empty trace.
+        assert_eq!(
+            Trace::from_csv("node,tick,power_w\n"),
+            Err(TraceError::Empty)
+        );
+        // Single tick on a node.
+        assert_eq!(
+            Trace::from_csv("node,tick,power_w\n0,0,50\n"),
+            Err(TraceError::TooShort { node: 0, ticks: 1 })
+        );
+        // Missing column.
+        assert!(matches!(
+            Trace::from_csv("node,tick\n0,0\n"),
+            Err(TraceError::Csv(CsvError::MissingColumn { .. }))
+        ));
+        // Short row.
+        assert!(matches!(
+            Trace::from_csv("node,tick,power_w\n0,0\n"),
+            Err(TraceError::Csv(CsvError::ShortRow { .. }))
+        ));
+        // Non-numeric and non-finite power.
+        assert!(matches!(
+            Trace::from_csv("node,tick,power_w\n0,0,oops\n0,1,1\n"),
+            Err(TraceError::Csv(CsvError::BadNumber { .. }))
+        ));
+        assert!(matches!(
+            Trace::from_csv("node,tick,power_w\n0,0,NaN\n0,1,1\n"),
+            Err(TraceError::Csv(CsvError::BadNumber { .. }))
+        ));
+        // Negative power.
+        assert_eq!(
+            Trace::from_csv("node,tick,power_w\n0,0,-5\n0,1,1\n"),
+            Err(TraceError::BadPower {
+                line: 2,
+                value: -5.0
+            })
+        );
+        // Tick gaps and split nodes.
+        assert_eq!(
+            Trace::from_csv("node,tick,power_w\n0,0,1\n0,2,1\n"),
+            Err(TraceError::NonContiguousTick {
+                node: 0,
+                expected: 1,
+                got: 2
+            })
+        );
+        assert_eq!(
+            Trace::from_csv("node,tick,power_w\n0,0,1\n0,1,1\n1,0,1\n1,1,1\n0,0,1\n"),
+            Err(TraceError::SplitNode { node: 0 })
+        );
+        // Mixed labels.
+        assert!(matches!(
+            Trace::from_csv("node,tick,power_w,state\n0,0,1,floor\n0,1,1,\n"),
+            Err(TraceError::MixedLabels { .. })
+        ));
+    }
+
+    #[test]
+    fn fleet_synthesis_labels_match_episode_shares() {
+        let cfg = FleetConfig {
+            samples_per_node: 400,
+            temporal: TemporalMode::Episodes,
+            ..FleetConfig::taurus_haswell_scaled(24)
+        };
+        let run = FleetSim::new(cfg.clone()).run();
+        let trace = Trace::from_fleet(&cfg, &run.samples);
+        assert!(trace.is_labeled());
+        let targets = trace.targets();
+        let labels = targets.labels.unwrap();
+        // The replayed labels must reproduce the run's own per-state
+        // tick accounting exactly: compare against EpisodeStats
+        // shares (same walks, same tick streams).
+        let stats = run.episodes.unwrap();
+        for (i, name) in stats.states.iter().enumerate() {
+            let li = labels.states.iter().position(|s| s == name);
+            let got = li.map(|j| labels.shares[j]).unwrap_or(0.0);
+            assert!(
+                (got - stats.empirical_shares[i]).abs() < 1e-12,
+                "{name}: trace share {got} != walk share {}",
+                stats.empirical_shares[i]
+            );
+        }
+        // And the pooled autocorrelation is literally the same
+        // estimator over the same streams.
+        assert!((targets.lag1_autocorr - stats.lag1_autocorr).abs() < 1e-12);
+    }
+}

@@ -317,6 +317,14 @@ pub struct EpisodeStats {
     pub mean_dwell_ticks: Vec<f64>,
     /// Lag-1 autocorrelation of node power, pooled over all nodes
     /// (per-node centered; i.i.d. sampling would measure ~0 here).
+    ///
+    /// Zero-variance contract: when the pooled denominator is zero —
+    /// every node's stream is constant, every node has fewer than two
+    /// samples, or the fleet is empty — the statistic is **defined as
+    /// `0.0`**, never `NaN` or an error. A constant stream carries no
+    /// linear dependence to measure, and downstream consumers
+    /// (calibration divides distances by tolerances built on this
+    /// field) rely on it always being finite.
     pub lag1_autocorr: f64,
 }
 
@@ -1554,6 +1562,9 @@ fn aggregate_episode_stats(
         empirical_shares,
         model_shares: model.stationary_time_shares().to_vec(),
         mean_dwell_ticks,
+        // Zero pooled variance (constant streams, streams shorter than
+        // two samples, or no nodes) is defined as 0.0 — see the
+        // `EpisodeStats::lag1_autocorr` contract.
         lag1_autocorr: if den > 0.0 { num / den } else { 0.0 },
     }
 }
@@ -1673,6 +1684,39 @@ mod tests {
         let r1_iid = num / den;
         assert!(r1_iid.abs() < 0.05, "i.i.d. autocorrelation {r1_iid}");
         assert!(stats.lag1_autocorr > r1_iid + 0.25);
+    }
+
+    #[test]
+    fn zero_variance_autocorr_is_zero_not_nan() {
+        // Regression for the documented `EpisodeStats::lag1_autocorr`
+        // contract: a zero pooled denominator — constant per-node
+        // streams, streams shorter than two samples, or no nodes at
+        // all — yields exactly 0.0, never NaN (calibration feeds this
+        // field into error terms and must stay finite).
+        let mix = JobMix::taurus_haswell();
+        let model = EpisodeModel::taurus_haswell(&mix);
+        let n = model.n_states();
+        let acct = |ticks: u64| -> NodeAccounting { (vec![ticks; n], vec![1; n]) };
+        // Constant streams: positive length, zero variance.
+        let stats = aggregate_episode_stats(
+            &model,
+            &[acct(5), acct(5)],
+            &[vec![120.0; 5], vec![80.5; 5]],
+        );
+        assert_eq!(stats.lag1_autocorr, 0.0);
+        assert!(!stats.lag1_autocorr.is_nan());
+        // Streams too short for a lag-1 pair.
+        let stats = aggregate_episode_stats(&model, &[acct(1)], &[vec![97.0]]);
+        assert_eq!(stats.lag1_autocorr, 0.0);
+        // Empty fleet: no nodes, no ticks, shares all zero.
+        let stats = aggregate_episode_stats(&model, &[], &[]);
+        assert_eq!(stats.lag1_autocorr, 0.0);
+        assert!(stats.empirical_shares.iter().all(|&s| s == 0.0));
+        // A varying stream still measures nonzero correlation (the
+        // guard must not clamp legitimate statistics to zero).
+        let ramp: Vec<f64> = (0..64).map(|i| 50.0 + f64::from(i)).collect();
+        let stats = aggregate_episode_stats(&model, &[acct(64)], &[ramp]);
+        assert!(stats.lag1_autocorr > 0.8);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! * [`metricq`] — the buffered out-of-band source of Fig. 10: samples
 //!   flow through a channel and are retrieved *after* a workload candidate
 //!   finishes, exactly like the remote MetricQ setup.
-//! * [`csv`] — comma-separated output (`--measurement` reporting).
+//! * [`csv`] — comma-separated output (`--measurement` reporting) and
+//!   ingestion ([`CsvReader`], used by trace calibration).
 
 pub mod builtin;
 pub mod csv;
@@ -27,7 +28,7 @@ pub mod metricq;
 pub mod series;
 
 pub use builtin::{IpcEstimateMetric, PerfIpcMetric, RaplPowerMetric};
-pub use csv::CsvWriter;
+pub use csv::{CsvError, CsvReader, CsvWriter};
 pub use metric::{ExternalMetric, Metric, MetricRegistry, Summary};
 pub use metricq::{channel, channel_bounded, MetricQSink, MetricQSource, MetricQueue};
 pub use series::{Sample, TimeSeries};

@@ -13,6 +13,7 @@
 //! meaningful.
 
 use crate::json::Json;
+use fs2_calib::FleetProfile;
 use fs2_cluster::{BudgetPolicy, FleetConfig, TemporalMode};
 use std::fmt;
 
@@ -53,6 +54,12 @@ pub struct FleetRequest {
     pub want_samples: bool,
     /// Return the binned 0.1 W CDF.
     pub want_cdf: bool,
+    /// Calibrated fleet profile to drive the run (forces episode
+    /// mode). Travels on the wire as the canonical profile text, so
+    /// a `--calibrate` artifact can be served verbatim; malformed
+    /// profile text is rejected at decode time with the
+    /// `ProfileError` message.
+    pub profile: Option<FleetProfile>,
 }
 
 impl FleetRequest {
@@ -70,6 +77,7 @@ impl FleetRequest {
             shards: None,
             want_samples: true,
             want_cdf: false,
+            profile: None,
         }
     }
 
@@ -85,6 +93,9 @@ impl FleetRequest {
         cfg.budget_policy = self.budget_policy;
         if let Some(seed) = self.seed {
             cfg.seed = seed;
+        }
+        if let Some(profile) = &self.profile {
+            profile.apply(&mut cfg);
         }
         cfg
     }
@@ -122,6 +133,13 @@ impl FleetRequest {
             )
             .set("want_samples", Json::of_bool(self.want_samples))
             .set("want_cdf", Json::of_bool(self.want_cdf))
+            .set(
+                "profile",
+                self.profile
+                    .as_ref()
+                    .map(|p| Json::of_str(&p.to_text()))
+                    .unwrap_or(Json::Null),
+            )
     }
 
     pub fn to_line(&self) -> String {
@@ -194,6 +212,18 @@ impl FleetRequest {
                     .ok_or_else(|| perr("`shards` must be a positive integer"))?,
             ),
         };
+        let profile = match v.get("profile") {
+            None | Some(Json::Null) => None,
+            Some(j) => {
+                let text = j
+                    .as_str()
+                    .ok_or_else(|| perr("`profile` must be a profile-text string"))?;
+                Some(
+                    FleetProfile::from_text(text)
+                        .map_err(|e| perr(format!("bad `profile`: {e}")))?,
+                )
+            }
+        };
         Ok(FleetRequest {
             nodes,
             samples_per_node,
@@ -209,6 +239,7 @@ impl FleetRequest {
                 .and_then(Json::as_bool)
                 .unwrap_or(true),
             want_cdf: v.get("want_cdf").and_then(Json::as_bool).unwrap_or(false),
+            profile,
         })
     }
 
@@ -591,9 +622,15 @@ mod tests {
             shards: Some(7),
             want_samples: false,
             want_cdf: true,
+            profile: Some(FleetProfile::exemplar()),
         };
         let back = FleetRequest::from_line(&req.to_line()).unwrap();
         assert_eq!(req, back);
+        // The profile survives the JSON string escaping byte-exactly.
+        assert_eq!(
+            back.profile.as_ref().unwrap().to_text(),
+            FleetProfile::exemplar().to_text()
+        );
         // Defaults: a minimal request is the Fig. 1 shape.
         let minimal = FleetRequest::from_line(r#"{"type":"fleet"}"#).unwrap();
         assert_eq!(minimal, FleetRequest::fig1());
@@ -611,10 +648,29 @@ mod tests {
             r#"{"type":"fleet","budget_policy":"auction"}"#,
             r#"{"type":"fleet","shards":0}"#,
             r#"{"type":"fleet","seed":-1}"#,
+            r#"{"type":"fleet","profile":7}"#,
+            r##"{"type":"fleet","profile":"# wrong header\n"}"##,
             "not json",
         ] {
             assert!(FleetRequest::from_line(bad).is_err(), "accepted {bad}");
         }
+        // The decode error names the profile parser's complaint.
+        let err =
+            FleetRequest::from_line(r##"{"type":"fleet","profile":"# wrong\n"}"##).unwrap_err();
+        assert!(err.to_string().contains("bad `profile`"), "{err}");
+    }
+
+    #[test]
+    fn profiled_request_forces_episode_mode() {
+        let req = FleetRequest {
+            temporal: TemporalMode::Iid,
+            profile: Some(FleetProfile::exemplar()),
+            ..FleetRequest::fig1()
+        };
+        let cfg = req.to_config();
+        assert_eq!(cfg.temporal, TemporalMode::Episodes);
+        // The episode model is the profile's, not the Taurus default.
+        assert!((cfg.episodes.stationary_time_shares()[0] - 0.15).abs() < 1e-9);
     }
 
     #[test]

@@ -224,6 +224,36 @@ mod tests {
     }
 
     #[test]
+    fn profiled_request_serves_the_calibrated_fleet() {
+        use fs2_calib::FleetProfile;
+        let service = FleetService::new(ServiceConfig::small());
+        let req = FleetRequest {
+            profile: Some(FleetProfile::exemplar()),
+            ..request(41)
+        };
+        // The wire round trip loses nothing: serve the decoded line.
+        let decoded = FleetRequest::from_line(&req.to_line()).unwrap();
+        let direct = FleetSim::new(req.to_config()).run();
+        let reply = service.handle(&decoded);
+        assert!(reply.ok, "{:?}", reply.error);
+        assert_eq!(
+            bits(&direct.samples),
+            bits(&reply.samples),
+            "served profiled fleet diverged from the one-shot run"
+        );
+        // Episode telemetry reflects the profile's floor share, not
+        // the Taurus default of 0.10.
+        let episodes = reply.episodes.expect("profile forces episode mode");
+        assert!((episodes.model_shares[0] - 0.15).abs() < 1e-9);
+        // Malformed profile text on the wire becomes a failure reply.
+        let bad = r##"{"type":"fleet","profile":"# not a profile\n"}"##;
+        let line = service.handle_line(bad);
+        let failure = FleetReply::from_line(&line).unwrap();
+        assert!(!failure.ok);
+        assert!(failure.error.as_deref().unwrap().contains("bad `profile`"));
+    }
+
+    #[test]
     fn identical_requests_hit_the_cross_request_caches() {
         let service = FleetService::new(ServiceConfig::small());
         let req = request(7);

@@ -1,0 +1,39 @@
+//! Trace-driven fleet cloning end to end: synthesize a target trace
+//! from the pinned exemplar profile, calibrate a clone against it,
+//! and print the fitted profile plus the fidelity report.
+//!
+//! ```sh
+//! cargo run --release --example fleet_calibration
+//! ```
+
+use firestarter2::calib::{calibrate, CalibConfig, FleetProfile, Trace};
+use firestarter2::cluster::{FleetConfig, FleetSim, TemporalMode};
+
+fn main() {
+    // The "real installation": a fleet driven by a profile the
+    // calibrator never sees directly — only through its trace.
+    let truth = FleetProfile::exemplar();
+    let mut cfg = FleetConfig {
+        samples_per_node: 1200,
+        seed: 0x7AC3_D00D,
+        temporal: TemporalMode::Episodes,
+        ..FleetConfig::taurus_haswell_scaled(96)
+    };
+    truth.apply(&mut cfg);
+    let run = FleetSim::new(cfg.clone()).run();
+    let trace = Trace::from_fleet(&cfg, &run.samples);
+    println!(
+        "target trace: {} nodes, {} ticks, labeled = {}",
+        trace.nodes().len(),
+        trace.n_ticks(),
+        trace.is_labeled()
+    );
+
+    let result = calibrate(&trace, &CalibConfig::default()).expect("trace is well-formed");
+    println!(
+        "calibrated in {} evaluations ({} duplicate-genome hits)\n",
+        result.evaluations, result.nsga_cache_hits
+    );
+    println!("{}", result.report.render());
+    println!("fitted profile:\n{}", result.profile.to_text());
+}

@@ -39,6 +39,8 @@ enum Action {
     Serve,
     /// Submit the fleet request to a remote `--serve` instance.
     Connect,
+    /// Fit a fleet profile to a power trace (`--calibrate`).
+    Calibrate,
 }
 
 /// Parsed configuration.
@@ -89,6 +91,14 @@ pub struct CliConfig {
     max_cost: u64,
     /// Write the reply's raw sample bits here (one hex u64 per line).
     dump_samples: Option<String>,
+    /// Target trace CSV for `--calibrate`.
+    calibrate_trace: Option<String>,
+    /// Where `--calibrate` writes the fitted profile (default stdout).
+    profile_out: Option<String>,
+    /// Fleet profile driving `--fleet` / `--connect` runs.
+    profile: Option<String>,
+    /// Write the episode run's labeled trace CSV here.
+    emit_trace: Option<String>,
 }
 
 /// Default RNG seed for Measure/Optimize runs.
@@ -134,6 +144,10 @@ impl Default for CliConfig {
             queue_depth: 64,
             max_cost: 1 << 30,
             dump_samples: None,
+            calibrate_trace: None,
+            profile_out: None,
+            profile: None,
+            emit_trace: None,
         }
     }
 }
@@ -204,6 +218,21 @@ FLEET SERVICE
                                   (default 2^30)
   --dump-samples PATH             write the reply's raw sample bits to
                                   PATH, one hex u64 per line
+
+FLEET CALIBRATION
+  --calibrate TRACE.csv           fit a fleet profile to a per-node
+                                  power trace (node,tick,power_w[,state])
+                                  and print the clone-fidelity report;
+                                  honours --seed, --threads,
+                                  --individuals and --generations
+  --profile-out PATH              write the fitted profile here
+                                  (default: print it after the report)
+  --profile PATH                  drive a --fleet or --connect run with
+                                  a calibrated profile (forces episode
+                                  mode; the profile rides the request)
+  --emit-trace PATH               write the labeled per-node trace of a
+                                  --fleet episode run to PATH, in the
+                                  format --calibrate consumes
 
 OPTIMIZATION (§III-C)
   --optimize=NSGA2                run the self-tuning loop
@@ -362,6 +391,10 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
                     .parse::<u64>()
                     .map_err(|_| ()));
                 opt!("--dump-samples", cfg.dump_samples, some_id);
+                opt!("--calibrate", cfg.calibrate_trace, some_id);
+                opt!("--profile-out", cfg.profile_out, some_id);
+                opt!("--profile", cfg.profile, some_id);
+                opt!("--emit-trace", cfg.emit_trace, some_id);
                 if !matched {
                     return Err(err(format!("unknown argument `{a}` (see --help)")));
                 }
@@ -398,12 +431,23 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
     if cfg.serve_addr.is_some() && cfg.connect_addr.is_some() {
         return Err(err("--serve and --connect are mutually exclusive"));
     }
+    if cfg.calibrate_trace.is_some() && (cfg.serve_addr.is_some() || cfg.connect_addr.is_some()) {
+        return Err(err("--calibrate runs locally (drop --serve/--connect)"));
+    }
+    if cfg.profile_out.is_some() && cfg.calibrate_trace.is_none() {
+        return Err(err("--profile-out needs --calibrate"));
+    }
     if cfg.action != Action::Help {
-        if cfg.serve_addr.is_some() {
+        if cfg.calibrate_trace.is_some() {
+            cfg.action = Action::Calibrate;
+        } else if cfg.serve_addr.is_some() {
             cfg.action = Action::Serve;
         } else if cfg.connect_addr.is_some() {
             cfg.action = Action::Connect;
         }
+    }
+    if cfg.emit_trace.is_some() && cfg.action != Action::Fleet {
+        return Err(err("--emit-trace needs a local --fleet run"));
     }
     Ok(cfg)
 }
@@ -452,6 +496,21 @@ Available metrics:
         Action::Fleet => run_fleet(cfg),
         Action::Serve => run_serve(cfg),
         Action::Connect => run_connect(cfg),
+        Action::Calibrate => run_calibrate(cfg),
+    }
+}
+
+/// Loads the `--profile` file into the request's profile slot.
+fn profile_from_cli(cfg: &CliConfig) -> Result<Option<fs2_calib::FleetProfile>, CliError> {
+    match &cfg.profile {
+        None => Ok(None),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| err(format!("--profile {path}: {e}")))?;
+            fs2_calib::FleetProfile::from_text(&text)
+                .map(Some)
+                .map_err(|e| err(format!("--profile {path}: {e}")))
+        }
     }
 }
 
@@ -492,6 +551,7 @@ fn fleet_request_from_cli(cfg: &CliConfig) -> Result<fs2_service::FleetRequest, 
         shards: (cfg.shards > 0).then_some(cfg.shards),
         want_samples: true,
         want_cdf: false,
+        profile: profile_from_cli(cfg)?,
     })
 }
 
@@ -518,7 +578,11 @@ fn write_sample_bits(path: &str, samples: &[f64]) -> Result<(), CliError> {
 /// Renders a service reply exactly like the historical one-shot
 /// `--fleet` output (the CDF is recomputed client-side from the
 /// returned samples, so local and served runs print the same bytes).
-fn print_fleet_reply(cfg: &CliConfig, reply: &fs2_service::FleetReply) -> Result<String, CliError> {
+fn print_fleet_reply(
+    cfg: &CliConfig,
+    req: &fs2_service::FleetRequest,
+    reply: &fs2_service::FleetReply,
+) -> Result<String, CliError> {
     use fs2_cluster::{FleetConfig, PowerCdf};
 
     if !reply.ok {
@@ -538,6 +602,14 @@ fn print_fleet_reply(cfg: &CliConfig, reply: &fs2_service::FleetReply) -> Result
     ));
     for group in &fleet_cfg.groups {
         out.push_str(&format!("  {:>4} x {}\n", group.nodes, group.sku.name));
+    }
+    if let Some(p) = &req.profile {
+        out.push_str(&format!(
+            "  calibrated profile `{}`: floor share {:.1} %, {} job classes\n",
+            p.name,
+            p.floor_share * 100.0,
+            p.classes.len()
+        ));
     }
     out.push_str(&format!(
         "  {} 60 s-mean samples via {} engines: {} payloads built, {} operating points\n",
@@ -668,12 +740,25 @@ fn run_fleet(cfg: &CliConfig) -> Result<String, CliError> {
         .call(req.to_line())
         .ok_or_else(|| err("fleet broker shut down mid-request"))?;
     let reply = fs2_service::FleetReply::from_line(&line).map_err(|e| err(e.to_string()))?;
-    if let Some(path) = &cfg.dump_samples {
-        if reply.ok {
+    if reply.ok {
+        if let Some(path) = &cfg.dump_samples {
             write_sample_bits(path, &reply.samples)?;
         }
+        if let Some(path) = &cfg.emit_trace {
+            use fs2_cluster::TemporalMode;
+            let fleet_cfg = req.to_config();
+            if fleet_cfg.temporal != TemporalMode::Episodes {
+                return Err(err(
+                    "--emit-trace needs --fleet-temporal episodes or --profile \
+                     (i.i.d. minutes carry no episode labels)",
+                ));
+            }
+            let trace = fs2_calib::Trace::from_fleet(&fleet_cfg, &reply.samples);
+            std::fs::write(path, trace.to_csv())
+                .map_err(|e| err(format!("--emit-trace {path}: {e}")))?;
+        }
     }
-    print_fleet_reply(cfg, &reply)
+    print_fleet_reply(cfg, &req, &reply)
 }
 
 fn run_serve(cfg: &CliConfig) -> Result<String, CliError> {
@@ -708,7 +793,59 @@ fn run_connect(cfg: &CliConfig) -> Result<String, CliError> {
             write_sample_bits(path, &reply.samples)?;
         }
     }
-    print_fleet_reply(cfg, &reply)
+    print_fleet_reply(cfg, &req, &reply)
+}
+
+/// `--calibrate TRACE.csv`: fit a fleet profile to the trace and
+/// report the clone fidelity (ISSUE: trace-driven fleet cloning).
+fn run_calibrate(cfg: &CliConfig) -> Result<String, CliError> {
+    use fs2_calib::{calibrate, CalibConfig, Trace};
+
+    let path = cfg
+        .calibrate_trace
+        .as_deref()
+        .expect("Calibrate action implies --calibrate");
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("--calibrate {path}: {e}")))?;
+    let trace = Trace::from_csv(&text).map_err(|e| err(format!("--calibrate {path}: {e}")))?;
+    let defaults = CalibConfig::default();
+    let calib_cfg = CalibConfig {
+        seed: cfg.seed.unwrap_or(defaults.seed),
+        threads: cfg.threads,
+        individuals: cfg.individuals,
+        generations: cfg.generations,
+        ..defaults
+    };
+    let result =
+        calibrate(&trace, &calib_cfg).map_err(|e| err(format!("--calibrate {path}: {e}")))?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "calibrated {path}: {} nodes x {} total ticks ({}), {} evaluations \
+         ({} duplicate-genome hits)\n\n",
+        trace.nodes().len(),
+        trace.n_ticks(),
+        if trace.is_labeled() {
+            "state-labeled"
+        } else {
+            "power-only"
+        },
+        result.evaluations,
+        result.nsga_cache_hits
+    ));
+    out.push_str(&result.report.render());
+    match &cfg.profile_out {
+        Some(dest) => {
+            std::fs::write(dest, result.profile.to_text())
+                .map_err(|e| err(format!("--profile-out {dest}: {e}")))?;
+            out.push_str(&format!("\nfitted profile written to {dest}\n"));
+        }
+        None => {
+            out.push_str("\nfitted profile:\n");
+            out.push_str(&result.profile.to_text());
+        }
+    }
+    Ok(out)
 }
 
 fn workload_from_cli(cfg: &CliConfig, sku: &Sku) -> Result<PayloadConfig, CliError> {
@@ -1230,6 +1367,77 @@ mod tests {
         assert_eq!(dump_a.lines().count(), 8 * 40);
         assert!(dump_a.lines().all(|l| u64::from_str_radix(l, 16).is_ok()));
         assert_eq!(dump_a, dump_b, "sample bits changed across shard counts");
+    }
+
+    #[test]
+    fn calibrate_round_trips_through_trace_profile_and_fleet() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("fs2_trace_{}.csv", std::process::id()));
+        let profile = dir.join(format!("fs2_profile_{}.txt", std::process::id()));
+
+        // 1. An episode fleet run emits the labeled trace.
+        let emitted = run(&args(&format!(
+            "--fleet --fleet-temporal episodes --nodes 24 --samples-per-node 400 \
+             --emit-trace {}",
+            trace.display()
+        )))
+        .unwrap();
+        assert!(emitted.contains("lag-1 autocorr"));
+        let head = std::fs::read_to_string(&trace).unwrap();
+        assert!(head.starts_with("node,tick,power_w,state\n"), "{head:.60}");
+
+        // 2. Calibration fits a profile to that trace.
+        let report = run(&args(&format!(
+            "--calibrate {} --individuals 6 --generations 3 --profile-out {}",
+            trace.display(),
+            profile.display()
+        )))
+        .unwrap();
+        assert!(report.contains("state-labeled"));
+        assert!(report.contains("cdf_distance"));
+        assert!(report.contains("fitted profile written to"));
+
+        // 3. The fitted profile drives a fleet run end to end.
+        let profiled = run(&args(&format!(
+            "--fleet --nodes 24 --samples-per-node 100 --profile {}",
+            profile.display()
+        )))
+        .unwrap();
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&profile);
+        assert!(
+            profiled.contains("calibrated profile `calibrated`"),
+            "profile line missing: {profiled}"
+        );
+        // The profile forces episode mode even though the CLI default
+        // temporal is iid.
+        assert!(profiled.contains("lag-1 autocorr"));
+    }
+
+    #[test]
+    fn calibration_flags_are_validated() {
+        // --profile-out / --emit-trace only make sense in context.
+        assert!(run(&args("--profile-out /tmp/p.txt")).is_err());
+        assert!(run(&args("--emit-trace /tmp/t.csv")).is_err());
+        assert!(run(&args("--calibrate t.csv --connect 127.0.0.1:1")).is_err());
+        // i.i.d. minutes carry no episode labels to emit.
+        assert!(run(&args(
+            "--fleet --nodes 8 --samples-per-node 40 --emit-trace /tmp/t.csv"
+        ))
+        .is_err());
+        // Missing and malformed inputs fail with context, not panics.
+        assert!(run(&args("--calibrate /nonexistent/trace.csv")).is_err());
+        assert!(run(&args("--fleet --profile /nonexistent/p.txt")).is_err());
+        let bad = std::env::temp_dir().join(format!("fs2_bad_profile_{}.txt", std::process::id()));
+        std::fs::write(&bad, "# wrong header\n").unwrap();
+        let res = run(&args(&format!("--fleet --profile {}", bad.display())));
+        let _ = std::fs::remove_file(&bad);
+        assert!(res.is_err());
+        // The help text documents the calibration surface.
+        let help = run(&args("--help")).unwrap();
+        assert!(help.contains("FLEET CALIBRATION"));
+        assert!(help.contains("--calibrate"));
+        assert!(help.contains("--emit-trace"));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 pub use fs2_arch as arch;
 pub use fs2_baselines as baselines;
+pub use fs2_calib as calib;
 pub use fs2_cluster as cluster;
 pub use fs2_core as core;
 pub use fs2_gpu as gpu;
@@ -52,6 +53,7 @@ pub mod cli;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use fs2_arch::{detect, CpuId, MemLevel, Microarch, Sku};
+    pub use fs2_calib::{calibrate, CalibConfig, FidelityReport, FleetProfile, Trace};
     pub use fs2_core::autotune::{AutoTuner, TuneConfig, TuneResult};
     pub use fs2_core::engine::{CacheStats, Engine, Session};
     pub use fs2_core::groups::{format_groups, parse_groups, AccessGroup, Pattern, Target};

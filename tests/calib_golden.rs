@@ -1,0 +1,103 @@
+//! Golden-file tests for the fleet-profile format: the pinned
+//! exemplar in `tests/data/exemplar.profile` is the wire-format
+//! contract. Any change to the canonical writer or to
+//! `FleetProfile::exemplar()` must be deliberate — regenerate the
+//! pinned file and re-measure the self-clone fidelity numbers in CI
+//! and ROADMAP.md when it changes.
+
+use firestarter2::calib::{FleetProfile, ProfileError};
+
+const PINNED: &str = include_str!("data/exemplar.profile");
+
+#[test]
+fn pinned_exemplar_matches_the_builtin_profile_byte_for_byte() {
+    assert_eq!(
+        FleetProfile::exemplar().to_text(),
+        PINNED,
+        "exemplar profile drifted from tests/data/exemplar.profile"
+    );
+}
+
+#[test]
+fn load_write_load_is_byte_identical() {
+    let loaded = FleetProfile::from_text(PINNED).unwrap();
+    let written = loaded.to_text();
+    assert_eq!(written, PINNED, "writer is not the inverse of the loader");
+    let reloaded = FleetProfile::from_text(&written).unwrap();
+    assert_eq!(reloaded.to_text(), written);
+    assert_eq!(reloaded, loaded);
+}
+
+#[test]
+fn pinned_exemplar_validates_and_builds_a_model() {
+    let p = FleetProfile::from_text(PINNED).unwrap();
+    p.validate().unwrap();
+    let mix = p.to_mix();
+    let model = p.to_model(&mix);
+    // Stationary shares of the synthesized model are the profile's
+    // weights (floor included) — the from_mix contract.
+    let shares = model.stationary_time_shares();
+    assert!((shares[0] - p.floor_share).abs() < 1e-9);
+    let total: f64 = p.classes.iter().map(|c| c.weight).sum();
+    for (i, c) in p.classes.iter().enumerate() {
+        let want = (1.0 - p.floor_share) * c.weight / total;
+        assert!((shares[i + 1] - want).abs() < 1e-9, "class {}", c.name);
+    }
+}
+
+#[test]
+fn malformed_profiles_are_rejected_with_typed_errors() {
+    // Wrong header line.
+    assert!(matches!(
+        FleetProfile::from_text("# not a profile\n").unwrap_err(),
+        ProfileError::MissingHeader
+    ));
+
+    // NaN / infinite values never pass the number parser.
+    let nan = PINNED.replace("floor_share = 0.15", "floor_share = NaN");
+    assert!(matches!(
+        FleetProfile::from_text(&nan).unwrap_err(),
+        ProfileError::BadValue { .. }
+    ));
+    let inf = PINNED.replace("weight = 0.25", "weight = inf");
+    assert!(matches!(
+        FleetProfile::from_text(&inf).unwrap_err(),
+        ProfileError::BadValue { .. }
+    ));
+
+    // Non-stochastic: class weights that sum to zero.
+    let zeroed = PINNED
+        .replace("weight = 0.25", "weight = 0")
+        .replace("weight = 0.2", "weight = 0")
+        .replace("weight = 0.15", "weight = 0");
+    assert!(matches!(
+        FleetProfile::from_text(&zeroed).unwrap_err(),
+        ProfileError::NonStochastic
+    ));
+
+    // Out-of-range floor share.
+    let hot = PINNED.replace("floor_share = 0.15", "floor_share = 1.5");
+    assert!(matches!(
+        FleetProfile::from_text(&hot).unwrap_err(),
+        ProfileError::BadFloorShare { .. }
+    ));
+
+    // Unknown class name and duplicate class sections.
+    let unknown = PINNED.replace("[class peak]", "[class warp]");
+    assert!(matches!(
+        FleetProfile::from_text(&unknown).unwrap_err(),
+        ProfileError::UnknownClass { .. }
+    ));
+    let dup = PINNED.replace("[class peak]", "[class idle]");
+    assert!(matches!(
+        FleetProfile::from_text(&dup).unwrap_err(),
+        ProfileError::DuplicateClass { .. }
+    ));
+
+    // A P-state set outside the supported catalogue.
+    let pstates = PINNED.replace("pstates = 0 1", "pstates = 2 0");
+    assert!(matches!(
+        FleetProfile::from_text(&pstates).unwrap_err(),
+        ProfileError::UnknownPstates { .. }
+    ));
+}

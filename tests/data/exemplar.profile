@@ -1,0 +1,39 @@
+# fs2 fleet profile v1
+name = exemplar-v1
+floor_share = 0.15
+floor_dwell_ticks = 8
+
+[class idle]
+weight = 0.25
+dwell_ticks = 6
+ramp_ticks = 0
+duty = 0 0.06
+pstates = 2
+
+[class low]
+weight = 0.2
+dwell_ticks = 10
+ramp_ticks = 1
+duty = 0.05 0.35
+pstates = 2
+
+[class medium]
+weight = 0.2
+dwell_ticks = 14
+ramp_ticks = 1
+duty = 0.35 0.75
+pstates = 1 2
+
+[class high]
+weight = 0.2
+dwell_ticks = 20
+ramp_ticks = 2
+duty = 0.8 1
+pstates = 0 1
+
+[class peak]
+weight = 0.15
+dwell_ticks = 30
+ramp_ticks = 2
+duty = 0.95 1
+pstates = 0
