@@ -16,7 +16,7 @@
 //!   P-state sets. A profile applies onto a `FleetConfig`, so a
 //!   calibrated clone runs through the unmodified fleet pipeline
 //!   (and can be attached to `fs2-service` requests).
-//! * [`calibrate`] — the fitting loop: closed-form moment matching
+//! * [`calibrate()`] — the fitting loop: closed-form moment matching
 //!   for shares/dwells (state-labeled traces) plus `fs2-tuning`
 //!   NSGA-II over `FleetSim` itself for duty bands and P-state sets,
 //!   reusing one engine registry so every candidate after the first

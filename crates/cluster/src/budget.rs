@@ -172,6 +172,7 @@ pub fn arbitrate(
                     if inc <= remaining {
                         remaining -= inc;
                         draw += inc;
+                        // fs2-lint: allow(checked-cast) -- cursor indexes a per-node tick window (u32 samples); hot arbitrate loop
                         decisions[i].push(Decision::Admit(cursor[i] as u32));
                         cursor[i] += 1;
                     } else {

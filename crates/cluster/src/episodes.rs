@@ -5,7 +5,7 @@
 //! that dwell at an operating point for many 60 s ticks, ramp in, and
 //! hand the node back to the idle floor. An [`EpisodeModel`] is a
 //! semi-Markov chain over one explicit idle-floor state plus one state
-//! per [`JobMix`](crate::jobs::JobMix) class: each state has a
+//! per [`JobMix`] class: each state has a
 //! geometric dwell-time distribution (in 60 s ticks), job states have a
 //! linear ramp-in profile, and a row-stochastic transition matrix
 //! (validated like `JobMix` weights) picks the next state when an

@@ -113,7 +113,9 @@ impl FleetConfig {
         // counts service requests can carry (the result fits, the
         // intermediate does not).
         let fat = if nodes >= 2 {
-            ((u64::from(nodes) * 72 / 612) as u32).max(1)
+            u32::try_from(u64::from(nodes) * 72 / 612)
+                .expect("quotient is <= nodes, which is u32")
+                .max(1)
         } else {
             0
         };
@@ -438,7 +440,7 @@ pub struct FleetPlan {
 impl FleetPlan {
     /// Total nodes the plan covers (shard ranges index into this).
     pub fn total_nodes(&self) -> u32 {
-        self.items.len() as u32
+        u32::try_from(self.items.len()).expect("one item per node, and node counts are u32")
     }
 
     /// The engine-evaluated operating points backing the plan.
@@ -490,7 +492,8 @@ enum ShardData {
 /// near-equal, non-empty ranges (fewer when the fleet has fewer nodes
 /// than the requested shard count; always at least one).
 pub fn shard_ranges(total_nodes: u32, shards: usize) -> Vec<(u32, u32)> {
-    let n = shards.clamp(1, total_nodes.max(1) as usize) as u32;
+    let n = u32::try_from(shards.clamp(1, total_nodes.max(1) as usize))
+        .expect("clamped to a u32 node count");
     let base = total_nodes / n;
     let rem = total_nodes % n;
     let mut out = Vec::with_capacity(n as usize);
@@ -973,8 +976,9 @@ impl FleetSim {
                         } else {
                             0
                         },
-                        lane_base: sku_lanes.lanes.len() as u32,
-                        class_idx: ci as u16,
+                        lane_base: u32::try_from(sku_lanes.lanes.len())
+                            .expect("a few lanes per job class"),
+                        class_idx: u16::try_from(ci).expect("class catalogue is tiny"),
                     };
                     if *frac > 0.0 {
                         weights.push(*frac);
@@ -1073,7 +1077,9 @@ impl FleetSim {
                     .lock()
                     .expect("slice handoff mutex")
                     .as_ref()
-                    .map_or(0, |s| s.len()) as u32
+                    .map_or(0, |s| {
+                        u32::try_from(s.len()).expect("per-node sample counts are u32")
+                    })
             };
             let mut units: Vec<FillUnit<'_>> = Vec::with_capacity(nodes.len().div_ceil(4));
             let mut nodes = nodes.into_iter().peekable();
@@ -1176,6 +1182,7 @@ impl FleetSim {
             let (p, ci, remapped) = l.draw(&mut rng);
             capped_samples += usize::from(remapped);
             watts.push(p.min(cap));
+            // fs2-lint: allow(checked-cast) -- class index < catalogue size (JobMix validates); hot per-sample loop
             states.push((ci + 1) as u16);
         }
         NodeOut {
@@ -1212,6 +1219,7 @@ impl FleetSim {
             let load = rows[ci][pstate];
             debug_assert!(!load.is_nan());
             watts.push((idle + duty * (load - idle)).min(cap));
+            // fs2-lint: allow(checked-cast) -- class index < catalogue size (JobMix validates); hot per-sample loop
             states.push((ci + 1) as u16);
         }
         NodeOut {
@@ -1251,6 +1259,7 @@ impl FleetSim {
                 }
             };
             watts.push(p.min(cap));
+            // fs2-lint: allow(checked-cast) -- episode state index is bounded by the class count; hot per-sample loop
             states.push(t.state as u16);
         }
         NodeOut {
@@ -1411,7 +1420,7 @@ impl FleetSim {
     ///
     /// Shards must tile the plan's node range exactly (any order; they
     /// are sorted by range here). Streams concatenate in node-id order
-    /// and the shared [`finish`](Self::finish) phase arbitrates and
+    /// and the shared `finish` phase arbitrates and
     /// aggregates, so the merged run is byte-identical to
     /// [`FleetSim::run`] for every shard split.
     pub fn merge_shards(

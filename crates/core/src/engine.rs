@@ -117,7 +117,7 @@ impl CacheStats {
 /// [`crate::EngineRegistry`] hands every SKU engine one shared
 /// `Arc<EngineCaches>`, so heterogeneous fleet requests warm a single
 /// registry-wide cache instead of N per-engine ones. Keys are
-/// SKU-tagged ([`PayloadKey`]), so sharing is safe across SKUs — a hit
+/// SKU-tagged (`PayloadKey`), so sharing is safe across SKUs — a hit
 /// can only come from the same `(SKU, mix, groups, unroll)` workload.
 pub struct EngineCaches {
     payloads: Mutex<HashMap<PayloadKey, Arc<PayloadEntry>>>,

@@ -83,8 +83,12 @@ pub fn check_all_cores(
     });
 
     // Majority vote for the reference hash (a single faulty core must not
-    // be able to define "correct").
-    let mut counts: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    // be able to define "correct"). BTreeMap, not HashMap: with a count
+    // tie (e.g. 2 cores each on two hashes), max_by_key keeps the *last*
+    // maximal entry, so hashed iteration order would pick a different
+    // winner per process. Ordered iteration makes the tie-break "highest
+    // hash among the most common" — a pure function of the inputs.
+    let mut counts: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
     for &h in &hashes {
         *counts.entry(h).or_insert(0) += 1;
     }

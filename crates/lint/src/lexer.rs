@@ -1,0 +1,410 @@
+//! A hand-rolled Rust lexer, just deep enough that lint rules never
+//! fire inside comments or literals.
+//!
+//! The lexer understands line comments, (nested) block comments,
+//! string/char/byte/raw-string literals, raw identifiers, lifetimes,
+//! and numbers; everything else is a one-character punctuation token.
+//! It does **not** build an AST — rules pattern-match short token
+//! sequences — but because literals and comments are consumed as
+//! units, a `panic!` spelled inside a doc comment or a `"HashMap"` in
+//! a string can never produce a finding.
+//!
+//! Comments are kept (with their line spans) rather than discarded:
+//! the `safety-comment` rule needs to see `// SAFETY:` text, and the
+//! suppression syntax (`// fs2-lint: allow(<rule>) -- <reason>`) lives
+//! in comments too.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `unsafe`, `HashMap`, `r#type`).
+    Ident,
+    /// Numeric literal (`12`, `0xFF`, `1_000.5e-3`).
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `'\u{1F600}'`, `b'x'`).
+    Char,
+    /// Lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Single punctuation character (`.`, `{`, `#`, …).
+    Punct,
+}
+
+/// One lexed token. `text` carries the identifier spelling (for
+/// `Ident`) or the single character (for `Punct`); literal bodies are
+/// deliberately dropped so rules cannot accidentally match them.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block), with the full source text including
+/// the `//` / `/* */` markers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub first_line: u32,
+    /// 1-based line the comment ends on (block comments span lines).
+    pub last_line: u32,
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Unterminated literals or
+/// comments consume to end-of-file rather than erroring: the linter
+/// must never panic on the code it inspects (rustc reports those).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c.is_whitespace() => self.i += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                'r' | 'b' if self.string_prefix() => {}
+                '"' => self.cooked_string(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                c => {
+                    let line = self.line;
+                    self.i += 1;
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.i += 1;
+        }
+        self.out.comments.push(Comment {
+            first_line: self.line,
+            last_line: self.line,
+            text: self.chars[start..self.i].iter().collect(),
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let (start, first) = (self.i, self.line);
+        self.i += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (None, _) => break,
+                (Some('\n'), _) => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.out.comments.push(Comment {
+            first_line: first,
+            last_line: self.line,
+            text: self.chars[start..self.i].iter().collect(),
+        });
+    }
+
+    /// Handles `r"…"`, `r#"…"#…`, `b"…"`, `br#"…"#`, `b'…'`, and raw
+    /// identifiers (`r#type`). Returns false when the `r`/`b` at the
+    /// cursor is just the start of a plain identifier.
+    fn string_prefix(&mut self) -> bool {
+        let line = self.line;
+        let mut j = self.i;
+        if self.chars[j] == 'b' {
+            j += 1;
+        }
+        let raw = self.chars.get(j) == Some(&'r');
+        if raw {
+            j += 1;
+        }
+        let mut hashes = 0usize;
+        while self.chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        match self.chars.get(j) {
+            Some('"') if raw || hashes == 0 => {
+                if raw {
+                    self.i = j + 1;
+                    self.raw_string_body(hashes);
+                    self.push(TokenKind::Str, String::new(), line);
+                    true
+                } else if self.chars[self.i] == 'b' && j == self.i + 1 {
+                    // b"…": cooked byte string.
+                    self.i = j;
+                    self.cooked_string();
+                    true
+                } else {
+                    false
+                }
+            }
+            Some('\'') if !raw && hashes == 0 && self.chars[self.i] == 'b' && j == self.i + 1 => {
+                // b'…': byte literal; reuse the char-literal scanner.
+                self.i = j;
+                self.char_or_lifetime();
+                true
+            }
+            Some(&c) if raw && hashes == 1 && is_ident_start(c) => {
+                // r#ident: raw identifier. Token text is the bare name
+                // so keyword-named idents never match rule keywords.
+                self.i = j;
+                self.ident();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn raw_string_body(&mut self, hashes: usize) {
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\n') => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                Some('"') => {
+                    let closed = (1..=hashes).all(|k| self.peek(k) == Some('#'));
+                    self.i += 1;
+                    if closed {
+                        self.i += hashes;
+                        break;
+                    }
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn cooked_string(&mut self) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('"') => {
+                    self.i += 1;
+                    break;
+                }
+                Some('\\') => {
+                    // Skip the escaped character; a `\<newline>` line
+                    // continuation still advances the line counter.
+                    if self.peek(1) == Some('\n') {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
+                Some('\n') => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+        self.push(TokenKind::Str, String::new(), line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        match (self.peek(1), self.peek(2)) {
+            (Some('\\'), _) => {
+                // Escaped char literal: skip quote + backslash + the
+                // escaped char, then scan to the closing quote (this
+                // covers multi-char escapes like '\u{1F600}').
+                self.i += 3;
+                while self.peek(0).is_some_and(|c| c != '\'') {
+                    self.i += 1;
+                }
+                self.i += 1;
+                self.push(TokenKind::Char, String::new(), line);
+            }
+            (Some(c), next) if is_ident_start(c) && next != Some('\'') => {
+                // Lifetime or loop label: 'a, 'static, 'outer.
+                self.i += 2;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.i += 1;
+                }
+                self.push(TokenKind::Lifetime, String::new(), line);
+            }
+            (Some(_), _) => {
+                // Plain char literal, possibly non-ASCII: '@', 'é'.
+                self.i += 2;
+                while self.peek(0).is_some_and(|c| c != '\'') {
+                    self.i += 1;
+                }
+                self.i += 1;
+                self.push(TokenKind::Char, String::new(), line);
+            }
+            (None, _) => self.i += 1,
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut prev = '0';
+        loop {
+            match self.peek(0) {
+                Some(c) if is_ident_continue(c) => {
+                    prev = c;
+                    self.i += 1;
+                }
+                // Decimal point only when a digit follows, so `1.max(2)`
+                // lexes as Num(1) Punct(.) Ident(max).
+                Some('.') if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                    prev = '.';
+                    self.i += 1;
+                }
+                // Exponent sign: 1e-10, 2.5E+3.
+                Some('+' | '-') if matches!(prev, 'e' | 'E') => {
+                    prev = '+';
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        self.push(TokenKind::Num, String::new(), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.i += 1;
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokenKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn literals_and_comments_hide_their_contents() {
+        let src = r##"
+            // panic! in a line comment
+            /* HashMap /* nested .keys() */ still comment */
+            let s = "Instant::now() in a string \" with escapes";
+            let r = r#"thread_rng in a raw "quoted" string"#;
+            let b = b"from_entropy";
+            let c = '\"';
+        "##;
+        let names = idents(src);
+        for bad in ["panic", "HashMap", "Instant", "thread_rng", "from_entropy"] {
+            assert!(!names.contains(&bad.to_string()), "{bad} leaked: {names:?}");
+        }
+        assert!(names.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let toks = lex(src).tokens;
+        let b = toks.iter().find(|t| t.is_ident("b")).expect("ident b");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn comments_keep_their_spans() {
+        let lexed = lex("code();\n/* a\nb\nc */\nmore();");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].first_line, 2);
+        assert_eq!(lexed.comments[0].last_line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_names() {
+        let names = idents("let r#type = r#fn;");
+        assert_eq!(names, ["let", "type", "fn"]);
+    }
+}

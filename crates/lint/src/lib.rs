@@ -1,0 +1,136 @@
+//! `fs2-lint` — workspace-specific determinism & robustness lints.
+//!
+//! Every layer of this workspace stakes correctness on one invariant:
+//! fleet output is bitwise-deterministic in `(seed, config)` and
+//! invariant across thread counts. The runtime golden suites
+//! (`exec_parity`, the fleet-service bitwise diffs, `calib_props`)
+//! enforce that after the fact; this crate catches the classic
+//! failure *sources* at the source level, before a golden test runs:
+//!
+//! * `map-iter` — HashMap/HashSet traversal in deterministic crates
+//! * `wall-clock` — `Instant::now`/`SystemTime` outside bench/CLI
+//! * `rng-discipline` — entropy-seeded RNGs
+//! * `no-panic-service` — peer-reachable panics in `fs2-service`
+//! * `checked-cast` — truncating casts in node/sample accounting
+//! * `safety-comment` — `unsafe` blocks without `// SAFETY:`
+//!
+//! Like `vendor/rand`, the crate is dependency-free: a hand-rolled
+//! lexer ([`lexer`]) feeds token-sequence rules ([`rules`]) with
+//! module-path scoping and inline suppression ([`scope`]). The binary
+//! walks the workspace (skipping `vendor/`, `target/`, and fixture
+//! trees) and exits nonzero on findings; CI runs it as its own job.
+//!
+//! Suppression syntax, inline at the offending line:
+//!
+//! ```text
+//! // fs2-lint: allow(checked-cast) -- bounded by JobMix validation; hot loop
+//! ```
+
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding: `file:line rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lints one file's source. `rel_path` must be workspace-relative
+/// (e.g. `crates/cluster/src/fleet.rs`): it selects which rules apply.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    rules::check_file(rel_path, &lexer::lex(source))
+}
+
+/// Result of linting a tree: how much was scanned and what was found.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Directories never descended into: build output, vendored shims
+/// (out of policy scope), VCS metadata, and lint fixture corpora
+/// (which contain intentional violations).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// Walks every `.rs` file under `root` (skipping `SKIP_DIRS`) and
+/// lints each against the full rule set. Diagnostics come back sorted
+/// by `(path, line, rule)` so output is stable across filesystems.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for file in files {
+        let source = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.diagnostics.extend(lint_source(&rel, &source));
+        report.files_scanned += 1;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Ascends from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]` — how the binary finds the tree to lint
+/// when invoked via `cargo run -p fs2-lint` from anywhere inside it.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

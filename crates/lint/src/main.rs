@@ -1,0 +1,73 @@
+//! The `fs2-lint` binary: walk the workspace, print findings, exit
+//! nonzero if any. CI runs this as a dedicated job; locally:
+//!
+//! ```text
+//! cargo run -p fs2-lint              # lint the enclosing workspace
+//! cargo run -p fs2-lint -- PATH      # lint an explicit tree
+//! cargo run -p fs2-lint -- --rules   # list the rules
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--rules" || a == "--list-rules") {
+        for rule in fs2_lint::rules::RULES {
+            println!("{:18} {}", rule.name, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: fs2-lint [PATH] [--rules]");
+        println!("Lints the workspace at PATH (default: the enclosing cargo workspace).");
+        return ExitCode::SUCCESS;
+    }
+
+    let root: PathBuf = match args.iter().find(|a| !a.starts_with('-')) {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("fs2-lint: cannot read current dir: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match fs2_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("fs2-lint: no enclosing cargo workspace; pass a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    match fs2_lint::lint_workspace(&root) {
+        Ok(report) => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            if report.is_clean() {
+                println!(
+                    "fs2-lint: clean — {} files, {} rules",
+                    report.files_scanned,
+                    fs2_lint::rules::RULES.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "fs2-lint: {} finding(s) across {} files",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("fs2-lint: walk failed under {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

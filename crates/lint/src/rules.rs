@@ -1,0 +1,429 @@
+//! The six workspace rules, encoding invariants every PR since the
+//! engine layer has staked correctness on.
+//!
+//! Each rule is a token-sequence matcher over [`crate::lexer`] output,
+//! scoped by module path (see [`crate::scope`]). The matchers are
+//! deliberately heuristic — there is no type inference here — and are
+//! tuned to have **no false positives on the live workspace** (the
+//! meta-test pins that) while catching the classic regression shapes:
+//! a `for` loop over a `HashMap`, an entropy-seeded RNG, a wall-clock
+//! read in a deterministic path, a peer-reachable `unwrap`, a
+//! truncating `as` cast in sample accounting, an uncommented `unsafe`.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::scope::{suppression_findings, suppressions, test_regions, TestRegions};
+use crate::Diagnostic;
+
+/// Static metadata for one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, in diagnostic order. `suppression` is
+/// the meta-rule for malformed `fs2-lint:` annotations.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "map-iter",
+        summary: "no order-dependent HashMap/HashSet traversal in deterministic crates \
+                  (core, sim, cluster, calib, tuning); lookup is fine, iteration is not",
+    },
+    RuleInfo {
+        name: "wall-clock",
+        summary: "Instant::now/SystemTime only in bench, timing, or CLI modules",
+    },
+    RuleInfo {
+        name: "rng-discipline",
+        summary: "no entropy seeding (from_entropy/thread_rng/OsRng/getrandom); \
+                  seeds flow from config",
+    },
+    RuleInfo {
+        name: "no-panic-service",
+        summary: "unwrap/expect/panic!/unreachable!/todo! forbidden in fs2-service \
+                  request paths; failures must become typed replies",
+    },
+    RuleInfo {
+        name: "checked-cast",
+        summary: "truncating `as` casts (to ≤ 32-bit ints) forbidden in node/sample \
+                  accounting modules; use try_from or widen the intermediate",
+    },
+    RuleInfo {
+        name: "safety-comment",
+        summary: "every unsafe block must be preceded by a // SAFETY: comment",
+    },
+    RuleInfo {
+        name: "suppression",
+        summary: "fs2-lint annotations must be well-formed: allow(<known-rule>) -- <reason>",
+    },
+];
+
+/// The deterministic crates: fleet output must be bitwise-pure in
+/// `(seed, config)` everywhere under these roots.
+fn deterministic_module(m: &str) -> bool {
+    [
+        "fs2-core",
+        "fs2-sim",
+        "fs2-cluster",
+        "fs2-calib",
+        "fs2-tuning",
+    ]
+    .iter()
+    .any(|c| m == *c || m.starts_with(&format!("{c}::")))
+}
+
+/// Modules allowed to read wall clocks: benchmarks, the shared timing
+/// harness, and the CLI front-end (which prints elapsed times).
+fn wall_clock_allowed(m: &str) -> bool {
+    m.starts_with("fs2-bench") || m.starts_with("firestarter2") || m.ends_with("::timing")
+}
+
+/// The node/sample accounting modules where a silent truncation has
+/// already bitten once (the PR 7 `taurus_haswell_scaled` u32 overflow).
+fn accounting_module(m: &str) -> bool {
+    matches!(
+        m,
+        "fs2-cluster::fleet"
+            | "fs2-cluster::budget"
+            | "fs2-service::admission"
+            | "fs2-service::proto"
+    )
+}
+
+/// The fleet-service request path: every module of `fs2-service` is
+/// reachable from `handle_line`, so a panic anywhere kills a worker
+/// thread instead of producing a failure reply.
+fn service_module(m: &str) -> bool {
+    m == "fs2-service" || m.starts_with("fs2-service::")
+}
+
+struct Ctx<'a> {
+    path: &'a str,
+    module: String,
+    tokens: &'a [Token],
+    tests: TestRegions,
+    diags: Vec<Diagnostic>,
+}
+
+impl Ctx<'_> {
+    fn emit(&mut self, line: u32, rule: &'static str, message: String) {
+        self.diags.push(Diagnostic {
+            path: self.path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    fn in_tests(&self, line: u32) -> bool {
+        self.tests.contains(line)
+    }
+}
+
+/// Runs every rule over one lexed file. `path` is workspace-relative
+/// with `/` separators; it drives the module scoping.
+pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let sup = suppressions(lexed);
+    let mut ctx = Ctx {
+        path,
+        module: crate::scope::module_path_of(path),
+        tokens: &lexed.tokens,
+        tests: test_regions(&lexed.tokens),
+        diags: suppression_findings(path, &sup),
+    };
+    map_iter(&mut ctx);
+    wall_clock(&mut ctx);
+    rng_discipline(&mut ctx);
+    no_panic_service(&mut ctx);
+    checked_cast(&mut ctx);
+    safety_comment(&mut ctx, lexed);
+    ctx.diags
+        .into_iter()
+        .filter(|d| d.rule == "suppression" || !sup.allows(d.rule, d.line))
+        .collect()
+}
+
+/// Identifiers bound to a `HashMap`/`HashSet` in this file: struct
+/// fields and `let`/parameter bindings whose declared type names the
+/// map (`cache: &mut HashMap<…>`), plus `let name = HashMap::new()`.
+fn hash_container_names(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk left through type position (idents, ::, <, &, mut, …)
+        // until the `:` or `=` that introduced it.
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let tk = &tokens[j];
+            let type_ish = matches!(tk.kind, TokenKind::Ident | TokenKind::Lifetime)
+                && !tk.is_ident("let")
+                || tk.is_punct('<')
+                || tk.is_punct('&')
+                || tk.is_punct(',')
+                || tk.is_punct('(')
+                || tk.is_punct(':') && j > 0 && tokens[j - 1].is_punct(':')
+                || tk.is_punct(':') && tokens.get(j + 1).is_some_and(|n| n.is_punct(':'));
+            if type_ish {
+                continue;
+            }
+            if (tk.is_punct(':') || tk.is_punct('='))
+                && j > 0
+                && tokens[j - 1].kind == TokenKind::Ident
+            {
+                names.push(tokens[j - 1].text.clone());
+            }
+            break;
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Rule 1: `map-iter`. Iteration order over std's hashed containers
+/// is seeded per-process; any traversal in a deterministic crate is a
+/// determinism bug waiting for a tie to break the wrong way.
+fn map_iter(ctx: &mut Ctx) {
+    if !deterministic_module(&ctx.module) {
+        return;
+    }
+    let names = hash_container_names(ctx.tokens);
+    let toks = ctx.tokens;
+    let mut hits: Vec<(u32, String)> = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || ctx.in_tests(t.line) {
+            continue;
+        }
+        let after_dot = i > 0 && toks[i - 1].is_punct('.');
+        let called = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if after_dot && called {
+            // Methods that *are* the traversal, whatever the receiver:
+            // only maps have keys()/values().
+            if matches!(
+                t.text.as_str(),
+                "keys" | "values" | "values_mut" | "into_keys" | "into_values"
+            ) {
+                hits.push((
+                    t.line,
+                    format!(
+                        ".{}() traverses a hashed container in unstable order",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+            // Generic traversals: flag only when the receiver is a
+            // known HashMap/HashSet binding from this file.
+            if matches!(
+                t.text.as_str(),
+                "iter" | "iter_mut" | "into_iter" | "drain" | "retain"
+            ) && i >= 2
+                && toks[i - 2].kind == TokenKind::Ident
+                && names.contains(&toks[i - 2].text)
+            {
+                hits.push((
+                    t.line,
+                    format!(
+                        "`{}.{}()` iterates a HashMap/HashSet; use BTreeMap or sort first",
+                        toks[i - 2].text,
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+        }
+        // `for … in [&[mut]] name` where name is a map binding.
+        if t.is_ident("in") {
+            let mut k = i + 1;
+            while toks
+                .get(k)
+                .is_some_and(|n| n.is_punct('&') || n.is_ident("mut"))
+            {
+                k += 1;
+            }
+            if let Some(n) = toks.get(k) {
+                let ends_stmt = toks
+                    .get(k + 1)
+                    .is_none_or(|x| x.is_punct('{') || x.is_punct('.'));
+                if n.kind == TokenKind::Ident && names.contains(&n.text) && ends_stmt {
+                    hits.push((
+                        t.line,
+                        format!(
+                            "`for … in {}` iterates a HashMap/HashSet in unstable order",
+                            n.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for (line, msg) in hits {
+        ctx.emit(line, "map-iter", msg);
+    }
+}
+
+/// Rule 2: `wall-clock`. Time reads make output depend on the host's
+/// clock; only benches, the timing harness, and the CLI may look.
+fn wall_clock(ctx: &mut Ctx) {
+    if wall_clock_allowed(&ctx.module) {
+        return;
+    }
+    let mut hits = Vec::new();
+    for t in ctx.tokens {
+        if ctx.in_tests(t.line) {
+            continue;
+        }
+        if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            hits.push((
+                t.line,
+                format!(
+                    "{} read outside bench/timing/CLI modules breaks (seed, config) purity",
+                    t.text
+                ),
+            ));
+        }
+    }
+    for (line, msg) in hits {
+        ctx.emit(line, "wall-clock", msg);
+    }
+}
+
+/// Rule 3: `rng-discipline`. Every random stream in the workspace is
+/// seeded from config; entropy seeding anywhere (tests included)
+/// makes reruns unreproducible.
+fn rng_discipline(ctx: &mut Ctx) {
+    let mut hits = Vec::new();
+    for t in ctx.tokens {
+        if matches!(
+            t.text.as_str(),
+            "from_entropy" | "thread_rng" | "OsRng" | "getrandom"
+        ) && t.kind == TokenKind::Ident
+        {
+            hits.push((
+                t.line,
+                format!(
+                    "`{}` seeds from entropy; thread seeds through the config instead",
+                    t.text
+                ),
+            ));
+        }
+    }
+    for (line, msg) in hits {
+        ctx.emit(line, "rng-discipline", msg);
+    }
+}
+
+/// Rule 4: `no-panic-service`. A panic in `fs2-service` kills a
+/// worker/connection thread; peers must get typed failure replies.
+fn no_panic_service(ctx: &mut Ctx) {
+    if !service_module(&ctx.module) {
+        return;
+    }
+    let toks = ctx.tokens;
+    let mut hits = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || ctx.in_tests(t.line) {
+            continue;
+        }
+        let called = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let after_dot = i > 0 && toks[i - 1].is_punct('.');
+        if after_dot && called && matches!(t.text.as_str(), "unwrap" | "expect") {
+            hits.push((
+                t.line,
+                format!(
+                    ".{}() in a service request path panics a worker; return a typed error",
+                    t.text
+                ),
+            ));
+        }
+        let bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if bang
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+        {
+            hits.push((
+                t.line,
+                format!(
+                    "{}! in a service request path; return a typed error instead",
+                    t.text
+                ),
+            ));
+        }
+    }
+    for (line, msg) in hits {
+        ctx.emit(line, "no-panic-service", msg);
+    }
+}
+
+/// Rule 5: `checked-cast`. In accounting modules an `as` cast to a
+/// ≤ 32-bit integer silently truncates at request scale; `try_from`
+/// (or a 64-bit intermediate) makes the overflow a typed error.
+fn checked_cast(ctx: &mut Ctx) {
+    if !accounting_module(&ctx.module) {
+        return;
+    }
+    let toks = ctx.tokens;
+    let mut hits = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("as") || ctx.in_tests(t.line) {
+            continue;
+        }
+        if let Some(target) = toks.get(i + 1) {
+            if matches!(
+                target.text.as_str(),
+                "u8" | "u16" | "u32" | "i8" | "i16" | "i32"
+            ) && target.kind == TokenKind::Ident
+            {
+                hits.push((
+                    t.line,
+                    format!(
+                        "`as {}` truncates silently at request scale; use {}::try_from",
+                        target.text, target.text
+                    ),
+                ));
+            }
+        }
+    }
+    for (line, msg) in hits {
+        ctx.emit(line, "checked-cast", msg);
+    }
+}
+
+/// Rule 6: `safety-comment`. Every `unsafe {` block needs a
+/// `// SAFETY:` comment between the previous statement and the block.
+fn safety_comment(ctx: &mut Ctx, lexed: &Lexed) {
+    let toks = ctx.tokens;
+    let mut hits = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") || !toks.get(i + 1).is_some_and(|n| n.is_punct('{')) {
+            continue;
+        }
+        // The nearest code line strictly above the block: a SAFETY
+        // comment must sit between it and the `unsafe` keyword (or on
+        // one of those two lines).
+        let prev_code_line = toks[..i]
+            .iter()
+            .rev()
+            .map(|p| p.line)
+            .find(|&l| l < t.line)
+            .unwrap_or(0);
+        let documented = lexed.comments.iter().any(|c| {
+            c.text.contains("SAFETY:") && c.last_line >= prev_code_line && c.first_line <= t.line
+        });
+        if !documented {
+            hits.push((
+                t.line,
+                "unsafe block without a preceding // SAFETY: comment".to_string(),
+            ));
+        }
+    }
+    for (line, msg) in hits {
+        ctx.emit(line, "safety-comment", msg);
+    }
+}

@@ -1,0 +1,351 @@
+//! Module-path scoping, `#[cfg(test)]` region detection, and inline
+//! suppression parsing.
+//!
+//! Rules are scoped by *module path* (`fs2-cluster::fleet`), derived
+//! from the file's workspace-relative path, so a rule like `map-iter`
+//! can apply to the deterministic crates and nowhere else. Test
+//! modules and `#[test]` functions are exempt from most rules — tests
+//! may unwrap, cast, and iterate however they like — while
+//! `safety-comment` and `rng-discipline` stay on everywhere (an
+//! entropy-seeded test is flaky by construction).
+//!
+//! Suppression syntax, modeled on clippy's `#[allow]` but carried in
+//! a comment so it needs no proc-macro support:
+//!
+//! ```text
+//! // fs2-lint: allow(checked-cast) -- class index is < 6 by JobMix validation
+//! ```
+//!
+//! The annotation suppresses the named rule(s) on the same line, or —
+//! when the comment stands alone on its line — on the next line that
+//! holds code. The `-- <reason>` part is mandatory: an unexplained
+//! exemption is itself a finding (`suppression`).
+
+use crate::lexer::{Comment, Lexed, Token};
+use crate::rules::RULES;
+use crate::Diagnostic;
+
+/// Derives a module path like `fs2-cluster::fleet` from a
+/// workspace-relative file path like `crates/cluster/src/fleet.rs`.
+///
+/// Top-level `src/` maps to the root `firestarter2` crate (the CLI);
+/// integration tests and examples keep a `tests::` / `examples::`
+/// prefix so scoped rules can tell them apart from crate sources.
+pub fn module_path_of(rel_path: &str) -> String {
+    let p = rel_path.trim_end_matches(".rs");
+    let parts: Vec<&str> = p.split('/').collect();
+    match parts.as_slice() {
+        ["crates", krate, "src", rest @ ..] => {
+            let mut out = format!("fs2-{krate}");
+            for seg in rest {
+                if *seg != "lib" && *seg != "mod" {
+                    out.push_str("::");
+                    out.push_str(seg);
+                }
+            }
+            out
+        }
+        ["src", rest @ ..] => {
+            let mut out = "firestarter2".to_string();
+            for seg in rest {
+                if *seg != "lib" && *seg != "main" {
+                    out.push_str("::");
+                    out.push_str(seg);
+                }
+            }
+            out
+        }
+        ["vendor", krate, ..] => format!("vendor::{krate}"),
+        [head, rest @ ..] => {
+            let mut out = (*head).to_string();
+            for seg in rest {
+                out.push_str("::");
+                out.push_str(seg);
+            }
+            out
+        }
+        [] => String::new(),
+    }
+}
+
+/// Inclusive line ranges covered by `#[cfg(test)]` modules and
+/// `#[test]` functions.
+#[derive(Debug, Default)]
+pub struct TestRegions {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl TestRegions {
+    pub fn contains(&self, line: u32) -> bool {
+        self.ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+}
+
+fn attr_is_cfg_test(inner: &[Token]) -> bool {
+    // #[cfg(test)] / #[cfg(all(test, …))] — any `test` ident inside a
+    // `cfg` attribute counts.
+    inner.first().is_some_and(|t| t.is_ident("cfg")) && inner.iter().any(|t| t.is_ident("test"))
+}
+
+fn attr_is_test(inner: &[Token]) -> bool {
+    inner.len() == 1 && inner[0].is_ident("test")
+}
+
+/// Finds `#[cfg(test)]`/`#[test]` attributes and brace-matches the
+/// item that follows them. Token-level brace matching is exact here
+/// because strings and comments were already consumed by the lexer.
+pub fn test_regions(tokens: &[Token]) -> TestRegions {
+    let mut regions = TestRegions::default();
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let attr_line = tokens[i].line;
+        // Collect the attribute body up to its matching `]`.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut inner = Vec::new();
+        while j < tokens.len() {
+            if tokens[j].is_punct('[') {
+                depth += 1;
+            } else if tokens[j].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1 {
+                inner.push(tokens[j].clone());
+            }
+            j += 1;
+        }
+        if j >= tokens.len() || !(attr_is_cfg_test(&inner) || attr_is_test(&inner)) {
+            i = j.max(i + 1);
+            continue;
+        }
+        // Skip any further attributes, then brace-match the item body.
+        let mut k = j + 1;
+        while k + 1 < tokens.len() && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[') {
+            let mut d = 0usize;
+            while k < tokens.len() {
+                if tokens[k].is_punct('[') {
+                    d += 1;
+                } else if tokens[k].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut brace = None;
+        for (idx, t) in tokens.iter().enumerate().skip(k) {
+            if t.is_punct(';') {
+                break; // `#[cfg(test)] mod tests;` — body is elsewhere
+            }
+            if t.is_punct('{') {
+                brace = Some(idx);
+                break;
+            }
+        }
+        if let Some(open) = brace {
+            let mut d = 0usize;
+            let mut end = tokens.len() - 1;
+            for (idx, t) in tokens.iter().enumerate().skip(open) {
+                if t.is_punct('{') {
+                    d += 1;
+                } else if t.is_punct('}') {
+                    d -= 1;
+                    if d == 0 {
+                        end = idx;
+                        break;
+                    }
+                }
+            }
+            regions.ranges.push((attr_line, tokens[end].line));
+        }
+        i = j + 1;
+    }
+    regions
+}
+
+/// One parsed `fs2-lint: allow(…) -- reason` annotation.
+#[derive(Debug)]
+pub struct Suppression {
+    pub rule: String,
+    /// The line the annotation governs.
+    pub target_line: u32,
+}
+
+/// Parsed suppressions plus any malformed-annotation findings.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    entries: Vec<Suppression>,
+    pub findings: Vec<(u32, String)>,
+}
+
+impl Suppressions {
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        self.entries
+            .iter()
+            .any(|s| s.rule == rule && s.target_line == line)
+    }
+}
+
+/// The line an annotation comment governs: its own line when code
+/// precedes it (trailing comment), otherwise the next line bearing a
+/// token.
+fn target_line(comment: &Comment, tokens: &[Token]) -> u32 {
+    let has_code_on_line = tokens.iter().any(|t| t.line == comment.first_line);
+    if has_code_on_line {
+        return comment.first_line;
+    }
+    tokens
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| l > comment.last_line)
+        .min()
+        .unwrap_or(comment.last_line + 1)
+}
+
+/// Extracts every `fs2-lint:` annotation. Unknown rule names and
+/// missing `-- reason` clauses become findings instead of silently
+/// suppressing nothing.
+pub fn suppressions(lexed: &Lexed) -> Suppressions {
+    let mut out = Suppressions::default();
+    for comment in &lexed.comments {
+        let body = comment
+            .text
+            .trim_start_matches(['/', '*', '!'])
+            .trim_end_matches(['*', '/'])
+            .trim();
+        let Some(rest) = body.strip_prefix("fs2-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let line = comment.first_line;
+        let Some(args) = rest.strip_prefix("allow(") else {
+            out.findings.push((
+                line,
+                format!("malformed annotation: expected `fs2-lint: allow(<rule>) -- <reason>`, got `{rest}`"),
+            ));
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            out.findings
+                .push((line, "malformed annotation: unclosed allow(".to_string()));
+            continue;
+        };
+        let (names, tail) = args.split_at(close);
+        let tail = tail[1..].trim();
+        let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            out.findings.push((
+                line,
+                "suppression without a reason: append ` -- <why this site is exempt>`".to_string(),
+            ));
+            continue;
+        }
+        let target = target_line(comment, &lexed.tokens);
+        for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if RULES.iter().any(|r| r.name == name) {
+                out.entries.push(Suppression {
+                    rule: name.to_string(),
+                    target_line: target,
+                });
+            } else {
+                out.findings
+                    .push((line, format!("allow() names unknown rule `{name}`")));
+            }
+        }
+    }
+    out
+}
+
+/// Re-exported for the rule engine: pairs malformed-annotation
+/// findings with the standard diagnostic shape.
+pub fn suppression_findings(path: &str, sup: &Suppressions) -> Vec<Diagnostic> {
+    sup.findings
+        .iter()
+        .map(|(line, msg)| Diagnostic {
+            path: path.to_string(),
+            line: *line,
+            rule: "suppression",
+            message: msg.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn module_paths_follow_the_workspace_layout() {
+        assert_eq!(
+            module_path_of("crates/cluster/src/fleet.rs"),
+            "fs2-cluster::fleet"
+        );
+        assert_eq!(module_path_of("crates/core/src/lib.rs"), "fs2-core");
+        assert_eq!(
+            module_path_of("crates/bench/src/bin/bench_fleet.rs"),
+            "fs2-bench::bin::bench_fleet"
+        );
+        assert_eq!(module_path_of("src/cli.rs"), "firestarter2::cli");
+        assert_eq!(module_path_of("src/main.rs"), "firestarter2");
+        assert_eq!(module_path_of("tests/props.rs"), "tests::props");
+        assert_eq!(
+            module_path_of("examples/quickstart.rs"),
+            "examples::quickstart"
+        );
+    }
+
+    #[test]
+    fn cfg_test_modules_are_detected() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\nfn after() {}";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.tokens);
+        assert!(!regions.contains(1));
+        assert!(regions.contains(3));
+        assert!(regions.contains(4));
+        assert!(!regions.contains(6));
+    }
+
+    #[test]
+    fn test_fns_outside_modules_are_detected() {
+        let src = "#[test]\nfn alone() {\n    body();\n}\nfn live() {}";
+        let regions = test_regions(&lex(src).tokens);
+        assert!(regions.contains(3));
+        assert!(!regions.contains(5));
+    }
+
+    #[test]
+    fn suppressions_bind_to_the_right_line() {
+        let src = "\
+// fs2-lint: allow(wall-clock) -- standalone, governs next line
+let a = now();
+let b = now(); // fs2-lint: allow(wall-clock) -- trailing, same line
+let c = now();";
+        let s = suppressions(&lex(src));
+        assert!(s.allows("wall-clock", 2));
+        assert!(s.allows("wall-clock", 3));
+        assert!(!s.allows("wall-clock", 4));
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
+    }
+
+    #[test]
+    fn reasonless_or_unknown_suppressions_are_findings() {
+        let src = "\
+// fs2-lint: allow(wall-clock)
+// fs2-lint: allow(not-a-rule) -- but explained
+// fs2-lint: deny(everything)
+let x = 1;";
+        let s = suppressions(&lex(src));
+        assert_eq!(s.findings.len(), 3, "{:?}", s.findings);
+        assert!(!s.allows("wall-clock", 4));
+    }
+}

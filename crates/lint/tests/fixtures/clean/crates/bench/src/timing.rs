@@ -1,0 +1,19 @@
+//! Fixture: wall-clock negatives. `fs2-bench::timing` is doubly
+//! exempt (a bench crate *and* a `::timing` module), so clock reads
+//! here lint clean.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn measure<F: FnOnce()>(f: F) -> Duration {
+    // Negative: benches exist to read the clock.
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+pub fn stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,30 @@
+//! Fixture: checked-cast negatives in an accounting module. Widening
+//! casts, checked conversions, and annotated hot-loop truncations all
+//! lint clean.
+
+pub fn widen(nodes: u32, samples: u32) -> u64 {
+    // Negative: widening casts never truncate.
+    let budget = nodes as u64 * samples as u64;
+    let idx = nodes as usize;
+    budget + idx as u64
+}
+
+pub fn checked(total: u64) -> Result<u32, std::num::TryFromIntError> {
+    // Negative: try_from is the sanctioned conversion.
+    u32::try_from(total)
+}
+
+pub fn hot_loop(states: &mut Vec<u16>, class_index: usize) {
+    // fs2-lint: allow(checked-cast) -- class index is validated against a tiny catalogue; hot per-sample loop
+    states.push(class_index as u16);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_truncate() {
+        // Negative: narrowing casts in tests are exempt.
+        let small = 40_000_u64 as u16;
+        assert_eq!(small, 40_000 % 65_536);
+    }
+}

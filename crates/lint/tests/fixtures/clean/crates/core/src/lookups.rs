@@ -1,0 +1,56 @@
+//! Fixture: map-iter negatives and lexer edge cases. Everything in
+//! this file must lint clean even though the text is littered with
+//! rule-shaped content inside strings, comments, and test modules.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn lookup(cache: &HashMap<u64, u32>, key: u64) -> u32 {
+    // Negative: point lookups on a HashMap are fine.
+    cache.get(&key).copied().unwrap_or_default()
+}
+
+pub fn ordered_total(ranks: &BTreeMap<u64, u32>) -> u64 {
+    // Negative: BTreeMap iterates in key order — deterministic.
+    let mut total = 0;
+    for (k, v) in ranks {
+        total += k * u64::from(*v);
+    }
+    total
+}
+
+pub fn vec_iter(samples: &[u64]) -> u64 {
+    // Negative: slice iteration is ordered.
+    samples.iter().sum()
+}
+
+pub fn sorted_keys(cache: &HashMap<u64, u32>) -> Vec<u64> {
+    // fs2-lint: allow(map-iter) -- keys are collected and sorted before use
+    let mut keys: Vec<u64> = cache.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+pub fn literals_do_not_fire() -> String {
+    // Negative: rule-shaped text inside string literals is inert.
+    let a = "for (k, v) in &counts { counts.keys() }";
+    let b = r#"Instant::now() and thread_rng() and x as u32 and .unwrap()"#;
+    /* Negative: block comments are inert too — even /* nested */ ones
+    holding SystemTime::now(), panic!("boom"), and unsafe { *p }. */
+    let c = '\u{1F600}';
+    let lifetime_not_char: &'static str = "still clean";
+    format!("{a}{b}{c}{lifetime_not_char}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt_from_map_iter() {
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        counts.insert(1, 2);
+        // Negative: map traversal inside #[cfg(test)] is exempt.
+        let total: u32 = counts.values().sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture: no-panic-service negatives. Fallible handling and
+//! annotated invariants in a service module must lint clean.
+
+pub fn parse(line: &str) -> Result<u32, String> {
+    // Negative: typed-error handling, no panic potential.
+    line.trim()
+        .parse::<u32>()
+        .map_err(|e| format!("bad count: {e}"))
+}
+
+pub fn with_default(line: &str) -> u32 {
+    // Negative: unwrap_or / unwrap_or_else / unwrap_or_default are
+    // not panics.
+    let a = line.parse::<u32>().unwrap_or(0);
+    let b = line.parse::<u32>().unwrap_or_else(|_| 1);
+    let c = line.parse::<u32>().unwrap_or_default();
+    a + b + c
+}
+
+pub fn stats(counter: &std::sync::Mutex<u64>) -> u64 {
+    // fs2-lint: allow(no-panic-service) -- lock poisoning, not peer input
+    *counter.lock().expect("counter poisoned")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_unwrap() {
+        // Negative: unwrap in tests is the normal assertion idiom.
+        assert_eq!("7".parse::<u32>().unwrap(), 7);
+        assert_eq!(parse("7").unwrap(), 7);
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: safety-comment negatives. Documented unsafe blocks in
+//! both accepted shapes, plus rule-shaped text that must stay inert.
+
+pub fn read_line_above(ptr: *const u32) -> u32 {
+    // SAFETY: caller guarantees `ptr` is valid and aligned for reads.
+    unsafe { *ptr }
+}
+
+pub fn read_trailing(ptr: *const u32) -> u32 {
+    let v = unsafe { *ptr }; // SAFETY: caller upholds validity.
+    v
+}
+
+pub fn inert_text() -> &'static str {
+    // Negative: "unsafe {" inside a string is not an unsafe block.
+    "unsafe { *ptr } without a net"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_may_read_the_clock() {
+        // Negative: wall-clock reads inside tests are exempt.
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_secs() < 3600);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: wall-clock positives. `fs2-calib::clock` is neither a
+//! bench, a `::timing` module, nor the CLI, so both reads are flagged.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    // Positive: Instant in a deterministic calibration path.
+    let t0 = Instant::now();
+    let _ = t0.elapsed();
+    // Positive: SystemTime anywhere outside bench/timing/CLI.
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

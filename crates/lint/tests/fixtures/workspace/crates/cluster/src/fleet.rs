@@ -1,0 +1,11 @@
+//! Fixture: checked-cast positives. `fs2-cluster::fleet` is a node/
+//! sample accounting module; the truncating casts below must be
+//! flagged.
+
+pub fn shard_count(total_nodes: u64, shards: usize) -> u32 {
+    // Positive: u64 -> u32 silently truncates at request scale.
+    let n = total_nodes as u32;
+    // Positive: usize -> u16.
+    let s = shards as u16;
+    n / u32::from(s.max(1))
+}

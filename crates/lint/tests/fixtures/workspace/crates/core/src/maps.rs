@@ -1,0 +1,27 @@
+//! Fixture: map-iter positives. Module path `fs2-core::maps` is a
+//! deterministic crate, so every traversal below must be flagged.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(samples: &[u64]) -> u64 {
+    let mut counts: HashMap<u64, u32> = HashMap::new();
+    for &s in samples {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    let mut total = 0;
+    // Positive: `for … in` over a known HashMap binding.
+    for (k, v) in &counts {
+        total += k * u64::from(*v);
+    }
+    total
+}
+
+pub fn first_key(counts: &HashMap<u64, u32>) -> Option<u64> {
+    // Positive: .keys() is a traversal regardless of receiver name.
+    counts.keys().next().copied()
+}
+
+pub fn drain_all(seen: &mut HashSet<u64>) -> Vec<u64> {
+    // Positive: .drain() on a binding declared as a HashSet.
+    seen.drain().collect()
+}

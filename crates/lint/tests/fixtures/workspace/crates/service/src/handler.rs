@@ -1,0 +1,18 @@
+//! Fixture: no-panic-service positives. `fs2-service::handler` is on
+//! the request path; every panic site below must be flagged.
+
+pub fn handle(line: &str) -> String {
+    // Positive: unwrap on peer-controlled input.
+    let n: u32 = line.trim().parse().unwrap();
+    // Positive: expect on peer-controlled input.
+    let first = line.split(',').next().expect("nonempty split");
+    if n > 1000 {
+        // Positive: panic! reachable from a request.
+        panic!("request too large: {n}");
+    }
+    match first {
+        "run" => format!("ok {n}"),
+        // Positive: unreachable! on a peer-chosen arm.
+        _ => unreachable!("unknown verb"),
+    }
+}

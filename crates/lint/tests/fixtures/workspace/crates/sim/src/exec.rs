@@ -1,0 +1,16 @@
+//! Fixture: safety-comment and suppression positives. The unsafe
+//! block below has no safety comment, and both annotations are
+//! malformed (unknown rule; missing reason).
+
+pub fn lanes(ptr: *const u32) -> u32 {
+    let widened = 1;
+    // Positive: unsafe block with no preceding safety comment.
+    let v = unsafe { *ptr };
+    v + widened
+}
+
+// fs2-lint: allow(not-a-rule) -- the rule name is not one the engine knows
+pub fn bogus_rule() {}
+
+// fs2-lint: allow(map-iter)
+pub fn missing_reason() {}

@@ -1,0 +1,13 @@
+//! Fixture: rng-discipline positives. Entropy seeding is forbidden
+//! everywhere — tuning sweeps must replay bit-for-bit from a config
+//! seed.
+
+pub fn seed_sources() -> u64 {
+    // Positive: from_entropy.
+    let rng = SmallRng::from_entropy();
+    // Positive: thread_rng.
+    let local = thread_rng();
+    // Positive: OsRng named as a source.
+    let os = OsRng;
+    mix(rng, local, os)
+}

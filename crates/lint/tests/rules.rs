@@ -1,0 +1,244 @@
+//! Integration tests for the lint engine: per-rule precision on
+//! inline sources, the fixture corpora under `tests/fixtures/`
+//! (`workspace/` is intentionally dirty, `clean/` must stay clean),
+//! the binary's exit-code contract, and the meta-test pinning the
+//! *live* workspace lint-clean.
+
+use fs2_lint::{find_workspace_root, lint_source, lint_workspace, Diagnostic};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("crates/lint sits two levels under the workspace root")
+}
+
+fn count(diags: &[Diagnostic], rule: &str) -> usize {
+    diags.iter().filter(|d| d.rule == rule).count()
+}
+
+// ---- per-rule precision on inline sources ----------------------------
+
+#[test]
+fn map_iter_flags_traversal_and_spares_lookup() {
+    let traversal = "use std::collections::HashMap;\n\
+                     fn f(m: &HashMap<u64, u32>) -> u64 {\n\
+                         let mut t = 0;\n\
+                         for (k, _) in m { t += k; }\n\
+                         t\n\
+                     }\n";
+    let hits = lint_source("crates/core/src/x.rs", traversal);
+    assert_eq!(count(&hits, "map-iter"), 1, "{hits:?}");
+    assert_eq!(hits[0].line, 4);
+
+    let lookup = "use std::collections::HashMap;\n\
+                  fn f(m: &mut HashMap<u64, u32>) -> u32 {\n\
+                      m.insert(1, 2);\n\
+                      m.get(&1).copied().unwrap_or(0)\n\
+                  }\n";
+    assert!(lint_source("crates/core/src/x.rs", lookup).is_empty());
+
+    // Outside the deterministic crates the same traversal is fine.
+    assert!(lint_source("crates/metrics/src/x.rs", traversal).is_empty());
+}
+
+#[test]
+fn wall_clock_respects_module_scope() {
+    let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
+    assert_eq!(
+        count(&lint_source("crates/power/src/x.rs", src), "wall-clock"),
+        2,
+        "one hit per Instant mention"
+    );
+    // Bench crates, `::timing` modules, and the CLI may read clocks.
+    assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+    assert!(lint_source("crates/metrics/src/timing.rs", src).is_empty());
+    assert!(lint_source("src/cli.rs", src).is_empty());
+}
+
+#[test]
+fn rng_discipline_applies_even_in_tests() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn flaky() {\n        \
+               let mut rng = rand::thread_rng();\n    }\n}\n";
+    let hits = lint_source("crates/metrics/src/x.rs", src);
+    assert_eq!(count(&hits, "rng-discipline"), 1, "{hits:?}");
+}
+
+#[test]
+fn no_panic_is_scoped_to_the_service_crate() {
+    let src = "fn f(line: &str) -> u32 { line.parse().unwrap() }\n";
+    let hits = lint_source("crates/service/src/x.rs", src);
+    assert_eq!(count(&hits, "no-panic-service"), 1, "{hits:?}");
+    assert!(lint_source("crates/cluster/src/x.rs", src).is_empty());
+
+    let graceful = "fn f(line: &str) -> u32 { line.parse().unwrap_or(0) }\n";
+    assert!(lint_source("crates/service/src/x.rs", graceful).is_empty());
+}
+
+#[test]
+fn checked_cast_is_scoped_to_accounting_modules() {
+    let narrowing = "fn f(n: u64) -> u32 { n as u32 }\n";
+    let hits = lint_source("crates/cluster/src/fleet.rs", narrowing);
+    assert_eq!(count(&hits, "checked-cast"), 1, "{hits:?}");
+    // Widening is always fine; other cluster modules are out of scope.
+    let widening = "fn f(n: u32) -> u64 { n as u64 }\n";
+    assert!(lint_source("crates/cluster/src/fleet.rs", widening).is_empty());
+    assert!(lint_source("crates/cluster/src/topology.rs", narrowing).is_empty());
+}
+
+#[test]
+fn safety_comment_accepts_both_shapes() {
+    let bare = "fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n";
+    let hits = lint_source("crates/sim/src/x.rs", bare);
+    assert_eq!(count(&hits, "safety-comment"), 1, "{hits:?}");
+
+    let above = "fn f(p: *const u32) -> u32 {\n    \
+                 // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+    assert!(lint_source("crates/sim/src/x.rs", above).is_empty());
+
+    let trailing = "fn f(p: *const u32) -> u32 {\n    \
+                    let v = unsafe { *p }; // SAFETY: caller upholds validity.\n    v\n}\n";
+    assert!(lint_source("crates/sim/src/x.rs", trailing).is_empty());
+}
+
+#[test]
+fn suppressions_silence_exactly_one_line() {
+    let src = "// fs2-lint: allow(checked-cast) -- bounded upstream\n\
+               fn f(n: u64) -> u32 { n as u32 }\n\
+               fn g(n: u64) -> u32 { n as u32 }\n";
+    let hits = lint_source("crates/cluster/src/fleet.rs", src);
+    assert_eq!(count(&hits, "checked-cast"), 1, "{hits:?}");
+    assert_eq!(hits[0].line, 3, "the unannotated cast still fires");
+}
+
+#[test]
+fn malformed_suppressions_are_findings() {
+    let src = "// fs2-lint: allow(checked-cast)\nfn f(n: u64) -> u32 { n as u32 }\n";
+    let hits = lint_source("crates/cluster/src/fleet.rs", src);
+    assert_eq!(
+        count(&hits, "suppression"),
+        1,
+        "reasonless annotation: {hits:?}"
+    );
+    assert_eq!(
+        count(&hits, "checked-cast"),
+        1,
+        "a reasonless annotation suppresses nothing"
+    );
+}
+
+#[test]
+fn rule_shaped_text_in_literals_and_comments_is_inert() {
+    let src = "fn f() -> String {\n    \
+               let a = \"for (k, v) in &counts { Instant::now() }\";\n    \
+               let b = r#\"thread_rng() and x as u32 and .unwrap()\"#;\n    \
+               /* SystemTime::now(), panic!(\"boom\"), unsafe { *p } */\n    \
+               format!(\"{a}{b}\")\n}\n";
+    // The service + accounting path is the strictest scope available.
+    assert!(lint_source("crates/service/src/admission.rs", src).is_empty());
+    assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+}
+
+// ---- fixture corpora -------------------------------------------------
+
+#[test]
+fn dirty_fixture_tree_fires_every_rule() {
+    let report = lint_workspace(&fixture("workspace")).expect("fixture tree walks");
+    assert_eq!(report.files_scanned, 6);
+    let d = &report.diagnostics;
+    assert_eq!(count(d, "map-iter"), 3, "{d:#?}");
+    assert_eq!(count(d, "wall-clock"), 5, "{d:#?}");
+    assert_eq!(count(d, "rng-discipline"), 3, "{d:#?}");
+    assert_eq!(count(d, "no-panic-service"), 4, "{d:#?}");
+    assert_eq!(count(d, "checked-cast"), 2, "{d:#?}");
+    assert_eq!(count(d, "safety-comment"), 1, "{d:#?}");
+    assert_eq!(count(d, "suppression"), 2, "{d:#?}");
+    // Findings land in the file staged for that rule.
+    for (rule, path) in [
+        ("map-iter", "crates/core/src/maps.rs"),
+        ("wall-clock", "crates/calib/src/clock.rs"),
+        ("rng-discipline", "crates/tuning/src/rng.rs"),
+        ("no-panic-service", "crates/service/src/handler.rs"),
+        ("checked-cast", "crates/cluster/src/fleet.rs"),
+        ("safety-comment", "crates/sim/src/exec.rs"),
+        ("suppression", "crates/sim/src/exec.rs"),
+    ] {
+        assert!(
+            d.iter().filter(|x| x.rule == rule).all(|x| x.path == path),
+            "{rule} findings strayed from {path}: {d:#?}"
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_tree_is_clean() {
+    let report = lint_workspace(&fixture("clean")).expect("fixture tree walks");
+    assert_eq!(report.files_scanned, 5);
+    assert!(
+        report.is_clean(),
+        "clean fixtures must not fire: {:#?}",
+        report.diagnostics
+    );
+}
+
+// ---- binary exit-code contract ---------------------------------------
+
+#[test]
+fn binary_exits_nonzero_on_findings() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_fs2-lint"))
+        .arg(fixture("workspace"))
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "dirty tree must fail the lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("finding(s) across"), "{stdout}");
+    assert!(
+        stdout.contains("crates/core/src/maps.rs:"),
+        "diagnostics print as file:line rule: message\n{stdout}"
+    );
+}
+
+#[test]
+fn binary_exits_zero_on_a_clean_tree() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_fs2-lint"))
+        .arg(fixture("clean"))
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("fs2-lint: clean"), "{stdout}");
+}
+
+// ---- the meta-test: the live workspace stays lint-clean --------------
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = repo_root();
+    assert!(
+        find_workspace_root(&root.join("crates/lint")) == Some(root.clone()),
+        "root discovery should land on the workspace manifest"
+    );
+    let report = lint_workspace(&root).expect("workspace walks");
+    assert!(
+        report.files_scanned >= 100,
+        "suspiciously few files scanned ({}): wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "the live workspace must stay lint-clean; fix or annotate:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

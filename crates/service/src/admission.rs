@@ -111,7 +111,8 @@ pub struct Permit<'a> {
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        let mut st = self.gate.state.lock().unwrap();
+        // fs2-lint: allow(no-panic-service) -- lock poisoning means a holder already panicked; propagating is the least-bad option in a Drop
+        let mut st = self.gate.state.lock().expect("gate state poisoned");
         st.active -= 1;
         drop(st);
         self.gate.freed.notify_one();
@@ -148,7 +149,8 @@ impl Gate {
                 limit: self.cfg.max_request_cost,
             });
         }
-        let mut st = self.state.lock().unwrap();
+        // fs2-lint: allow(no-panic-service) -- lock poisoning, not peer input: the critical sections below only touch two counters
+        let mut st = self.state.lock().expect("gate state poisoned");
         if st.active >= self.cfg.max_active {
             if st.queued >= self.cfg.max_queue {
                 self.shed_busy.fetch_add(1, Ordering::Relaxed);
@@ -162,7 +164,8 @@ impl Gate {
             self.peak_queue_depth
                 .fetch_max(st.queued, Ordering::Relaxed);
             while st.active >= self.cfg.max_active {
-                st = self.freed.wait(st).unwrap();
+                // fs2-lint: allow(no-panic-service) -- Condvar::wait fails only on lock poisoning (see above)
+                st = self.freed.wait(st).expect("gate state poisoned");
             }
             st.queued -= 1;
         }
@@ -172,7 +175,8 @@ impl Gate {
     }
 
     pub fn stats(&self) -> AdmissionStats {
-        let st = self.state.lock().unwrap();
+        // fs2-lint: allow(no-panic-service) -- lock poisoning, not peer input
+        let st = self.state.lock().expect("gate state poisoned");
         AdmissionStats {
             admitted: self.admitted.load(Ordering::Relaxed),
             queued: self.queued_total.load(Ordering::Relaxed),

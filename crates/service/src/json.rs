@@ -89,6 +89,7 @@ impl Json {
     pub fn set(mut self, key: &str, value: Json) -> Json {
         match &mut self {
             Json::Obj(fields) => fields.push((key.to_string(), value)),
+            // fs2-lint: allow(no-panic-service) -- encode-side builder invariant: every caller chains off Json::obj(), wire input never reaches set()
             _ => panic!("set() on a non-object"),
         }
         self
@@ -312,8 +313,11 @@ impl<'a> Parser<'a> {
                 return Err(self.err("malformed exponent"));
             }
         }
+        // The scanned range is ASCII by construction, but this is peer
+        // input: a logic slip above must surface as a parse error on
+        // the connection, never as a worker panic.
         let token = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number tokens are ASCII")
+            .map_err(|_| self.err("non-UTF-8 number token"))?
             .to_string();
         Ok(Json::Num(token))
     }
@@ -368,7 +372,10 @@ impl<'a> Parser<'a> {
                     // construction: we parse &str).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("peeked a byte");
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("truncated character"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

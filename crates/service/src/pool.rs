@@ -57,6 +57,7 @@ impl WorkerPool {
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         self.jobs
             .push_wait(Box::new(job))
+            // fs2-lint: allow(no-panic-service) -- the job queue closes only in Drop, which requires exclusive ownership; no live caller can observe it closed
             .unwrap_or_else(|_| panic!("worker pool is shut down"));
     }
 
@@ -91,10 +92,12 @@ impl WorkerPool {
                 out[i] = Some(r);
                 filled += 1;
             } else {
+                // fs2-lint: allow(no-panic-service) -- the result queue is owned by this scatter and never closed; pop_wait returns None only after close
                 unreachable!("result queue closed with tasks outstanding");
             }
         }
         out.into_iter()
+            // fs2-lint: allow(no-panic-service) -- the loop above exits only once all n slots are filled
             .map(|r| r.expect("all slots filled"))
             .collect()
     }

@@ -25,7 +25,7 @@
 //!   register numbers that index it checked-free, FMA/MUL/ADD bodies
 //!   iterate fixed-size lane slices the compiler auto-vectorizes, and
 //!   triviality is a per-register lane bitmask updated once per
-//!   destination write instead of per-lane [`is_trivial`] calls on
+//!   destination write instead of per-lane `is_trivial` calls on
 //!   every source operand.
 //!
 //! All three are bit-identical in results: same [`ExecStats`], same
@@ -976,8 +976,8 @@ impl Executor {
     ///
     /// The tier deliberately replicates the original implementation's
     /// access idiom — bounds-checked flat-slice register loads
-    /// ([`Executor::vload_v1`]) and the short-circuiting triviality
-    /// test ([`is_trivial_v1`]) — so the published speedup measures the
+    /// (`Executor::vload_v1`) and the short-circuiting triviality
+    /// test (`is_trivial_v1`) — so the published speedup measures the
     /// vectorized path against what actually shipped, not against a
     /// baseline that silently inherits this PR's layout improvements.
     pub fn run_predecoded(&mut self, decoded: &DecodedKernel, iterations: u64) -> &ExecStats {
