@@ -65,20 +65,31 @@ impl WorkerPool {
     /// order. The calling thread also drains jobs while it waits, so
     /// a scatter submitted *from* a pool worker (nested requests)
     /// cannot deadlock the pool.
+    ///
+    /// A panicking task can never hang the scatter: every task runs
+    /// under `catch_unwind` so its result slot is always filled, and
+    /// the first panic (by task index) is re-raised on the calling
+    /// thread once all tasks have settled.
     pub fn scatter<R, F>(&self, tasks: Vec<F>) -> Vec<R>
     where
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
     {
         let n = tasks.len();
-        let results: Arc<MetricQueue<(usize, R)>> = Arc::new(MetricQueue::unbounded());
+        let results: Arc<MetricQueue<(usize, std::thread::Result<R>)>> =
+            Arc::new(MetricQueue::unbounded());
         for (i, task) in tasks.into_iter().enumerate() {
             let results = Arc::clone(&results);
             self.execute(move || {
-                let _ = results.try_push((i, task()));
+                // The catch is what keeps a panicking task from
+                // leaving its result slot forever empty (the caller
+                // would block on pop_wait for a push that never
+                // comes); the panic payload travels as the result.
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                let _ = results.try_push((i, r));
             });
         }
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut out: Vec<Option<std::thread::Result<R>>> = (0..n).map(|_| None).collect();
         let mut filled = 0;
         while filled < n {
             if let Some((i, r)) = results.try_pop() {
@@ -96,10 +107,17 @@ impl WorkerPool {
                 unreachable!("result queue closed with tasks outstanding");
             }
         }
-        out.into_iter()
+        let mut gathered = Vec::with_capacity(n);
+        for slot in out {
             // fs2-lint: allow(no-panic-service) -- the loop above exits only once all n slots are filled
-            .map(|r| r.expect("all slots filled"))
-            .collect()
+            match slot.expect("all slots filled") {
+                Ok(r) => gathered.push(r),
+                // Re-raise the first panic (lowest task index) on the
+                // caller: the legacy contract minus the deadlock.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        gathered
     }
 }
 
@@ -141,6 +159,39 @@ mod tests {
             // Drop closes the queue and joins; queued jobs still run.
         }
         assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scatter_task_panic_propagates_instead_of_hanging() {
+        // Regression: a panicking task used to kill its worker thread
+        // before the result push, so scatter blocked forever on a
+        // result that would never arrive. It must now re-raise the
+        // panic on the caller once every task has settled.
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("task {i} exploded");
+                    }
+                    i * 2
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.scatter(tasks)));
+        let payload = caught.expect_err("the task panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("task 3 exploded"), "wrong payload: {msg}");
+        // The pool survives: a later scatter still completes in order.
+        let tasks: Vec<_> = (0..16).map(|i| move || i + 1).collect();
+        assert_eq!(
+            pool.scatter(tasks),
+            (1..=16).collect::<Vec<_>>(),
+            "pool must keep serving after a task panic"
+        );
     }
 
     #[test]
