@@ -11,7 +11,10 @@
 //! cargo run --release -p fs2-bench --bin bench_service
 //! ```
 
-use fs2_service::{Broker, FleetReply, FleetRequest, FleetService, ServiceConfig};
+use fs2_service::{
+    call_with_retry, serve_with, AdmissionConfig, Broker, ChaosConfig, FleetReply, FleetRequest,
+    FleetService, RetryPolicy, ServiceConfig, TransportConfig,
+};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -116,6 +119,101 @@ fn main() {
 
     let stats = service.admission_stats();
 
+    // Fault-tolerance phase, on deliberately tiny requests: a chaotic
+    // service absorbing injected shard panics, a deadline screen
+    // rejecting unmeetable requests, and a TCP retry loop riding over
+    // dropped replies. Counters, not latencies — the point is that the
+    // committed baseline records the supervision machinery working.
+    let tiny = |seed: u64| FleetRequest {
+        nodes: 8,
+        samples_per_node: 40,
+        seed: Some(seed),
+        ..FleetRequest::fig1()
+    };
+    // The injected panics are caught, but the default hook would still
+    // spray backtraces over the report; silence it for this phase.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let chaotic = FleetService::new(ServiceConfig {
+        workers: 2,
+        default_shards: 2,
+        admission: AdmissionConfig::default(),
+        chaos: ChaosConfig {
+            seed: 29,
+            panic_every: 2,
+            ..ChaosConfig::default()
+        },
+    });
+    let mut chaos_failed = 0u64;
+    for _ in 0..6 {
+        if !chaotic.handle(&tiny(3)).ok {
+            chaos_failed += 1;
+        }
+    }
+    let panics_caught = chaotic.pool_stats().panics_caught;
+    assert_eq!(panics_caught, 3, "panic_every=2 over 6 requests");
+    assert_eq!(chaos_failed, 3);
+    assert_eq!(
+        chaotic.pool_stats().live_workers,
+        2,
+        "supervision must keep the pool at strength"
+    );
+    std::panic::set_hook(default_hook);
+
+    let screened = FleetService::new(ServiceConfig {
+        workers: 2,
+        default_shards: 2,
+        admission: AdmissionConfig {
+            cost_per_ms: 1, // 8 × 40 = 320 node·samples → ~320 ms estimate
+            ..AdmissionConfig::default()
+        },
+        chaos: ChaosConfig::default(),
+    });
+    for _ in 0..4 {
+        let reply = screened.handle(&FleetRequest {
+            deadline_ms: Some(5),
+            ..tiny(3)
+        });
+        assert!(!reply.ok, "a 5 ms deadline on ~320 ms of work must screen");
+    }
+    let deadline_rejects = screened.admission_stats().rejected_deadline;
+    assert_eq!(deadline_rejects, 4);
+
+    let dropping = Arc::new(FleetService::new(ServiceConfig {
+        workers: 2,
+        default_shards: 2,
+        admission: AdmissionConfig::default(),
+        chaos: ChaosConfig {
+            seed: 31,
+            drop_reply_every: 2,
+            ..ChaosConfig::default()
+        },
+    }));
+    let server = serve_with(
+        Arc::clone(&dropping),
+        "127.0.0.1:0",
+        TransportConfig::default(),
+    )
+    .expect("bind chaos server");
+    let addr = server.local_addr().to_string();
+    let policy = RetryPolicy {
+        attempts: 4,
+        base_ms: 2,
+        cap_ms: 20,
+        seed: 5,
+    };
+    for _ in 0..4 {
+        let line = call_with_retry(&addr, &tiny(7).to_line(), policy).expect("retries exhausted");
+        assert!(FleetReply::from_line(&line).expect("decode").ok);
+    }
+    // Every dropped reply forced exactly one reconnect-and-retry.
+    let retries = dropping
+        .chaos()
+        .map(|c| c.drops_injected())
+        .unwrap_or_default();
+    assert!(retries >= 2, "drop_reply_every=2 over 4 calls: {retries}");
+    server.shutdown();
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"fleet service stack (broker + shards + shared caches)\",\n");
@@ -141,6 +239,9 @@ fn main() {
         json,
         "  \"near_identical_payload_hit_rate\": {near_payload_rate:.4},"
     );
+    let _ = writeln!(json, "  \"panics_caught\": {panics_caught},");
+    let _ = writeln!(json, "  \"retries\": {retries},");
+    let _ = writeln!(json, "  \"deadline_rejects\": {deadline_rejects},");
     json.push_str("  \"admission\": {\n");
     let _ = writeln!(json, "    \"admitted\": {},", stats.admitted);
     let _ = writeln!(json, "    \"queued\": {},", stats.queued);
@@ -170,6 +271,10 @@ fn main() {
     println!(
         "admission: {} admitted, {} queued (peak depth {}), {} shed",
         stats.admitted, stats.queued, stats.peak_queue_depth, stats.shed_busy
+    );
+    println!(
+        "fault tolerance: {panics_caught} injected panics caught, {retries} dropped replies \
+         retried, {deadline_rejects} unmeetable deadlines screened"
     );
 
     std::fs::write(&out_path, json).expect("write benchmark baseline");

@@ -477,6 +477,39 @@ impl FleetShard {
     }
 }
 
+/// The shard set handed to [`FleetSim::try_merge_shards`] does not
+/// tile the plan's node range — a shard is missing (e.g. it panicked
+/// upstream and was dropped), duplicated, or overlapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTilingError {
+    /// First node index left uncovered (or covered twice).
+    pub expected_lo: u32,
+    /// The shard range actually found there (`None`: coverage simply
+    /// ran out before `total_nodes`).
+    pub found_lo: Option<u32>,
+    /// Nodes the plan expects covered.
+    pub total_nodes: usize,
+}
+
+impl std::fmt::Display for ShardTilingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.found_lo {
+            Some(got) => write!(
+                f,
+                "shards do not tile the node range: expected lo {}, got {got}",
+                self.expected_lo
+            ),
+            None => write!(
+                f,
+                "shards cover {} of {} nodes",
+                self.expected_lo, self.total_nodes
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardTilingError {}
+
 enum ShardData {
     /// Unbudgeted i.i.d. shards write final samples directly.
     Samples {
@@ -1419,31 +1452,50 @@ impl FleetSim {
     /// Merges shard results back into one [`FleetRun`].
     ///
     /// Shards must tile the plan's node range exactly (any order; they
-    /// are sorted by range here). Streams concatenate in node-id order
-    /// and the shared `finish` phase arbitrates and
-    /// aggregates, so the merged run is byte-identical to
-    /// [`FleetSim::run`] for every shard split.
+    /// are sorted by range here) — a gap or overlap panics. Fallible
+    /// callers (the fleet service, whose shard set may be missing a
+    /// panicked task) should use [`FleetSim::try_merge_shards`].
     pub fn merge_shards(
         &self,
         registry: &EngineRegistry,
         plan: &FleetPlan,
-        mut shards: Vec<FleetShard>,
+        shards: Vec<FleetShard>,
     ) -> FleetRun {
+        self.try_merge_shards(registry, plan, shards)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`FleetSim::merge_shards`], but a shard set that fails to
+    /// tile the plan's node range is a typed [`ShardTilingError`]
+    /// instead of a panic. Streams concatenate in node-id order and
+    /// the shared `finish` phase arbitrates and aggregates, so the
+    /// merged run is byte-identical to [`FleetSim::run`] for every
+    /// shard split.
+    pub fn try_merge_shards(
+        &self,
+        registry: &EngineRegistry,
+        plan: &FleetPlan,
+        mut shards: Vec<FleetShard>,
+    ) -> Result<FleetRun, ShardTilingError> {
         shards.sort_by_key(|s| s.lo);
         let mut expected = 0u32;
         for s in &shards {
-            assert!(
-                s.lo == expected,
-                "shards do not tile the node range: expected lo {expected}, got {}",
-                s.lo
-            );
+            if s.lo != expected {
+                return Err(ShardTilingError {
+                    expected_lo: expected,
+                    found_lo: Some(s.lo),
+                    total_nodes: plan.items.len(),
+                });
+            }
             expected = s.hi;
         }
-        assert!(
-            expected as usize == plan.items.len(),
-            "shards cover {expected} of {} nodes",
-            plan.items.len()
-        );
+        if expected as usize != plan.items.len() {
+            return Err(ShardTilingError {
+                expected_lo: expected,
+                found_lo: None,
+                total_nodes: plan.items.len(),
+            });
+        }
 
         if shards
             .iter()
@@ -1464,7 +1516,7 @@ impl FleetSim {
                     ShardData::Nodes(_) => unreachable!(),
                 }
             }
-            return FleetRun {
+            return Ok(FleetRun {
                 samples,
                 registry: registry.stats(),
                 power_table: plan.power_table.clone(),
@@ -1473,7 +1525,7 @@ impl FleetSim {
                 capped_samples,
                 infeasible_points: plan.infeasible_points,
                 budget: None,
-            };
+            });
         }
 
         let per_node: Vec<NodeOut> = shards
@@ -1485,7 +1537,7 @@ impl FleetSim {
                 }
             })
             .collect();
-        self.finish(registry, plan, per_node)
+        Ok(self.finish(registry, plan, per_node))
     }
 
     /// Runs the fleet split across `shards` shards, each proposed on

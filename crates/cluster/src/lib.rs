@@ -44,6 +44,6 @@ pub use budget::{Arbitration, BudgetPolicy, Decision, NodeStream};
 pub use episodes::{EpisodeModel, EpisodeWalk, Tick};
 pub use fleet::{
     shard_ranges, BudgetStats, ClassPower, EpisodeStats, FleetConfig, FleetPlan, FleetRun,
-    FleetShard, FleetSim, FleetSizeError, NodeGroup, PowerCdf, TemporalMode,
+    FleetShard, FleetSim, FleetSizeError, NodeGroup, PowerCdf, ShardTilingError, TemporalMode,
 };
 pub use jobs::{JobClass, JobMix};

@@ -1,0 +1,47 @@
+//! Fixture: no-panic-service negatives in supervision/chaos shapes.
+//! The same machinery as the dirty `supervisor.rs` twin, written the
+//! way the live service must: caught panics become typed errors, and
+//! deliberate chaos panics carry an annotated reason.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub fn reap(handles: Vec<std::thread::JoinHandle<()>>) -> usize {
+    let mut dead = 0;
+    for h in handles {
+        // Negative: a worker that died panicking is counted, not
+        // re-raised into the supervisor.
+        if h.join().is_err() {
+            dead += 1;
+        }
+    }
+    dead
+}
+
+pub fn run_shard(task: impl FnOnce() -> u64) -> Result<u64, String> {
+    // Negative: a caught panic becomes a typed shard error.
+    catch_unwind(AssertUnwindSafe(task)).map_err(|_| "shard task panicked".to_string())
+}
+
+pub fn inject_fault(request_idx: u64, period: u64) {
+    if period > 0 && request_idx % period == 0 {
+        // fs2-lint: allow(no-panic-service) -- deterministic chaos injection; caught by the pool
+        panic!("chaos: injected fault at request {request_idx}");
+    }
+}
+
+pub fn respawn_slot(slot: Option<usize>, pool_size: usize) -> usize {
+    // Negative: a missing slot degrades to the last seat instead of
+    // aborting the respawn.
+    slot.unwrap_or(pool_size.saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_shard_errors_round_trip() {
+        assert_eq!(run_shard(|| 9).unwrap(), 9);
+        assert!(run_shard(|| panic!("boom")).is_err());
+    }
+}

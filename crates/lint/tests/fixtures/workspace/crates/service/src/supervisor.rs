@@ -1,0 +1,35 @@
+//! Fixture: no-panic-service positives in supervision/chaos shapes.
+//! Worker respawn and fault-injection code runs on the request path
+//! too — a panic here takes the supervisor down with the worker.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub fn reap(handles: Vec<std::thread::JoinHandle<()>>) {
+    for h in handles {
+        // Positive: joining a worker that died panicking re-raises the
+        // panic into the supervisor.
+        h.join().unwrap();
+    }
+}
+
+pub fn run_shard(task: impl FnOnce() -> u64) -> u64 {
+    // Positive: expect on a caught panic forwards it instead of
+    // converting it into a typed shard error.
+    catch_unwind(AssertUnwindSafe(task)).expect("shard task panicked")
+}
+
+pub fn inject_fault(request_idx: u64, period: u64) {
+    if period > 0 && request_idx % period == 0 {
+        // Positive: an unannotated injected panic — chaos sites must
+        // carry an explicit fs2-lint allow with a reason.
+        panic!("chaos: injected fault at request {request_idx}");
+    }
+}
+
+pub fn respawn_slot(slot: Option<usize>) -> usize {
+    match slot {
+        Some(s) => s,
+        // Positive: todo! left in the respawn path.
+        None => todo!("pick a slot for the respawned worker"),
+    }
+}

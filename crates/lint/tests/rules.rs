@@ -151,36 +151,53 @@ fn rule_shaped_text_in_literals_and_comments_is_inert() {
 #[test]
 fn dirty_fixture_tree_fires_every_rule() {
     let report = lint_workspace(&fixture("workspace")).expect("fixture tree walks");
-    assert_eq!(report.files_scanned, 6);
+    assert_eq!(report.files_scanned, 7);
     let d = &report.diagnostics;
     assert_eq!(count(d, "map-iter"), 3, "{d:#?}");
     assert_eq!(count(d, "wall-clock"), 5, "{d:#?}");
     assert_eq!(count(d, "rng-discipline"), 3, "{d:#?}");
-    assert_eq!(count(d, "no-panic-service"), 4, "{d:#?}");
+    assert_eq!(count(d, "no-panic-service"), 8, "{d:#?}");
     assert_eq!(count(d, "checked-cast"), 2, "{d:#?}");
     assert_eq!(count(d, "safety-comment"), 1, "{d:#?}");
     assert_eq!(count(d, "suppression"), 2, "{d:#?}");
-    // Findings land in the file staged for that rule.
-    for (rule, path) in [
-        ("map-iter", "crates/core/src/maps.rs"),
-        ("wall-clock", "crates/calib/src/clock.rs"),
-        ("rng-discipline", "crates/tuning/src/rng.rs"),
-        ("no-panic-service", "crates/service/src/handler.rs"),
-        ("checked-cast", "crates/cluster/src/fleet.rs"),
-        ("safety-comment", "crates/sim/src/exec.rs"),
-        ("suppression", "crates/sim/src/exec.rs"),
-    ] {
+    // Findings land in the file(s) staged for that rule.
+    let staged: [(&str, &[&str]); 7] = [
+        ("map-iter", &["crates/core/src/maps.rs"]),
+        ("wall-clock", &["crates/calib/src/clock.rs"]),
+        ("rng-discipline", &["crates/tuning/src/rng.rs"]),
+        (
+            "no-panic-service",
+            &[
+                "crates/service/src/handler.rs",
+                "crates/service/src/supervisor.rs",
+            ],
+        ),
+        ("checked-cast", &["crates/cluster/src/fleet.rs"]),
+        ("safety-comment", &["crates/sim/src/exec.rs"]),
+        ("suppression", &["crates/sim/src/exec.rs"]),
+    ];
+    for (rule, paths) in staged {
         assert!(
-            d.iter().filter(|x| x.rule == rule).all(|x| x.path == path),
-            "{rule} findings strayed from {path}: {d:#?}"
+            d.iter()
+                .filter(|x| x.rule == rule)
+                .all(|x| paths.contains(&x.path.as_str())),
+            "{rule} findings strayed from {paths:?}: {d:#?}"
         );
     }
+    // The supervision twin fires each panic shape exactly once.
+    assert_eq!(
+        d.iter()
+            .filter(|x| x.path == "crates/service/src/supervisor.rs")
+            .count(),
+        4,
+        "{d:#?}"
+    );
 }
 
 #[test]
 fn clean_fixture_tree_is_clean() {
     let report = lint_workspace(&fixture("clean")).expect("fixture tree walks");
-    assert_eq!(report.files_scanned, 5);
+    assert_eq!(report.files_scanned, 6);
     assert!(
         report.is_clean(),
         "clean fixtures must not fire: {:#?}",

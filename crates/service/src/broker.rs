@@ -7,8 +7,10 @@
 //! CLI's `--fleet` action is a thin client of this broker; the TCP
 //! front-end is the same loop with a socket instead of a queue.
 
+use crate::proto::{kind, FleetReply};
 use crate::service::FleetService;
 use fs2_metrics::MetricQueue;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -43,7 +45,18 @@ impl Broker {
                 let service = Arc::clone(&service);
                 std::thread::spawn(move || {
                     while let Some(job) = requests.pop_wait() {
-                        let reply = service.handle_line(&job.line);
+                        // A panicking handler must not take the
+                        // dispatcher thread down — and, worse, leave
+                        // the caller parked on its reply queue forever.
+                        let reply =
+                            catch_unwind(AssertUnwindSafe(|| service.handle_line(&job.line)))
+                                .unwrap_or_else(|_| {
+                                    FleetReply::failure_kind(
+                                        kind::SHARD_PANIC,
+                                        "internal error: request handler panicked",
+                                    )
+                                    .to_line()
+                                });
                         // A vanished caller is not an error.
                         let _ = job.reply_to.try_push(reply);
                     }

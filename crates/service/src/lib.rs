@@ -21,21 +21,38 @@
 //! Two transports expose the stack: [`broker`] (in-process, built on
 //! the `fs2-metrics` channel seam — the CLI's `--fleet` path) and
 //! [`tcp`] (plain TCP JSON-lines, the CLI's `--serve`/`--connect`).
+//!
+//! A fault-tolerance layer cuts across all of it: the pool supervises
+//! its workers (panics caught, dead workers respawned, shard panics
+//! typed as [`pool::ShardError`]), requests carry optional deadlines
+//! checked at admission and between shards ([`timing`] is the lone
+//! clock seam), the TCP transport bounds line length / read stalls /
+//! connection count and drains connections on shutdown, clients
+//! reconnect-and-retry on a deterministic backoff schedule, and a
+//! seeded [`chaos`] harness injects worker panics, worker deaths, and
+//! dropped replies at reproducible points to prove all of the above.
 
 pub mod admission;
 pub mod broker;
+pub mod chaos;
 pub mod json;
 pub mod pool;
 pub mod proto;
 pub mod service;
 pub mod tcp;
+pub mod timing;
 
 pub use admission::{AdmissionConfig, AdmissionError, AdmissionStats, Gate, Permit};
 pub use broker::{Broker, BrokerJob};
+pub use chaos::{ChaosConfig, ChaosState};
 pub use json::{Json, JsonError};
-pub use pool::WorkerPool;
+pub use pool::{PoolStats, ShardError, WorkerPool};
 pub use proto::{
-    BudgetWire, CdfWire, EpisodeWire, FleetReply, FleetRequest, ProtoError, RegistryWire,
+    BudgetWire, CdfWire, EpisodeWire, FleetReply, FleetRequest, PoolWire, ProtoError, RegistryWire,
 };
 pub use service::{FleetService, ServiceConfig};
-pub use tcp::{call, serve, Client, Server};
+pub use tcp::{
+    call, call_with_retry, serve, serve_with, Client, ClientError, RetryPolicy, Server,
+    TransportConfig,
+};
+pub use timing::{Clock, ManualClock, WallClock};

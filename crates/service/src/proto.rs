@@ -50,6 +50,12 @@ pub struct FleetRequest {
     pub budget_policy: BudgetPolicy,
     /// Shard count override; `None` leaves it to the service.
     pub shards: Option<usize>,
+    /// Optional completion deadline, in milliseconds from admission.
+    /// The gate rejects deadlines its throughput estimate cannot meet
+    /// ([`kind::ADMISSION_DEADLINE`]); an admitted request that still
+    /// overruns degrades to a typed [`kind::DEADLINE_EXCEEDED`] reply
+    /// at the next between-shards check.
+    pub deadline_ms: Option<u64>,
     /// Return the raw 60 s-mean samples (the big artifact).
     pub want_samples: bool,
     /// Return the binned 0.1 W CDF.
@@ -75,6 +81,7 @@ impl FleetRequest {
             budget_w: None,
             budget_policy: BudgetPolicy::default(),
             shards: None,
+            deadline_ms: None,
             want_samples: true,
             want_cdf: false,
             profile: None,
@@ -130,6 +137,10 @@ impl FleetRequest {
             .set(
                 "shards",
                 self.shards.map(Json::of_usize).unwrap_or(Json::Null),
+            )
+            .set(
+                "deadline_ms",
+                self.deadline_ms.map(Json::of_u64).unwrap_or(Json::Null),
             )
             .set("want_samples", Json::of_bool(self.want_samples))
             .set("want_cdf", Json::of_bool(self.want_cdf))
@@ -212,6 +223,14 @@ impl FleetRequest {
                     .ok_or_else(|| perr("`shards` must be a positive integer"))?,
             ),
         };
+        let deadline_ms = match v.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(
+                j.as_u64()
+                    .filter(|&d| d > 0)
+                    .ok_or_else(|| perr("`deadline_ms` must be a positive integer"))?,
+            ),
+        };
         let profile = match v.get("profile") {
             None | Some(Json::Null) => None,
             Some(j) => {
@@ -234,6 +253,7 @@ impl FleetRequest {
             budget_w: opt_f64("budget_w")?,
             budget_policy,
             shards,
+            deadline_ms,
             want_samples: v
                 .get("want_samples")
                 .and_then(Json::as_bool)
@@ -394,12 +414,70 @@ pub struct CdfWire {
     pub samples: usize,
 }
 
+/// Machine-readable failure kinds carried in
+/// [`FleetReply::error_kind`], so clients and the CLI can branch on
+/// *why* a request failed without parsing prose.
+pub mod kind {
+    /// The request line failed to decode or validate.
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// Shed at the gate: active slots and queue both full.
+    pub const ADMISSION_BUSY: &str = "admission-busy";
+    /// Rejected at the gate: cost above the per-request limit.
+    pub const ADMISSION_OVERSIZE: &str = "admission-oversize";
+    /// Rejected at the gate: deadline unmeetable at estimated cost.
+    pub const ADMISSION_DEADLINE: &str = "admission-deadline";
+    /// Admitted, but the deadline expired between shards.
+    pub const DEADLINE_EXCEEDED: &str = "deadline-exceeded";
+    /// A shard task panicked; supervision contained it.
+    pub const SHARD_PANIC: &str = "shard-panic";
+    /// The shard set failed to merge (should never happen; typed so
+    /// it degrades to a reply instead of a crashed thread if it does).
+    pub const SHARD_MERGE: &str = "shard-merge";
+    /// Transport: a request line exceeded the length bound.
+    pub const LINE_TOO_LONG: &str = "transport-line-too-long";
+    /// Transport: the peer stalled past the read-timeout budget.
+    pub const PEER_STALLED: &str = "transport-peer-stalled";
+    /// Transport: the server is at its connection cap.
+    pub const OVER_CAPACITY: &str = "transport-over-capacity";
+}
+
+/// Worker-pool supervision counters on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolWire {
+    /// Job/task panics contained by the pool's `catch_unwind`.
+    pub panics_caught: u64,
+    /// Dead workers replaced by supervision.
+    pub workers_respawned: u64,
+}
+
+impl PoolWire {
+    fn to_json(self) -> Json {
+        Json::obj()
+            .set("panics_caught", Json::of_u64(self.panics_caught))
+            .set("workers_respawned", Json::of_u64(self.workers_respawned))
+    }
+
+    fn from_json(v: &Json) -> PoolWire {
+        let u = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+        PoolWire {
+            panics_caught: u("panics_caught"),
+            workers_respawned: u("workers_respawned"),
+        }
+    }
+}
+
 /// One fleet-simulation reply (or a service-side rejection).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReply {
     pub ok: bool,
     /// Rejection/failure reason when `ok` is false.
     pub error: Option<String>,
+    /// Machine-readable failure kind (one of the [`kind`] constants)
+    /// when `ok` is false and the failure is typed.
+    pub error_kind: Option<String>,
+    /// Pool supervision counters at reply time (present whenever the
+    /// request reached the shard layer).
+    pub pool: Option<PoolWire>,
     /// Raw 60 s-mean samples (empty unless requested).
     pub samples: Vec<f64>,
     pub cdf: Option<CdfWire>,
@@ -420,6 +498,8 @@ impl FleetReply {
         FleetReply {
             ok: false,
             error: Some(error.into()),
+            error_kind: None,
+            pool: None,
             samples: Vec::new(),
             cdf: None,
             registry: RegistryWire::default(),
@@ -433,6 +513,15 @@ impl FleetReply {
         }
     }
 
+    /// A typed failure: like [`FleetReply::failure`] plus one of the
+    /// [`kind`] constants for machine-readable branching.
+    pub fn failure_kind(kind: &str, error: impl Into<String>) -> FleetReply {
+        FleetReply {
+            error_kind: Some(kind.to_string()),
+            ..FleetReply::failure(error)
+        }
+    }
+
     pub fn to_json(&self) -> Json {
         let strs = |v: &[String]| Json::Arr(v.iter().map(|s| Json::of_str(s)).collect());
         let mut out = Json::obj()
@@ -440,6 +529,12 @@ impl FleetReply {
             .set("ok", Json::of_bool(self.ok));
         if let Some(e) = &self.error {
             out = out.set("error", Json::of_str(e));
+        }
+        if let Some(k) = &self.error_kind {
+            out = out.set("error_kind", Json::of_str(k));
+        }
+        if let Some(p) = &self.pool {
+            out = out.set("pool", p.to_json());
         }
         out = out
             .set("samples", Json::of_f64s(&self.samples))
@@ -578,6 +673,11 @@ impl FleetReply {
         Ok(FleetReply {
             ok: v.get("ok").and_then(Json::as_bool).unwrap_or(false),
             error: v.get("error").and_then(Json::as_str).map(str::to_string),
+            error_kind: v
+                .get("error_kind")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            pool: v.get("pool").map(PoolWire::from_json),
             samples: v
                 .get("samples")
                 .and_then(Json::f64s)
@@ -620,6 +720,7 @@ mod tests {
             budget_w: Some(9000.25),
             budget_policy: BudgetPolicy::Defer,
             shards: Some(7),
+            deadline_ms: Some(1500),
             want_samples: false,
             want_cdf: true,
             profile: Some(FleetProfile::exemplar()),
@@ -647,6 +748,8 @@ mod tests {
             r#"{"type":"fleet","budget_w":0}"#,
             r#"{"type":"fleet","budget_policy":"auction"}"#,
             r#"{"type":"fleet","shards":0}"#,
+            r#"{"type":"fleet","deadline_ms":0}"#,
+            r#"{"type":"fleet","deadline_ms":-5}"#,
             r#"{"type":"fleet","seed":-1}"#,
             r#"{"type":"fleet","profile":7}"#,
             r##"{"type":"fleet","profile":"# wrong header\n"}"##,
@@ -678,6 +781,11 @@ mod tests {
         let reply = FleetReply {
             ok: true,
             error: None,
+            error_kind: None,
+            pool: Some(PoolWire {
+                panics_caught: 3,
+                workers_respawned: 1,
+            }),
             samples: vec![83.25, 359.9, f64::from_bits(0x405526E41CAD1777)],
             cdf: Some(CdfWire {
                 bins: vec![(100.0, 0.25), (360.0, 1.0)],
@@ -735,5 +843,24 @@ mod tests {
         let back = FleetReply::from_line(&line).unwrap();
         assert!(!back.ok);
         assert_eq!(back.error.as_deref(), Some("rejected: queue full"));
+        assert_eq!(back.error_kind, None, "untyped failures stay untyped");
+    }
+
+    #[test]
+    fn typed_failures_round_trip_kind_and_pool_counters() {
+        let mut reply = FleetReply::failure_kind(kind::SHARD_PANIC, "shard task 2 panicked: boom");
+        reply.pool = Some(PoolWire {
+            panics_caught: 1,
+            workers_respawned: 0,
+        });
+        let back = FleetReply::from_line(&reply.to_line()).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.error_kind.as_deref(), Some(kind::SHARD_PANIC));
+        assert_eq!(back.pool.unwrap().panics_caught, 1);
+        // An old-style reply without the new fields still decodes.
+        let legacy = r#"{"type":"reply","ok":false,"error":"shed","samples":[]}"#;
+        let old = FleetReply::from_line(legacy).unwrap();
+        assert_eq!(old.error_kind, None);
+        assert_eq!(old.pool, None);
     }
 }

@@ -2,14 +2,29 @@
 //! pool underneath, one shared engine-cache tier across everything.
 //!
 //! A request travels the full stack: decode → cost estimate →
-//! [`Gate::admit`] → per-seed [`EngineRegistry`] (all registries share
-//! one [`EngineCaches`] tier, so repeated configurations re-serve
-//! payloads and functional passes across requests) → plan → shards
-//! scattered on the [`WorkerPool`] → bitwise-identical merge → reply.
+//! [`Gate::admit`] (which also screens unmeetable deadlines) →
+//! per-seed [`EngineRegistry`] (all registries share one
+//! [`EngineCaches`] tier, so repeated configurations re-serve payloads
+//! and functional passes across requests) → plan → shards scattered on
+//! the [`WorkerPool`] → bitwise-identical merge → reply.
+//!
+//! Every fault on that path degrades to a *typed* failure reply
+//! instead of a hung or crashed connection: a panicking shard task is
+//! contained by the pool and surfaces as [`kind::SHARD_PANIC`], a
+//! deadline that expires between shards as
+//! [`kind::DEADLINE_EXCEEDED`], and a shard set that fails to tile as
+//! [`kind::SHARD_MERGE`]. Supervision counters (panics caught, workers
+//! respawned) ride every reply that reached the shard layer, and the
+//! seeded [`ChaosState`] — off unless [`ServiceConfig::chaos`] enables
+//! it — injects those faults at deterministic points.
 
-use crate::admission::{AdmissionConfig, AdmissionStats, Gate};
-use crate::pool::WorkerPool;
-use crate::proto::{BudgetWire, CdfWire, EpisodeWire, FleetReply, FleetRequest, RegistryWire};
+use crate::admission::{AdmissionConfig, AdmissionError, AdmissionStats, Gate};
+use crate::chaos::{ChaosConfig, ChaosState};
+use crate::pool::{PoolStats, ShardError, WorkerPool};
+use crate::proto::{
+    kind, BudgetWire, CdfWire, EpisodeWire, FleetReply, FleetRequest, PoolWire, RegistryWire,
+};
+use crate::timing::{Clock, WallClock};
 use fs2_cluster::{shard_ranges, FleetShard, FleetSim, PowerCdf};
 use fs2_core::{EngineCaches, EngineRegistry, RegistryStats};
 use std::sync::{Arc, Mutex};
@@ -23,6 +38,8 @@ pub struct ServiceConfig {
     /// override via [`FleetRequest::shards`].
     pub default_shards: usize,
     pub admission: AdmissionConfig,
+    /// Fault-injection schedule; [`ChaosConfig::default`] is off.
+    pub chaos: ChaosConfig,
 }
 
 impl ServiceConfig {
@@ -32,6 +49,7 @@ impl ServiceConfig {
             workers: 2,
             default_shards: 2,
             admission: AdmissionConfig::default(),
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -46,16 +64,29 @@ pub struct FleetService {
     /// still reuse payload builds.
     registries: Mutex<Vec<(u64, Arc<EngineRegistry>)>>,
     default_shards: usize,
+    clock: Arc<dyn Clock>,
+    chaos: Option<Arc<ChaosState>>,
 }
 
 impl FleetService {
     pub fn new(cfg: ServiceConfig) -> FleetService {
+        FleetService::with_clock(cfg, Arc::new(WallClock::new()))
+    }
+
+    /// Builds the service on an explicit clock — the deterministic
+    /// entry point for deadline tests ([`crate::timing::ManualClock`]).
+    pub fn with_clock(cfg: ServiceConfig, clock: Arc<dyn Clock>) -> FleetService {
         FleetService {
             gate: Gate::new(cfg.admission),
             pool: WorkerPool::new(cfg.workers),
             caches: Arc::new(EngineCaches::new()),
             registries: Mutex::new(Vec::new()),
             default_shards: cfg.default_shards,
+            clock,
+            chaos: cfg
+                .chaos
+                .enabled()
+                .then(|| Arc::new(ChaosState::new(cfg.chaos))),
         }
     }
 
@@ -65,6 +96,17 @@ impl FleetService {
 
     pub fn admission_stats(&self) -> AdmissionStats {
         self.gate.stats()
+    }
+
+    /// Supervision counters of the shard pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// The live chaos state, when fault injection is enabled. The TCP
+    /// layer consults it for reply drops; tests for counters.
+    pub fn chaos(&self) -> Option<&Arc<ChaosState>> {
+        self.chaos.as_ref()
     }
 
     /// Counters of the registry serving `seed`, if any request used it.
@@ -88,6 +130,14 @@ impl FleetService {
         r
     }
 
+    fn pool_wire(&self) -> PoolWire {
+        let s = self.pool.stats();
+        PoolWire {
+            panics_caught: s.panics_caught,
+            workers_respawned: s.workers_respawned,
+        }
+    }
+
     /// Serves one request through the full stack.
     pub fn handle(&self, req: &FleetRequest) -> FleetReply {
         let cfg = req.to_config();
@@ -97,9 +147,16 @@ impl FleetService {
             Ok(n) => n as u128,
             Err(e) => e.total,
         };
-        let permit = match self.gate.admit(cost) {
+        let permit = match self.gate.admit(cost, req.deadline_ms) {
             Ok(p) => p,
-            Err(e) => return FleetReply::failure(e.to_string()),
+            Err(e) => {
+                let k = match e {
+                    AdmissionError::Busy { .. } => kind::ADMISSION_BUSY,
+                    AdmissionError::Oversize { .. } => kind::ADMISSION_OVERSIZE,
+                    AdmissionError::DeadlineUnmeetable { .. } => kind::ADMISSION_DEADLINE,
+                };
+                return FleetReply::failure_kind(k, e.to_string());
+            }
         };
 
         let registry = self.registry_for(cfg.seed);
@@ -110,16 +167,101 @@ impl FleetService {
         let sim = Arc::new(FleetSim::new(cfg));
         let plan = Arc::new(sim.plan(&registry));
         let ranges = shard_ranges(plan.total_nodes(), shards);
+
+        // Fault injection: claim this request's slot in the chaos
+        // schedule (a no-op when chaos is off).
+        let chaos_idx = self.chaos.as_ref().map(|c| c.next_request());
+        let mut panic_shard = None;
+        let mut chaos_shard_ms = 0;
+        if let (Some(c), Some(idx)) = (self.chaos.as_ref(), chaos_idx) {
+            if c.take_kill(idx) {
+                self.pool.condemn(1);
+            }
+            panic_shard = c.take_panic_shard(idx, ranges.len());
+            chaos_shard_ms = c.shard_ms();
+        }
+
+        let deadline_at = req
+            .deadline_ms
+            .map(|d| self.clock.now_ms().saturating_add(d));
         let tasks: Vec<_> = ranges
             .iter()
-            .map(|&(lo, hi)| {
+            .enumerate()
+            .map(|(k, &(lo, hi))| {
                 let sim = Arc::clone(&sim);
                 let plan = Arc::clone(&plan);
-                move || sim.run_shard(&plan, lo, hi)
+                let clock = Arc::clone(&self.clock);
+                let boom = panic_shard == Some(k);
+                // Each task checks the deadline *before* proposing its
+                // shard: an expired request degrades to a typed reply
+                // instead of burning workers on doomed work. The Err
+                // payload is the overshoot in ms.
+                move || -> Result<FleetShard, u64> {
+                    if chaos_shard_ms > 0 {
+                        clock.advance_ms(chaos_shard_ms);
+                    }
+                    if let Some(deadline) = deadline_at {
+                        let now = clock.now_ms();
+                        if now > deadline {
+                            return Err(now - deadline);
+                        }
+                    }
+                    if boom {
+                        // fs2-lint: allow(no-panic-service) -- chaos injection: this panic IS the fault under test; the pool's catch_unwind contains it
+                        panic!("chaos: injected panic in shard task {k}");
+                    }
+                    Ok(sim.run_shard(&plan, lo, hi))
+                }
             })
             .collect();
-        let parts: Vec<FleetShard> = self.pool.scatter(tasks);
-        let run = sim.merge_shards(&registry, &plan, parts);
+        let outcomes = self.pool.try_scatter(tasks);
+        // Reap any worker the scatter (or chaos) killed before the
+        // next request needs full capacity.
+        self.pool.supervise();
+
+        let mut parts = Vec::with_capacity(outcomes.len());
+        let mut first_panic: Option<ShardError> = None;
+        let mut worst_overshoot: Option<u64> = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(Ok(shard)) => parts.push(shard),
+                Ok(Err(over)) => {
+                    worst_overshoot = Some(worst_overshoot.map_or(over, |w| w.max(over)));
+                }
+                Err(e) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_panic {
+            permit.fail();
+            drop(permit);
+            let mut reply = FleetReply::failure_kind(kind::SHARD_PANIC, e.to_string());
+            reply.pool = Some(self.pool_wire());
+            return reply;
+        }
+        if let Some(over) = worst_overshoot {
+            permit.fail();
+            drop(permit);
+            let mut reply = FleetReply::failure_kind(
+                kind::DEADLINE_EXCEEDED,
+                format!("deadline exceeded mid-flight by {over} ms"),
+            );
+            reply.pool = Some(self.pool_wire());
+            return reply;
+        }
+        let run = match sim.try_merge_shards(&registry, &plan, parts) {
+            Ok(run) => run,
+            Err(e) => {
+                permit.fail();
+                drop(permit);
+                let mut reply = FleetReply::failure_kind(kind::SHARD_MERGE, e.to_string());
+                reply.pool = Some(self.pool_wire());
+                return reply;
+            }
+        };
         drop(permit);
 
         let cdf = req.want_cdf.then(|| {
@@ -154,6 +296,8 @@ impl FleetService {
         FleetReply {
             ok: true,
             error: None,
+            error_kind: None,
+            pool: Some(self.pool_wire()),
             samples: if req.want_samples {
                 run.samples
             } else {
@@ -177,7 +321,7 @@ impl FleetService {
     pub fn handle_line(&self, line: &str) -> String {
         match FleetRequest::from_line(line) {
             Ok(req) => self.handle(&req).to_line(),
-            Err(e) => FleetReply::failure(e.to_string()).to_line(),
+            Err(e) => FleetReply::failure_kind(kind::BAD_REQUEST, e.to_string()).to_line(),
         }
     }
 }
@@ -185,6 +329,7 @@ impl FleetService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::timing::ManualClock;
     use fs2_cluster::TemporalMode;
 
     fn bits(samples: &[f64]) -> Vec<u64> {
@@ -222,6 +367,8 @@ mod tests {
             );
             assert_eq!(reply.capped_samples, direct.capped_samples);
             assert_eq!(reply.power_points, direct.power_table.len());
+            let pool = reply.pool.expect("successful replies carry pool counters");
+            assert_eq!(pool.panics_caught, 0);
         }
     }
 
@@ -253,6 +400,7 @@ mod tests {
         let failure = FleetReply::from_line(&line).unwrap();
         assert!(!failure.ok);
         assert!(failure.error.as_deref().unwrap().contains("bad `profile`"));
+        assert_eq!(failure.error_kind.as_deref(), Some(kind::BAD_REQUEST));
     }
 
     #[test]
@@ -313,6 +461,7 @@ mod tests {
         });
         assert!(!reply.ok);
         assert!(reply.error.as_deref().unwrap().contains("rejected"));
+        assert_eq!(reply.error_kind.as_deref(), Some(kind::ADMISSION_OVERSIZE));
         // u32::MAX × u32::MAX nodes·samples overflows usize on every
         // target; the checked total feeds admission, nothing wraps.
         let reply = service.handle(&FleetRequest {
@@ -326,6 +475,109 @@ mod tests {
     }
 
     #[test]
+    fn unmeetable_deadline_is_rejected_at_admission() {
+        let service = FleetService::new(ServiceConfig {
+            admission: AdmissionConfig {
+                // 24 nodes × 120 samples = 2880 cost → 288 ms of work.
+                cost_per_ms: 10,
+                ..AdmissionConfig::default()
+            },
+            ..ServiceConfig::small()
+        });
+        let reply = service.handle(&FleetRequest {
+            deadline_ms: Some(100),
+            ..request(5)
+        });
+        assert!(!reply.ok);
+        assert_eq!(reply.error_kind.as_deref(), Some(kind::ADMISSION_DEADLINE));
+        assert_eq!(service.admission_stats().rejected_deadline, 1);
+        // A meetable deadline sails through.
+        let reply = service.handle(&FleetRequest {
+            deadline_ms: Some(500),
+            ..request(5)
+        });
+        assert!(reply.ok, "{:?}", reply.error);
+    }
+
+    #[test]
+    fn mid_flight_deadline_degrades_to_a_typed_reply() {
+        // Manual clock + chaos shard latency: each shard task "takes"
+        // 40 ms, so a 50 ms deadline dies between shards while a lax
+        // one survives — deterministically.
+        let clock = Arc::new(ManualClock::new());
+        let service = FleetService::with_clock(
+            ServiceConfig {
+                chaos: ChaosConfig {
+                    shard_ms: 40,
+                    ..ChaosConfig::default()
+                },
+                ..ServiceConfig::small()
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let reply = service.handle(&FleetRequest {
+            deadline_ms: Some(50),
+            ..request(9)
+        });
+        assert!(!reply.ok);
+        assert_eq!(reply.error_kind.as_deref(), Some(kind::DEADLINE_EXCEEDED));
+        assert!(
+            reply.error.as_deref().unwrap().contains("mid-flight"),
+            "{:?}",
+            reply.error
+        );
+        let stats = service.admission_stats();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.failed, 1, "the permit must book as failed");
+        // Plenty of headroom → the same request succeeds.
+        let reply = service.handle(&FleetRequest {
+            deadline_ms: Some(10_000),
+            ..request(9)
+        });
+        assert!(reply.ok, "{:?}", reply.error);
+        assert_eq!(service.admission_stats().completed, 1);
+    }
+
+    #[test]
+    fn injected_shard_panic_becomes_a_typed_reply_and_the_pool_recovers() {
+        let service = FleetService::new(ServiceConfig {
+            chaos: ChaosConfig {
+                seed: 11,
+                panic_every: 2,
+                ..ChaosConfig::default()
+            },
+            ..ServiceConfig::small()
+        });
+        let baseline = FleetService::new(ServiceConfig::small());
+        let req = request(33);
+        // Request 1: schedule leaves it alone.
+        let first = service.handle(&req);
+        assert!(first.ok, "{:?}", first.error);
+        // Request 2: one shard panics; the reply is typed, not a hang.
+        let second = service.handle(&req);
+        assert!(!second.ok);
+        assert_eq!(second.error_kind.as_deref(), Some(kind::SHARD_PANIC));
+        assert!(
+            second.error.as_deref().unwrap().contains("injected panic"),
+            "{:?}",
+            second.error
+        );
+        assert_eq!(second.pool.unwrap().panics_caught, 1);
+        // Request 3 (the "retry"): bitwise-identical to an undisturbed
+        // service run of the same request.
+        let third = service.handle(&req);
+        assert!(third.ok, "{:?}", third.error);
+        let undisturbed = baseline.handle(&req);
+        assert_eq!(bits(&third.samples), bits(&undisturbed.samples));
+        // Accounting: 3 admitted = 2 completed + 1 failed.
+        let stats = service.admission_stats();
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(service.chaos().unwrap().panics_injected(), 1);
+    }
+
+    #[test]
     fn shard_count_and_worker_count_do_not_change_the_bytes() {
         let req = request(13);
         let reference = FleetSim::new(req.to_config()).run();
@@ -333,7 +585,7 @@ mod tests {
             let service = FleetService::new(ServiceConfig {
                 workers,
                 default_shards: shards,
-                admission: AdmissionConfig::default(),
+                ..ServiceConfig::small()
             });
             let reply = service.handle(&req);
             assert!(reply.ok);

@@ -1,0 +1,103 @@
+//! The service's only window onto wall time.
+//!
+//! Deadline enforcement needs *some* notion of elapsed time, but the
+//! rest of the workspace is (seed, config)-pure and the `wall-clock`
+//! lint bans `Instant` outside bench/CLI/`::timing` modules. This
+//! module is that sanctioned seam: everything else handles time as a
+//! [`Clock`] trait object, so tests drive deadlines with a
+//! [`ManualClock`] and production uses [`WallClock`] — the decision
+//! paths themselves never read a clock directly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Milliseconds since some fixed epoch. Implementations must be
+/// monotonic; absolute values are meaningless across clocks.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    fn now_ms(&self) -> u64;
+
+    /// Moves a controllable clock forward. The wall clock advances on
+    /// its own and ignores this; [`ManualClock`] honours it, which is
+    /// how the chaos harness makes shard work "take time"
+    /// deterministically.
+    fn advance_ms(&self, _ms: u64) {}
+}
+
+/// Real elapsed time, measured from construction.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> WallClock {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A clock that only moves when told to — the deterministic stand-in
+/// for tests and the chaos harness.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ms: AtomicU64,
+}
+
+impl ManualClock {
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::SeqCst)
+    }
+
+    fn advance_ms(&self, ms: u64) {
+        self.ms.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+/// `Duration` constructor for socket timeouts and backoff sleeps, kept
+/// here so callers state intervals in the same unit the clocks tick.
+pub fn millis(ms: u64) -> Duration {
+    Duration::from_millis(ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_when_advanced() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance_ms(5);
+        c.advance_ms(7);
+        assert_eq!(c.now_ms(), 12);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_and_ignores_advance() {
+        let c = WallClock::new();
+        let a = c.now_ms();
+        c.advance_ms(1_000_000);
+        let b = c.now_ms();
+        assert!(b < 1_000_000, "advance_ms must be a no-op on WallClock");
+        assert!(b >= a);
+    }
+}

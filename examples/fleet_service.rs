@@ -7,7 +7,8 @@
 //! ```
 
 use firestarter2::service::{
-    serve, AdmissionConfig, Broker, FleetReply, FleetRequest, FleetService, ServiceConfig,
+    serve, AdmissionConfig, Broker, ChaosConfig, FleetReply, FleetRequest, FleetService,
+    ServiceConfig,
 };
 use std::sync::Arc;
 
@@ -20,6 +21,7 @@ fn main() {
             max_queue: 8,
             ..AdmissionConfig::default()
         },
+        chaos: ChaosConfig::default(), // off; see the chaos section below
     }));
 
     // Transport 1: the in-process broker (what the CLI's --fleet uses).
@@ -82,5 +84,57 @@ fn main() {
     println!(
         "admission: {} admitted, {} queued, {} shed, {} rejected oversize",
         stats.admitted, stats.queued, stats.shed_busy, stats.rejected_oversize
+    );
+
+    // Fault tolerance: a second service with seeded chaos on. Request
+    // #2 gets a worker panic injected into one shard; the reply is a
+    // typed failure, the pool self-heals, and the retry reproduces the
+    // undisturbed bytes exactly — the injection schedule is
+    // deterministic and the samples are pure.
+    let chaotic = FleetService::new(ServiceConfig {
+        workers: 4,
+        default_shards: 4,
+        admission: AdmissionConfig::default(),
+        chaos: ChaosConfig {
+            seed: 7,
+            panic_every: 2,
+            ..ChaosConfig::default()
+        },
+    });
+    let ok1 = chaotic.handle(&req);
+    let hurt = chaotic.handle(&req);
+    let retry = chaotic.handle(&req);
+    println!(
+        "chaos: request 1 ok={}, request 2 ok={} [{}], retry ok={} and bitwise equal: {}",
+        ok1.ok,
+        hurt.ok,
+        hurt.error_kind.as_deref().unwrap_or("-"),
+        retry.ok,
+        retry.samples == first.samples
+    );
+    let pool = chaotic.pool_stats();
+    println!(
+        "supervision: {} panics caught, {} workers respawned, {} live",
+        pool.panics_caught, pool.workers_respawned, pool.live_workers
+    );
+
+    // Deadlines: with a cost model configured, an unmeetable deadline
+    // is rejected before any engine work.
+    let screened = FleetService::new(ServiceConfig {
+        admission: AdmissionConfig {
+            cost_per_ms: 10,
+            ..AdmissionConfig::default()
+        },
+        ..ServiceConfig::small()
+    });
+    let reply = screened.handle(&FleetRequest {
+        deadline_ms: Some(1),
+        ..req.clone()
+    });
+    println!(
+        "deadline screen: ok={} [{}] ({})",
+        reply.ok,
+        reply.error_kind.as_deref().unwrap_or("-"),
+        reply.error.as_deref().unwrap_or("-")
     );
 }

@@ -89,6 +89,15 @@ pub struct CliConfig {
     queue_depth: usize,
     /// Admission per-request node·sample cost cap.
     max_cost: u64,
+    /// Request deadline in ms (`None` = no deadline).
+    deadline_ms: Option<u64>,
+    /// Total `--connect` attempts, including the first.
+    retries: u32,
+    /// Chaos injection periods (0 = off) and schedule seed.
+    chaos_panic_every: u64,
+    chaos_kill_every: u64,
+    chaos_drop_every: u64,
+    chaos_seed: u64,
     /// Write the reply's raw sample bits here (one hex u64 per line).
     dump_samples: Option<String>,
     /// Target trace CSV for `--calibrate`.
@@ -143,6 +152,12 @@ impl Default for CliConfig {
             workers: 0,
             queue_depth: 64,
             max_cost: 1 << 30,
+            deadline_ms: None,
+            retries: 1,
+            chaos_panic_every: 0,
+            chaos_kill_every: 0,
+            chaos_drop_every: 0,
+            chaos_seed: 0,
             dump_samples: None,
             calibrate_trace: None,
             profile_out: None,
@@ -216,8 +231,23 @@ FLEET SERVICE
                                   service sheds requests (default 64)
   --max-cost N                    reject requests above N node-samples
                                   (default 2^30)
+  --deadline-ms MS                request deadline: unmeetable requests
+                                  are rejected at admission, overruns
+                                  fail typed mid-flight
+  --retries N                     total --connect attempts, with a
+                                  seeded deterministic backoff between
+                                  them (default 1 = no retry)
   --dump-samples PATH             write the reply's raw sample bits to
                                   PATH, one hex u64 per line
+
+FAULT INJECTION (--serve / --fleet; off by default)
+  --chaos-panic-every N           panic one shard task every Nth request
+  --chaos-kill-every N            kill one pool worker every Nth request
+                                  (supervision respawns it)
+  --chaos-drop-every N            drop every Nth reply mid-stream and
+                                  close the connection (TCP only)
+  --chaos-seed N                  seeds the injection schedule; the
+                                  same seed replays the same faults
 
 FLEET CALIBRATION
   --calibrate TRACE.csv           fit a fleet profile to a per-node
@@ -390,6 +420,27 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
                 opt!("--max-cost", cfg.max_cost, |v: &String| v
                     .parse::<u64>()
                     .map_err(|_| ()));
+                opt!("--deadline-ms", cfg.deadline_ms, |v: &String| v
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| ()));
+                opt!("--retries", cfg.retries, |v: &String| v
+                    .parse::<u32>()
+                    .map_err(|_| ()));
+                opt!(
+                    "--chaos-panic-every",
+                    cfg.chaos_panic_every,
+                    |v: &String| v.parse::<u64>().map_err(|_| ())
+                );
+                opt!("--chaos-kill-every", cfg.chaos_kill_every, |v: &String| v
+                    .parse::<u64>()
+                    .map_err(|_| ()));
+                opt!("--chaos-drop-every", cfg.chaos_drop_every, |v: &String| v
+                    .parse::<u64>()
+                    .map_err(|_| ()));
+                opt!("--chaos-seed", cfg.chaos_seed, |v: &String| v
+                    .parse::<u64>()
+                    .map_err(|_| ()));
                 opt!("--dump-samples", cfg.dump_samples, some_id);
                 opt!("--calibrate", cfg.calibrate_trace, some_id);
                 opt!("--profile-out", cfg.profile_out, some_id);
@@ -427,6 +478,19 @@ pub fn parse_args(argv: &[String]) -> Result<CliConfig, CliError> {
     }
     if cfg.max_cost == 0 {
         return Err(err("--max-cost must be at least 1"));
+    }
+    if cfg.deadline_ms == Some(0) {
+        return Err(err("--deadline-ms must be at least 1"));
+    }
+    if cfg.retries == 0 {
+        return Err(err("--retries must be at least 1 (the first attempt)"));
+    }
+    let chaos_on =
+        cfg.chaos_panic_every > 0 || cfg.chaos_kill_every > 0 || cfg.chaos_drop_every > 0;
+    if chaos_on && cfg.connect_addr.is_some() {
+        return Err(err(
+            "chaos injection lives server-side (use --serve or --fleet, not --connect)",
+        ));
     }
     if cfg.serve_addr.is_some() && cfg.connect_addr.is_some() {
         return Err(err("--serve and --connect are mutually exclusive"));
@@ -552,6 +616,7 @@ fn fleet_request_from_cli(cfg: &CliConfig) -> Result<fs2_service::FleetRequest, 
         want_samples: true,
         want_cdf: false,
         profile: profile_from_cli(cfg)?,
+        deadline_ms: cfg.deadline_ms,
     })
 }
 
@@ -563,6 +628,13 @@ fn service_config_from_cli(cfg: &CliConfig) -> fs2_service::ServiceConfig {
             max_queue: cfg.queue_depth,
             max_request_cost: cfg.max_cost,
             ..fs2_service::AdmissionConfig::default()
+        },
+        chaos: fs2_service::ChaosConfig {
+            seed: cfg.chaos_seed,
+            panic_every: cfg.chaos_panic_every,
+            kill_every: cfg.chaos_kill_every,
+            drop_reply_every: cfg.chaos_drop_every,
+            ..fs2_service::ChaosConfig::default()
         },
     }
 }
@@ -586,8 +658,13 @@ fn print_fleet_reply(
     use fs2_cluster::{FleetConfig, PowerCdf};
 
     if !reply.ok {
+        let kind = reply
+            .error_kind
+            .as_deref()
+            .map(|k| format!(" [{k}]"))
+            .unwrap_or_default();
         return Err(err(format!(
-            "fleet service: {}",
+            "fleet service{kind}: {}",
             reply.error.as_deref().unwrap_or("unspecified failure")
         )));
     }
@@ -628,6 +705,16 @@ fn print_fleet_reply(
         reply.registry.prescreen_pruned,
         reply.registry.prescreen_prune_rate(),
     ));
+    // Quiet on a healthy service so local and served runs print the
+    // same bytes; only faults surface the supervision ledger.
+    if let Some(pool) = &reply.pool {
+        if pool.panics_caught > 0 || pool.workers_respawned > 0 {
+            out.push_str(&format!(
+                "  supervision: {} shard panics caught, {} workers respawned\n",
+                pool.panics_caught, pool.workers_respawned
+            ));
+        }
+    }
     if let Some(cap) = cfg.cap_w {
         out.push_str(&format!(
             "  power cap {cap:.1} W: {} of {} drawn samples clamped to lower P-states \
@@ -785,8 +872,53 @@ fn run_connect(cfg: &CliConfig) -> Result<String, CliError> {
         .as_deref()
         .expect("Connect action implies --connect");
     let req = fleet_request_from_cli(cfg)?;
-    let line = fs2_service::call(addr, &req.to_line())
-        .map_err(|e| err(format!("--connect {addr}: {e}")))?;
+    // Retry on transport failures AND on transient typed failures
+    // (an injected/real shard panic is gone by the next attempt).
+    // ClientError's Display says *which* transport failure was hit — a
+    // stalled server ("timed out …") reads differently from a vanished
+    // one ("connection closed before a reply arrived").
+    let policy = fs2_service::RetryPolicy {
+        attempts: cfg.retries,
+        ..fs2_service::RetryPolicy::default()
+    };
+    let attempts = policy.attempts.max(1);
+    let suffix = || {
+        if cfg.retries > 1 {
+            format!(" after {} attempts", cfg.retries)
+        } else {
+            String::new()
+        }
+    };
+    let mut line = None;
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                policy.backoff_ms(attempt - 1),
+            ));
+        }
+        match fs2_service::call(addr, &req.to_line()) {
+            Ok(got) => {
+                let transient = fs2_service::FleetReply::from_line(&got)
+                    .map(|r| {
+                        !r.ok
+                            && r.error_kind.as_deref()
+                                == Some(fs2_service::proto::kind::SHARD_PANIC)
+                    })
+                    .unwrap_or(false);
+                line = Some(got);
+                if !transient {
+                    break;
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let line = match (line, last_err) {
+        (Some(line), _) => line,
+        (None, Some(e)) => return Err(err(format!("--connect {addr}{}: {e}", suffix()))),
+        (None, None) => return Err(err(format!("--connect {addr}: no attempts made"))),
+    };
     let reply = fs2_service::FleetReply::from_line(&line).map_err(|e| err(e.to_string()))?;
     if let Some(path) = &cfg.dump_samples {
         if reply.ok {

@@ -110,6 +110,7 @@ fn admission_bounds_an_overload_storm_without_panics() {
             max_queue: 2,
             ..AdmissionConfig::default()
         },
+        ..ServiceConfig::small()
     }));
     let req = FleetRequest {
         nodes: 8,
